@@ -1,0 +1,75 @@
+//! A CajaDE-like baseline (Li et al., SIGMOD 2021): explanations are
+//! patterns *unevenly distributed* across the query's groups, mined from
+//! related/augmented data — crucially, **independent of the outcome**.
+//!
+//! That independence is the failure mode the paper reports ("it cannot
+//! generate explanations that explain the correlation between T and O");
+//! CajaDE's scores were the lowest in the user study and were omitted from
+//! Table 3. We reproduce the strategy: rank attributes by how unevenly
+//! their values distribute across exposure groups, `I(E;T)`, never looking
+//! at `O`.
+
+use nexus_core::{CandidateSet, Engine, NexusOptions};
+
+use crate::method::{eligible_indices, ExplainMethod};
+
+/// Outcome-blind pattern selection.
+#[derive(Debug, Clone)]
+pub struct CajadeBaseline {
+    /// Number of attributes to return.
+    pub k: usize,
+}
+
+impl Default for CajadeBaseline {
+    fn default() -> Self {
+        CajadeBaseline { k: 2 }
+    }
+}
+
+impl ExplainMethod for CajadeBaseline {
+    fn name(&self) -> &'static str {
+        "CajaDE"
+    }
+
+    fn select(&self, set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Vec<usize> {
+        let mut pool = eligible_indices(set, engine, options);
+        // I(E;T) from the cached entropies, descending: the most unevenly
+        // distributed attributes across groups.
+        let uneven = |i: usize| {
+            let s = engine.stats(set, i);
+            (s.h_e.0 + s.h_t.0 - s.h_te.0).max(0.0)
+        };
+        pool.sort_by(|&a, &b| uneven(b).partial_cmp(&uneven(a)).expect("finite"));
+        pool.truncate(self.k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::testkit::fixture;
+
+    #[test]
+    fn ignores_the_outcome() {
+        let (set, engine, options) = fixture();
+        let picks = CajadeBaseline { k: 2 }.select(&set, &engine, &options);
+        assert_eq!(picks.len(), 2);
+        // Every entity-level attribute is maximally "uneven" across country
+        // groups, so CajaDE's choice is outcome-blind — it has no reason to
+        // prefer the true confounders over the shuffled distractor. Verify
+        // the criterion: picked attributes have (near-)maximal I(E;T).
+        let uneven = |i: usize| {
+            let s = engine.stats(&set, i);
+            (s.h_e.0 + s.h_t.0 - s.h_te.0).max(0.0)
+        };
+        let max_eligible = crate::method::eligible_indices(&set, &engine, &options)
+            .into_iter()
+            .map(uneven)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // The first pick is the most uneven eligible attribute, and the
+        // picks are ordered by unevenness.
+        assert!((uneven(picks[0]) - max_eligible).abs() < 1e-9);
+        assert!(uneven(picks[0]) >= uneven(picks[1]) - 1e-9);
+    }
+}

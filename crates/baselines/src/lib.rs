@@ -1,0 +1,40 @@
+//! # nexus-baselines
+//!
+//! The comparison methods of the paper's evaluation (Section 5), all
+//! implemented against the same candidate set and estimation engine as
+//! MCIMR so that the user-study experiments compare *selection strategies*:
+//!
+//! * [`BruteForce`] — exhaustive search for `argmin I(O;T|E,C)·|E|`
+//!   (Def. 2.3), the gold standard; infeasible without pruning.
+//! * [`TopK`] — individual explanation power only (Max-Relevance without
+//!   Min-Redundancy); picks redundant near-copies.
+//! * [`LinearRegressionBaseline`] — OLS coefficients with p-values; only
+//!   sees linear structure and often returns nothing significant.
+//! * [`HypDbBaseline`] — causal-analysis-style greedy over a randomly
+//!   capped pool of ≤ 50 attributes (the cap the paper had to impose to
+//!   make HypDB run at all).
+//! * [`CajadeBaseline`] — outcome-independent pattern selection; the
+//!   paper's worst performer.
+//!
+//! The OLS machinery (Gaussian elimination, log-gamma, incomplete beta,
+//! Student-t CDF) is implemented in this crate from scratch.
+
+#![warn(missing_docs)]
+
+pub mod brute_force;
+pub mod cajade;
+pub mod hypdb;
+pub mod linalg;
+pub mod linreg;
+pub mod method;
+pub mod stats;
+pub mod topk;
+
+pub use brute_force::BruteForce;
+pub use cajade::CajadeBaseline;
+pub use hypdb::HypDbBaseline;
+pub use linalg::Matrix;
+pub use linreg::{Coefficient, LinearRegressionBaseline};
+pub use method::{eligible_indices, ExplainMethod};
+pub use stats::{betai, gamma_ln, t_cdf, t_two_sided_p};
+pub use topk::TopK;

@@ -1,0 +1,168 @@
+//! Small dense linear algebra for the OLS baseline: symmetric solve /
+//! inverse via Gaussian elimination with partial pivoting.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Row-major data.
+    pub data: Vec<f64>,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Inverts a square matrix in place via Gauss–Jordan with partial
+    /// pivoting. Returns `None` when (numerically) singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        // Augmented [A | I].
+        let mut a = self.clone();
+        let mut inv = Matrix::zeros(n, n);
+        for i in 0..n {
+            inv.set(i, i, 1.0);
+        }
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            let mut best = a.get(col, col).abs();
+            for r in col + 1..n {
+                let v = a.get(r, col).abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for c in 0..n {
+                    let (x, y) = (a.get(col, c), a.get(pivot, c));
+                    a.set(col, c, y);
+                    a.set(pivot, c, x);
+                    let (x, y) = (inv.get(col, c), inv.get(pivot, c));
+                    inv.set(col, c, y);
+                    inv.set(pivot, c, x);
+                }
+            }
+            // Normalize pivot row.
+            let p = a.get(col, col);
+            for c in 0..n {
+                a.set(col, c, a.get(col, c) / p);
+                inv.set(col, c, inv.get(col, c) / p);
+            }
+            // Eliminate.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a.get(r, col);
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    a.set(r, c, a.get(r, c) - f * a.get(col, c));
+                    inv.set(r, c, inv.get(r, c) - f * inv.get(col, c));
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_identity() {
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            m.set(i, i, 2.0);
+        }
+        let inv = m.inverse().unwrap();
+        for i in 0..3 {
+            assert!((inv.get(i, i) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_general() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, 4.0);
+        m.set(0, 1, 7.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 6.0);
+        let inv = m.inverse().unwrap();
+        // Known inverse: 1/10 * [6 -7; -2 4]
+        assert!((inv.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((inv.get(0, 1) + 0.7).abs() < 1e-12);
+        assert!((inv.get(1, 0) + 0.2).abs() < 1e-12);
+        assert!((inv.get(1, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn matvec() {
+        let mut m = Matrix::zeros(2, 3);
+        for c in 0..3 {
+            m.set(0, c, 1.0);
+            m.set(1, c, c as f64);
+        }
+        let v = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(v, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, 0.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 0.0);
+        let inv = m.inverse().unwrap();
+        assert!((inv.get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((inv.get(1, 0) - 1.0).abs() < 1e-12);
+    }
+}

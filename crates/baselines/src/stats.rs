@@ -1,0 +1,159 @@
+//! Statistical special functions needed by the OLS baseline: the log-gamma
+//! function, the regularized incomplete beta function, and the Student-t
+//! CDF — implemented from scratch (no external stats crates).
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn gamma_ln(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - gamma_ln(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Numerical Recipes `betacf`).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3.0e-14;
+    const FPMIN: f64 = 1.0e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let bt = (gamma_ln(a + b) - gamma_ln(a) - gamma_ln(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        bt * betacf(a, b, x) / a
+    } else {
+        1.0 - bt * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    let p = 0.5 * betai(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided p-value for a t statistic.
+pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    (2.0 * (1.0 - t_cdf(t.abs(), df))).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_ln_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(gamma_ln(1.0).abs() < 1e-10);
+        assert!(gamma_ln(2.0).abs() < 1e-10);
+        assert!((gamma_ln(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((gamma_ln(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betai_bounds_and_symmetry() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = betai(2.5, 1.5, 0.3);
+        let w = 1.0 - betai(1.5, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-10);
+        // I_0.5(a,a) = 0.5
+        assert!((betai(3.0, 3.0, 0.5) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // t = 0 → 0.5 for any df.
+        assert!((t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // Standard table: t = 2.571, df = 5 → 0.975.
+        assert!((t_cdf(2.571, 5.0) - 0.975).abs() < 1e-3);
+        // t = 1.96, df large → ≈ 0.975 (normal limit).
+        assert!((t_cdf(1.96, 10_000.0) - 0.975).abs() < 1e-3);
+        // Symmetry.
+        assert!((t_cdf(-1.3, 7.0) + t_cdf(1.3, 7.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sided_p() {
+        let p = t_two_sided_p(2.571, 5.0);
+        assert!((p - 0.05).abs() < 2e-3, "p={p}");
+        assert!(t_two_sided_p(0.0, 5.0) > 0.999);
+        assert!(t_two_sided_p(10.0, 50.0) < 1e-8);
+    }
+}

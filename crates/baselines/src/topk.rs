@@ -1,0 +1,80 @@
+//! The Top-K baseline: rank attributes by individual explanation power
+//! alone (Max-Relevance without Min-Redundancy). Its characteristic
+//! failure, reproduced here, is picking redundant near-copies (Year Low F
+//! *and* Year Avg F in the paper's Flights Q1).
+
+use nexus_core::{CandidateSet, Engine, NexusOptions};
+
+use crate::method::{eligible_indices, ExplainMethod};
+
+/// Individual-power ranking.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    /// Number of attributes to return.
+    pub k: usize,
+}
+
+impl Default for TopK {
+    fn default() -> Self {
+        TopK { k: 2 }
+    }
+}
+
+impl ExplainMethod for TopK {
+    fn name(&self) -> &'static str {
+        "Top-K"
+    }
+
+    fn select(&self, set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Vec<usize> {
+        let mut pool = eligible_indices(set, engine, options);
+        pool.sort_by(|&a, &b| {
+            engine
+                .cmi_single(set, a)
+                .partial_cmp(&engine.cmi_single(set, b))
+                .expect("finite scores")
+        });
+        // Only attributes that actually earn credit.
+        pool.retain(|&i| engine.cmi_single(set, i) < engine.baseline_cmi() - 1e-9);
+        pool.truncate(self.k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::testkit::fixture;
+
+    #[test]
+    fn picks_redundant_pair() {
+        let (set, engine, options) = fixture();
+        let picks = TopK { k: 2 }.select(&set, &engine, &options);
+        let names: Vec<&str> = picks
+            .iter()
+            .map(|&i| set.candidates[i].name.as_str())
+            .collect();
+        // hdi and its copy have the two best individual scores: Top-K takes
+        // both, which is exactly the redundancy failure the paper reports.
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().all(|n| n.contains("hdi")), "{names:?}");
+    }
+
+    #[test]
+    fn respects_k() {
+        let (set, engine, options) = fixture();
+        let picks = TopK { k: 1 }.select(&set, &engine, &options);
+        assert_eq!(picks.len(), 1);
+    }
+
+    #[test]
+    fn returns_nothing_without_credit() {
+        let (mut set, engine, options) = fixture();
+        // Keep only the shuffle distractor.
+        let keep = set.index_of("Country::shuffle").unwrap();
+        let cand = set.candidates[keep].clone();
+        set.candidates = vec![cand];
+        let picks = TopK { k: 3 }.select(&set, &engine, &options);
+        // The near-identifier distractor earns no calibrated credit.
+        assert!(picks.is_empty(), "{picks:?}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 4: MCIMR runtime as a function of the number of candidate
+//! attributes, for the No-Pruning / Offline-Pruning / Full variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nexus_bench::Scenario;
+use nexus_datagen::{DatasetKind, Scale};
+use nexus_eval::{timed_query, PruningVariant};
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::new(DatasetKind::So, Scale::Small);
+    let full = scenario.candidates();
+    let total = full.candidates.len();
+
+    let mut group = c.benchmark_group("fig4_candidates_SO");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for &n in &[50usize, 150, 300] {
+        let n = n.min(total);
+        for variant in [
+            PruningVariant::None,
+            PruningVariant::Offline,
+            PruningVariant::Full,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || {
+                            let mut set = full.clone();
+                            let mut rng = StdRng::seed_from_u64(4 + n as u64);
+                            set.candidates.shuffle(&mut rng);
+                            set.candidates.truncate(n);
+                            set
+                        },
+                        |set| timed_query(set, &scenario.options, variant),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

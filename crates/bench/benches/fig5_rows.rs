@@ -1,0 +1,51 @@
+//! Figure 5: MCIMR runtime as a function of the number of table rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nexus_bench::Scenario;
+use nexus_core::build_candidates;
+use nexus_datagen::{DatasetKind, Scale};
+use nexus_eval::{timed_query, PruningVariant};
+
+fn bench(c: &mut Criterion) {
+    for kind in [DatasetKind::So, DatasetKind::Forbes] {
+        let scenario = Scenario::new(kind, Scale::Small);
+        let n = scenario.dataset.table.n_rows();
+        let mut group = c.benchmark_group(format!("fig5_rows_{}", scenario.dataset.name));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+        group.sample_size(10);
+        for frac in [0.25, 0.5, 1.0] {
+            let keep = ((n as f64) * frac) as usize;
+            let mut rows: Vec<usize> = (0..n).collect();
+            let mut rng = StdRng::seed_from_u64(5);
+            rows.shuffle(&mut rng);
+            rows.truncate(keep);
+            rows.sort_unstable();
+            let sub = scenario.dataset.table.gather(&rows);
+            group.bench_with_input(BenchmarkId::from_parameter(keep), &sub, |b, sub| {
+                b.iter_batched(
+                    || {
+                        build_candidates(
+                            sub,
+                            &scenario.dataset.kg,
+                            &scenario.dataset.extraction_columns,
+                            &scenario.query,
+                            &scenario.options,
+                        )
+                        .expect("candidates build")
+                    },
+                    |set| timed_query(set, &scenario.options, PruningVariant::Full),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

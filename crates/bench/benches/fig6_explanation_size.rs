@@ -1,0 +1,31 @@
+//! Figure 6: MCIMR runtime as a function of the explanation-size bound `k`
+//! (flat beyond ~3, because the responsibility test stops early).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nexus_bench::Scenario;
+use nexus_datagen::{DatasetKind, Scale};
+use nexus_eval::{timed_query, PruningVariant};
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::new(DatasetKind::So, Scale::Small);
+    let mut group = c.benchmark_group("fig6_k_SO");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 5, 8] {
+        let mut options = scenario.options.clone();
+        options.max_explanation_size = k;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &options, |b, options| {
+            b.iter_batched(
+                || scenario.candidates(),
+                |set| timed_query(set, options, PruningVariant::Full),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

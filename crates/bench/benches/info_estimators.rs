@@ -1,0 +1,50 @@
+//! Microbenchmarks for the information-theoretic estimators — the inner
+//! loop of everything else.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nexus_info::InfoContext;
+use nexus_table::Codes;
+
+fn synthetic(n: usize, card: u32, seed: u64) -> Codes {
+    let mut s = seed;
+    let codes = (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as u32) % card
+        })
+        .collect();
+    Codes {
+        codes,
+        cardinality: card,
+        validity: None,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let x = synthetic(n, 8, 1);
+        let y = synthetic(n, 200, 2);
+        let z = synthetic(n, 6, 3);
+        let ctx = InfoContext::default();
+        group.bench_with_input(BenchmarkId::new("entropy", n), &n, |b, _| {
+            b.iter(|| ctx.entropy(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("mi", n), &n, |b, _| {
+            b.iter(|| ctx.mutual_information(&x, &y))
+        });
+        group.bench_with_input(BenchmarkId::new("cmi", n), &n, |b, _| {
+            b.iter(|| ctx.cmi(&x, &y, &[&z]))
+        });
+        group.bench_with_input(BenchmarkId::new("cmi_mm", n), &n, |b, _| {
+            b.iter(|| ctx.cmi_mm(&x, &y, &[&z]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Substrate microbenchmarks: the dataframe operations underneath the
+//! pipeline (group-by, join, filter, binning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nexus_table::{
+    aggregate, bin_codes, group_by, join, AggFunc, BinStrategy, Bitmap, Column, JoinType, Table,
+};
+
+fn people(n: usize) -> Table {
+    let mut s = 7u64;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as usize
+    };
+    let countries: Vec<String> = (0..n).map(|_| format!("C{:03}", next() % 200)).collect();
+    let salaries: Vec<f64> = (0..n).map(|_| (next() % 100_000) as f64).collect();
+    Table::new(vec![
+        ("country", Column::from_strs(&countries)),
+        ("salary", Column::from_f64(salaries)),
+    ])
+    .unwrap()
+}
+
+fn countries_table() -> Table {
+    let names: Vec<String> = (0..200).map(|i| format!("C{i:03}")).collect();
+    let gdp: Vec<f64> = (0..200).map(|i| 1000.0 + i as f64).collect();
+    Table::new(vec![
+        ("country", Column::from_strs(&names)),
+        ("gdp", Column::from_f64(gdp)),
+    ])
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_ops");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &n in &[10_000usize, 100_000] {
+        let t = people(n);
+        let right = countries_table();
+        group.bench_with_input(BenchmarkId::new("group_by", n), &t, |b, t| {
+            b.iter(|| group_by(t, &["country"]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("aggregate_avg", n), &t, |b, t| {
+            b.iter(|| aggregate(t, &["country"], &[(AggFunc::Avg, "salary")]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hash_join", n), &t, |b, t| {
+            b.iter(|| join(t, &right, "country", "country", JoinType::Inner).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("filter_half", n), &t, |b, t| {
+            let mask: Bitmap = (0..t.n_rows()).map(|i| i % 2 == 0).collect();
+            b.iter(|| t.filter(&mask).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("quantile_binning", n), &t, |b, t| {
+            let col = t.column("salary").unwrap();
+            b.iter(|| bin_codes(col, BinStrategy::Quantile(8)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! # nexus-bench
+//!
+//! Shared fixtures for the Criterion benchmark suite. The benches map to
+//! the paper's evaluation figures:
+//!
+//! * `fig4_candidates` — MCIMR runtime vs number of candidate attributes
+//!   (No-Pruning / Offline / Full series);
+//! * `fig5_rows` — runtime vs table rows;
+//! * `fig6_explanation_size` — runtime vs the bound `k`;
+//! * `mcimr_vs_baselines` — selection-time comparison against Brute-Force,
+//!   Top-K, LR, HypDB, CajaDE (the Section 5.3 scalability story);
+//! * `subgroups` — Algorithm 2 (the 4.4 s average the paper reports);
+//! * `info_estimators` / `table_ops` — substrate microbenchmarks.
+//!
+//! Criterion measures wall-clock latency; the absolute numbers depend on
+//! the machine, but the *shapes* (near-linear in |𝒜|, flat in rows for
+//! group-dense data, flat in k) reproduce the paper's figures.
+
+#![warn(missing_docs)]
+
+use nexus_core::{build_candidates, CandidateSet, NexusOptions};
+use nexus_datagen::{load, queries_for, Dataset, DatasetKind, Scale};
+use nexus_query::AggregateQuery;
+
+/// A prepared benchmark scenario: dataset + parsed first query + built
+/// candidate set.
+pub struct Scenario {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// The parsed benchmark query (Q1 of the dataset).
+    pub query: AggregateQuery,
+    /// Pipeline options (with alternative outcomes excluded).
+    pub options: NexusOptions,
+}
+
+impl Scenario {
+    /// Prepares a scenario at the given scale.
+    pub fn new(kind: DatasetKind, scale: Scale) -> Scenario {
+        let dataset = load(kind, scale);
+        let query = queries_for(kind)[0].parsed();
+        let options = NexusOptions {
+            excluded_columns: nexus_eval::excluded_for(&dataset, &query),
+            ..NexusOptions::default()
+        };
+        Scenario {
+            dataset,
+            query,
+            options,
+        }
+    }
+
+    /// Builds the (unpruned) candidate set.
+    pub fn candidates(&self) -> CandidateSet {
+        build_candidates(
+            &self.dataset.table,
+            &self.dataset.kg,
+            &self.dataset.extraction_columns,
+            &self.query,
+            &self.options,
+        )
+        .expect("candidates build")
+    }
+}

@@ -1,0 +1,512 @@
+//! Candidate-attribute assembly: the set `𝒜 = ℰ ∪ 𝒯 \ {O, T}` of
+//! Section 2.2, combining base-table attributes with attributes extracted
+//! from the knowledge graph.
+//!
+//! Extracted attributes are kept **entity-level**: a candidate from
+//! extraction column `X` stores one code per distinct linked entity plus
+//! the row→entity code vector of `X` (shared across all candidates of that
+//! column). This is what lets the estimators run on contingency tables
+//! instead of re-scanning millions of rows per attribute.
+
+use std::collections::HashMap;
+
+use nexus_kg::{extract, EntityLinker, ExtractOptions, KnowledgeGraph};
+use nexus_query::{context_mask, AggregateQuery};
+use nexus_table::{bin_codes, Bitmap, Codes, Column, DataType, Table};
+
+use crate::error::{CoreError, Result};
+use crate::options::NexusOptions;
+
+/// Where a candidate attribute came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateSource {
+    /// A column of the input table.
+    BaseTable,
+    /// Extracted from the KG via the named extraction column.
+    Extracted {
+        /// The extraction column.
+        column: String,
+    },
+}
+
+/// The representation of a candidate's values.
+#[derive(Debug, Clone)]
+pub enum CandidateRepr {
+    /// Row-level codes (base-table attributes).
+    RowLevel(Codes),
+    /// Entity-level codes for extracted attributes: `map[x]` is the
+    /// candidate's code for entity `x` of the extraction column, or
+    /// [`MISSING_CODE`] when the entity lacks the attribute.
+    EntityLevel {
+        /// The extraction column whose row codes index `map`.
+        column: String,
+        /// Entity code → candidate code (or [`MISSING_CODE`]).
+        map: Vec<u32>,
+        /// Number of distinct candidate codes.
+        cardinality: u32,
+    },
+}
+
+/// Sentinel marking a missing entity-level value.
+pub const MISSING_CODE: u32 = u32::MAX;
+
+/// Selection-bias summary attached to a weighted candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasSummary {
+    /// `I(R_E; O | C)` in bits.
+    pub mi_with_outcome: f64,
+    /// `I(R_E; T | C)` in bits.
+    pub mi_with_exposure: f64,
+    /// Missing fraction over in-context rows.
+    pub missing_fraction: f64,
+}
+
+/// One candidate confounding attribute.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Display name: `"{column}::{property}"` for extracted attributes,
+    /// the bare column name otherwise.
+    pub name: String,
+    /// Origin of the attribute.
+    pub source: CandidateSource,
+    /// Value representation.
+    pub repr: CandidateRepr,
+    /// Entity-level IPW weights (per entity code), present when selection
+    /// bias was detected.
+    pub entity_weights: Option<Vec<f64>>,
+    /// The bias report that justified the weights.
+    pub bias: Option<BiasSummary>,
+}
+
+impl Candidate {
+    /// Whether this candidate has IPW weights attached.
+    pub fn is_weighted(&self) -> bool {
+        self.entity_weights.is_some()
+    }
+}
+
+/// The assembled candidate set for one query.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// All candidates, in assembly order.
+    pub candidates: Vec<Candidate>,
+    /// Row-level entity codes per extraction column: `codes[i]` is the
+    /// entity index of row `i` (validity = successfully linked).
+    pub column_codes: HashMap<String, Codes>,
+    /// Binned outcome codes (row-level).
+    pub o: Codes,
+    /// Exposure codes (row-level; composite when the query groups by more
+    /// than one column).
+    pub t: Codes,
+    /// The query context `C` as a row mask.
+    pub mask: Bitmap,
+    /// Per-column linking statistics.
+    pub link_stats: HashMap<String, nexus_kg::LinkStats>,
+}
+
+impl CandidateSet {
+    /// Number of rows in the underlying table.
+    pub fn n_rows(&self) -> usize {
+        self.o.len()
+    }
+
+    /// Materializes row-level codes for a candidate (cheap gather for
+    /// entity-level candidates).
+    pub fn row_codes(&self, candidate: &Candidate) -> Codes {
+        match &candidate.repr {
+            CandidateRepr::RowLevel(c) => c.clone(),
+            CandidateRepr::EntityLevel {
+                column,
+                map,
+                cardinality,
+            } => {
+                let x = &self.column_codes[column];
+                let n = x.len();
+                let mut codes = Vec::with_capacity(n);
+                let mut validity = Bitmap::with_value(n, true);
+                for i in 0..n {
+                    if !x.is_valid(i) {
+                        codes.push(0);
+                        validity.set(i, false);
+                        continue;
+                    }
+                    let e = map[x.codes[i] as usize];
+                    if e == MISSING_CODE {
+                        codes.push(0);
+                        validity.set(i, false);
+                    } else {
+                        codes.push(e);
+                    }
+                }
+                Codes {
+                    codes,
+                    cardinality: *cardinality,
+                    validity: Some(validity),
+                }
+            }
+        }
+    }
+
+    /// Row-level IPW weights for a weighted candidate (`w[x]` expanded to
+    /// rows; unlinked/missing rows get weight 0).
+    pub fn row_weights(&self, candidate: &Candidate) -> Option<Vec<f64>> {
+        let ws = candidate.entity_weights.as_ref()?;
+        match &candidate.repr {
+            CandidateRepr::RowLevel(_) => None,
+            CandidateRepr::EntityLevel { column, map, .. } => {
+                let x = &self.column_codes[column];
+                Some(
+                    (0..x.len())
+                        .map(|i| {
+                            if !x.is_valid(i) {
+                                return 0.0;
+                            }
+                            let e = x.codes[i] as usize;
+                            if map[e] == MISSING_CODE {
+                                0.0
+                            } else {
+                                ws[e]
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Index of the candidate with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.candidates.iter().position(|c| c.name == name)
+    }
+}
+
+/// Builds the candidate set for `query` over `table`, extracting attributes
+/// from `kg` via `extraction_columns`.
+pub fn build_candidates(
+    table: &Table,
+    kg: &KnowledgeGraph,
+    extraction_columns: &[String],
+    query: &AggregateQuery,
+    options: &NexusOptions,
+) -> Result<CandidateSet> {
+    let exposure_cols = &query.group_by;
+    if exposure_cols.is_empty() {
+        return Err(CoreError::BadQuery(
+            "query must have a GROUP BY (exposure) attribute".into(),
+        ));
+    }
+    let (_, outcome_col) = query
+        .outcome()
+        .ok_or_else(|| CoreError::BadQuery("query must aggregate an outcome attribute".into()))?;
+
+    let mask = context_mask(query, table)?;
+
+    // Outcome codes: bin within the context so quantiles reflect C.
+    let o = bin_masked(table.column(outcome_col)?, &mask, options)?;
+
+    // Exposure codes: composite over the GROUP BY columns.
+    let t = composite_codes(table, exposure_cols, options)?;
+
+    let mut candidates = Vec::new();
+    let mut column_codes = HashMap::new();
+    let mut link_stats = HashMap::new();
+
+    // ---- extracted candidates -------------------------------------------
+    let linker = EntityLinker::new(kg);
+    for col_name in extraction_columns {
+        let col = table.column(col_name)?;
+        let (links, stats) = linker.link_column(col);
+        link_stats.insert(col_name.clone(), stats);
+        let ea = extract(
+            kg,
+            &links,
+            &ExtractOptions {
+                hops: options.hops,
+                one_to_many: options.one_to_many,
+            },
+        );
+        // Row-level entity codes for this column.
+        let n = table.n_rows();
+        let mut codes = Vec::with_capacity(n);
+        let mut validity = Bitmap::with_value(n, true);
+        for (i, l) in links.iter().enumerate() {
+            match l.and_then(|id| ea.index_of.get(&id)) {
+                Some(&e) => codes.push(e as u32),
+                None => {
+                    codes.push(0);
+                    validity.set(i, false);
+                }
+            }
+        }
+        column_codes.insert(
+            col_name.clone(),
+            Codes {
+                codes,
+                cardinality: ea.entity_ids.len() as u32,
+                validity: Some(validity),
+            },
+        );
+
+        // One candidate per extracted attribute.
+        for attr in ea.table.column_names() {
+            let entity_col = ea.table.column(attr).expect("attribute exists");
+            let (map, cardinality) = entity_level_codes(entity_col, options)?;
+            candidates.push(Candidate {
+                name: format!("{col_name}::{attr}"),
+                source: CandidateSource::Extracted {
+                    column: col_name.clone(),
+                },
+                repr: CandidateRepr::EntityLevel {
+                    column: col_name.clone(),
+                    map,
+                    cardinality,
+                },
+                entity_weights: None,
+                bias: None,
+            });
+        }
+    }
+
+    // ---- base-table candidates -------------------------------------------
+    for field in table.schema().fields() {
+        let name = &field.name;
+        if name == outcome_col
+            || exposure_cols.contains(name)
+            || options.excluded_columns.contains(name)
+        {
+            continue;
+        }
+        let col = table.column(name)?;
+        let codes = if field.dtype == DataType::Float64
+            || (field.dtype == DataType::Int64 && col.distinct_count() > 24)
+        {
+            bin_masked(col, &mask, options)?
+        } else {
+            col.category_codes()?
+        };
+        candidates.push(Candidate {
+            name: name.clone(),
+            source: CandidateSource::BaseTable,
+            repr: CandidateRepr::RowLevel(codes),
+            entity_weights: None,
+            bias: None,
+        });
+    }
+
+    Ok(CandidateSet {
+        candidates,
+        column_codes,
+        o,
+        t,
+        mask,
+        link_stats,
+    })
+}
+
+/// Bins a (possibly numeric) column using edges computed from in-context
+/// values only.
+fn bin_masked(col: &Column, mask: &Bitmap, options: &NexusOptions) -> Result<Codes> {
+    if !col.dtype().is_numeric() {
+        return Ok(col.category_codes()?);
+    }
+    // Compute edges from masked values, then assign every row.
+    let values: Vec<f64> = mask.iter_ones().filter_map(|i| col.f64_at(i)).collect();
+    if values.is_empty() {
+        return Ok(bin_codes(col, options.outcome_bins)?);
+    }
+    let edges = nexus_table::compute_edges(&values, options.outcome_bins)?;
+    let n = col.len();
+    let mut codes = Vec::with_capacity(n);
+    let mut validity = Bitmap::with_value(n, true);
+    for i in 0..n {
+        match col.f64_at(i) {
+            Some(v) => codes.push(nexus_table::assign_bin(v, &edges)),
+            None => {
+                codes.push(0);
+                validity.set(i, false);
+            }
+        }
+    }
+    let cardinality = (edges.len() - 1) as u32;
+    Ok(Codes {
+        codes,
+        cardinality,
+        validity: if col.validity().is_some() {
+            Some(validity)
+        } else {
+            None
+        },
+    })
+}
+
+/// Combines the codes of several columns into one dense composite code.
+fn composite_codes(table: &Table, columns: &[String], options: &NexusOptions) -> Result<Codes> {
+    let mut parts = Vec::with_capacity(columns.len());
+    for c in columns {
+        let col = table.column(c)?;
+        let codes = if col.dtype().is_numeric() && col.distinct_count() > 24 {
+            bin_codes(col, options.candidate_bins)?
+        } else {
+            col.category_codes()?
+        };
+        parts.push(codes);
+    }
+    if parts.len() == 1 {
+        return Ok(parts.pop().expect("one part"));
+    }
+    let n = parts[0].len();
+    let mut remap: HashMap<u64, u32> = HashMap::new();
+    let mut codes = Vec::with_capacity(n);
+    let mut validity = Bitmap::with_value(n, true);
+    for i in 0..n {
+        if parts.iter().any(|p| !p.is_valid(i)) {
+            codes.push(0);
+            validity.set(i, false);
+            continue;
+        }
+        let mut key = 0u64;
+        for p in &parts {
+            key = key * (p.cardinality as u64 + 1) + p.codes[i] as u64;
+        }
+        let next = remap.len() as u32;
+        codes.push(*remap.entry(key).or_insert(next));
+    }
+    let has_null = validity.count_zeros() > 0;
+    Ok(Codes {
+        codes,
+        cardinality: remap.len() as u32,
+        validity: if has_null { Some(validity) } else { None },
+    })
+}
+
+/// Converts an entity-level column into `(map, cardinality)`: numeric
+/// columns are quantile-binned over entity values, categoricals keep their
+/// dictionary codes. Nulls become [`MISSING_CODE`].
+fn entity_level_codes(col: &Column, options: &NexusOptions) -> Result<(Vec<u32>, u32)> {
+    let codes = if col.dtype().is_numeric() {
+        bin_codes(col, options.candidate_bins)?
+    } else {
+        col.category_codes()?
+    };
+    let map: Vec<u32> = (0..codes.len())
+        .map(|i| {
+            if codes.is_valid(i) {
+                codes.codes[i]
+            } else {
+                MISSING_CODE
+            }
+        })
+        .collect();
+    Ok((map, codes.cardinality))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_query::parse;
+
+    /// Tiny dataset: 12 people in 3 countries; KG has hdi per country plus a
+    /// sparse attribute.
+    fn toy() -> (Table, KnowledgeGraph, Vec<String>) {
+        let table = Table::new(vec![
+            (
+                "Country",
+                Column::from_strs(&[
+                    "A", "A", "A", "A", "B", "B", "B", "B", "C", "C", "C", "Nowhere",
+                ]),
+            ),
+            (
+                "Gender",
+                Column::from_strs(&["m", "f", "m", "f", "m", "f", "m", "f", "m", "f", "m", "m"]),
+            ),
+            (
+                "Salary",
+                Column::from_f64(vec![
+                    90.0, 85.0, 95.0, 88.0, 50.0, 45.0, 55.0, 48.0, 70.0, 65.0, 72.0, 60.0,
+                ]),
+            ),
+        ])
+        .unwrap();
+        let mut kg = KnowledgeGraph::new();
+        for (name, hdi) in [("A", 0.95), ("B", 0.55), ("C", 0.75)] {
+            let id = kg.add_entity(name, "Country");
+            kg.set_literal(id, "hdi", hdi);
+            if name != "B" {
+                kg.set_literal(id, "sparse", hdi * 2.0);
+            }
+        }
+        (table, kg, vec!["Country".to_string()])
+    }
+
+    #[test]
+    fn assembles_extracted_and_base_candidates() {
+        let (table, kg, cols) = toy();
+        let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
+        let set = build_candidates(&table, &kg, &cols, &q, &NexusOptions::default()).unwrap();
+        let names: Vec<&str> = set.candidates.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"Country::hdi"));
+        assert!(names.contains(&"Country::sparse"));
+        assert!(names.contains(&"Gender"));
+        // Exposure and outcome are excluded.
+        assert!(!names.contains(&"Country"));
+        assert!(!names.contains(&"Salary"));
+        // Linking: 11 rows linked, "Nowhere" not found.
+        assert_eq!(set.link_stats["Country"].not_found, 1);
+        assert_eq!(set.column_codes["Country"].cardinality, 3);
+    }
+
+    #[test]
+    fn row_codes_expand_entity_level() {
+        let (table, kg, cols) = toy();
+        let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
+        let set = build_candidates(&table, &kg, &cols, &q, &NexusOptions::default()).unwrap();
+        let hdi = &set.candidates[set.index_of("Country::hdi").unwrap()];
+        let rows = set.row_codes(hdi);
+        assert_eq!(rows.len(), 12);
+        // All rows of the same country share a code.
+        assert_eq!(rows.codes[0], rows.codes[1]);
+        assert_ne!(rows.codes[0], rows.codes[4]);
+        // The unlinked row is invalid.
+        assert!(!rows.is_valid(11));
+
+        let sparse = &set.candidates[set.index_of("Country::sparse").unwrap()];
+        let rows = set.row_codes(sparse);
+        // Country B rows (4..8) are missing "sparse".
+        assert!(!rows.is_valid(4));
+        assert!(rows.is_valid(0));
+    }
+
+    #[test]
+    fn context_mask_and_outcome_binning() {
+        let (table, kg, cols) = toy();
+        let q =
+            parse("SELECT Country, avg(Salary) FROM t WHERE Gender = 'm' GROUP BY Country").unwrap();
+        let set = build_candidates(&table, &kg, &cols, &q, &NexusOptions::default()).unwrap();
+        assert_eq!(set.mask.count_ones(), 7);
+        assert!(set.o.cardinality >= 2);
+    }
+
+    #[test]
+    fn composite_exposure() {
+        let (table, kg, cols) = toy();
+        let q = parse("SELECT Country, Gender, avg(Salary) FROM t GROUP BY Country, Gender")
+            .unwrap();
+        let set = build_candidates(&table, &kg, &cols, &q, &NexusOptions::default()).unwrap();
+        // 4 countries (incl. Nowhere) × 2 genders present.
+        assert!(set.t.cardinality >= 6);
+        // Gender is now part of the exposure, not a candidate.
+        assert!(set.index_of("Gender").is_none());
+    }
+
+    #[test]
+    fn bad_queries_rejected() {
+        let (table, kg, cols) = toy();
+        let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
+        let mut no_group = q.clone();
+        no_group.group_by.clear();
+        assert!(build_candidates(&table, &kg, &cols, &no_group, &NexusOptions::default()).is_err());
+        let mut no_agg = q;
+        no_agg.select.retain(|s| matches!(s, nexus_query::SelectItem::Column(_)));
+        assert!(build_candidates(&table, &kg, &cols, &no_agg, &NexusOptions::default()).is_err());
+    }
+}

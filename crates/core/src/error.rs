@@ -1,0 +1,58 @@
+//! Error type for the core pipeline.
+
+use std::fmt;
+
+/// Errors produced by the NEXUS pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The query is outside the supported class.
+    BadQuery(String),
+    /// Underlying table error.
+    Table(nexus_table::TableError),
+    /// Underlying query error.
+    Query(nexus_query::QueryError),
+    /// No candidate attributes survive assembly/pruning.
+    NoCandidates,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadQuery(m) => write!(f, "unsupported query: {m}"),
+            CoreError::Table(e) => write!(f, "table error: {e}"),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::NoCandidates => write!(f, "no candidate attributes available"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<nexus_table::TableError> for CoreError {
+    fn from(e: nexus_table::TableError) -> Self {
+        CoreError::Table(e)
+    }
+}
+
+impl From<nexus_query::QueryError> for CoreError {
+    fn from(e: nexus_query::QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = nexus_table::TableError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        let e: CoreError = nexus_query::QueryError::TableNotFound("t".into()).into();
+        assert!(matches!(e, CoreError::Query(_)));
+        assert!(CoreError::NoCandidates.to_string().contains("candidate"));
+    }
+}

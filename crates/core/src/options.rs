@@ -1,0 +1,163 @@
+//! Configuration of the NEXUS pipeline.
+
+use nexus_info::CiTestOptions;
+use nexus_kg::OneToManyAgg;
+use nexus_table::BinStrategy;
+
+/// All tunables of the explanation pipeline, with paper-faithful defaults.
+#[derive(Debug, Clone)]
+pub struct NexusOptions {
+    /// Base-table columns never to consider as candidates (e.g. alternative
+    /// measurements of the same outcome, like `Arrival_delay` when
+    /// explaining `Departure_delay`).
+    pub excluded_columns: Vec<String>,
+    /// Upper bound `k` on the explanation size (the paper uses 5).
+    pub max_explanation_size: usize,
+    /// Binning of the (numeric) outcome attribute.
+    pub outcome_bins: BinStrategy,
+    /// Binning of numeric candidate attributes.
+    pub candidate_bins: BinStrategy,
+    /// KG extraction hops (the paper defaults to 1).
+    pub hops: usize,
+    /// Aggregation for one-to-many KG links.
+    pub one_to_many: OneToManyAgg,
+
+    // ---- pruning --------------------------------------------------------
+    /// Run the offline (query-independent) pruning pass.
+    pub offline_pruning: bool,
+    /// Run the online (query-specific) pruning pass.
+    pub online_pruning: bool,
+    /// Offline: drop attributes with more than this fraction missing
+    /// (the paper uses 90%).
+    pub max_missing_fraction: f64,
+    /// Offline: drop categorical attributes whose distinct-value ratio
+    /// exceeds this (wikiID-style identifiers).
+    pub high_entropy_ratio: f64,
+    /// Offline: an extracted attribute that is near-injective **on its
+    /// observed entities** (distinct codes / present entities above this
+    /// ratio) acts as an identifier of the exposure on its complete-case
+    /// support — conditioning on it zeroes the CMI vacuously. Applies only
+    /// when the extraction column has at least
+    /// [`NexusOptions::min_entities_for_identifier_test`] entities.
+    pub entity_identifier_ratio: f64,
+    /// Minimum entity count before the entity-identifier test applies.
+    pub min_entities_for_identifier_test: usize,
+    /// Online: tolerance (bits) for the approximate-FD logical-dependency
+    /// test.
+    pub fd_epsilon: f64,
+    /// Online: minimum individual relevance (bits of `I(O;E|C)` or
+    /// `I(O;E|T,C)`) for a candidate to survive.
+    pub relevance_epsilon: f64,
+    /// Online: a **row-level** candidate whose relevance exceeds this
+    /// fraction of `H(O)` is an alias/mediator of the outcome (it varies
+    /// with `O` within exposure groups and "explains" the correlation
+    /// tautologically) and is dropped.
+    pub outcome_alias_fraction: f64,
+
+    // ---- missing data ---------------------------------------------------
+    /// Detect selection bias and apply IPW weights where needed.
+    pub handle_selection_bias: bool,
+    /// MI threshold (bits) above which a missingness indicator counts as
+    /// associated with the outcome/exposure.
+    pub bias_mi_threshold: f64,
+    /// Minimum missing fraction for an attribute to be bias-checked at all.
+    pub bias_min_missing: f64,
+
+    // ---- estimation validity ---------------------------------------------
+    /// Minimum fraction of the in-context rows a candidate's complete-case
+    /// support must cover to be selectable (by MCIMR *and* every baseline).
+    /// A complete-case CMI computed on a small, entity-selected sub-support
+    /// is not comparable to one computed on the full context — an attribute
+    /// observed for a handful of entities explains the correlation
+    /// vacuously there. This is an estimator-validity precondition, not a
+    /// pruning optimization, so it also applies when pruning is disabled.
+    pub min_support_fraction: f64,
+    /// Minimum complete-case rows per candidate category: a candidate whose
+    /// support has fewer than this many rows per distinct value overfits the
+    /// plug-in estimator beyond what Miller–Madow can correct (the tiny
+    /// Covid-19 table is the motivating case).
+    pub min_rows_per_category: f64,
+    /// Minimum in-context entities per candidate category for extracted
+    /// attributes (vacuity guard: an attribute that partitions the queried
+    /// entities into near-singleton groups identifies the exposure rather
+    /// than explaining it). Skipped when the extraction column has fewer
+    /// than 16 in-context entities (e.g. continents, airlines), where the
+    /// paper's own explanations are equally coarse.
+    pub min_entities_per_category: f64,
+
+    // ---- stopping -------------------------------------------------------
+    /// Configuration of the responsibility (conditional-independence) test.
+    pub ci: CiTestOptions,
+    /// Minimum relative CMI improvement a new attribute must deliver; the
+    /// greedy loop stops below it (backstop to the responsibility test).
+    pub min_improvement: f64,
+}
+
+impl Default for NexusOptions {
+    fn default() -> Self {
+        NexusOptions {
+            excluded_columns: Vec::new(),
+            max_explanation_size: 5,
+            outcome_bins: BinStrategy::Quantile(6),
+            candidate_bins: BinStrategy::Quantile(6),
+            hops: 1,
+            one_to_many: OneToManyAgg::Mean,
+            offline_pruning: true,
+            online_pruning: true,
+            max_missing_fraction: 0.9,
+            high_entropy_ratio: 0.95,
+            entity_identifier_ratio: 0.55,
+            min_entities_for_identifier_test: 16,
+            fd_epsilon: 0.03,
+            relevance_epsilon: 0.01,
+            outcome_alias_fraction: 0.35,
+            handle_selection_bias: true,
+            bias_mi_threshold: 0.01,
+            bias_min_missing: 0.01,
+            min_support_fraction: 0.5,
+            min_rows_per_category: 5.0,
+            min_entities_per_category: 4.5,
+            ci: CiTestOptions::default(),
+            min_improvement: 0.02,
+        }
+    }
+}
+
+impl NexusOptions {
+    /// An options preset with every pruning optimization disabled — the
+    /// paper's **MESA-** baseline and the Figure 4 "No Pruning" series.
+    pub fn without_pruning(mut self) -> Self {
+        self.offline_pruning = false;
+        self.online_pruning = false;
+        self
+    }
+
+    /// Offline pruning only — the Figure 4 "Offline Pruning" series.
+    pub fn offline_only(mut self) -> Self {
+        self.offline_pruning = true;
+        self.online_pruning = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = NexusOptions::default();
+        assert_eq!(o.max_explanation_size, 5);
+        assert_eq!(o.hops, 1);
+        assert!(o.offline_pruning && o.online_pruning);
+        assert!((o.max_missing_fraction - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets() {
+        let o = NexusOptions::default().without_pruning();
+        assert!(!o.offline_pruning && !o.online_pruning);
+        let o = NexusOptions::default().offline_only();
+        assert!(o.offline_pruning && !o.online_pruning);
+    }
+}

@@ -1,0 +1,180 @@
+//! The synthetic Covid-19 dataset.
+//!
+//! Matches the paper's Covid dataset (Table 1): 188 rows (one per country),
+//! extraction columns `Country` and `WHO-Region`, ~463 extractable
+//! attributes. Planted structure (following the findings the paper cites):
+//!
+//! * country development (HDI) and wealth (GDP) **reduce** the death rate;
+//! * confirmed-case load (a base-table column) **increases** it;
+//! * inequality (Gini) and population add smaller penalties — the
+//!   within-Europe signal, where HDI is nearly constant;
+//! * density drives the region-level differences.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nexus_table::{Column, Table};
+
+use crate::geo::{add_country_entities, add_who_region_entities, gen_countries, Country};
+use crate::noise::NoiseConfig;
+use crate::rng::normal_with;
+use crate::Dataset;
+
+/// Configuration for the Covid generator.
+#[derive(Debug, Clone)]
+pub struct CovidConfig {
+    /// Number of countries (rows).
+    pub n_countries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CovidConfig {
+    fn default() -> Self {
+        CovidConfig {
+            n_countries: 188,
+            seed: 0xC0_51D,
+        }
+    }
+}
+
+/// The planted death-rate model (deaths per 100 cases).
+pub fn expected_death_rate(c: &Country, confirmed_per_capita: f64) -> f64 {
+    7.5 - 6.0 * c.econ - 2.5 * c.wealth
+        + 2.0 * confirmed_per_capita
+        + 0.35 * (c.gini - 40.0) / 10.0
+        + 0.5 * (c.population.log10() - 7.25) * 0.4
+        + 0.25 * (c.density.log10().clamp(-1.0, 3.5))
+}
+
+/// Generates the Covid dataset.
+pub fn generate(config: &CovidConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let countries = gen_countries(config.n_countries, &mut rng);
+
+    let n = countries.len();
+    let mut col_country = Vec::with_capacity(n);
+    let mut col_region = Vec::with_capacity(n);
+    let mut col_confirmed = Vec::with_capacity(n);
+    let mut col_deaths_rate = Vec::with_capacity(n);
+    let mut col_recovered = Vec::with_capacity(n);
+    let mut col_active = Vec::with_capacity(n);
+    let mut col_new = Vec::with_capacity(n);
+
+    for c in &countries {
+        // Case load grows with density and population; per-capita load used
+        // in the death model.
+        let per_capita = (0.002
+            * (1.0 + c.density.log10().clamp(-1.0, 3.5))
+            * (0.5 + normal_with(&mut rng, 0.5, 0.15).clamp(0.05, 1.5)))
+        .max(1e-5);
+        let confirmed = (c.population * per_capita).round().max(10.0);
+        let rate = (expected_death_rate(c, per_capita * 500.0)
+            + normal_with(&mut rng, 0.0, 0.25))
+        .clamp(0.05, 25.0);
+        let recovered = (confirmed * normal_with(&mut rng, 0.6, 0.1).clamp(0.2, 0.95)).round();
+        let active = (confirmed - recovered - confirmed * rate / 100.0).max(0.0).round();
+        let newc = (confirmed * normal_with(&mut rng, 0.01, 0.004).clamp(0.0, 0.05)).round();
+
+        col_country.push(c.name.clone());
+        col_region.push(c.who_region.clone());
+        col_confirmed.push(confirmed);
+        col_deaths_rate.push(rate);
+        col_recovered.push(recovered);
+        col_active.push(active);
+        col_new.push(newc);
+    }
+
+    let table = Table::new(vec![
+        ("Country", Column::from_strs(&col_country)),
+        ("WHO_Region", Column::from_strs(&col_region)),
+        ("Confirmed_cases", Column::from_f64(col_confirmed)),
+        ("Deaths_per_100_cases", Column::from_f64(col_deaths_rate)),
+        ("Recovered_cases", Column::from_f64(col_recovered)),
+        ("Active_cases", Column::from_f64(col_active)),
+        ("New_cases", Column::from_f64(col_new)),
+    ])
+    .expect("columns share one length");
+
+    let mut kg = nexus_kg::KnowledgeGraph::new();
+    let country_noise = NoiseConfig {
+        n_numeric: 280,
+        n_categorical: 90,
+        n_constant: 4,
+        n_unique: 2,
+        prefix: "country".into(),
+        ..NoiseConfig::default()
+    };
+    add_country_entities(&mut kg, &countries, &country_noise, &mut rng);
+    let region_noise = NoiseConfig {
+        n_numeric: 48,
+        n_categorical: 18,
+        n_constant: 2,
+        n_unique: 1,
+        prefix: "region".into(),
+        ..NoiseConfig::default()
+    };
+    add_who_region_entities(&mut kg, &countries, &region_noise, &mut rng);
+
+    Dataset {
+        name: "Covid-19",
+        table,
+        kg,
+        extraction_columns: vec!["Country".into(), "WHO_Region".into()],
+        outcome_columns: vec![
+            "Deaths_per_100_cases".into(),
+            "New_cases".into(),
+            "Active_cases".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_row_per_country() {
+        let d = generate(&CovidConfig::default());
+        assert_eq!(d.table.n_rows(), 188);
+        assert_eq!(d.table.column("Country").unwrap().distinct_count(), 188);
+    }
+
+    #[test]
+    fn death_rate_falls_with_development() {
+        let d = generate(&CovidConfig::default());
+        let region = d.table.column("WHO_Region").unwrap();
+        let rate = d.table.column("Deaths_per_100_cases").unwrap();
+        let avg = |r: &str| {
+            let mut s = 0.0;
+            let mut n = 0usize;
+            for i in 0..d.table.n_rows() {
+                if region.str_at(i) == Some(r) {
+                    s += rate.f64_at(i).unwrap();
+                    n += 1;
+                }
+            }
+            s / n.max(1) as f64
+        };
+        // AFRO countries (low econ) fare worse than EURO.
+        assert!(avg("AFRO") > avg("EURO") + 1.0, "afro={} euro={}", avg("AFRO"), avg("EURO"));
+    }
+
+    #[test]
+    fn kg_attribute_count_near_table1() {
+        let d = generate(&CovidConfig::default());
+        let total = d.kg.n_properties();
+        assert!(
+            (440..=505).contains(&total),
+            "expected ≈463 properties, got {total}"
+        );
+    }
+
+    #[test]
+    fn all_countries_link() {
+        let d = generate(&CovidConfig::default());
+        let linker = nexus_kg::EntityLinker::new(&d.kg);
+        let (_, stats) = linker.link_column(d.table.column("Country").unwrap());
+        assert!(stats.link_rate() > 0.95, "{stats:?}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Shared synthetic geography: countries, continents, and WHO regions with
+//! latent factors that the planted confounders expose.
+//!
+//! Every country carries three latent factors:
+//!
+//! * `econ` — development level; drives HDI (and the bulk of salary /
+//!   death-rate effects). Continents differ in mean; **Europe is tight**
+//!   (low spread), reproducing the paper's observation that HDI cannot
+//!   explain within-Europe differences (Example 2.4 / Table 4).
+//! * `wealth` — an orthogonal wealth component; drives GDP.
+//! * `inequality` — drives the Gini index.
+//! * `size` — drives population / density / area.
+//!
+//! KG attributes are noisy functions of the latents, with redundant rank
+//! copies and hundreds of distractors added on top.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use nexus_kg::{EntityId, KnowledgeGraph, PropertyValue};
+
+use crate::noise::{add_noise_properties, add_rank_copy, NoiseConfig};
+use crate::rng::normal_with;
+
+/// A synthetic country with its latent factors and derived attributes.
+#[derive(Debug, Clone)]
+pub struct Country {
+    /// Canonical name (`"Country_042"`).
+    pub name: String,
+    /// An alternative surface form some table rows use.
+    pub alias: Option<String>,
+    /// Continent name.
+    pub continent: String,
+    /// WHO region name.
+    pub who_region: String,
+    /// Development latent in `[0, 1]`.
+    pub econ: f64,
+    /// Orthogonal wealth latent in `[0, 1]`.
+    pub wealth: f64,
+    /// Inequality latent in `[0, 1]`.
+    pub inequality: f64,
+    /// Size latent in `[0, 1]`.
+    pub size: f64,
+    /// Human Development Index (noisy function of `econ`).
+    pub hdi: f64,
+    /// GDP (noisy function of `wealth` and `size`).
+    pub gdp: f64,
+    /// Gini index (noisy function of `inequality`).
+    pub gini: f64,
+    /// Population (log-scaled function of `size`).
+    pub population: f64,
+    /// Density (population over a size-driven area).
+    pub density: f64,
+}
+
+/// The continents with their mean development and its spread:
+/// `(name, econ mean, econ sd, WHO region)`.
+pub const CONTINENTS: &[(&str, f64, f64, &str)] = &[
+    ("Europe", 0.88, 0.025, "EURO"),
+    ("North America", 0.78, 0.10, "PAHO"),
+    ("Oceania", 0.74, 0.08, "WPRO"),
+    ("Asia", 0.55, 0.16, "SEARO"),
+    ("South America", 0.52, 0.10, "PAHO"),
+    ("Africa", 0.32, 0.12, "AFRO"),
+];
+
+/// Generates `n` countries across the continents.
+pub fn gen_countries(n: usize, rng: &mut StdRng) -> Vec<Country> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (continent, mean, sd, who) = CONTINENTS[i % CONTINENTS.len()];
+        let econ = (normal_with(rng, mean, sd)).clamp(0.02, 0.99);
+        let wealth = (0.5 * econ + 0.5 * rng.gen::<f64>()).clamp(0.0, 1.0);
+        // Inequality leans mildly against development but keeps a dominant
+        // independent component: the Min-Redundancy criterion must not be
+        // forced to trade it off against HDI.
+        let inequality = (0.15 - 0.2 * econ + 0.9 * rng.gen::<f64>()).clamp(0.0, 1.0);
+        let size = rng.gen::<f64>();
+        let hdi = (0.35 + 0.6 * econ + normal_with(rng, 0.0, 0.01)).clamp(0.2, 0.99);
+        let gdp = (200.0 + 25_000.0 * wealth * (0.3 + size)).max(50.0);
+        let gini = (24.0 + 30.0 * inequality + normal_with(rng, 0.0, 1.0)).clamp(20.0, 65.0);
+        let population = 10f64.powf(5.5 + 3.5 * size + normal_with(rng, 0.0, 0.1));
+        let area = 10f64.powf(4.0 + 2.5 * size + normal_with(rng, 0.0, 0.4));
+        let density = population / area;
+        let name = format!("Country_{i:03}");
+        // Every 7th country gets an official long form used by some rows;
+        // every 23rd gets an alias shared with another country (ambiguity).
+        let alias = if i % 7 == 0 {
+            Some(format!("Republic of Country_{i:03}"))
+        } else {
+            None
+        };
+        out.push(Country {
+            name,
+            alias,
+            continent: continent.to_string(),
+            who_region: who.to_string(),
+            econ,
+            wealth,
+            inequality,
+            size,
+            hdi,
+            gdp,
+            gini,
+            population,
+            density,
+        });
+    }
+    out
+}
+
+/// Planted country-level KG attribute names (before rank copies and noise).
+pub const COUNTRY_PLANTED: &[&str] = &[
+    "hdi",
+    "gdp",
+    "gini",
+    "population census",
+    "density",
+    "area km2",
+    "established date",
+    "language",
+    "currency",
+    "time zone",
+];
+
+/// Adds country entities (with planted attributes, rank copies, aliases,
+/// ambiguity traps, and `noise` distractors) to `kg`. Returns entity ids
+/// aligned with `countries`.
+pub fn add_country_entities(
+    kg: &mut KnowledgeGraph,
+    countries: &[Country],
+    noise: &NoiseConfig,
+    rng: &mut StdRng,
+) -> Vec<EntityId> {
+    let mut ids = Vec::with_capacity(countries.len());
+    let languages = ["english", "spanish", "french", "arabic", "mandarin", "other"];
+    let currencies = ["usd", "euro", "local"];
+    for (i, c) in countries.iter().enumerate() {
+        let id = kg.add_entity(c.name.clone(), "Country");
+        if let Some(alias) = &c.alias {
+            kg.add_alias(id, alias.clone());
+        }
+        // Ambiguity trap: every 23rd pair of neighbours shares an alias, so
+        // the linker declines and those rows go missing.
+        if i % 23 == 22 {
+            kg.add_alias(id, format!("The Federation {}", i / 23));
+            kg.add_alias(id - 1, format!("The Federation {}", i / 23));
+        }
+        kg.set_literal(id, "hdi", c.hdi);
+        kg.set_literal(id, "gdp", c.gdp);
+        kg.set_literal(id, "gini", c.gini);
+        kg.set_literal(id, "population census", c.population.round());
+        kg.set_literal(id, "density", c.density);
+        kg.set_literal(id, "area km2", (c.population / c.density).round());
+        kg.set_literal(id, "established date", 1200 + (rng.gen::<f64>() * 800.0) as i64);
+        kg.set_literal(id, "language", languages[rng.gen_range(0..languages.len())]);
+        // Currency correlates with continent (Euro in Europe) — the Table 4
+        // "Currency == Euro" subgroup.
+        let currency = if c.continent == "Europe" && rng.gen::<f64>() < 0.8 {
+            "euro"
+        } else {
+            currencies[rng.gen_range(0..currencies.len())]
+        };
+        kg.set_literal(id, "currency", currency);
+        kg.set_literal(id, "time zone", format!("utc{}", rng.gen_range(-11..=12)));
+        // Entity-valued properties for the multi-hop experiments (§5.4):
+        // a head of state whose own attributes sit one hop away, and a
+        // one-to-many ethnic-group link whose member populations can be
+        // aggregated at two hops.
+        let leader = kg.add_entity(format!("Leader of {}", c.name), "Person");
+        kg.set_literal(leader, "age", 35 + (rng.gen::<f64>() * 50.0) as i64);
+        kg.set_literal(
+            leader,
+            "gender",
+            if rng.gen::<f64>() < 0.25 { "female" } else { "male" },
+        );
+        kg.set_property(id, "leader", PropertyValue::Entity(leader));
+        let n_groups = rng.gen_range(2..5usize);
+        let groups: Vec<EntityId> = (0..n_groups)
+            .map(|g| {
+                let e = kg.add_entity(format!("{} group {g}", c.name), "EthnicGroup");
+                kg.set_literal(e, "population", (c.population * rng.gen::<f64>()).round());
+                e
+            })
+            .collect();
+        kg.set_property(id, "ethnic group", PropertyValue::EntityList(groups));
+        ids.push(id);
+    }
+    // Redundant copies the Min-Redundancy criterion must reject.
+    add_rank_copy(kg, &ids, "hdi");
+    add_rank_copy(kg, &ids, "gdp");
+    add_rank_copy(kg, &ids, "gini");
+    // A noisy near-copy of the census.
+    for (&id, c) in ids.iter().zip(countries) {
+        kg.set_literal(
+            id,
+            "population estimate",
+            (c.population * (1.0 + normal_with(rng, 0.0, 0.02))).round(),
+        );
+    }
+    add_noise_properties(kg, &ids, noise, rng);
+    ids
+}
+
+/// Planted continent-level attributes.
+pub const CONTINENT_PLANTED: &[&str] = &["gdp", "density", "area rank", "population total"];
+
+/// Adds continent entities with aggregate attributes derived from their
+/// member countries. Returns `(continent name, entity id)` pairs.
+pub fn add_continent_entities(
+    kg: &mut KnowledgeGraph,
+    countries: &[Country],
+    noise: &NoiseConfig,
+    rng: &mut StdRng,
+) -> Vec<(String, EntityId)> {
+    let mut out = Vec::new();
+    for &(name, _, _, _) in CONTINENTS {
+        let members: Vec<&Country> = countries.iter().filter(|c| c.continent == name).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let id = kg.add_entity(name, "Continent");
+        let gdp: f64 = members.iter().map(|c| c.gdp).sum();
+        let pop: f64 = members.iter().map(|c| c.population).sum();
+        let density: f64 =
+            members.iter().map(|c| c.density).sum::<f64>() / members.len() as f64;
+        kg.set_literal(id, "gdp", gdp);
+        kg.set_literal(id, "population total", pop.round());
+        kg.set_literal(id, "density", density);
+        out.push((name.to_string(), id));
+    }
+    let ids: Vec<EntityId> = out.iter().map(|(_, id)| *id).collect();
+    add_rank_copy(kg, &ids, "gdp");
+    // "area rank" as an independent ordinal.
+    for (rank, &id) in ids.iter().enumerate() {
+        kg.set_literal(id, "area rank", (rank + 1) as i64);
+    }
+    add_noise_properties(kg, &ids, noise, rng);
+    out
+}
+
+/// Adds WHO-region entities (for the Covid dataset). Returns
+/// `(region name, entity id)` pairs.
+pub fn add_who_region_entities(
+    kg: &mut KnowledgeGraph,
+    countries: &[Country],
+    noise: &NoiseConfig,
+    rng: &mut StdRng,
+) -> Vec<(String, EntityId)> {
+    let mut names: Vec<&str> = countries.iter().map(|c| c.who_region.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut out = Vec::new();
+    for name in names {
+        let members: Vec<&Country> = countries.iter().filter(|c| c.who_region == name).collect();
+        let id = kg.add_entity(name, "WhoRegion");
+        let density: f64 =
+            members.iter().map(|c| c.density).sum::<f64>() / members.len() as f64;
+        let pop: f64 = members.iter().map(|c| c.population).sum();
+        kg.set_literal(id, "density", density);
+        kg.set_literal(id, "population total", pop.round());
+        kg.set_literal(id, "area km", (pop / density).round());
+        out.push((name.to_string(), id));
+    }
+    let ids: Vec<EntityId> = out.iter().map(|(_, id)| *id).collect();
+    add_noise_properties(kg, &ids, noise, rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn europe_is_tight_in_econ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let countries = gen_countries(188, &mut rng);
+        let eu: Vec<f64> = countries
+            .iter()
+            .filter(|c| c.continent == "Europe")
+            .map(|c| c.hdi)
+            .collect();
+        let af: Vec<f64> = countries
+            .iter()
+            .filter(|c| c.continent == "Africa")
+            .map(|c| c.hdi)
+            .collect();
+        let sd = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        assert!(sd(&eu) < 0.03, "europe sd {}", sd(&eu));
+        assert!(sd(&af) > 0.04, "africa sd {}", sd(&af));
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&eu) > mean(&af) + 0.2);
+    }
+
+    #[test]
+    fn country_entities_have_planted_and_noise_attrs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let countries = gen_countries(50, &mut rng);
+        let mut kg = KnowledgeGraph::new();
+        let noise = NoiseConfig {
+            n_numeric: 10,
+            n_categorical: 5,
+            n_constant: 1,
+            n_unique: 1,
+            prefix: "country".into(),
+            ..NoiseConfig::default()
+        };
+        let ids = add_country_entities(&mut kg, &countries, &noise, &mut rng);
+        assert_eq!(ids.len(), 50);
+        assert!(kg.property(ids[0], "hdi").is_some());
+        assert!(kg.property(ids[0], "hdi rank").is_some());
+        assert!(kg.property(ids[0], "population estimate").is_some());
+        // planted (10) + rank copies (3) + estimate (1) + noise (17)
+        // + multi-hop props (leader, age, gender, ethnic group, population)
+        assert_eq!(kg.n_properties(), 10 + 3 + 1 + 17 + 5);
+    }
+
+    #[test]
+    fn aliases_and_ambiguity_planted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let countries = gen_countries(60, &mut rng);
+        let mut kg = KnowledgeGraph::new();
+        let noise = NoiseConfig {
+            n_numeric: 0,
+            n_categorical: 0,
+            n_constant: 0,
+            n_unique: 0,
+            prefix: "c".into(),
+            ..NoiseConfig::default()
+        };
+        add_country_entities(&mut kg, &countries, &noise, &mut rng);
+        let linker = nexus_kg::EntityLinker::new(&kg);
+        // Long-form alias resolves.
+        assert!(matches!(
+            linker.link("Republic of Country_000"),
+            nexus_kg::LinkOutcome::Linked(_)
+        ));
+        // Shared alias is ambiguous.
+        assert_eq!(
+            linker.link("The Federation 0"),
+            nexus_kg::LinkOutcome::Ambiguous
+        );
+    }
+
+    #[test]
+    fn continent_and_region_entities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let countries = gen_countries(188, &mut rng);
+        let mut kg = KnowledgeGraph::new();
+        let noise = NoiseConfig {
+            n_numeric: 3,
+            n_categorical: 1,
+            n_constant: 0,
+            n_unique: 0,
+            prefix: "cont".into(),
+            ..NoiseConfig::default()
+        };
+        let conts = add_continent_entities(&mut kg, &countries, &noise, &mut rng);
+        assert_eq!(conts.len(), 6);
+        let regions = add_who_region_entities(&mut kg, &countries, &noise, &mut rng);
+        assert!(regions.len() >= 4);
+        let (_, eu) = conts.iter().find(|(n, _)| n == "Europe").unwrap();
+        assert!(kg.property(*eu, "gdp").is_some());
+        assert!(kg.property(*eu, "area rank").is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let ca = gen_countries(20, &mut a);
+        let cb = gen_countries(20, &mut b);
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(x.hdi, y.hdi);
+            assert_eq!(x.name, y.name);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Distractor properties for synthetic knowledge graphs.
+//!
+//! Real KGs bury the handful of relevant attributes under hundreds of
+//! irrelevant ones (Table 1 reports 461–708 extracted attributes per
+//! dataset). This module plants that haystack: independent numeric and
+//! categorical noise, constant attributes, unique identifiers, redundant
+//! rank-copies, and realistic missingness (random and value-dependent).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use nexus_kg::{EntityId, KnowledgeGraph};
+use nexus_table::Value;
+
+use crate::rng::normal_with;
+
+/// Configuration of the distractor haystack for one entity class.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Number of independent numeric noise properties.
+    pub n_numeric: usize,
+    /// Number of independent categorical noise properties.
+    pub n_categorical: usize,
+    /// Number of constant-valued properties (pruning fodder).
+    pub n_constant: usize,
+    /// Number of unique-identifier properties (high-entropy pruning fodder).
+    pub n_unique: usize,
+    /// Range of per-property missing fractions, sampled uniformly.
+    pub missing_range: (f64, f64),
+    /// Fraction of numeric noise properties whose missingness is
+    /// value-dependent (missing-not-at-random: high values dropped).
+    pub mnar_fraction: f64,
+    /// Prefix for generated property names.
+    pub prefix: String,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            n_numeric: 60,
+            n_categorical: 20,
+            n_constant: 3,
+            n_unique: 2,
+            missing_range: (0.1, 0.6),
+            mnar_fraction: 0.2,
+            prefix: "attr".into(),
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Total number of properties this configuration generates.
+    pub fn total(&self) -> usize {
+        self.n_numeric + self.n_categorical + self.n_constant + self.n_unique
+    }
+}
+
+/// Adds distractor properties to `entities` in `kg`.
+pub fn add_noise_properties(
+    kg: &mut KnowledgeGraph,
+    entities: &[EntityId],
+    config: &NoiseConfig,
+    rng: &mut StdRng,
+) {
+    // Numeric noise (possibly MNAR). Per-property missing fractions follow
+    // a mixture: most properties are moderately sparse, a tail is nearly
+    // empty (real KGs have many such properties — they are what the
+    // offline >90%-missing filter exists for).
+    for p in 0..config.n_numeric {
+        let name = format!("{}_num_{p:03}", config.prefix);
+        let missing: f64 = if rng.gen::<f64>() < 0.35 {
+            rng.gen_range(0.905..0.995)
+        } else {
+            rng.gen_range(config.missing_range.0..=config.missing_range.1)
+        };
+        let mnar = rng.gen::<f64>() < config.mnar_fraction;
+        let scale = 10f64.powi(rng.gen_range(0..5));
+        // Pre-sample values; under MNAR the drop probability grows with the
+        // value's rank (soft selection — high values are under-observed but
+        // every stratum keeps some coverage, as in real KG sparsity).
+        let values: Vec<f64> = entities
+            .iter()
+            .map(|_| normal_with(rng, scale, scale / 3.0))
+            .collect();
+        let ranks: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..values.len()).collect();
+            idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+            let mut r = vec![0usize; values.len()];
+            for (rank, &i) in idx.iter().enumerate() {
+                r[i] = rank;
+            }
+            r
+        };
+        let n = entities.len().max(2);
+        let mut any = false;
+        for ((&e, &v), &rank) in entities.iter().zip(&values).zip(&ranks) {
+            let p_drop = if mnar {
+                (missing * 2.0 * rank as f64 / (n - 1) as f64).min(0.95)
+            } else {
+                missing
+            };
+            if rng.gen::<f64>() >= p_drop {
+                kg.set_literal(e, &name, v);
+                any = true;
+            }
+        }
+        // A property that exists at all exists for someone.
+        if !any {
+            let e = entities[rng.gen_range(0..entities.len())];
+            kg.set_literal(e, &name, values[0]);
+        }
+    }
+
+    // Categorical noise.
+    for p in 0..config.n_categorical {
+        let name = format!("{}_cat_{p:03}", config.prefix);
+        let card = rng.gen_range(2..12usize);
+        let missing: f64 = if rng.gen::<f64>() < 0.35 {
+            rng.gen_range(0.905..0.995)
+        } else {
+            rng.gen_range(config.missing_range.0..=config.missing_range.1)
+        };
+        let mut any = false;
+        for &e in entities {
+            if rng.gen::<f64>() >= missing {
+                let v = rng.gen_range(0..card);
+                kg.set_literal(e, &name, format!("cat{v}"));
+                any = true;
+            }
+        }
+        if !any {
+            let e = entities[rng.gen_range(0..entities.len())];
+            kg.set_literal(e, &name, "cat0");
+        }
+    }
+
+    // Constant properties: same value everywhere (e.g. rdf:type).
+    for p in 0..config.n_constant {
+        let name = format!("{}_const_{p:02}", config.prefix);
+        for &e in entities {
+            kg.set_literal(e, &name, format!("{}_kind", config.prefix));
+        }
+    }
+
+    // Unique identifiers (wikiID-style).
+    for p in 0..config.n_unique {
+        let name = format!("{}_id_{p:02}", config.prefix);
+        for (i, &e) in entities.iter().enumerate() {
+            kg.set_property(
+                e,
+                &name,
+                nexus_kg::PropertyValue::Literal(Value::Str(format!("Q{}{i:06}", p + 1))),
+            );
+        }
+    }
+}
+
+/// Adds a `"{name} rank"` property that is the dense rank of an existing
+/// numeric property — the redundant-copy pattern (HDI vs HDI Rank) the
+/// paper's Min-Redundancy criterion must handle.
+pub fn add_rank_copy(kg: &mut KnowledgeGraph, entities: &[EntityId], of_property: &str) {
+    let mut values: Vec<(usize, f64)> = Vec::new();
+    for (i, &e) in entities.iter().enumerate() {
+        if let Some(nexus_kg::PropertyValue::Literal(v)) = kg.property(e, of_property) {
+            if let Some(x) = v.as_f64() {
+                values.push((i, x));
+            }
+        }
+    }
+    // Higher value -> rank 1.
+    values.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let name = format!("{of_property} rank");
+    for (rank, (i, _)) in values.into_iter().enumerate() {
+        kg.set_literal(entities[i], &name, (rank + 1) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_counts_and_missingness() {
+        let mut kg = KnowledgeGraph::new();
+        let entities: Vec<EntityId> = (0..50).map(|i| kg.add_entity(format!("e{i}"), "X")).collect();
+        let cfg = NoiseConfig {
+            n_numeric: 10,
+            n_categorical: 5,
+            n_constant: 2,
+            n_unique: 1,
+            missing_range: (0.2, 0.4),
+            mnar_fraction: 0.3,
+            prefix: "t".into(),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        add_noise_properties(&mut kg, &entities, &cfg, &mut rng);
+        assert_eq!(kg.n_properties(), cfg.total());
+        // Constants are fully populated; numeric properties have gaps.
+        let n_const = entities
+            .iter()
+            .filter(|&&e| kg.property(e, "t_const_00").is_some())
+            .count();
+        assert_eq!(n_const, 50);
+        let n_num: usize = entities
+            .iter()
+            .filter(|&&e| kg.property(e, "t_num_000").is_some())
+            .count();
+        assert!(n_num < 50 && n_num > 10, "n_num={n_num}");
+    }
+
+    #[test]
+    fn unique_ids_are_unique() {
+        let mut kg = KnowledgeGraph::new();
+        let entities: Vec<EntityId> = (0..20).map(|i| kg.add_entity(format!("e{i}"), "X")).collect();
+        let cfg = NoiseConfig {
+            n_numeric: 0,
+            n_categorical: 0,
+            n_constant: 0,
+            n_unique: 1,
+            prefix: "t".into(),
+            ..NoiseConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        add_noise_properties(&mut kg, &entities, &cfg, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for &e in &entities {
+            if let Some(nexus_kg::PropertyValue::Literal(Value::Str(s))) = kg.property(e, "t_id_00")
+            {
+                assert!(seen.insert(s.clone()));
+            } else {
+                panic!("missing id");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_copy_is_monotone() {
+        let mut kg = KnowledgeGraph::new();
+        let entities: Vec<EntityId> = (0..5).map(|i| kg.add_entity(format!("e{i}"), "X")).collect();
+        for (i, &e) in entities.iter().enumerate() {
+            kg.set_literal(e, "hdi", i as f64 / 10.0);
+        }
+        add_rank_copy(&mut kg, &entities, "hdi");
+        // Highest hdi (entity 4) gets rank 1.
+        match kg.property(entities[4], "hdi rank") {
+            Some(nexus_kg::PropertyValue::Literal(Value::Int(r))) => assert_eq!(*r, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match kg.property(entities[0], "hdi rank") {
+            Some(nexus_kg::PropertyValue::Literal(Value::Int(r))) => assert_eq!(*r, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

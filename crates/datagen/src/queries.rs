@@ -1,0 +1,369 @@
+//! The 14 representative queries of the user study (Table 2) plus the
+//! random-query generator of Section 5.1.
+//!
+//! Each query records its planted ground-truth confounders under the
+//! candidate naming convention used by `nexus-core`:
+//! `"{extraction column}::{KG property}"` for extracted attributes and the
+//! bare column name for base-table attributes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nexus_query::{parse, AggregateQuery};
+use nexus_table::DataType;
+
+use crate::{Dataset, DatasetKind};
+
+/// A benchmark query with its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Stable identifier (e.g. `"SO-Q1"`).
+    pub id: &'static str,
+    /// The dataset the query runs on.
+    pub dataset: DatasetKind,
+    /// The SQL text.
+    pub sql: &'static str,
+    /// Candidate names that genuinely confound the exposure–outcome pair
+    /// (any subset of these is a correct explanation; redundant variants are
+    /// listed so either member of a redundant pair scores).
+    pub ground_truth: &'static [&'static str],
+}
+
+impl BenchQuery {
+    /// Parses the SQL.
+    pub fn parsed(&self) -> AggregateQuery {
+        parse(self.sql).expect("benchmark SQL is valid")
+    }
+}
+
+/// The 14 representative queries of Table 2.
+pub const BENCH_QUERIES: &[BenchQuery] = &[
+    // ---- Stack Overflow -------------------------------------------------
+    BenchQuery {
+        id: "SO-Q1",
+        dataset: DatasetKind::So,
+        sql: "SELECT Country, avg(Salary) FROM SO GROUP BY Country",
+        ground_truth: &[
+            "Country::hdi",
+            "Country::hdi rank",
+            "Country::gini",
+            "Country::gini rank",
+            "Country::population census",
+            "Country::population estimate",
+            // The continent is upstream of country development (continent
+            // bases drive econ), hence a genuine coarse confounder.
+            "Continent",
+            "Continent::gdp",
+        ],
+    },
+    BenchQuery {
+        id: "SO-Q2",
+        dataset: DatasetKind::So,
+        sql: "SELECT Continent, avg(Salary) FROM SO GROUP BY Continent",
+        ground_truth: &[
+            "Continent::gdp",
+            "Continent::gdp rank",
+            "Continent::population total",
+            // Country-level development attributes confound the continent
+            // query just as genuinely (continents differ because their
+            // member countries' economies do).
+            "Country::hdi",
+            "Country::hdi rank",
+            "Country::gdp",
+            "Country::gdp rank",
+            // The country refines the continent exposure upstream of the
+            // planted salary causes (same argument as Origin_city for
+            // FL-Q4).
+            "Country",
+        ],
+    },
+    BenchQuery {
+        id: "SO-Q3",
+        dataset: DatasetKind::So,
+        sql: "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'Europe' GROUP BY Country",
+        ground_truth: &[
+            "Country::population census",
+            "Country::population estimate",
+            "Country::gini",
+            "Country::gini rank",
+        ],
+    },
+    // ---- Flights ---------------------------------------------------------
+    BenchQuery {
+        id: "FL-Q1",
+        dataset: DatasetKind::Flights,
+        sql: "SELECT Origin_city, avg(Departure_delay) FROM Flights GROUP BY Origin_city",
+        ground_truth: &[
+            "Origin_city::precipitation days",
+            "Origin_city::year low f",
+            "Origin_city::december low f",
+            "Origin_city::year avg f",
+            "Origin_city::population urban",
+            "Origin_city::population urban rank",
+            "Origin_city::population metropolitan",
+            "Origin_city::population estimation",
+            "Origin_city::population total",
+            "Security_delay",
+            "Airline",
+        ],
+    },
+    BenchQuery {
+        id: "FL-Q2",
+        dataset: DatasetKind::Flights,
+        sql: "SELECT Origin_state, avg(Departure_delay) FROM Flights GROUP BY Origin_state",
+        ground_truth: &[
+            "Origin_state::year snow",
+            "Origin_state::year low f",
+            "Origin_state::record low f",
+            "Origin_state::population estimation",
+            "Origin_state::population estimation rank",
+            "Origin_state::density",
+            // City-level weather/traffic: a state's delays are its cities'.
+            "Origin_city::precipitation days",
+            "Origin_city::year low f",
+            "Origin_city::december low f",
+            "Origin_city::year avg f",
+            "Origin_city::population urban",
+            "Security_delay",
+            "Airline",
+        ],
+    },
+    BenchQuery {
+        id: "FL-Q3",
+        dataset: DatasetKind::Flights,
+        sql: "SELECT Origin_city, avg(Departure_delay) FROM Flights WHERE Origin_state = 'CA' GROUP BY Origin_city",
+        ground_truth: &[
+            "Origin_city::population urban",
+            "Origin_city::population urban rank",
+            "Origin_city::population metropolitan",
+            "Origin_city::population total",
+            "Origin_city::density",
+            "Security_delay",
+            "Origin_city::precipitation days",
+            "Origin_city::year low f",
+        ],
+    },
+    BenchQuery {
+        id: "FL-Q4",
+        dataset: DatasetKind::Flights,
+        sql: "SELECT Origin_state, Airline, avg(Departure_delay) FROM Flights GROUP BY Origin_state, Airline",
+        ground_truth: &[
+            "Origin_state::population estimation",
+            "Origin_state::population estimation rank",
+            "Origin_state::year snow",
+            "Origin_state::year low f",
+            "Airline::fleet size",
+            "Airline::equity",
+            "Airline::net income",
+            // The origin city is upstream of both planted delay causes
+            // (weather and traffic) for the composite exposure.
+            "Origin_city",
+            "Origin_city::precipitation days",
+            "Origin_city::population urban",
+            "Security_delay",
+        ],
+    },
+    BenchQuery {
+        id: "FL-Q5",
+        dataset: DatasetKind::Flights,
+        sql: "SELECT Airline, avg(Departure_delay) FROM Flights GROUP BY Airline",
+        ground_truth: &[
+            "Airline::equity",
+            "Airline::fleet size",
+            "Airline::net income",
+        ],
+    },
+    // ---- Covid-19 ----------------------------------------------------------
+    BenchQuery {
+        id: "COVID-Q1",
+        dataset: DatasetKind::Covid,
+        sql: "SELECT Country, avg(Deaths_per_100_cases) FROM Covid GROUP BY Country",
+        ground_truth: &[
+            "Country::hdi",
+            "Country::hdi rank",
+            "Country::gdp",
+            "Country::gdp rank",
+            "Country::density",
+            "Confirmed_cases",
+        ],
+    },
+    BenchQuery {
+        id: "COVID-Q2",
+        dataset: DatasetKind::Covid,
+        sql: "SELECT Country, avg(Deaths_per_100_cases) FROM Covid WHERE WHO_Region = 'EURO' GROUP BY Country",
+        ground_truth: &[
+            "Country::gini",
+            "Country::gini rank",
+            "Country::gdp",
+            "Country::population census",
+            "Country::population estimate",
+            "Confirmed_cases",
+        ],
+    },
+    BenchQuery {
+        id: "COVID-Q3",
+        dataset: DatasetKind::Covid,
+        sql: "SELECT WHO_Region, avg(Deaths_per_100_cases) FROM Covid GROUP BY WHO_Region",
+        ground_truth: &[
+            "WHO_Region::density",
+            "WHO_Region::area km",
+            "Country::hdi",
+            "Country::hdi rank",
+            "Country::gdp",
+            "Country::density",
+            "Confirmed_cases",
+        ],
+    },
+    // ---- Forbes ------------------------------------------------------------
+    BenchQuery {
+        id: "FORBES-Q1",
+        dataset: DatasetKind::Forbes,
+        sql: "SELECT Name, avg(Pay) FROM Forbes WHERE Category = 'Actors' GROUP BY Name",
+        ground_truth: &["Name::net worth", "Name::gender"],
+    },
+    BenchQuery {
+        id: "FORBES-Q2",
+        dataset: DatasetKind::Forbes,
+        sql: "SELECT Name, avg(Pay) FROM Forbes WHERE Category = 'Directors/Producers' GROUP BY Name",
+        ground_truth: &["Name::net worth", "Name::awards", "Name::years active"],
+    },
+    BenchQuery {
+        id: "FORBES-Q3",
+        dataset: DatasetKind::Forbes,
+        sql: "SELECT Name, avg(Pay) FROM Forbes WHERE Category = 'Athletes' GROUP BY Name",
+        ground_truth: &[
+            "Name::cups",
+            "Name::national cups",
+            "Name::total cups",
+            "Name::draft pick",
+            "Name::net worth",
+        ],
+    },
+];
+
+/// The queries for a particular dataset.
+pub fn queries_for(dataset: DatasetKind) -> Vec<&'static BenchQuery> {
+    BENCH_QUERIES.iter().filter(|q| q.dataset == dataset).collect()
+}
+
+/// Generates `n` random aggregate queries over a dataset (Section 5.1):
+/// the exposure is one of the extraction columns, the outcome one of the
+/// dataset's numeric outcome columns, and an optional WHERE clause picks a
+/// categorical value covering ≥ 10% of the rows.
+pub fn random_queries(dataset: &Dataset, n: usize, seed: u64) -> Vec<AggregateQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let table = &dataset.table;
+
+    // Candidate WHERE columns: categorical, moderate cardinality.
+    let where_cols: Vec<&str> = table
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| f.dtype == DataType::Utf8)
+        .map(|f| f.name.as_str())
+        .filter(|name| {
+            let c = table.column(name).expect("schema name");
+            let d = c.distinct_count();
+            (2..=30).contains(&d)
+        })
+        .collect();
+
+    for _ in 0..n {
+        let t = &dataset.extraction_columns[rng.gen_range(0..dataset.extraction_columns.len())];
+        let o = &dataset.outcome_columns[rng.gen_range(0..dataset.outcome_columns.len())];
+        // Try to find a selective-enough WHERE value.
+        let mut where_part = String::new();
+        if !where_cols.is_empty() && rng.gen::<f64>() < 0.7 {
+            for _ in 0..8 {
+                let wc = where_cols[rng.gen_range(0..where_cols.len())];
+                if wc == t {
+                    continue;
+                }
+                let col = table.column(wc).expect("where col");
+                let i = rng.gen_range(0..table.n_rows());
+                let Some(v) = col.str_at(i) else { continue };
+                let count = (0..table.n_rows())
+                    .filter(|&r| col.str_at(r) == Some(v))
+                    .count();
+                if count * 10 >= table.n_rows() {
+                    where_part = format!(" WHERE {wc} = '{v}'");
+                    break;
+                }
+            }
+        }
+        let sql = format!("SELECT {t}, avg({o}) FROM D{where_part} GROUP BY {t}");
+        out.push(parse(&sql).expect("generated SQL is valid"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{load, Scale};
+
+    #[test]
+    fn fourteen_queries_parse() {
+        assert_eq!(BENCH_QUERIES.len(), 14);
+        for q in BENCH_QUERIES {
+            let parsed = q.parsed();
+            assert!(parsed.exposure().is_some(), "{}", q.id);
+            assert!(parsed.outcome().is_some(), "{}", q.id);
+            assert!(!q.ground_truth.is_empty(), "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn queries_partition_by_dataset() {
+        assert_eq!(queries_for(DatasetKind::So).len(), 3);
+        assert_eq!(queries_for(DatasetKind::Flights).len(), 5);
+        assert_eq!(queries_for(DatasetKind::Covid).len(), 3);
+        assert_eq!(queries_for(DatasetKind::Forbes).len(), 3);
+    }
+
+    #[test]
+    fn exposure_is_an_extraction_column() {
+        for q in BENCH_QUERIES {
+            let parsed = q.parsed();
+            let ds_cols: Vec<String> = match q.dataset {
+                DatasetKind::So => vec!["Country".into(), "Continent".into()],
+                DatasetKind::Covid => vec!["Country".into(), "WHO_Region".into()],
+                DatasetKind::Flights => vec![
+                    "Airline".into(),
+                    "Origin_city".into(),
+                    "Origin_state".into(),
+                    "Dest_city".into(),
+                    "Dest_state".into(),
+                ],
+                DatasetKind::Forbes => vec!["Name".into()],
+            };
+            assert!(
+                ds_cols.iter().any(|c| c == parsed.exposure().unwrap()),
+                "{}: exposure {:?}",
+                q.id,
+                parsed.exposure()
+            );
+        }
+    }
+
+    #[test]
+    fn random_queries_valid_and_selective() {
+        let d = load(DatasetKind::So, Scale::Small);
+        let qs = random_queries(&d, 10, 42);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            assert!(q.exposure().is_some());
+            let (_, o) = q.outcome().unwrap();
+            assert!(d.outcome_columns.iter().any(|c| c == o));
+            if let Some(p) = q.context() {
+                let mask = nexus_query::eval_predicate(p, &d.table).unwrap();
+                assert!(
+                    mask.count_ones() * 10 >= d.table.n_rows(),
+                    "selectivity too low: {}",
+                    mask.count_ones()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Seeded randomness helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller (keeps us off external
+/// distribution crates).
+pub fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal_with(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    mean + sd * normal(rng)
+}
+
+/// Samples an index according to non-negative weights.
+pub fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A logistic squash to (0, 1).
+pub fn squash(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    fn weighted_index_degenerate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let i = weighted_index(&mut rng, &[0.0, 0.0]);
+        assert!(i < 2);
+    }
+
+    #[test]
+    fn squash_bounds() {
+        assert!(squash(-100.0) >= 0.0 && squash(-100.0) < 0.01);
+        assert!(squash(100.0) <= 1.0 && squash(100.0) > 0.99);
+        assert!((squash(0.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+//! The synthetic Stack Overflow developer-survey dataset.
+//!
+//! Matches the paper's SO dataset (Table 1): 47,623 rows, extraction columns
+//! `Country` and `Continent`, ~461 extractable attributes. The planted
+//! causal structure:
+//!
+//! * country development (`econ`) → HDI and the bulk of salary;
+//! * country inequality (`gini`) → a salary penalty;
+//! * country population → a scarcity premium for small countries (the
+//!   within-Europe signal, since Europe's `econ` is nearly constant);
+//! * continent-level GDP / population totals → the continent-query signal;
+//! * gender → an individual-level salary gap (a base-table confounder for
+//!   queries grouped by non-country attributes, and a distractor otherwise).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nexus_table::{Column, Table};
+
+use crate::geo::{add_continent_entities, add_country_entities, gen_countries, Country};
+use crate::noise::NoiseConfig;
+use crate::rng::{normal_with, weighted_index};
+use crate::Dataset;
+
+/// Configuration for the SO generator.
+#[derive(Debug, Clone)]
+pub struct SoConfig {
+    /// Number of survey rows.
+    pub n_rows: usize,
+    /// Number of countries.
+    pub n_countries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of rows whose country string is misspelled (link failure).
+    pub typo_fraction: f64,
+}
+
+impl Default for SoConfig {
+    fn default() -> Self {
+        SoConfig {
+            n_rows: 47_623,
+            n_countries: 188,
+            seed: 0x50_2023,
+            typo_fraction: 0.02,
+        }
+    }
+}
+
+const DEV_TYPES: &[(&str, f64)] = &[
+    ("fullstack", 0.0),
+    ("backend", 2_000.0),
+    ("frontend", -1_000.0),
+    ("data", 5_000.0),
+    ("manager", 15_000.0),
+    ("embedded", 3_000.0),
+];
+
+/// Salary model shared with tests: the expected salary of a developer.
+pub fn expected_salary(c: &Country, female: bool, dev_type_effect: f64, years: i64) -> f64 {
+    12_000.0 + 75_000.0 * c.econ - 1_200.0 * (c.gini - 40.0) - 7_000.0 * (c.population.log10() - 7.25)
+        + if female { -8_000.0 } else { 0.0 }
+        + dev_type_effect
+        + 250.0 * (years as f64 - 10.0)
+}
+
+/// Generates the SO dataset.
+pub fn generate(config: &SoConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let countries = gen_countries(config.n_countries, &mut rng);
+
+    // Survey participation weights: developed + populous countries dominate.
+    let weights: Vec<f64> = countries
+        .iter()
+        .map(|c| (c.population.powf(0.4)) * (0.2 + c.econ))
+        .collect();
+
+    let n = config.n_rows;
+    let mut col_country = Vec::with_capacity(n);
+    let mut col_continent = Vec::with_capacity(n);
+    let mut col_gender = Vec::with_capacity(n);
+    let mut col_age = Vec::with_capacity(n);
+    let mut col_devtype = Vec::with_capacity(n);
+    let mut col_hobby = Vec::with_capacity(n);
+    let mut col_years = Vec::with_capacity(n);
+    let mut col_salary = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let ci = weighted_index(&mut rng, &weights);
+        let c = &countries[ci];
+        let female = rng.gen::<f64>() < 0.22;
+        let age = rng.gen_range(18..65i64);
+        let years = ((age - 18) as f64 * rng.gen::<f64>()).round() as i64;
+        let (dev_type, dt_effect) = DEV_TYPES[rng.gen_range(0..DEV_TYPES.len())];
+        let hobby = rng.gen::<f64>() < 0.6;
+        let salary = (expected_salary(c, female, dt_effect, years)
+            + normal_with(&mut rng, 0.0, 7_000.0))
+        .max(3_000.0);
+
+        // Surface form: canonical, official alias, or a typo.
+        let surface = if rng.gen::<f64>() < config.typo_fraction {
+            let mut s = c.name.clone();
+            s.insert(2, 'x');
+            s
+        } else if c.alias.is_some() && rng.gen::<f64>() < 0.3 {
+            c.alias.clone().expect("checked")
+        } else {
+            c.name.clone()
+        };
+        col_country.push(surface);
+        col_continent.push(c.continent.clone());
+        col_gender.push(if female { "f" } else { "m" });
+        col_age.push(age);
+        col_devtype.push(dev_type);
+        col_hobby.push(hobby);
+        col_years.push(years);
+        col_salary.push(salary);
+    }
+
+    let table = Table::new(vec![
+        ("Country", Column::from_strs(&col_country)),
+        ("Continent", Column::from_strs(&col_continent)),
+        ("Gender", Column::from_strs(&col_gender)),
+        ("Age", Column::from_i64(col_age)),
+        ("DevType", Column::from_strs(&col_devtype)),
+        ("Hobby", Column::from_bools(col_hobby)),
+        ("YearsCode", Column::from_i64(col_years)),
+        ("Salary", Column::from_f64(col_salary)),
+    ])
+    .expect("columns share one length");
+
+    // Knowledge graph: countries + continents, with the distractor haystack
+    // sized so total extractable attributes ≈ 461 (Table 1).
+    let mut kg = nexus_kg::KnowledgeGraph::new();
+    let country_noise = NoiseConfig {
+        n_numeric: 280,
+        n_categorical: 90,
+        n_constant: 4,
+        n_unique: 2,
+        prefix: "country".into(),
+        ..NoiseConfig::default()
+    };
+    add_country_entities(&mut kg, &countries, &country_noise, &mut rng);
+    let continent_noise = NoiseConfig {
+        n_numeric: 45,
+        n_categorical: 18,
+        n_constant: 2,
+        n_unique: 1,
+        prefix: "continent".into(),
+        ..NoiseConfig::default()
+    };
+    add_continent_entities(&mut kg, &countries, &continent_noise, &mut rng);
+
+    Dataset {
+        name: "SO",
+        table,
+        kg,
+        extraction_columns: vec!["Country".into(), "Continent".into()],
+        outcome_columns: vec!["Salary".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate(&SoConfig {
+            n_rows: 3_000,
+            n_countries: 60,
+            seed: 7,
+            typo_fraction: 0.02,
+        })
+    }
+
+    #[test]
+    fn schema_and_size() {
+        let d = small();
+        assert_eq!(d.table.n_rows(), 3_000);
+        assert_eq!(
+            d.table.column_names(),
+            vec!["Country", "Continent", "Gender", "Age", "DevType", "Hobby", "YearsCode", "Salary"]
+        );
+        assert_eq!(d.extraction_columns, vec!["Country", "Continent"]);
+    }
+
+    #[test]
+    fn salary_confounded_by_country_economy() {
+        let d = small();
+        // Group mean salary by continent: Europe far above Africa.
+        let avg = |continent: &str| {
+            let cont = d.table.column("Continent").unwrap();
+            let sal = d.table.column("Salary").unwrap();
+            let mut s = 0.0;
+            let mut n = 0usize;
+            for i in 0..d.table.n_rows() {
+                if cont.str_at(i) == Some(continent) {
+                    s += sal.f64_at(i).unwrap();
+                    n += 1;
+                }
+            }
+            s / n.max(1) as f64
+        };
+        assert!(avg("Europe") > avg("Africa") + 20_000.0);
+    }
+
+    #[test]
+    fn most_country_values_link() {
+        let d = small();
+        let linker = nexus_kg::EntityLinker::new(&d.kg);
+        let (_, stats) = linker.link_column(d.table.column("Country").unwrap());
+        let rate = stats.link_rate();
+        assert!(rate > 0.9, "link rate {rate}");
+        assert!(stats.not_found > 0, "typos should fail to link");
+    }
+
+    #[test]
+    fn kg_attribute_count_near_table1() {
+        let d = generate(&SoConfig {
+            n_rows: 100,
+            ..SoConfig::default()
+        });
+        // Country + continent properties (union of names, some shared).
+        let total = d.kg.n_properties();
+        assert!(
+            (440..=500).contains(&total),
+            "expected ≈461 properties, got {total}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(
+            a.table.value(17, "Salary").unwrap(),
+            b.table.value(17, "Salary").unwrap()
+        );
+    }
+
+    #[test]
+    fn gender_gap_planted() {
+        let d = small();
+        let g = d.table.column("Gender").unwrap();
+        let s = d.table.column("Salary").unwrap();
+        let (mut fm, mut fn_, mut mm, mut mn) = (0.0, 0, 0.0, 0);
+        for i in 0..d.table.n_rows() {
+            match g.str_at(i) {
+                Some("f") => {
+                    fm += s.f64_at(i).unwrap();
+                    fn_ += 1;
+                }
+                Some("m") => {
+                    mm += s.f64_at(i).unwrap();
+                    mn += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(mm / mn as f64 > fm / fn_ as f64 + 4_000.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! CLI entry point for the experiment harness.
+
+use nexus_datagen::Scale;
+use nexus_eval::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut scale = Scale::Default;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("small") => Scale::Small,
+                    Some("default") => Scale::Default,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?} (small|default|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            name if !name.starts_with('-') => experiment = name.to_string(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut cache = DatasetCache::new();
+    let run_study = |cache: &mut DatasetCache| {
+        let results = run_user_study(cache, scale);
+        println!("{}", table2(&results));
+        println!("{}", table3(&results));
+        println!("{}", fig2(&results));
+    };
+
+    match experiment.as_str() {
+        "table1" => println!("{}", table1(&mut cache, scale)),
+        "table2" | "table3" | "fig2" | "user-study" => run_study(&mut cache),
+        "table4" => println!("{}", table4(&mut cache, scale)),
+        "fig3" => println!("{}", fig3(&mut cache, scale)),
+        "fig4" => println!("{}", fig4(&mut cache, scale)),
+        "fig5" => println!("{}", fig5(&mut cache, scale)),
+        "fig6" => println!("{}", fig6(&mut cache, scale)),
+        "random-queries" => println!("{}", random_query_usefulness(&mut cache, scale)),
+        "missing-stats" => println!("{}", missing_stats(&mut cache, scale)),
+        "multihop" => println!("{}", multihop(&mut cache, scale)),
+        "pruning-stats" => println!("{}", pruning_stats(&mut cache, scale)),
+        "ablations" => println!("{}", ablations(&mut cache, scale)),
+        "latency" => println!("{}", latency(&mut cache, scale)),
+        "all" => {
+            println!("{}", table1(&mut cache, scale));
+            run_study(&mut cache);
+            println!("{}", table4(&mut cache, scale));
+            println!("{}", fig3(&mut cache, scale));
+            println!("{}", fig4(&mut cache, scale));
+            println!("{}", fig5(&mut cache, scale));
+            println!("{}", fig6(&mut cache, scale));
+            println!("{}", random_query_usefulness(&mut cache, scale));
+            println!("{}", missing_stats(&mut cache, scale));
+            println!("{}", multihop(&mut cache, scale));
+            println!("{}", pruning_stats(&mut cache, scale));
+            println!("{}", ablations(&mut cache, scale));
+            println!("{}", latency(&mut cache, scale));
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain-text rendering of result tables and series ("figures").
+
+/// An aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given header.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a named series (a "figure") as an aligned x/y listing.
+pub fn render_series(title: &str, x_label: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    let mut out = format!("# {title}\n");
+    let mut t = TextTable::new(
+        &std::iter::once(x_label)
+            .chain(series.iter().map(|(n, _)| *n))
+            .collect::<Vec<_>>(),
+    );
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = vec![trim_float(x)];
+        for (_, ys) in series {
+            row.push(ys.get(i).map(|y| format!("{y:.4}")).unwrap_or_default());
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e12 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "2.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].starts_with("longer-name"));
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"t".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"t\""));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series(
+            "Fig X",
+            "rows",
+            &[10.0, 20.0],
+            &[("mesa", vec![0.5, 0.25]), ("bf", vec![0.4, 0.2])],
+        );
+        assert!(s.contains("# Fig X"));
+        assert!(s.contains("mesa"));
+        assert!(s.contains("0.2500"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Approximate functional-dependency detection.
+//!
+//! The paper's online pruning drops candidate attributes that are logically
+//! dependent on the exposure or outcome (Lemma A.2): conditioning on an
+//! attribute with `E ⇒ T` trivially zeroes `I(O;T|E)` without being a real
+//! confounder (e.g. `CountryCode ⇒ Country`). An approximate FD `X ⇒ Y`
+//! holds when `H(Y|X) ≈ 0`.
+
+use nexus_table::Codes;
+
+use crate::estimator::InfoContext;
+
+/// Default tolerance (bits) under which a conditional entropy counts as zero.
+pub const DEFAULT_FD_EPSILON: f64 = 0.01;
+
+/// Whether the approximate functional dependency `X ⇒ Y` holds, i.e.
+/// `H(Y|X) ≤ epsilon`.
+pub fn approx_fd(ctx: &InfoContext<'_>, x: &Codes, y: &Codes, epsilon: f64) -> bool {
+    ctx.conditional_entropy(y, &[x]) <= epsilon
+}
+
+/// Whether `X` and `Y` are logically equivalent in both directions
+/// (`H(Y|X) ≈ H(X|Y) ≈ 0`), the paper's test for discarding attributes tied
+/// to the exposure or outcome.
+pub fn logically_dependent(ctx: &InfoContext<'_>, x: &Codes, y: &Codes, epsilon: f64) -> bool {
+    approx_fd(ctx, x, y, epsilon) && approx_fd(ctx, y, x, epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(values: &[u32], card: u32) -> Codes {
+        Codes {
+            codes: values.to_vec(),
+            cardinality: card,
+            validity: None,
+        }
+    }
+
+    #[test]
+    fn exact_fd_detected() {
+        // x determines y: y = x % 2
+        let xv: Vec<u32> = (0..100).map(|i| i % 4).collect();
+        let yv: Vec<u32> = xv.iter().map(|&x| x % 2).collect();
+        let x = codes(&xv, 4);
+        let y = codes(&yv, 2);
+        let ctx = InfoContext::default();
+        assert!(approx_fd(&ctx, &x, &y, DEFAULT_FD_EPSILON));
+        // y does not determine x
+        assert!(!approx_fd(&ctx, &y, &x, DEFAULT_FD_EPSILON));
+        assert!(!logically_dependent(&ctx, &x, &y, DEFAULT_FD_EPSILON));
+    }
+
+    #[test]
+    fn bijection_is_logically_dependent() {
+        let xv: Vec<u32> = (0..100).map(|i| i % 5).collect();
+        let yv: Vec<u32> = xv.iter().map(|&x| (x + 3) % 5).collect();
+        let x = codes(&xv, 5);
+        let y = codes(&yv, 5);
+        let ctx = InfoContext::default();
+        assert!(logically_dependent(&ctx, &x, &y, DEFAULT_FD_EPSILON));
+    }
+
+    #[test]
+    fn noisy_fd_respects_epsilon() {
+        // y = x%2 except for a few exceptions.
+        let xv: Vec<u32> = (0..200).map(|i| i % 4).collect();
+        let mut yv: Vec<u32> = xv.iter().map(|&x| x % 2).collect();
+        for i in 0..4 {
+            yv[i * 50] ^= 1;
+        }
+        let x = codes(&xv, 4);
+        let y = codes(&yv, 2);
+        let ctx = InfoContext::default();
+        assert!(!approx_fd(&ctx, &x, &y, 0.001));
+        assert!(approx_fd(&ctx, &x, &y, 0.2));
+    }
+
+    #[test]
+    fn independent_variables_not_fd() {
+        let xv: Vec<u32> = (0..64).map(|i| i % 4).collect();
+        let yv: Vec<u32> = (0..64).map(|i| (i / 4) % 4).collect();
+        let x = codes(&xv, 4);
+        let y = codes(&yv, 4);
+        let ctx = InfoContext::default();
+        assert!(!approx_fd(&ctx, &x, &y, DEFAULT_FD_EPSILON));
+    }
+}

@@ -1,0 +1,292 @@
+//! Conditional-independence testing.
+//!
+//! The paper's responsibility test (Lemma 4.2) asks whether
+//! `O ⫫ E | E_selected` holds; following the HypDB test the paper cites, we
+//! use a stratified permutation test on the plug-in CMI: permute `X` within
+//! each stratum of `Z` (which preserves `P(X|Z)` and `P(Y|Z)` but breaks any
+//! conditional dependence) and compare the observed CMI against the
+//! permutation distribution.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nexus_table::{Bitmap, Codes};
+
+use crate::estimator::InfoContext;
+
+/// Configuration for the permutation test.
+#[derive(Debug, Clone, Copy)]
+pub struct CiTestOptions {
+    /// Number of permutations.
+    pub n_permutations: usize,
+    /// Significance level: independence is rejected when the fraction of
+    /// permuted CMIs ≥ the observed CMI is below `alpha`.
+    pub alpha: f64,
+    /// RNG seed (tests are deterministic given the seed).
+    pub seed: u64,
+    /// Fast path: if the observed CMI is below this threshold, declare
+    /// independence without permuting; if above `10×` it, declare
+    /// dependence. Set to 0 to always permute.
+    pub cmi_shortcut: f64,
+}
+
+impl Default for CiTestOptions {
+    fn default() -> Self {
+        CiTestOptions {
+            n_permutations: 100,
+            alpha: 0.05,
+            seed: 0x5eed,
+            cmi_shortcut: 1e-3,
+        }
+    }
+}
+
+/// Result of a conditional-independence test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CiTestResult {
+    /// The observed CMI `I(X;Y|Z)`.
+    pub observed_cmi: f64,
+    /// The permutation p-value (1.0 when the shortcut fired as independent,
+    /// 0.0 when it fired as dependent).
+    pub p_value: f64,
+    /// Whether the data is consistent with `X ⫫ Y | Z`.
+    pub independent: bool,
+}
+
+/// Tests `X ⫫ Y | Z` on the complete-case rows under `ctx`.
+pub fn ci_test(
+    ctx: &InfoContext<'_>,
+    x: &Codes,
+    y: &Codes,
+    z: &[&Codes],
+    options: &CiTestOptions,
+) -> CiTestResult {
+    let observed = ctx.cmi(x, y, z);
+
+    if options.cmi_shortcut > 0.0 {
+        if observed < options.cmi_shortcut {
+            return CiTestResult {
+                observed_cmi: observed,
+                p_value: 1.0,
+                independent: true,
+            };
+        }
+        if observed > options.cmi_shortcut * 10.0 && z.is_empty() {
+            // Unconditional MI this large is effectively never a permutation
+            // artifact at realistic sample sizes.
+            return CiTestResult {
+                observed_cmi: observed,
+                p_value: 0.0,
+                independent: false,
+            };
+        }
+    }
+
+    // Identify the complete-case rows once (mask + all validities).
+    let n = x.len();
+    let usable: Vec<usize> = (0..n)
+        .filter(|&i| {
+            ctx.mask.is_none_or(|m| m.get(i))
+                && x.is_valid(i)
+                && y.is_valid(i)
+                && z.iter().all(|v| v.is_valid(i))
+        })
+        .collect();
+    if usable.len() < 2 {
+        return CiTestResult {
+            observed_cmi: observed,
+            p_value: 1.0,
+            independent: true,
+        };
+    }
+    // Large-sample shortcut for the conditional case: at 10k+ complete
+    // cases a CMI this far above zero cannot be a permutation artifact,
+    // and each permutation costs a full row scan.
+    if options.cmi_shortcut > 0.0
+        && observed > options.cmi_shortcut * 50.0
+        && usable.len() > 10_000
+    {
+        return CiTestResult {
+            observed_cmi: observed,
+            p_value: 0.0,
+            independent: false,
+        };
+    }
+
+    // Group usable rows by the stratum key of Z.
+    let strata: Vec<Vec<usize>> = if z.is_empty() {
+        vec![usable.to_vec()]
+    } else {
+        let radices: Vec<u128> = z.iter().map(|v| (v.cardinality as u128).max(1)).collect();
+        let mut map: std::collections::HashMap<u128, Vec<usize>> =
+            std::collections::HashMap::new();
+        for &i in &usable {
+            let mut key = 0u128;
+            for (v, r) in z.iter().zip(&radices).rev() {
+                key = key * r + v.codes[i] as u128;
+            }
+            map.entry(key).or_default().push(i);
+        }
+        map.into_values().collect()
+    };
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut exceed = 0usize;
+    let mut permuted_x = x.clone();
+    // Mark every row valid in the permuted copy only where usable; simpler:
+    // keep the original validity, we only rewrite codes of usable rows.
+    for _ in 0..options.n_permutations {
+        for stratum in &strata {
+            // Permute the X codes among the rows of the stratum.
+            let mut vals: Vec<u32> = stratum.iter().map(|&i| x.codes[i]).collect();
+            vals.shuffle(&mut rng);
+            for (&i, v) in stratum.iter().zip(vals) {
+                permuted_x.codes[i] = v;
+            }
+        }
+        if ctx.cmi(&permuted_x, y, z) >= observed {
+            exceed += 1;
+        }
+    }
+    let p_value = (exceed + 1) as f64 / (options.n_permutations + 1) as f64;
+    CiTestResult {
+        observed_cmi: observed,
+        p_value,
+        independent: p_value >= options.alpha,
+    }
+}
+
+/// Convenience wrapper: unmasked, unweighted CI test with default options.
+pub fn ci_test_default(x: &Codes, y: &Codes, z: &[&Codes]) -> CiTestResult {
+    ci_test(&InfoContext::default(), x, y, z, &CiTestOptions::default())
+}
+
+/// Builds a mask over all rows (helper for callers that want explicit masks).
+pub fn full_mask(n: usize) -> Bitmap {
+    Bitmap::with_value(n, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(values: &[u32], card: u32) -> Codes {
+        Codes {
+            codes: values.to_vec(),
+            cardinality: card,
+            validity: None,
+        }
+    }
+
+    fn lcg(seed: u64) -> impl FnMut() -> u32 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as u32
+        }
+    }
+
+    #[test]
+    fn independent_variables_pass() {
+        let mut next = lcg(7);
+        let n = 400;
+        let x = codes(&(0..n).map(|_| next() % 3).collect::<Vec<_>>(), 3);
+        let y = codes(&(0..n).map(|_| next() % 3).collect::<Vec<_>>(), 3);
+        let r = ci_test_default(&x, &y, &[]);
+        assert!(r.independent, "p={} cmi={}", r.p_value, r.observed_cmi);
+    }
+
+    #[test]
+    fn dependent_variables_fail() {
+        let mut next = lcg(11);
+        let n = 400;
+        let xv: Vec<u32> = (0..n).map(|_| next() % 3).collect();
+        let yv: Vec<u32> = xv.to_vec(); // y == x
+        let x = codes(&xv, 3);
+        let y = codes(&yv, 3);
+        let r = ci_test_default(&x, &y, &[]);
+        assert!(!r.independent);
+    }
+
+    #[test]
+    fn conditional_independence_detected() {
+        // X <- Z -> Y: dependent marginally, independent given Z.
+        let mut next = lcg(13);
+        let n = 2000;
+        let zv: Vec<u32> = (0..n).map(|_| next() % 2).collect();
+        let xv: Vec<u32> = zv.iter().map(|&z| (z * 2 + next() % 2) % 4).collect();
+        let yv: Vec<u32> = zv.iter().map(|&z| (z * 2 + next() % 2) % 4).collect();
+        let z = codes(&zv, 2);
+        let x = codes(&xv, 4);
+        let y = codes(&yv, 4);
+        let marg = ci_test_default(&x, &y, &[]);
+        assert!(!marg.independent, "marginally dependent by construction");
+        let cond = ci_test(
+            &InfoContext::default(),
+            &x,
+            &y,
+            &[&z],
+            &CiTestOptions {
+                cmi_shortcut: 0.0, // force the permutation path
+                ..CiTestOptions::default()
+            },
+        );
+        assert!(cond.independent, "p={}", cond.p_value);
+    }
+
+    #[test]
+    fn conditional_dependence_detected() {
+        let mut next = lcg(17);
+        let n = 1000;
+        let zv: Vec<u32> = (0..n).map(|_| next() % 2).collect();
+        // X depends on Z and noise; Y = X xor Z -> Y depends on X given Z.
+        let xv: Vec<u32> = (0..n).map(|_| next() % 2).collect();
+        let yv: Vec<u32> = xv.iter().zip(&zv).map(|(&x, &z)| x ^ z).collect();
+        let z = codes(&zv, 2);
+        let x = codes(&xv, 2);
+        let y = codes(&yv, 2);
+        let r = ci_test(
+            &InfoContext::default(),
+            &x,
+            &y,
+            &[&z],
+            &CiTestOptions::default(),
+        );
+        assert!(!r.independent);
+    }
+
+    #[test]
+    fn shortcut_fires_for_tiny_cmi() {
+        let x = codes(&[0, 1, 0, 1], 2);
+        let y = codes(&[0, 0, 1, 1], 2);
+        let r = ci_test_default(&x, &y, &[]);
+        assert!(r.independent);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut next = lcg(23);
+        let n = 300;
+        let x = codes(&(0..n).map(|_| next() % 3).collect::<Vec<_>>(), 3);
+        let y = codes(&(0..n).map(|_| next() % 3).collect::<Vec<_>>(), 3);
+        let opts = CiTestOptions {
+            cmi_shortcut: 0.0,
+            ..CiTestOptions::default()
+        };
+        let ctx = InfoContext::default();
+        let a = ci_test(&ctx, &x, &y, &[], &opts);
+        let b = ci_test(&ctx, &x, &y, &[], &opts);
+        assert_eq!(a.p_value, b.p_value);
+    }
+
+    #[test]
+    fn degenerate_support_is_independent() {
+        let mut x = codes(&[0, 1], 2);
+        x.validity = Some(Bitmap::with_value(2, false));
+        let y = codes(&[0, 1], 2);
+        let r = ci_test_default(&x, &y, &[]);
+        assert!(r.independent);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of information-theoretic identities on the plug-in
+//! estimators. These are the invariants every downstream algorithm relies
+//! on, so they get the widest random coverage.
+
+use nexus_info::{InfoContext, JointCounts};
+use nexus_table::{Bitmap, Codes};
+use proptest::prelude::*;
+
+fn codes_strategy(max_card: u32, len: usize) -> impl Strategy<Value = Codes> {
+    (2..=max_card).prop_flat_map(move |card| {
+        proptest::collection::vec(0..card, len).prop_map(move |codes| Codes {
+            codes,
+            cardinality: card,
+            validity: None,
+        })
+    })
+}
+
+fn codes_with_nulls(max_card: u32, len: usize) -> impl Strategy<Value = Codes> {
+    (
+        codes_strategy(max_card, len),
+        proptest::collection::vec(prop::bool::weighted(0.85), len),
+    )
+        .prop_map(|(mut c, valid)| {
+            let bm: Bitmap = valid.into_iter().collect();
+            c.validity = Some(bm);
+            c
+        })
+}
+
+const N: usize = 60;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn entropy_nonnegative_and_bounded(x in codes_strategy(6, N)) {
+        let ctx = InfoContext::default();
+        let h = ctx.entropy(&x);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (x.cardinality as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn mi_symmetric_and_nonnegative(x in codes_strategy(5, N), y in codes_strategy(5, N)) {
+        let ctx = InfoContext::default();
+        let ixy = ctx.mutual_information(&x, &y);
+        let iyx = ctx.mutual_information(&y, &x);
+        prop_assert!(ixy >= 0.0);
+        prop_assert!((ixy - iyx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mi_bounded_by_marginal_entropies(x in codes_strategy(5, N), y in codes_strategy(5, N)) {
+        let ctx = InfoContext::default();
+        let i = ctx.mutual_information(&x, &y);
+        prop_assert!(i <= ctx.entropy(&x) + 1e-9);
+        prop_assert!(i <= ctx.entropy(&y) + 1e-9);
+    }
+
+    #[test]
+    fn chain_rule(x in codes_strategy(4, N), y in codes_strategy(4, N)) {
+        let ctx = InfoContext::default();
+        let lhs = ctx.joint_entropy(&[&x, &y]);
+        let rhs = ctx.entropy(&x) + ctx.conditional_entropy(&y, &[&x]);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "H(X,Y)={lhs} H(X)+H(Y|X)={rhs}");
+    }
+
+    #[test]
+    fn mi_as_entropy_difference(x in codes_strategy(4, N), y in codes_strategy(4, N)) {
+        // I(X;Y) = H(X) - H(X|Y)
+        let ctx = InfoContext::default();
+        let i = ctx.mutual_information(&x, &y);
+        let d = ctx.entropy(&x) - ctx.conditional_entropy(&x, &[&y]);
+        prop_assert!((i - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmi_nonnegative(
+        x in codes_strategy(4, N),
+        y in codes_strategy(4, N),
+        z in codes_strategy(3, N),
+    ) {
+        let ctx = InfoContext::default();
+        prop_assert!(ctx.cmi(&x, &y, &[&z]) >= 0.0);
+    }
+
+    #[test]
+    fn cmi_chain_rule(
+        x in codes_strategy(3, N),
+        y in codes_strategy(3, N),
+        z in codes_strategy(3, N),
+    ) {
+        // I(X; Y,Z) = I(X;Z) + I(X;Y|Z). Estimate I(X;Y,Z) via entropies.
+        let ctx = InfoContext::default();
+        let h_x = ctx.entropy(&x);
+        let h_x_given_yz = ctx.conditional_entropy(&x, &[&y, &z]);
+        let i_x_yz = h_x - h_x_given_yz;
+        let rhs = ctx.mutual_information(&x, &z) + ctx.cmi(&x, &y, &[&z]);
+        prop_assert!((i_x_yz - rhs).abs() < 1e-9, "lhs={i_x_yz} rhs={rhs}");
+    }
+
+    #[test]
+    fn self_mi_is_entropy(x in codes_strategy(6, N)) {
+        let ctx = InfoContext::default();
+        prop_assert!((ctx.mutual_information(&x, &x) - ctx.entropy(&x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_on_self_zeroes_cmi(x in codes_strategy(4, N), y in codes_strategy(4, N)) {
+        let ctx = InfoContext::default();
+        prop_assert!(ctx.cmi(&x, &y, &[&x]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_rows_equivalent_to_mask(x in codes_with_nulls(4, N), y in codes_strategy(4, N)) {
+        // Estimating with validity-nulls must equal estimating the valid
+        // subset via an explicit mask on fully-valid codes.
+        let ctx = InfoContext::default();
+        let with_nulls = ctx.mutual_information(&x, &y);
+
+        let mask = x.validity.clone().unwrap();
+        let stripped = Codes { codes: x.codes.clone(), cardinality: x.cardinality, validity: None };
+        let masked_ctx = InfoContext::masked(&mask);
+        let via_mask = masked_ctx.mutual_information(&stripped, &y);
+        prop_assert!((with_nulls - via_mask).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted(
+        x in codes_strategy(4, N),
+        y in codes_strategy(4, N),
+        w in 0.1f64..10.0,
+    ) {
+        let ctx = InfoContext::default();
+        let plain = ctx.mutual_information(&x, &y);
+        let weights = vec![w; N];
+        let wctx = InfoContext::weighted(&weights);
+        let weighted = wctx.mutual_information(&x, &y);
+        prop_assert!((plain - weighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_entropy_consistent(
+        x in codes_strategy(3, N),
+        y in codes_strategy(3, N),
+        z in codes_strategy(3, N),
+    ) {
+        let joint = JointCounts::count(&[&x, &y, &z], None, None);
+        let direct_xz = JointCounts::count(&[&x, &z], None, None).entropy();
+        prop_assert!((joint.marginal_entropy(&[0, 2]) - direct_xz).abs() < 1e-9);
+    }
+}

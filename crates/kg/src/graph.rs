@@ -1,0 +1,233 @@
+//! An in-memory property graph modelled after DBpedia-style knowledge
+//! graphs: entities with names and aliases, and properties whose values are
+//! literals, links to other entities, or one-to-many entity lists.
+
+use std::collections::HashMap;
+
+use nexus_table::Value;
+
+/// Identifier of an entity inside one [`KnowledgeGraph`].
+pub type EntityId = u32;
+
+/// Identifier of a property name inside one [`KnowledgeGraph`].
+pub type PropId = u32;
+
+/// The value of an entity property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyValue {
+    /// A literal scalar (number, string, boolean).
+    Literal(Value),
+    /// A link to a single other entity.
+    Entity(EntityId),
+    /// A one-to-many link (e.g. `ethnicGroup` of a country).
+    EntityList(Vec<EntityId>),
+}
+
+/// An entity with its canonical name and alternative surface forms.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Canonical name, e.g. `"Russia"`.
+    pub name: String,
+    /// Alternative names, e.g. `"Russian Federation"`.
+    pub aliases: Vec<String>,
+    /// Entity class, e.g. `"Country"` (DBpedia `rdf:type`-style).
+    pub class: String,
+}
+
+/// An in-memory knowledge graph.
+///
+/// Entities carry properties; property names are interned. Lookup by
+/// (possibly ambiguous) surface form is handled by the NED module
+/// ([`crate::ned`]), which consumes the name index built here.
+#[derive(Debug, Default)]
+pub struct KnowledgeGraph {
+    entities: Vec<Entity>,
+    /// Per-entity property map.
+    properties: Vec<HashMap<PropId, PropertyValue>>,
+    prop_names: Vec<String>,
+    prop_ids: HashMap<String, PropId>,
+}
+
+impl KnowledgeGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        KnowledgeGraph::default()
+    }
+
+    /// Adds an entity and returns its id.
+    pub fn add_entity(&mut self, name: impl Into<String>, class: impl Into<String>) -> EntityId {
+        let id = self.entities.len() as EntityId;
+        self.entities.push(Entity {
+            name: name.into(),
+            aliases: Vec::new(),
+            class: class.into(),
+        });
+        self.properties.push(HashMap::new());
+        id
+    }
+
+    /// Adds an alias (alternative surface form) to an entity.
+    pub fn add_alias(&mut self, id: EntityId, alias: impl Into<String>) {
+        self.entities[id as usize].aliases.push(alias.into());
+    }
+
+    /// Replaces an entity's class.
+    pub fn set_entity_class(&mut self, id: EntityId, class: impl Into<String>) {
+        self.entities[id as usize].class = class.into();
+    }
+
+    /// Interns a property name.
+    pub fn prop_id(&mut self, name: &str) -> PropId {
+        if let Some(&id) = self.prop_ids.get(name) {
+            return id;
+        }
+        let id = self.prop_names.len() as PropId;
+        self.prop_names.push(name.to_string());
+        self.prop_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an interned property name without creating it.
+    pub fn lookup_prop(&self, name: &str) -> Option<PropId> {
+        self.prop_ids.get(name).copied()
+    }
+
+    /// The name of an interned property.
+    pub fn prop_name(&self, id: PropId) -> &str {
+        &self.prop_names[id as usize]
+    }
+
+    /// Sets a property on an entity (overwrites any previous value).
+    pub fn set_property(&mut self, id: EntityId, prop: &str, value: PropertyValue) {
+        let pid = self.prop_id(prop);
+        self.properties[id as usize].insert(pid, value);
+    }
+
+    /// Convenience: sets a literal property.
+    pub fn set_literal(&mut self, id: EntityId, prop: &str, value: impl Into<Value>) {
+        self.set_property(id, prop, PropertyValue::Literal(value.into()));
+    }
+
+    /// The property map of an entity.
+    pub fn properties_of(&self, id: EntityId) -> &HashMap<PropId, PropertyValue> {
+        &self.properties[id as usize]
+    }
+
+    /// A specific property of an entity.
+    pub fn property(&self, id: EntityId, prop: &str) -> Option<&PropertyValue> {
+        let pid = self.lookup_prop(prop)?;
+        self.properties[id as usize].get(&pid)
+    }
+
+    /// The entity with the given id.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id as usize]
+    }
+
+    /// Number of entities.
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of distinct property names.
+    pub fn n_properties(&self) -> usize {
+        self.prop_names.len()
+    }
+
+    /// Total number of (entity, property) pairs — the triple count.
+    pub fn n_triples(&self) -> usize {
+        self.properties.iter().map(|m| m.len()).sum()
+    }
+
+    /// Iterates over all entity ids.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entities.len() as EntityId).map(|i| i as EntityId)
+    }
+
+    /// All entities of a class.
+    pub fn entities_of_class(&self, class: &str) -> Vec<EntityId> {
+        self.entity_ids()
+            .filter(|&id| self.entities[id as usize].class == class)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let us = kg.add_entity("United States", "Country");
+        let ru = kg.add_entity("Russia", "Country");
+        kg.add_alias(ru, "Russian Federation");
+        let biden = kg.add_entity("Joe Biden", "Person");
+        kg.set_literal(us, "hdi", 0.921);
+        kg.set_literal(us, "gdp", 21_000.0);
+        kg.set_literal(ru, "hdi", 0.822);
+        kg.set_property(us, "leader", PropertyValue::Entity(biden));
+        kg.set_literal(biden, "age", 81i64);
+        kg
+    }
+
+    #[test]
+    fn entities_and_properties() {
+        let kg = toy();
+        assert_eq!(kg.n_entities(), 3);
+        assert_eq!(kg.n_properties(), 4); // hdi, gdp, leader, age
+        assert_eq!(kg.n_triples(), 5);
+        assert_eq!(kg.entity(0).name, "United States");
+        assert_eq!(kg.entity(1).aliases, vec!["Russian Federation"]);
+        assert_eq!(
+            kg.property(0, "hdi"),
+            Some(&PropertyValue::Literal(Value::Float(0.921)))
+        );
+        assert_eq!(kg.property(1, "gdp"), None);
+        assert_eq!(kg.property(0, "nonexistent"), None);
+    }
+
+    #[test]
+    fn property_interning_is_stable() {
+        let mut kg = toy();
+        let a = kg.prop_id("hdi");
+        let b = kg.prop_id("hdi");
+        assert_eq!(a, b);
+        assert_eq!(kg.prop_name(a), "hdi");
+        assert_eq!(kg.lookup_prop("hdi"), Some(a));
+        assert_eq!(kg.lookup_prop("zzz"), None);
+    }
+
+    #[test]
+    fn entity_links() {
+        let kg = toy();
+        match kg.property(0, "leader") {
+            Some(PropertyValue::Entity(id)) => {
+                assert_eq!(kg.entity(*id).name, "Joe Biden");
+                assert_eq!(
+                    kg.property(*id, "age"),
+                    Some(&PropertyValue::Literal(Value::Int(81)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_queries() {
+        let kg = toy();
+        assert_eq!(kg.entities_of_class("Country"), vec![0, 1]);
+        assert_eq!(kg.entities_of_class("Person"), vec![2]);
+        assert!(kg.entities_of_class("City").is_empty());
+    }
+
+    #[test]
+    fn overwrite_property() {
+        let mut kg = toy();
+        kg.set_literal(0, "hdi", 0.5);
+        assert_eq!(
+            kg.property(0, "hdi"),
+            Some(&PropertyValue::Literal(Value::Float(0.5)))
+        );
+        assert_eq!(kg.n_triples(), 5); // overwrite, not insert
+    }
+}

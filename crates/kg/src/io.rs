@@ -1,0 +1,305 @@
+//! Plain-text serialization of knowledge graphs.
+//!
+//! The format is a tab-separated triple file, one triple per line:
+//!
+//! ```text
+//! # comment
+//! @entity <name> <class>
+//! @alias  <name> <alias>
+//! <subject>\t<property>\t<object>
+//! ```
+//!
+//! Objects are typed by sniffing: `int`, `float`, `true`/`false`, an
+//! `@<entity name>` reference (entity link), an `@[a|b|c]` list (one-to-many
+//! link), or a bare string. Entities referenced before declaration are
+//! created with class `"Thing"`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use nexus_table::Value;
+
+use crate::graph::{EntityId, KnowledgeGraph, PropertyValue};
+
+/// Errors produced by the KG reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KgIoError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for KgIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kg parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for KgIoError {}
+
+/// Reads a knowledge graph from the triple format.
+pub fn read_kg<R: Read>(reader: R) -> Result<KnowledgeGraph, KgIoError> {
+    let mut kg = KnowledgeGraph::new();
+    let mut by_name: HashMap<String, EntityId> = HashMap::new();
+    let reader = BufReader::new(reader);
+    let mut pending: Vec<(usize, EntityId, String, String)> = Vec::new();
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = line.map_err(|e| KgIoError {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "@entity" => {
+                if fields.len() != 3 {
+                    return Err(err(line_no, "@entity expects <name>\\t<class>"));
+                }
+                let id = *by_name
+                    .entry(fields[1].to_string())
+                    .or_insert_with(|| kg.add_entity(fields[1], "Thing"));
+                // Update the class (entities may have been force-created).
+                let _ = id;
+                // Re-adding with correct class: KnowledgeGraph has no class
+                // setter; recreate only when the entity was force-created
+                // with "Thing".
+                if kg.entity(id).class == "Thing" && fields[2] != "Thing" {
+                    set_class(&mut kg, id, fields[2]);
+                }
+            }
+            "@alias" => {
+                if fields.len() != 3 {
+                    return Err(err(line_no, "@alias expects <name>\\t<alias>"));
+                }
+                let id = resolve(&mut kg, &mut by_name, fields[1]);
+                kg.add_alias(id, fields[2]);
+            }
+            _ => {
+                if fields.len() != 3 {
+                    return Err(err(line_no, "triple expects <subject>\\t<property>\\t<object>"));
+                }
+                let id = resolve(&mut kg, &mut by_name, fields[0]);
+                pending.push((
+                    line_no,
+                    id,
+                    fields[1].to_string(),
+                    fields[2].to_string(),
+                ));
+            }
+        }
+    }
+
+    // Second pass: materialize property values (entity refs may point to
+    // entities declared later in the file).
+    for (line_no, id, prop, object) in pending {
+        let value = parse_object(&mut kg, &mut by_name, &object)
+            .map_err(|m| err(line_no, &m))?;
+        kg.set_property(id, &prop, value);
+    }
+    Ok(kg)
+}
+
+/// Reads a knowledge graph from a file path.
+pub fn read_kg_path(path: impl AsRef<Path>) -> Result<KnowledgeGraph, KgIoError> {
+    let file = std::fs::File::open(path).map_err(|e| KgIoError {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    read_kg(file)
+}
+
+/// Writes a knowledge graph in the triple format.
+pub fn write_kg<W: Write>(kg: &KnowledgeGraph, writer: W) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(writer);
+    for id in kg.entity_ids() {
+        let e = kg.entity(id);
+        writeln!(w, "@entity\t{}\t{}", e.name, e.class)?;
+        for alias in &e.aliases {
+            writeln!(w, "@alias\t{}\t{}", e.name, alias)?;
+        }
+    }
+    for id in kg.entity_ids() {
+        let name = &kg.entity(id).name;
+        // Deterministic property order.
+        let mut props: Vec<_> = kg.properties_of(id).iter().collect();
+        props.sort_by_key(|(pid, _)| **pid);
+        for (&pid, value) in props {
+            let obj = match value {
+                PropertyValue::Literal(Value::Str(s)) => s.clone(),
+                PropertyValue::Literal(v) => v.to_string(),
+                PropertyValue::Entity(t) => format!("@{}", kg.entity(*t).name),
+                PropertyValue::EntityList(ts) => format!(
+                    "@[{}]",
+                    ts.iter()
+                        .map(|t| kg.entity(*t).name.clone())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                ),
+            };
+            writeln!(w, "{}\t{}\t{}", name, kg.prop_name(pid), obj)?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes a knowledge graph to a file path.
+pub fn write_kg_path(kg: &KnowledgeGraph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_kg(kg, std::fs::File::create(path)?)
+}
+
+fn err(line: usize, message: &str) -> KgIoError {
+    KgIoError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn resolve(
+    kg: &mut KnowledgeGraph,
+    by_name: &mut HashMap<String, EntityId>,
+    name: &str,
+) -> EntityId {
+    *by_name
+        .entry(name.to_string())
+        .or_insert_with(|| kg.add_entity(name, "Thing"))
+}
+
+fn parse_object(
+    kg: &mut KnowledgeGraph,
+    by_name: &mut HashMap<String, EntityId>,
+    object: &str,
+) -> Result<PropertyValue, String> {
+    if let Some(rest) = object.strip_prefix("@[") {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err("unterminated entity list".into());
+        };
+        let ids = inner
+            .split('|')
+            .filter(|s| !s.is_empty())
+            .map(|n| resolve(kg, by_name, n))
+            .collect();
+        return Ok(PropertyValue::EntityList(ids));
+    }
+    if let Some(name) = object.strip_prefix('@') {
+        return Ok(PropertyValue::Entity(resolve(kg, by_name, name)));
+    }
+    let value = if let Ok(i) = object.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(f) = object.parse::<f64>() {
+        Value::Float(f)
+    } else if object == "true" || object == "false" {
+        Value::Bool(object == "true")
+    } else {
+        Value::Str(object.to_string())
+    };
+    Ok(PropertyValue::Literal(value))
+}
+
+/// Replaces an entity's class in place.
+fn set_class(kg: &mut KnowledgeGraph, id: EntityId, class: &str) {
+    kg.set_entity_class(id, class);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let us = kg.add_entity("United States", "Country");
+        kg.add_alias(us, "USA");
+        let biden = kg.add_entity("Joe Biden", "Person");
+        let g1 = kg.add_entity("Group A", "Ethnic");
+        let g2 = kg.add_entity("Group B", "Ethnic");
+        kg.set_literal(us, "hdi", 0.921);
+        kg.set_literal(us, "population", 331_000_000i64);
+        kg.set_literal(us, "g7", true);
+        kg.set_literal(us, "motto", "e pluribus unum");
+        kg.set_property(us, "leader", PropertyValue::Entity(biden));
+        kg.set_property(us, "groups", PropertyValue::EntityList(vec![g1, g2]));
+        kg.set_literal(biden, "age", 81i64);
+        kg
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let kg = toy();
+        let mut buf = Vec::new();
+        write_kg(&kg, &mut buf).unwrap();
+        let kg2 = read_kg(buf.as_slice()).unwrap();
+        assert_eq!(kg2.n_entities(), kg.n_entities());
+        assert_eq!(kg2.n_triples(), kg.n_triples());
+        let linker = crate::ned::EntityLinker::new(&kg2);
+        let crate::ned::LinkOutcome::Linked(us) = linker.link("USA") else {
+            panic!("alias lost");
+        };
+        assert_eq!(
+            kg2.property(us, "hdi"),
+            Some(&PropertyValue::Literal(Value::Float(0.921)))
+        );
+        assert_eq!(
+            kg2.property(us, "population"),
+            Some(&PropertyValue::Literal(Value::Int(331_000_000)))
+        );
+        assert_eq!(
+            kg2.property(us, "g7"),
+            Some(&PropertyValue::Literal(Value::Bool(true)))
+        );
+        match kg2.property(us, "leader") {
+            Some(PropertyValue::Entity(t)) => assert_eq!(kg2.entity(*t).name, "Joe Biden"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match kg2.property(us, "groups") {
+            Some(PropertyValue::EntityList(ts)) => assert_eq!(ts.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(kg2.entity(us).class, "Country");
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let text = "a\tknows\t@b\n@entity\ta\tPerson\n@entity\tb\tPerson\n";
+        let kg = read_kg(text.as_bytes()).unwrap();
+        assert_eq!(kg.n_entities(), 2);
+        let a = kg.entities_of_class("Person");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# hello\n\n@entity\tx\tThing\nx\tv\t1\n";
+        let kg = read_kg(text.as_bytes()).unwrap();
+        assert_eq!(kg.n_triples(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let e = read_kg("just-one-field\n".as_bytes()).unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = read_kg("@entity\tonly-name\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+        let e = read_kg("a\tp\t@[unterminated\n".as_bytes()).unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn type_sniffing() {
+        let text = "e\ti\t42\ne\tf\t4.5\ne\tb\ttrue\ne\ts\thello world\n";
+        let kg = read_kg(text.as_bytes()).unwrap();
+        let id = 0;
+        assert_eq!(kg.property(id, "i"), Some(&PropertyValue::Literal(Value::Int(42))));
+        assert_eq!(kg.property(id, "f"), Some(&PropertyValue::Literal(Value::Float(4.5))));
+        assert_eq!(kg.property(id, "b"), Some(&PropertyValue::Literal(Value::Bool(true))));
+        assert_eq!(
+            kg.property(id, "s"),
+            Some(&PropertyValue::Literal(Value::Str("hello world".into())))
+        );
+    }
+}

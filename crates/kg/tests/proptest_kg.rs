@@ -1,0 +1,153 @@
+//! Property-based tests for the knowledge-graph substrate: normalization
+//! invariants, linker round-trips, and TSV serialization round-trips.
+
+use proptest::prelude::*;
+
+use nexus_kg::{
+    normalize, read_kg, write_kg, EntityLinker, KnowledgeGraph, LinkOutcome, PropertyValue,
+};
+use nexus_table::Value;
+
+proptest! {
+    /// `normalize` is idempotent: a normalized form normalizes to itself.
+    #[test]
+    fn normalize_idempotent(s in ".*") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    /// Normalized forms are canonical: no uppercase letters, no leading or
+    /// trailing space, and no run of consecutive spaces.
+    #[test]
+    fn normalize_canonical_shape(s in ".*") {
+        let n = normalize(&s);
+        prop_assert!(!n.starts_with(' '), "{n:?}");
+        prop_assert!(!n.ends_with(' '), "{n:?}");
+        prop_assert!(!n.contains("  "), "{n:?}");
+        // Lowercasing is a fixpoint. (`!is_uppercase()` would be too
+        // strong: letters like 'ϒ' U+03D2 are uppercase with no lowercase
+        // mapping, and `normalize` rightly keeps them.)
+        prop_assert!(
+            n.chars().all(|c| c.to_lowercase().eq(std::iter::once(c))),
+            "{n:?}"
+        );
+        prop_assert!(n.chars().all(|c| c.is_alphanumeric() || c == ' '), "{n:?}");
+    }
+
+    /// Every entity is found by its exact name, by a case-mangled variant,
+    /// and by a whitespace-padded variant — the linker keys on normalized
+    /// surface forms.
+    #[test]
+    fn linker_roundtrips_distinct_names(words in prop::collection::vec("[a-z]{1,10}", 1..16)) {
+        let mut kg = KnowledgeGraph::new();
+        // The index suffix keeps normalized forms pairwise distinct even
+        // when the generated words collide.
+        let ids: Vec<_> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| kg.add_entity(format!("{w} {i}"), "Thing"))
+            .collect();
+        let linker = EntityLinker::new(&kg);
+        for (i, w) in words.iter().enumerate() {
+            let name = format!("{w} {i}");
+            prop_assert_eq!(linker.link(&name), LinkOutcome::Linked(ids[i]));
+            prop_assert_eq!(linker.link(&name.to_uppercase()), LinkOutcome::Linked(ids[i]));
+            prop_assert_eq!(linker.link(&format!("  {name}  ")), LinkOutcome::Linked(ids[i]));
+        }
+    }
+
+    /// An alias shared by two entities is ambiguous, never silently linked
+    /// to either.
+    #[test]
+    fn shared_alias_is_ambiguous(w in "[a-z]{3,10}") {
+        let mut kg = KnowledgeGraph::new();
+        let a = kg.add_entity(format!("{w} one"), "Thing");
+        let b = kg.add_entity(format!("{w} two"), "Thing");
+        kg.add_alias(a, format!("{w} shared"));
+        kg.add_alias(b, format!("{w} shared"));
+        let linker = EntityLinker::new(&kg);
+        prop_assert_eq!(linker.link(&format!("{w} shared")), LinkOutcome::Ambiguous);
+        // The unambiguous canonical names still resolve.
+        prop_assert_eq!(linker.link(&format!("{w} one")), LinkOutcome::Linked(a));
+        prop_assert_eq!(linker.link(&format!("{w} two")), LinkOutcome::Linked(b));
+    }
+
+    /// Writing a graph to the TSV triple format and reading it back
+    /// preserves entities (name, class, aliases) and every property value.
+    /// Strings are prefixed so they cannot be sniffed back as a number or
+    /// boolean; floats carry a forced fractional part so they cannot be
+    /// re-read as integers (both are documented limits of the bare-string
+    /// format, not of this test).
+    #[test]
+    fn tsv_roundtrip_preserves_graph(
+        spec in prop::collection::vec(
+            (
+                "[a-z]{1,8}",                        // name word
+                0..3usize,                           // class choice
+                prop::collection::vec(
+                    prop_oneof![
+                        any::<i64>().prop_map(Value::Int),
+                        (-1_000_000i32..1_000_000).prop_map(|t| Value::Float(t as f64 + 0.25)),
+                        "[a-z]{1,8}".prop_map(|s| Value::Str(format!("s {s}"))),
+                        any::<bool>().prop_map(Value::Bool),
+                    ],
+                    0..4,
+                ),
+                any::<bool>(),                       // alias?
+                any::<bool>(),                       // link to previous entity?
+            ),
+            1..10,
+        ),
+    ) {
+        const CLASSES: [&str; 3] = ["Country", "City", "Thing"];
+        let mut kg = KnowledgeGraph::new();
+        let mut ids = Vec::new();
+        for (i, (word, class, literals, alias, link_prev)) in spec.iter().enumerate() {
+            let name = format!("{word} {i}");
+            let id = kg.add_entity(name.clone(), CLASSES[class % CLASSES.len()]);
+            for (j, v) in literals.iter().enumerate() {
+                kg.set_literal(id, &format!("p{j}"), v.clone());
+            }
+            if *alias {
+                kg.add_alias(id, format!("aka {name}"));
+            }
+            if *link_prev && i > 0 {
+                kg.set_property(id, "knows", PropertyValue::Entity(ids[i - 1]));
+            }
+            ids.push(id);
+        }
+
+        let mut buf = Vec::new();
+        write_kg(&kg, &mut buf).expect("in-memory write cannot fail");
+        let back = read_kg(buf.as_slice()).expect("own output must parse");
+
+        prop_assert_eq!(back.n_entities(), kg.n_entities());
+        prop_assert_eq!(back.n_triples(), kg.n_triples());
+
+        // Match entities across the two graphs by canonical name.
+        let by_name: std::collections::HashMap<String, _> = back
+            .entity_ids()
+            .map(|id| (back.entity(id).name.clone(), id))
+            .collect();
+        for &id in &ids {
+            let orig = kg.entity(id);
+            let &new_id = by_name.get(&orig.name).expect("entity survives");
+            let new = back.entity(new_id);
+            prop_assert_eq!(&new.class, &orig.class);
+            prop_assert_eq!(&new.aliases, &orig.aliases);
+            for (pid, value) in kg.properties_of(id) {
+                let pname = kg.prop_name(*pid);
+                let new_value = back.property(new_id, pname).expect("property survives");
+                match (value, new_value) {
+                    (PropertyValue::Literal(a), PropertyValue::Literal(b)) => {
+                        prop_assert_eq!(a, b, "property {}", pname);
+                    }
+                    (PropertyValue::Entity(a), PropertyValue::Entity(b)) => {
+                        prop_assert_eq!(&kg.entity(*a).name, &back.entity(*b).name);
+                    }
+                    (a, b) => prop_assert!(false, "variant changed: {a:?} -> {b:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Imputation baselines and missing-value injection.
+//!
+//! The paper's robustness experiment (Figure 3) compares IPW-based NEXUS
+//! against mean imputation while *injecting* missing values either at random
+//! (MCAR) or biased (removing the top-x values, MNAR). Both the imputers and
+//! the injectors live here.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nexus_table::{Column, ColumnData, Value};
+
+/// Fills numeric nulls with the column mean (a no-op on a fully-null or
+/// non-numeric column).
+pub fn impute_mean(col: &Column) -> Column {
+    if !col.dtype().is_numeric() {
+        return impute_mode(col);
+    }
+    let Some(mean) = col.mean() else {
+        return col.clone();
+    };
+    let values: Vec<Option<f64>> = (0..col.len())
+        .map(|i| Some(col.f64_at(i).unwrap_or(mean)))
+        .collect();
+    Column::from_opt_f64(values)
+}
+
+/// Fills categorical nulls with the most frequent value.
+pub fn impute_mode(col: &Column) -> Column {
+    match col.data() {
+        ColumnData::Utf8(arr) => {
+            let mut counts = vec![0usize; arr.dict().len()];
+            for i in 0..col.len() {
+                if !col.is_null(i) {
+                    counts[arr.codes()[i] as usize] += 1;
+                }
+            }
+            let Some((mode_code, _)) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .filter(|(_, &c)| c > 0)
+            else {
+                return col.clone();
+            };
+            let mode = arr.dict()[mode_code].clone();
+            let values: Vec<Option<&str>> = (0..col.len())
+                .map(|i| Some(if col.is_null(i) { mode.as_str() } else { arr.get(i) }))
+                .collect();
+            Column::from_opt_strs(&values)
+        }
+        _ => {
+            // Numeric / bool columns fall back to mean (bool -> majority via
+            // mean-threshold).
+            if col.dtype().is_numeric() {
+                impute_mean(col)
+            } else {
+                let ones = (0..col.len())
+                    .filter(|&i| !col.is_null(i) && col.value(i) == Value::Bool(true))
+                    .count();
+                let zeros = (0..col.len())
+                    .filter(|&i| !col.is_null(i) && col.value(i) == Value::Bool(false))
+                    .count();
+                if ones + zeros == 0 {
+                    return col.clone();
+                }
+                let majority = ones >= zeros;
+                let values: Vec<Option<bool>> = (0..col.len())
+                    .map(|i| {
+                        Some(if col.is_null(i) {
+                            majority
+                        } else {
+                            col.value(i).as_bool().expect("bool column")
+                        })
+                    })
+                    .collect();
+                Column::from_opt_bools(values)
+            }
+        }
+    }
+}
+
+/// How to inject missing values for robustness experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MissingInjection {
+    /// Missing completely at random: each valid value is removed with the
+    /// given probability.
+    Random {
+        /// Fraction of values to remove.
+        fraction: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Biased (MNAR) removal: the top-`fraction` *highest* values of a
+    /// numeric column are removed (the paper's "biased removal").
+    TopValues {
+        /// Fraction of values to remove, from the top.
+        fraction: f64,
+    },
+}
+
+/// Returns a copy of `col` with additional missing values injected.
+pub fn inject_missing(col: &Column, injection: MissingInjection) -> Column {
+    let mut out = col.clone();
+    match injection {
+        MissingInjection::Random { fraction, seed } => {
+            let valid: Vec<usize> = (0..col.len()).filter(|&i| !col.is_null(i)).collect();
+            let k = ((valid.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pool = valid;
+            pool.shuffle(&mut rng);
+            for &i in pool.iter().take(k) {
+                out.set_null(i);
+            }
+        }
+        MissingInjection::TopValues { fraction } => {
+            let mut valid: Vec<(usize, f64)> = (0..col.len())
+                .filter_map(|i| col.f64_at(i).map(|v| (i, v)))
+                .collect();
+            let k = ((valid.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+            valid.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite values"));
+            for (i, _) in valid.into_iter().take(k) {
+                out.set_null(i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_imputation() {
+        let col = Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)]);
+        let filled = impute_mean(&col);
+        assert_eq!(filled.null_count(), 0);
+        assert_eq!(filled.f64_at(1), Some(2.0));
+        assert_eq!(filled.f64_at(0), Some(1.0));
+    }
+
+    #[test]
+    fn mean_imputation_all_null_noop() {
+        let col = Column::from_opt_f64(vec![None, None]);
+        let filled = impute_mean(&col);
+        assert_eq!(filled.null_count(), 2);
+    }
+
+    #[test]
+    fn mode_imputation() {
+        let col = Column::from_opt_strs(&[Some("a"), Some("b"), Some("a"), None]);
+        let filled = impute_mode(&col);
+        assert_eq!(filled.null_count(), 0);
+        assert_eq!(filled.str_at(3), Some("a"));
+    }
+
+    #[test]
+    fn mode_imputation_bool() {
+        let col = Column::from_opt_bools(vec![Some(true), Some(true), Some(false), None]);
+        let filled = impute_mode(&col);
+        assert_eq!(filled.value(3), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_column_through_mean_imputer_uses_mode() {
+        let col = Column::from_opt_strs(&[Some("x"), None]);
+        let filled = impute_mean(&col);
+        assert_eq!(filled.str_at(1), Some("x"));
+    }
+
+    #[test]
+    fn random_injection_fraction() {
+        let col = Column::from_f64((0..1000).map(|i| i as f64).collect());
+        let injected = inject_missing(
+            &col,
+            MissingInjection::Random {
+                fraction: 0.3,
+                seed: 42,
+            },
+        );
+        assert_eq!(injected.null_count(), 300);
+        // Deterministic given the seed.
+        let again = inject_missing(
+            &col,
+            MissingInjection::Random {
+                fraction: 0.3,
+                seed: 42,
+            },
+        );
+        for i in 0..1000 {
+            assert_eq!(injected.is_null(i), again.is_null(i));
+        }
+    }
+
+    #[test]
+    fn top_value_injection_removes_highest() {
+        let col = Column::from_f64(vec![5.0, 1.0, 9.0, 3.0, 7.0]);
+        let injected = inject_missing(&col, MissingInjection::TopValues { fraction: 0.4 });
+        assert_eq!(injected.null_count(), 2);
+        assert!(injected.is_null(2)); // 9.0
+        assert!(injected.is_null(4)); // 7.0
+        assert!(!injected.is_null(1));
+    }
+
+    #[test]
+    fn injection_preserves_existing_nulls() {
+        let col = Column::from_opt_f64(vec![None, Some(1.0), Some(2.0)]);
+        let injected = inject_missing(&col, MissingInjection::TopValues { fraction: 0.5 });
+        assert!(injected.is_null(0));
+        assert!(injected.is_null(2)); // top of the 2 valid values
+        assert_eq!(injected.null_count(), 2);
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let col = Column::from_f64(vec![1.0, 2.0]);
+        let injected = inject_missing(
+            &col,
+            MissingInjection::Random {
+                fraction: 0.0,
+                seed: 1,
+            },
+        );
+        assert_eq!(injected.null_count(), 0);
+    }
+}

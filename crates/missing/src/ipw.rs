@@ -1,0 +1,242 @@
+//! Inverse Probability Weighting (Section 3.2).
+//!
+//! When selection bias is detected for an extracted attribute `E`, the
+//! estimators restrict to complete cases but weight each by
+//! `W(x) = P(R_E = 1) / P(R_E = 1 | X = x)`, where `X` are fully observed
+//! base-table covariates and the conditional is a logistic-regression model
+//! fitted at preprocessing. This up-weights complete cases from strata that
+//! are under-observed, undoing the selection distortion.
+
+use nexus_table::{Codes, Column};
+
+use crate::logistic::{FeatureMatrix, LogisticOptions, LogisticRegression};
+use crate::selection::selection_indicator;
+
+/// Options for weight estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct IpwOptions {
+    /// Logistic-regression hyperparameters.
+    pub logistic: LogisticOptions,
+    /// Probabilities are clipped to `[clip, 1]` before inversion to bound
+    /// the weights (standard IPW practice).
+    pub clip: f64,
+}
+
+impl Default for IpwOptions {
+    fn default() -> Self {
+        IpwOptions {
+            logistic: LogisticOptions::default(),
+            clip: 0.02,
+        }
+    }
+}
+
+/// A fitted selection model for one extracted attribute.
+#[derive(Debug)]
+pub struct SelectionModel {
+    model: LogisticRegression,
+    marginal: f64,
+    clip: f64,
+}
+
+impl SelectionModel {
+    /// Fits `P(R_E = 1 | X)` from the covariates.
+    ///
+    /// `covariates` must be fully observed (base-table attributes); rows
+    /// where a covariate is null contribute all-zero feature rows.
+    pub fn fit(e_col: &Column, covariates: &[&Codes], options: &IpwOptions) -> SelectionModel {
+        let r = selection_indicator(e_col);
+        let y: Vec<f64> = r.codes.iter().map(|&c| c as f64).collect();
+        let x = FeatureMatrix::one_hot(covariates);
+        let model = LogisticRegression::fit(&x, &y, &options.logistic);
+        let marginal = if y.is_empty() {
+            1.0
+        } else {
+            y.iter().sum::<f64>() / y.len() as f64
+        };
+        SelectionModel {
+            model,
+            marginal,
+            clip: options.clip,
+        }
+    }
+
+    /// Computes per-row IPW weights: `P(R=1)/P(R=1|X)` on complete cases and
+    /// `0` on missing rows. Weights are normalized to mean 1 over complete
+    /// cases so weighted totals remain comparable to unweighted ones.
+    pub fn weights(&self, e_col: &Column, covariates: &[&Codes]) -> Vec<f64> {
+        let x = FeatureMatrix::one_hot(covariates);
+        let probs = self.model.predict_all(&x);
+        let mut w: Vec<f64> = (0..e_col.len())
+            .map(|i| {
+                if e_col.is_null(i) {
+                    0.0
+                } else {
+                    self.marginal / probs[i].max(self.clip)
+                }
+            })
+            .collect();
+        let complete: usize = w.iter().filter(|&&x| x > 0.0).count();
+        if complete > 0 {
+            let mean = w.iter().sum::<f64>() / complete as f64;
+            if mean > 0.0 {
+                for x in &mut w {
+                    *x /= mean;
+                }
+            }
+        }
+        w
+    }
+}
+
+/// Convenience: fit-and-weight in one call.
+pub fn ipw_weights(e_col: &Column, covariates: &[&Codes], options: &IpwOptions) -> Vec<f64> {
+    SelectionModel::fit(e_col, covariates, options).weights(e_col, covariates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_info::InfoContext;
+
+    fn codes(values: &[u32], card: u32) -> Codes {
+        Codes {
+            codes: values.to_vec(),
+            cardinality: card,
+            validity: None,
+        }
+    }
+
+    fn lcg(seed: u64) -> impl FnMut() -> u32 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as u32
+        }
+    }
+
+    #[test]
+    fn missing_rows_get_zero_weight() {
+        let e = Column::from_opt_f64(vec![Some(1.0), None, Some(2.0), None]);
+        let cov = codes(&[0, 0, 1, 1], 2);
+        let w = ipw_weights(&e, &[&cov], &IpwOptions::default());
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[3], 0.0);
+        assert!(w[0] > 0.0 && w[2] > 0.0);
+    }
+
+    #[test]
+    fn weights_normalized_to_mean_one() {
+        let mut next = lcg(3);
+        let n = 400;
+        let cov_v: Vec<u32> = (0..n).map(|_| next() % 3).collect();
+        let e_vals: Vec<Option<f64>> = cov_v
+            .iter()
+            .map(|&c| {
+                // Stratum 0 heavily under-observed.
+                if c == 0 && next() % 10 < 7 {
+                    None
+                } else {
+                    Some(1.0)
+                }
+            })
+            .collect();
+        let e = Column::from_opt_f64(e_vals);
+        let cov = codes(&cov_v, 3);
+        let w = ipw_weights(&e, &[&cov], &IpwOptions::default());
+        let complete: Vec<f64> = w.iter().copied().filter(|&x| x > 0.0).collect();
+        let mean = complete.iter().sum::<f64>() / complete.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underobserved_strata_upweighted() {
+        let mut next = lcg(7);
+        let n = 600;
+        let cov_v: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let e_vals: Vec<Option<f64>> = cov_v
+            .iter()
+            .map(|&c| {
+                if c == 0 && next() % 10 < 6 {
+                    None // stratum 0: ~40% observed
+                } else {
+                    Some(1.0) // stratum 1: fully observed
+                }
+            })
+            .collect();
+        let e = Column::from_opt_f64(e_vals);
+        let cov = codes(&cov_v, 2);
+        let w = ipw_weights(&e, &[&cov], &IpwOptions::default());
+        // Average weight of observed stratum-0 rows must exceed stratum-1's.
+        let avg = |stratum: u32| {
+            let (mut s, mut c) = (0.0, 0usize);
+            for (i, &wi) in w.iter().enumerate() {
+                if wi > 0.0 && cov_v[i] == stratum {
+                    s += wi;
+                    c += 1;
+                }
+            }
+            s / c as f64
+        };
+        assert!(avg(0) > avg(1) * 1.3, "avg0={} avg1={}", avg(0), avg(1));
+    }
+
+    #[test]
+    fn ipw_corrects_biased_mean_estimate() {
+        // Ground truth: O is 0/1 balanced within strata of Z, but stratum
+        // membership shifts P(O). Missingness depends on Z (MAR given Z):
+        // complete-case MI between Z and "observed O" distribution is
+        // distorted; IPW restores the marginal of Z.
+        let mut next = lcg(13);
+        let n = 4000;
+        let zv: Vec<u32> = (0..n).map(|_| next() % 2).collect();
+        // O correlated with Z.
+        let ov: Vec<u32> = zv.iter().map(|&z| if next() % 10 < 7 { z } else { 1 - z }).collect();
+        // E observed always when z=1, rarely when z=0.
+        let e_vals: Vec<Option<f64>> = zv
+            .iter()
+            .map(|&z| {
+                if z == 0 && next() % 10 < 8 {
+                    None
+                } else {
+                    Some(1.0)
+                }
+            })
+            .collect();
+        let e = Column::from_opt_f64(e_vals);
+        let z = codes(&zv, 2);
+
+        // True marginal P(Z=0) = 0.5. Complete-case estimate is biased.
+        let w = ipw_weights(&e, &[&z], &IpwOptions::default());
+        let (mut w0, mut wt) = (0.0, 0.0);
+        for (i, &wi) in w.iter().enumerate() {
+            if wi > 0.0 {
+                wt += wi;
+                if zv[i] == 0 {
+                    w0 += wi;
+                }
+            }
+        }
+        let weighted_p0 = w0 / wt;
+        let complete0 = w.iter().enumerate().filter(|(i, &wi)| wi > 0.0 && zv[*i] == 0).count();
+        let complete = w.iter().filter(|&&wi| wi > 0.0).count();
+        let unweighted_p0 = complete0 as f64 / complete as f64;
+        assert!(unweighted_p0 < 0.3, "unweighted should be biased: {unweighted_p0}");
+        assert!(
+            (weighted_p0 - 0.5).abs() < 0.1,
+            "weighted should recover 0.5: {weighted_p0}"
+        );
+
+        // And weighted MI(Z, O) is closer to the full-data MI than the
+        // complete-case MI.
+        let o = codes(&ov, 2);
+        let full = InfoContext::default().mutual_information(&z, &o);
+        let cc_mask: nexus_table::Bitmap = (0..n).map(|i| !e.is_null(i)).collect();
+        let cc = InfoContext::masked(&cc_mask).mutual_information(&z, &o);
+        let weighted = InfoContext::weighted(&w).mutual_information(&z, &o);
+        assert!(
+            (weighted - full).abs() <= (cc - full).abs() + 1e-9,
+            "weighted={weighted} cc={cc} full={full}"
+        );
+    }
+}

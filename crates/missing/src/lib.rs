@@ -1,0 +1,26 @@
+//! # nexus-missing
+//!
+//! Missing-data machinery for the NEXUS system (Section 3.2 of the paper):
+//!
+//! * [`selection_indicator`] / [`detect_selection_bias`] — the `R_E`
+//!   indicators and the observable recoverability checks of Props. 3.2/3.3;
+//! * [`SelectionModel`] / [`ipw_weights`] — Inverse Probability Weighting
+//!   with a from-scratch logistic-regression selection model;
+//! * [`impute_mean`] / [`impute_mode`] and [`inject_missing`] — the
+//!   imputation baselines and missing-value injectors used by the Figure 3
+//!   robustness experiment.
+
+#![warn(missing_docs)]
+
+pub mod impute;
+pub mod ipw;
+pub mod logistic;
+pub mod selection;
+
+pub use impute::{impute_mean, impute_mode, inject_missing, MissingInjection};
+pub use ipw::{ipw_weights, IpwOptions, SelectionModel};
+pub use logistic::{FeatureMatrix, LogisticOptions, LogisticRegression};
+pub use selection::{
+    detect_selection_bias, indicator_from_bitmap, selection_indicator, BiasDetectOptions,
+    BiasReport,
+};

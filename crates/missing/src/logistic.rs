@@ -1,0 +1,223 @@
+//! Logistic regression, used to model selection probabilities
+//! `P(R_E = 1 | X)` for inverse probability weighting (Section 3.2).
+//!
+//! Implemented from scratch: batch gradient descent with L2 regularization
+//! on one-hot-encoded categorical features. Deterministic (zero init, fixed
+//! schedule), so IPW weights are reproducible.
+
+use nexus_table::Codes;
+
+/// A dense feature matrix in row-major order.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    /// Row-major feature values (`n_rows × n_features`).
+    pub data: Vec<f64>,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of features.
+    pub n_features: usize,
+}
+
+impl FeatureMatrix {
+    /// One-hot encodes a set of categorical variables.
+    ///
+    /// Each variable contributes `cardinality` indicator columns; invalid
+    /// (null) rows contribute all-zeros for that variable, which acts as its
+    /// own implicit level.
+    pub fn one_hot(vars: &[&Codes]) -> FeatureMatrix {
+        let n_rows = vars.first().map_or(0, |v| v.len());
+        let n_features: usize = vars.iter().map(|v| v.cardinality as usize).sum();
+        let mut data = vec![0.0; n_rows * n_features];
+        let mut offset = 0usize;
+        for v in vars {
+            assert_eq!(v.len(), n_rows, "variable length mismatch");
+            for i in 0..n_rows {
+                if v.is_valid(i) {
+                    data[i * n_features + offset + v.codes[i] as usize] = 1.0;
+                }
+            }
+            offset += v.cardinality as usize;
+        }
+        FeatureMatrix {
+            data,
+            n_rows,
+            n_features,
+        }
+    }
+
+    /// The feature slice of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_features..(i + 1) * self.n_features]
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticOptions {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Number of full-batch gradient steps.
+    pub iterations: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticOptions {
+    fn default() -> Self {
+        LogisticOptions {
+            learning_rate: 0.5,
+            iterations: 300,
+            l2: 1e-3,
+        }
+    }
+}
+
+/// A fitted logistic regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Per-feature coefficients.
+    pub coefficients: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl LogisticRegression {
+    /// Fits `P(y=1|x)` by batch gradient descent.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != x.n_rows`.
+    pub fn fit(x: &FeatureMatrix, y: &[f64], options: &LogisticOptions) -> LogisticRegression {
+        assert_eq!(y.len(), x.n_rows, "label length mismatch");
+        let n = x.n_rows.max(1) as f64;
+        let d = x.n_features;
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        for _ in 0..options.iterations {
+            let mut grad_w = vec![0.0f64; d];
+            let mut grad_b = 0.0f64;
+            for (i, &yi) in y.iter().enumerate() {
+                let row = x.row(i);
+                let z = b + dot(&w, row);
+                let p = sigmoid(z);
+                let err = p - yi;
+                grad_b += err;
+                for (g, &xi) in grad_w.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+            }
+            for (wi, g) in w.iter_mut().zip(&grad_w) {
+                *wi -= options.learning_rate * (g / n + options.l2 * *wi);
+            }
+            b -= options.learning_rate * grad_b / n;
+        }
+        LogisticRegression {
+            coefficients: w,
+            intercept: b,
+        }
+    }
+
+    /// Predicted probability for one feature row.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        sigmoid(self.intercept + dot(&self.coefficients, row))
+    }
+
+    /// Predicted probabilities for every row of a matrix.
+    pub fn predict_all(&self, x: &FeatureMatrix) -> Vec<f64> {
+        (0..x.n_rows).map(|i| self.predict_proba(x.row(i))).collect()
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(values: &[u32], card: u32) -> Codes {
+        Codes {
+            codes: values.to_vec(),
+            cardinality: card,
+            validity: None,
+        }
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let a = codes(&[0, 1, 2], 3);
+        let b = codes(&[1, 0, 1], 2);
+        let m = FeatureMatrix::one_hot(&[&a, &b]);
+        assert_eq!(m.n_rows, 3);
+        assert_eq!(m.n_features, 5);
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn one_hot_nulls_are_zero_rows() {
+        let mut a = codes(&[0, 1], 2);
+        let mut v = nexus_table::Bitmap::with_value(2, true);
+        v.set(1, false);
+        a.validity = Some(v);
+        let m = FeatureMatrix::one_hot(&[&a]);
+        assert_eq!(m.row(0), &[1.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn learns_separable_rule() {
+        // y = 1 iff category 0.
+        let a = codes(&[0, 0, 0, 1, 1, 1, 2, 2], 3);
+        let x = FeatureMatrix::one_hot(&[&a]);
+        let y = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let model = LogisticRegression::fit(&x, &y, &LogisticOptions::default());
+        let p = model.predict_all(&x);
+        assert!(p[0] > 0.8, "p0={}", p[0]);
+        assert!(p[3] < 0.2, "p3={}", p[3]);
+        assert!(p[6] < 0.2, "p6={}", p[6]);
+    }
+
+    #[test]
+    fn balanced_noise_predicts_base_rate() {
+        // y independent of x: predictions near the 0.5 base rate.
+        let a = codes(&[0, 1, 0, 1, 0, 1, 0, 1], 2);
+        let x = FeatureMatrix::one_hot(&[&a]);
+        let y = vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let model = LogisticRegression::fit(&x, &y, &LogisticOptions::default());
+        for p in model.predict_all(&x) {
+            assert!((p - 0.5).abs() < 0.1, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let a = codes(&[0, 1, 0, 1], 2);
+        let x = FeatureMatrix::one_hot(&[&a]);
+        let y = vec![1.0, 0.0, 1.0, 0.0];
+        let m1 = LogisticRegression::fit(&x, &y, &LogisticOptions::default());
+        let m2 = LogisticRegression::fit(&x, &y, &LogisticOptions::default());
+        assert_eq!(m1.coefficients, m2.coefficients);
+        assert_eq!(m1.intercept, m2.intercept);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the missing-data machinery.
+
+use nexus_missing::{
+    impute_mean, impute_mode, inject_missing, ipw_weights, FeatureMatrix, IpwOptions,
+    LogisticOptions, LogisticRegression, MissingInjection,
+};
+use nexus_table::{Codes, Column};
+use proptest::prelude::*;
+
+fn codes_strategy(card: u32, len: usize) -> impl Strategy<Value = Codes> {
+    proptest::collection::vec(0..card, len).prop_map(move |codes| Codes {
+        codes,
+        cardinality: card,
+        validity: None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn logistic_probabilities_in_unit_interval(
+        x in codes_strategy(4, 60),
+        y in proptest::collection::vec(prop::bool::ANY, 60),
+    ) {
+        let m = FeatureMatrix::one_hot(&[&x]);
+        let labels: Vec<f64> = y.iter().map(|&b| b as u8 as f64).collect();
+        let model = LogisticRegression::fit(&m, &labels, &LogisticOptions::default());
+        for p in model.predict_all(&m) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn ipw_weights_nonnegative_and_mean_one(
+        cov in codes_strategy(3, 80),
+        missing_bits in proptest::collection::vec(prop::bool::weighted(0.3), 80),
+    ) {
+        prop_assume!(missing_bits.iter().filter(|&&b| !b).count() >= 2);
+        let values: Vec<Option<f64>> = missing_bits
+            .iter()
+            .map(|&m| if m { None } else { Some(1.0) })
+            .collect();
+        let col = Column::from_opt_f64(values);
+        let w = ipw_weights(&col, &[&cov], &IpwOptions::default());
+        prop_assert_eq!(w.len(), 80);
+        for (i, &wi) in w.iter().enumerate() {
+            prop_assert!(wi >= 0.0);
+            prop_assert_eq!(wi == 0.0, col.is_null(i));
+        }
+        let complete: Vec<f64> = w.iter().copied().filter(|&x| x > 0.0).collect();
+        let mean = complete.iter().sum::<f64>() / complete.len() as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_imputation_preserves_observed(
+        values in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 1..80),
+    ) {
+        let col = Column::from_opt_f64(values.clone());
+        let filled = impute_mean(&col);
+        let any_valid = values.iter().any(|v| v.is_some());
+        if any_valid {
+            prop_assert_eq!(filled.null_count(), 0);
+        }
+        for (i, v) in values.iter().enumerate() {
+            if let Some(x) = v {
+                prop_assert_eq!(filled.f64_at(i), Some(*x));
+            }
+        }
+    }
+
+    #[test]
+    fn mode_imputation_uses_existing_value(
+        values in proptest::collection::vec(proptest::option::of("[abc]"), 1..60),
+    ) {
+        let opts: Vec<Option<&str>> = values.iter().map(|v| v.as_deref()).collect();
+        let col = Column::from_opt_strs(&opts);
+        let filled = impute_mode(&col);
+        let observed: std::collections::HashSet<&str> =
+            values.iter().flatten().map(|s| s.as_str()).collect();
+        if !observed.is_empty() {
+            for i in 0..filled.len() {
+                let v = filled.str_at(i).unwrap();
+                prop_assert!(observed.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn random_injection_hits_requested_fraction(
+        n in 10usize..200,
+        fraction in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let col = Column::from_f64((0..n).map(|i| i as f64).collect());
+        let injected = inject_missing(&col, MissingInjection::Random { fraction, seed });
+        let expect = ((n as f64) * fraction).round() as usize;
+        prop_assert_eq!(injected.null_count(), expect);
+    }
+
+    #[test]
+    fn biased_injection_removes_top_values(
+        values in proptest::collection::vec(-1000.0f64..1000.0, 4..100),
+        fraction in 0.1f64..0.9,
+    ) {
+        let col = Column::from_f64(values.clone());
+        let injected = inject_missing(&col, MissingInjection::TopValues { fraction });
+        // Every remaining value is <= every removed value.
+        let removed_min = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| injected.is_null(*i))
+            .map(|(_, &v)| v)
+            .fold(f64::INFINITY, f64::min);
+        for (i, &v) in values.iter().enumerate() {
+            if !injected.is_null(i) {
+                prop_assert!(v <= removed_min + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The abstract syntax of the supported SQL subset.
+//!
+//! NEXUS explains queries of the form
+//!
+//! ```sql
+//! SELECT T, agg(O) FROM D [JOIN R ON D.k = R.k] [WHERE C] GROUP BY T
+//! ```
+//!
+//! where `T` is the exposure (grouping attribute), `O` the outcome
+//! (aggregated attribute), and `C` the context.
+
+use std::fmt;
+
+use nexus_table::{AggFunc, Value};
+
+/// A comparison operator in a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Parses an operator token.
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        match s {
+            "=" => Some(CmpOp::Eq),
+            "!=" => Some(CmpOp::Ne),
+            "<" => Some(CmpOp::Lt),
+            "<=" => Some(CmpOp::Le),
+            ">" => Some(CmpOp::Gt),
+            ">=" => Some(CmpOp::Ge),
+            _ => None,
+        }
+    }
+
+    /// SQL rendering.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A boolean predicate over table rows (the query context `C`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// `column op literal`.
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// `column IS NULL` / `column IS NOT NULL`.
+    IsNull {
+        /// Column name.
+        column: String,
+        /// True for `IS NULL`, false for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Predicate {
+    /// Convenience constructor for equality.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Columns referenced by the predicate, in first-mention order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::Compare { column, .. } | Predicate::IsNull { column, .. } => {
+                if !out.contains(&column.as_str()) {
+                    out.push(column);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+            Predicate::Compare { column, op, value } => match value {
+                Value::Str(s) => {
+                    write!(f, "{column} {} '{}'", op.sql(), s.replace('\'', "''"))
+                }
+                other => write!(f, "{column} {} {other}", op.sql()),
+            },
+            Predicate::IsNull { column, negated } => {
+                if *negated {
+                    write!(f, "{column} IS NOT NULL")
+                } else {
+                    write!(f, "{column} IS NULL")
+                }
+            }
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A bare column (must also be in GROUP BY).
+    Column(String),
+    /// `agg(column)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated column.
+        column: String,
+    },
+}
+
+/// A `JOIN other ON left = right` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined table's name.
+    pub table: String,
+    /// Join key on the FROM table.
+    pub left_col: String,
+    /// Join key on the joined table.
+    pub right_col: String,
+}
+
+/// A parsed aggregate group-by query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateQuery {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM table.
+    pub from: String,
+    /// Optional inner join.
+    pub join: Option<JoinClause>,
+    /// Optional WHERE predicate (the context `C`).
+    pub where_clause: Option<Predicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<String>,
+}
+
+impl AggregateQuery {
+    /// The exposure `T`: the first grouping attribute.
+    pub fn exposure(&self) -> Option<&str> {
+        self.group_by.first().map(|s| s.as_str())
+    }
+
+    /// The outcome `O`: the first aggregated attribute, with its function.
+    pub fn outcome(&self) -> Option<(AggFunc, &str)> {
+        self.select.iter().find_map(|s| match s {
+            SelectItem::Aggregate { func, column } => Some((*func, column.as_str())),
+            _ => None,
+        })
+    }
+
+    /// The context `C` (WHERE predicate), if any.
+    pub fn context(&self) -> Option<&Predicate> {
+        self.where_clause.as_ref()
+    }
+}
+
+impl fmt::Display for AggregateQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let items: Vec<String> = self
+            .select
+            .iter()
+            .map(|s| match s {
+                SelectItem::Column(c) => c.clone(),
+                SelectItem::Aggregate { func, column } => format!("{}({column})", func.name()),
+            })
+            .collect();
+        write!(f, "SELECT {} FROM {}", items.join(", "), self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " JOIN {} ON {} = {}", j.table, j.left_col, j.right_col)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_outcome_context() {
+        let q = AggregateQuery {
+            select: vec![
+                SelectItem::Column("Country".into()),
+                SelectItem::Aggregate {
+                    func: AggFunc::Avg,
+                    column: "Salary".into(),
+                },
+            ],
+            from: "SO".into(),
+            join: None,
+            where_clause: Some(Predicate::eq("Continent", "Europe")),
+            group_by: vec!["Country".into()],
+        };
+        assert_eq!(q.exposure(), Some("Country"));
+        assert_eq!(q.outcome(), Some((AggFunc::Avg, "Salary")));
+        assert!(q.context().is_some());
+        let s = q.to_string();
+        assert!(s.contains("SELECT Country, avg(Salary) FROM SO"));
+        assert!(s.contains("WHERE Continent = 'Europe'"));
+        assert!(s.contains("GROUP BY Country"));
+    }
+
+    #[test]
+    fn predicate_columns_and_display() {
+        let p = Predicate::eq("a", 1i64)
+            .and(Predicate::Not(Box::new(Predicate::eq("b", "x"))))
+            .and(Predicate::IsNull {
+                column: "a".into(),
+                negated: true,
+            });
+        assert_eq!(p.columns(), vec!["a", "b"]);
+        let s = p.to_string();
+        assert!(s.contains("a = 1"));
+        assert!(s.contains("NOT (b = 'x')"));
+        assert!(s.contains("a IS NOT NULL"));
+    }
+
+    #[test]
+    fn cmp_op_roundtrip() {
+        for op in ["=", "!=", "<", "<=", ">", ">="] {
+            assert_eq!(CmpOp::parse(op).unwrap().sql(), op);
+        }
+        assert_eq!(CmpOp::parse("~"), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the query crate.
+
+use std::fmt;
+
+use nexus_table::TableError;
+
+/// Errors produced while lexing, parsing, or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error with byte position.
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error with the offending token.
+    Parse {
+        /// Token text (or `<eof>`).
+        token: String,
+        /// Description.
+        message: String,
+    },
+    /// A referenced table is not in the catalog.
+    TableNotFound(String),
+    /// Semantic error (e.g. aggregate of a non-numeric column).
+    Semantic(String),
+    /// Underlying table error.
+    Table(TableError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            QueryError::Parse { token, message } => {
+                write!(f, "parse error near {token:?}: {message}")
+            }
+            QueryError::TableNotFound(t) => write!(f, "table not found: {t:?}"),
+            QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+            QueryError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<TableError> for QueryError {
+    fn from(e: TableError) -> Self {
+        QueryError::Table(e)
+    }
+}
+
+/// Result alias for query operations.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QueryError::Parse {
+            token: "FROM".into(),
+            message: "expected identifier".into(),
+        };
+        assert!(e.to_string().contains("FROM"));
+        let e: QueryError = TableError::ColumnNotFound("x".into()).into();
+        assert!(matches!(e, QueryError::Table(_)));
+    }
+}

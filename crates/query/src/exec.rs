@@ -1,0 +1,432 @@
+//! Query execution against an in-memory catalog of tables.
+
+use std::collections::HashMap;
+
+use nexus_table::{aggregate, join, Bitmap, ColumnData, JoinType, Table, Value};
+#[cfg(test)]
+use nexus_table::Column;
+
+use crate::ast::{AggregateQuery, CmpOp, Predicate, SelectItem};
+use crate::error::{QueryError, Result};
+
+/// A named collection of tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under `name` (replacing any previous table).
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks up a table.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::TableNotFound(name.to_string()))
+    }
+
+    /// Names of registered tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// Evaluates a predicate over a table into a row mask.
+///
+/// Three-valued-logic note: comparisons against NULL evaluate to false (not
+/// unknown), and `NOT` is plain boolean negation of that — the pragmatic
+/// semantics analysts expect from a filter.
+pub fn eval_predicate(pred: &Predicate, table: &Table) -> Result<Bitmap> {
+    match pred {
+        Predicate::And(a, b) => Ok(eval_predicate(a, table)?.and(&eval_predicate(b, table)?)),
+        Predicate::Or(a, b) => Ok(eval_predicate(a, table)?.or(&eval_predicate(b, table)?)),
+        Predicate::Not(p) => Ok(eval_predicate(p, table)?.not()),
+        Predicate::IsNull { column, negated } => {
+            let col = table.column(column)?;
+            let mask: Bitmap = (0..col.len())
+                .map(|i| col.is_null(i) != *negated)
+                .collect();
+            Ok(mask)
+        }
+        Predicate::Compare { column, op, value } => compare_column(table, column, *op, value),
+    }
+}
+
+fn compare_column(table: &Table, column: &str, op: CmpOp, value: &Value) -> Result<Bitmap> {
+    let col = table.column(column)?;
+    let n = col.len();
+    if value.is_null() {
+        // SQL: comparisons with NULL match nothing.
+        return Ok(Bitmap::with_value(n, false));
+    }
+    // Fast paths per column type.
+    match (col.data(), value) {
+        (ColumnData::Utf8(arr), Value::Str(s)) => {
+            // Compare against dictionary entries once.
+            let dict_match: Vec<bool> = arr
+                .dict()
+                .iter()
+                .map(|d| cmp_str(d.as_str(), s, op))
+                .collect();
+            Ok((0..n)
+                .map(|i| !col.is_null(i) && dict_match[arr.codes()[i] as usize])
+                .collect())
+        }
+        (_, Value::Str(_)) => Err(QueryError::Semantic(format!(
+            "cannot compare non-string column {column:?} with a string literal"
+        ))),
+        (ColumnData::Bool(v), Value::Bool(b)) => Ok((0..n)
+            .map(|i| !col.is_null(i) && cmp_ord(v[i], *b, op))
+            .collect()),
+        _ => {
+            let target = value.as_f64().ok_or_else(|| {
+                QueryError::Semantic(format!(
+                    "cannot compare column {column:?} ({}) with literal {value}",
+                    col.dtype()
+                ))
+            })?;
+            if !col.dtype().is_numeric() {
+                return Err(QueryError::Semantic(format!(
+                    "cannot compare non-numeric column {column:?} with a number"
+                )));
+            }
+            Ok((0..n)
+                .map(|i| match col.f64_at(i) {
+                    Some(v) => cmp_f64(v, target, op),
+                    None => false,
+                })
+                .collect())
+        }
+    }
+}
+
+fn cmp_str(a: &str, b: &str, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn cmp_ord<T: PartialOrd>(a: T, b: T, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn cmp_f64(a: f64, b: f64, op: CmpOp) -> bool {
+    cmp_ord(a, b, op)
+}
+
+/// Executes an aggregate query against the catalog.
+///
+/// Pipeline: FROM → JOIN → WHERE → GROUP BY + aggregates, mirroring SQL
+/// semantics for the supported subset.
+pub fn execute(query: &AggregateQuery, catalog: &Catalog) -> Result<Table> {
+    let mut working = catalog.get(&query.from)?.clone();
+
+    if let Some(j) = &query.join {
+        let right = catalog.get(&j.table)?;
+        working = join(&working, right, &j.left_col, &j.right_col, JoinType::Inner)?;
+    }
+
+    if let Some(pred) = &query.where_clause {
+        let mask = eval_predicate(pred, &working)?;
+        working = working.filter(&mask)?;
+    }
+
+    if query.group_by.is_empty() {
+        return Err(QueryError::Semantic(
+            "NEXUS queries require a GROUP BY clause (the exposure attribute)".into(),
+        ));
+    }
+
+    // Numerical exposures are binned (Section 2.1: "To handle a numerical
+    // exposure, one may bin this attribute"): continuous or high-cardinality
+    // numeric group keys become quantile-bin interval labels.
+    for key in &query.group_by {
+        let col = working.column(key)?;
+        let needs_binning = match col.dtype() {
+            nexus_table::DataType::Float64 => true,
+            nexus_table::DataType::Int64 => col.distinct_count() > 24,
+            _ => false,
+        };
+        if needs_binning {
+            let binned = nexus_table::bin_to_column(col, nexus_table::BinStrategy::Quantile(8))?;
+            working.replace_column(key, binned)?;
+        }
+    }
+
+    // Validate that bare SELECT columns appear in GROUP BY.
+    for item in &query.select {
+        if let SelectItem::Column(c) = item {
+            if !query.group_by.contains(c) {
+                return Err(QueryError::Semantic(format!(
+                    "column {c:?} must appear in GROUP BY"
+                )));
+            }
+        }
+    }
+
+    let keys: Vec<&str> = query.group_by.iter().map(|s| s.as_str()).collect();
+    let aggs: Vec<(nexus_table::AggFunc, &str)> = query
+        .select
+        .iter()
+        .filter_map(|s| match s {
+            SelectItem::Aggregate { func, column } => Some((*func, column.as_str())),
+            _ => None,
+        })
+        .collect();
+    if aggs.is_empty() {
+        return Err(QueryError::Semantic(
+            "NEXUS queries require at least one aggregate (the outcome attribute)".into(),
+        ));
+    }
+    Ok(aggregate(&working, &keys, &aggs)?)
+}
+
+/// Convenience: builds the context mask of a query over its (possibly
+/// joined) input table — all rows when there is no WHERE clause.
+pub fn context_mask(query: &AggregateQuery, table: &Table) -> Result<Bitmap> {
+    match &query.where_clause {
+        Some(p) => eval_predicate(p, table),
+        None => Ok(Bitmap::with_value(table.n_rows(), true)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn catalog() -> Catalog {
+        let so = Table::new(vec![
+            (
+                "Country",
+                Column::from_strs(&["us", "fr", "us", "de", "fr", "de"]),
+            ),
+            (
+                "Continent",
+                Column::from_strs(&["na", "eu", "na", "eu", "eu", "eu"]),
+            ),
+            (
+                "Salary",
+                Column::from_f64(vec![90.0, 60.0, 80.0, 70.0, 62.0, 72.0]),
+            ),
+            ("Age", Column::from_i64(vec![25, 30, 45, 50, 28, 33])),
+        ])
+        .unwrap();
+        let countries = Table::new(vec![
+            ("Country", Column::from_strs(&["us", "fr", "de"])),
+            ("gdp", Column::from_f64(vec![21.0, 2.6, 3.8])),
+        ])
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("SO", so);
+        c.register("countries", countries);
+        c
+    }
+
+    #[test]
+    fn basic_group_by() {
+        let c = catalog();
+        let q = parse("SELECT Country, avg(Salary) FROM SO GROUP BY Country").unwrap();
+        let r = execute(&q, &c).unwrap();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.value(0, "avg(Salary)").unwrap(), Value::Float(85.0));
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let c = catalog();
+        let q = parse(
+            "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'eu' GROUP BY Country",
+        )
+        .unwrap();
+        let r = execute(&q, &c).unwrap();
+        assert_eq!(r.n_rows(), 2); // fr, de
+        assert_eq!(r.value(0, "Country").unwrap(), Value::Str("fr".into()));
+        assert_eq!(r.value(0, "avg(Salary)").unwrap(), Value::Float(61.0));
+    }
+
+    #[test]
+    fn numeric_and_compound_predicates() {
+        let c = catalog();
+        let q = parse(
+            "SELECT Country, count(Salary) FROM SO WHERE Age >= 30 AND Salary < 75 GROUP BY Country",
+        )
+        .unwrap();
+        let r = execute(&q, &c).unwrap();
+        // matches: fr(30,60), de(50,70), de(33,72)
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.value(1, "count(Salary)").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn join_pulls_right_columns() {
+        let c = catalog();
+        let q = parse(
+            "SELECT Country, avg(gdp) FROM SO JOIN countries ON SO.Country = countries.Country GROUP BY Country",
+        )
+        .unwrap();
+        let r = execute(&q, &c).unwrap();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.value(0, "avg(gdp)").unwrap(), Value::Float(21.0));
+    }
+
+    #[test]
+    fn or_and_not_predicates() {
+        let c = catalog();
+        let q = parse(
+            "SELECT Country, count(Salary) FROM SO WHERE Country = 'us' OR NOT Age < 50 GROUP BY Country",
+        )
+        .unwrap();
+        let r = execute(&q, &c).unwrap();
+        // us rows (2) plus de(50)
+        let total: i64 = (0..r.n_rows())
+            .map(|i| r.value(i, "count(Salary)").unwrap().as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn missing_group_by_rejected() {
+        let c = catalog();
+        let q = parse("SELECT Country, avg(Salary) FROM SO").unwrap();
+        assert!(matches!(execute(&q, &c), Err(QueryError::Semantic(_))));
+    }
+
+    #[test]
+    fn missing_aggregate_rejected() {
+        let c = catalog();
+        let q = parse("SELECT Country FROM SO GROUP BY Country").unwrap();
+        assert!(matches!(execute(&q, &c), Err(QueryError::Semantic(_))));
+    }
+
+    #[test]
+    fn bare_column_not_grouped_rejected() {
+        let c = catalog();
+        let q = parse("SELECT Age, avg(Salary) FROM SO GROUP BY Country").unwrap();
+        assert!(matches!(execute(&q, &c), Err(QueryError::Semantic(_))));
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        let c = catalog();
+        let q = parse("SELECT a, avg(b) FROM nope GROUP BY a").unwrap();
+        assert!(matches!(execute(&q, &c), Err(QueryError::TableNotFound(_))));
+        let q = parse("SELECT zzz, avg(Salary) FROM SO GROUP BY zzz").unwrap();
+        assert!(execute(&q, &c).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_in_predicate() {
+        let c = catalog();
+        let q = parse("SELECT Country, avg(Salary) FROM SO WHERE Age = 'old' GROUP BY Country")
+            .unwrap();
+        assert!(matches!(execute(&q, &c), Err(QueryError::Semantic(_))));
+        let q =
+            parse("SELECT Country, avg(Salary) FROM SO WHERE Country > 3 GROUP BY Country")
+                .unwrap();
+        assert!(matches!(execute(&q, &c), Err(QueryError::Semantic(_))));
+    }
+
+    #[test]
+    fn is_null_predicate() {
+        let t = Table::new(vec![
+            ("k", Column::from_strs(&["a", "a", "b"])),
+            ("v", Column::from_opt_f64(vec![Some(1.0), None, Some(2.0)])),
+        ])
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("t", t);
+        let q = parse("SELECT k, count(v) FROM t WHERE v IS NOT NULL GROUP BY k").unwrap();
+        let r = execute(&q, &c).unwrap();
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.value(0, "count(v)").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn numeric_exposure_is_binned() {
+        // Grouping by a continuous column bins it into quantile intervals
+        // (Section 2.1's numerical-exposure rule).
+        let t = Table::new(vec![
+            ("age", Column::from_f64((0..100).map(|i| i as f64).collect())),
+            ("salary", Column::from_f64((0..100).map(|i| (i * 10) as f64).collect())),
+        ])
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("t", t);
+        let q = parse("SELECT age, avg(salary) FROM t GROUP BY age").unwrap();
+        let r = execute(&q, &c).unwrap();
+        assert!(r.n_rows() <= 8, "expected ≤ 8 bins, got {}", r.n_rows());
+        assert!(r.n_rows() >= 4);
+        // Group labels are intervals.
+        let label = r.value(0, "age").unwrap().to_string();
+        assert!(label.starts_with('['), "{label}");
+    }
+
+    #[test]
+    fn small_integer_exposure_not_binned() {
+        let t = Table::new(vec![
+            ("stars", Column::from_i64((0..60).map(|i| i % 5).collect())),
+            ("v", Column::from_f64(vec![1.0; 60])),
+        ])
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("t", t);
+        let q = parse("SELECT stars, avg(v) FROM t GROUP BY stars").unwrap();
+        let r = execute(&q, &c).unwrap();
+        assert_eq!(r.n_rows(), 5);
+    }
+
+    #[test]
+    fn context_mask_counts() {
+        let c = catalog();
+        let q = parse(
+            "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'eu' GROUP BY Country",
+        )
+        .unwrap();
+        let mask = context_mask(&q, c.get("SO").unwrap()).unwrap();
+        assert_eq!(mask.count_ones(), 4);
+        let q2 = parse("SELECT Country, avg(Salary) FROM SO GROUP BY Country").unwrap();
+        let mask2 = context_mask(&q2, c.get("SO").unwrap()).unwrap();
+        assert!(mask2.all());
+    }
+
+    #[test]
+    fn null_comparisons_match_nothing() {
+        let t = Table::new(vec![
+            ("k", Column::from_strs(&["a", "b"])),
+            ("v", Column::from_opt_f64(vec![None, Some(1.0)])),
+        ])
+        .unwrap();
+        let mask = eval_predicate(
+            &Predicate::Compare {
+                column: "v".into(),
+                op: CmpOp::Ne,
+                value: Value::Float(99.0),
+            },
+            &t,
+        )
+        .unwrap();
+        // NULL != 99 is false under our pragmatic semantics.
+        assert_eq!(mask.ones(), vec![1]);
+    }
+}

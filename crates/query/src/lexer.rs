@@ -1,0 +1,284 @@
+//! SQL tokenizer.
+
+use crate::error::{QueryError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare or double-quoted identifier.
+    Ident(String),
+    /// Keyword (uppercased).
+    Keyword(String),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// Comparison operator: `=`, `!=`, `<>`, `<`, `<=`, `>`, `>=`, `==`.
+    Op(String),
+}
+
+impl Token {
+    /// Human-readable rendering for error messages.
+    pub fn display(&self) -> String {
+        match self {
+            Token::Ident(s) | Token::Keyword(s) | Token::Op(s) => s.clone(),
+            Token::Str(s) => format!("'{s}'"),
+            Token::Number(n) => n.to_string(),
+            Token::Comma => ",".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::Dot => ".".into(),
+            Token::Star => "*".into(),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "JOIN", "INNER", "LEFT", "ON",
+    "AS", "TRUE", "FALSE", "NULL", "IS",
+];
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op("=".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op("=".into()));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op("!=".into()));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        position: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op("<=".into()));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Op("!=".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = read_quoted(input, i, '\'')?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            '"' => {
+                let (s, next) = read_quoted(input, i, '"')?;
+                tokens.push(Token::Ident(s));
+                i = next;
+            }
+            '.' if !bytes
+                .get(i + 1)
+                .map(|b| (*b as char).is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || (i > start
+                            && (bytes[i] == b'-' || bytes[i] == b'+')
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text.parse().map_err(|_| QueryError::Lex {
+                    position: start,
+                    message: format!("bad number literal {text:?}"),
+                })?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Reads a quoted run starting at `start` (which holds the quote), returning
+/// the unescaped contents and the index past the closing quote. Doubled
+/// quotes escape themselves.
+fn read_quoted(input: &str, start: usize, quote: char) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let q = quote as u8;
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        if bytes[i] == q {
+            if bytes.get(i + 1) == Some(&q) {
+                out.push(quote);
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Copy the full (possibly multi-byte) char.
+            let ch = input[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(QueryError::Lex {
+        position: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = tokenize("SELECT Country, avg(Salary) FROM SO WHERE x = 'Europe' GROUP BY Country").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("Country".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert_eq!(toks[3], Token::Ident("avg".into()));
+        assert_eq!(toks[4], Token::LParen);
+        assert!(toks.contains(&Token::Str("Europe".into())));
+        assert!(toks.contains(&Token::Keyword("GROUP".into())));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a = 1 AND b != 2 OR c <> 3 AND d <= 4 AND e >= 5 AND f < 6 AND g > 7").unwrap();
+        let ops: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Op(o) => Some(o.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["=", "!=", "!=", "<=", ">=", "<", ">"]);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("1 2.5 -3 1e3 -1.5e-2").unwrap();
+        let nums: Vec<f64> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Number(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![1.0, 2.5, -3.0, 1000.0, -0.015]);
+    }
+
+    #[test]
+    fn quoted_identifiers_and_escapes() {
+        let toks = tokenize("\"My Column\" = 'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Ident("My Column".into()));
+        assert_eq!(toks[2], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select from Where").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[2], Token::Keyword("WHERE".into()));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("a = 'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a = #").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("x = 'Côte d''Ivoire'").unwrap();
+        assert_eq!(toks[2], Token::Str("Côte d'Ivoire".into()));
+    }
+}

@@ -1,0 +1,356 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use nexus_table::{AggFunc, Value};
+
+use crate::ast::{AggregateQuery, CmpOp, JoinClause, Predicate, SelectItem};
+use crate::error::{QueryError, Result};
+use crate::lexer::{tokenize, Token};
+
+/// Parses a SQL string into an [`AggregateQuery`].
+pub fn parse(input: &str) -> Result<AggregateQuery> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: &str) -> QueryError {
+        QueryError::Parse {
+            token: self
+                .peek()
+                .map(|t| t.display())
+                .unwrap_or_else(|| "<eof>".into()),
+            message: message.into(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(&format!("expected {kw}")))
+            }
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    /// Identifier, optionally qualified (`table.column` → `column`).
+    fn column_ref(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Token::Dot)) {
+            self.pos += 1;
+            let col = self.ident()?;
+            Ok(col)
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn query(&mut self) -> Result<AggregateQuery> {
+        self.expect_keyword("SELECT")?;
+        let mut select = Vec::new();
+        loop {
+            select.push(self.select_item()?);
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+
+        let mut join = None;
+        if self.eat_keyword("INNER") || matches!(self.peek(), Some(Token::Keyword(k)) if k == "JOIN")
+        {
+            self.expect_keyword("JOIN")?;
+            let table = self.ident()?;
+            self.expect_keyword("ON")?;
+            let left_col = self.column_ref()?;
+            match self.next() {
+                Some(Token::Op(op)) if op == "=" => {}
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected '=' in join condition"));
+                }
+            }
+            let right_col = self.column_ref()?;
+            join = Some(JoinClause {
+                table,
+                left_col,
+                right_col,
+            });
+        }
+
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.column_ref()?);
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        Ok(AggregateQuery {
+            select,
+            from,
+            join,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // `ident ( column )` is an aggregate; bare ident is a column.
+        let name = self.column_ref()?;
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let func = AggFunc::parse(&name)
+                .ok_or_else(|| self.err(&format!("unknown aggregate function {name:?}")))?;
+            let column = self.column_ref()?;
+            match self.next() {
+                Some(Token::RParen) => {}
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ')'"));
+                }
+            }
+            Ok(SelectItem::Aggregate { func, column })
+        } else {
+            Ok(SelectItem::Column(name))
+        }
+    }
+
+    // predicate := disjunction
+    fn predicate(&mut self) -> Result<Predicate> {
+        self.disjunction()
+    }
+
+    fn disjunction(&mut self) -> Result<Predicate> {
+        let mut left = self.conjunction()?;
+        while self.eat_keyword("OR") {
+            let right = self.conjunction()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> Result<Predicate> {
+        let mut left = self.unary()?;
+        while self.eat_keyword("AND") {
+            let right = self.unary()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Predicate> {
+        if self.eat_keyword("NOT") {
+            let inner = self.unary()?;
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let inner = self.predicate()?;
+            match self.next() {
+                Some(Token::RParen) => return Ok(inner),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ')'"));
+                }
+            }
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Predicate> {
+        let column = self.column_ref()?;
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Predicate::IsNull { column, negated });
+        }
+        let op = match self.next() {
+            Some(Token::Op(op)) => CmpOp::parse(&op).ok_or_else(|| self.err("bad operator"))?,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected comparison operator"));
+            }
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Compare { column, op, value })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Number(n)) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    Ok(Value::Int(n as i64))
+                } else {
+                    Ok(Value::Float(n))
+                }
+            }
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Value::Bool(true)),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Value::Bool(false)),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Value::Null),
+            // A bare identifier on the right-hand side is accepted as a
+            // string literal for analyst convenience (`Continent = Europe`).
+            Some(Token::Ident(s)) => Ok(Value::Str(s)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected literal"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query() {
+        let q = parse(
+            "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'Europe' GROUP BY Country",
+        )
+        .unwrap();
+        assert_eq!(q.from, "SO");
+        assert_eq!(q.exposure(), Some("Country"));
+        assert_eq!(q.outcome(), Some((AggFunc::Avg, "Salary")));
+        assert_eq!(
+            q.where_clause,
+            Some(Predicate::eq("Continent", "Europe"))
+        );
+    }
+
+    #[test]
+    fn parses_join() {
+        let q = parse(
+            "SELECT Airline, avg(Delay) FROM flights JOIN airlines ON flights.code = airlines.code GROUP BY Airline",
+        )
+        .unwrap();
+        let j = q.join.unwrap();
+        assert_eq!(j.table, "airlines");
+        assert_eq!(j.left_col, "code");
+        assert_eq!(j.right_col, "code");
+    }
+
+    #[test]
+    fn parses_complex_where() {
+        let q = parse(
+            "SELECT a, sum(b) FROM t WHERE (x > 3 AND y != 'z') OR NOT w <= 2.5 GROUP BY a",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Predicate::Or(l, r) => {
+                assert!(matches!(*l, Predicate::And(_, _)));
+                assert!(matches!(*r, Predicate::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_is_null() {
+        let q = parse("SELECT a, count(b) FROM t WHERE b IS NOT NULL GROUP BY a").unwrap();
+        assert_eq!(
+            q.where_clause,
+            Some(Predicate::IsNull {
+                column: "b".into(),
+                negated: true
+            })
+        );
+    }
+
+    #[test]
+    fn bare_identifier_literal() {
+        let q = parse("SELECT a, avg(b) FROM t WHERE Continent = Europe GROUP BY a").unwrap();
+        assert_eq!(q.where_clause, Some(Predicate::eq("Continent", "Europe")));
+    }
+
+    #[test]
+    fn multiple_group_by() {
+        let q = parse("SELECT s, al, avg(d) FROM f GROUP BY s, al").unwrap();
+        assert_eq!(q.group_by, vec!["s", "al"]);
+        assert_eq!(q.exposure(), Some("s"));
+    }
+
+    #[test]
+    fn integer_vs_float_literals() {
+        let q = parse("SELECT a, avg(b) FROM t WHERE x = 3 AND y = 2.5 GROUP BY a").unwrap();
+        let cols = format!("{}", q.where_clause.unwrap());
+        assert!(cols.contains("x = 3"));
+        assert!(cols.contains("y = 2.5"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("FROM t").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT med(a) FROM t").is_err());
+        assert!(parse("SELECT a, avg(b) FROM t GROUP BY a extra").is_err());
+        assert!(parse("SELECT a, avg(b FROM t GROUP BY a").is_err());
+        assert!(parse("SELECT a, avg(b) FROM t WHERE x GROUP BY a").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let q = parse(
+            "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'Europe' AND Age > 30 GROUP BY Country",
+        )
+        .unwrap();
+        let q2 = parse(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

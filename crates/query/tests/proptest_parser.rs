@@ -1,0 +1,131 @@
+//! Property-based tests for the SQL layer: display/parse round-trips and
+//! executor consistency with a nested-loop reference implementation.
+
+use nexus_query::{execute, parse, Catalog, Predicate};
+use nexus_table::{Column, Table, Value};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9_]{0,8}").expect("valid regex")
+}
+
+fn literal_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 ']{0,10}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_simple_query(t in ident(), o in ident(), table in ident()) {
+        prop_assume!(t != o);
+        let sql = format!("SELECT {t}, avg({o}) FROM {table} GROUP BY {t}");
+        let q = parse(&sql).unwrap();
+        let q2 = parse(&q.to_string()).unwrap();
+        prop_assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn roundtrip_with_where(
+        t in ident(),
+        o in ident(),
+        c in ident(),
+        v in literal_string(),
+        num in -1000i64..1000,
+    ) {
+        prop_assume!(t != o && t != c && o != c);
+        let escaped = v.replace('\'', "''");
+        let sql = format!(
+            "SELECT {t}, sum({o}) FROM d WHERE {c} = '{escaped}' AND {o} > {num} GROUP BY {t}"
+        );
+        let q = parse(&sql).unwrap();
+        let q2 = parse(&q.to_string()).unwrap();
+        prop_assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn predicate_eval_matches_reference(
+        values in proptest::collection::vec(-50i64..50, 1..120),
+        threshold in -50i64..50,
+    ) {
+        let table = Table::new(vec![("v", Column::from_i64(values.clone()))]).unwrap();
+        for (sql_op, f) in [
+            ("=", Box::new(|a: i64, b: i64| a == b) as Box<dyn Fn(i64, i64) -> bool>),
+            ("!=", Box::new(|a, b| a != b)),
+            ("<", Box::new(|a, b| a < b)),
+            ("<=", Box::new(|a, b| a <= b)),
+            (">", Box::new(|a, b| a > b)),
+            (">=", Box::new(|a, b| a >= b)),
+        ] {
+            let q = parse(&format!(
+                "SELECT v, count(v) FROM t WHERE v {sql_op} {threshold} GROUP BY v"
+            ))
+            .unwrap();
+            let pred = q.where_clause.as_ref().unwrap();
+            let mask = nexus_query::eval_predicate(pred, &table).unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(mask.get(i), f(v, threshold), "op {} v {}", sql_op, v);
+            }
+        }
+    }
+
+    #[test]
+    fn execute_group_count_matches_reference(
+        pairs in proptest::collection::vec(("[ab]{1,2}", -10i64..10), 1..80),
+    ) {
+        let keys: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        let vals: Vec<i64> = pairs.iter().map(|(_, v)| *v).collect();
+        let table = Table::new(vec![
+            ("k", Column::from_strs(&keys)),
+            ("v", Column::from_i64(vals)),
+        ])
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("t", table);
+        let q = parse("SELECT k, count(v) FROM t GROUP BY k").unwrap();
+        let out = execute(&q, &catalog).unwrap();
+        let mut expect: std::collections::HashMap<String, i64> = Default::default();
+        for k in &keys {
+            *expect.entry(k.clone()).or_insert(0) += 1;
+        }
+        prop_assert_eq!(out.n_rows(), expect.len());
+        for r in 0..out.n_rows() {
+            let k = out.value(r, "k").unwrap().as_str().unwrap().to_string();
+            let c = out.value(r, "count(v)").unwrap().as_i64().unwrap();
+            prop_assert_eq!(c, expect[&k]);
+        }
+    }
+
+    #[test]
+    fn not_is_complement(
+        values in proptest::collection::vec(-20i64..20, 1..80),
+        threshold in -20i64..20,
+    ) {
+        let table = Table::new(vec![("v", Column::from_i64(values))]).unwrap();
+        let q = parse(&format!(
+            "SELECT v, count(v) FROM t WHERE v < {threshold} GROUP BY v"
+        ))
+        .unwrap();
+        let pred = q.where_clause.unwrap();
+        let not_pred = Predicate::Not(Box::new(pred.clone()));
+        let mask = nexus_query::eval_predicate(&pred, &table).unwrap();
+        let not_mask = nexus_query::eval_predicate(&not_pred, &table).unwrap();
+        prop_assert_eq!(mask.count_ones() + not_mask.count_ones(), table.n_rows());
+        prop_assert!(!mask.and(&not_mask).any());
+    }
+
+    #[test]
+    fn string_literals_with_quotes_roundtrip(v in literal_string()) {
+        let escaped = v.replace('\'', "''");
+        let sql = format!("SELECT a, avg(b) FROM t WHERE c = '{escaped}' GROUP BY a");
+        let q = parse(&sql).unwrap();
+        match q.where_clause.as_ref().unwrap() {
+            Predicate::Compare { value: Value::Str(s), .. } => {
+                prop_assert_eq!(s, &v);
+            }
+            other => prop_assert!(false, "unexpected predicate {other:?}"),
+        }
+        let q2 = parse(&q.to_string()).unwrap();
+        prop_assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Discretization of continuous columns.
+//!
+//! The paper's estimators (and its group-by semantics for numeric exposures)
+//! assume discretized attributes; this module provides equal-width and
+//! quantile binning.
+
+use crate::bitmap::Bitmap;
+use crate::column::{Codes, Column};
+use crate::error::{Result, TableError};
+
+/// A binning strategy for continuous values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinStrategy {
+    /// `n` bins of equal width across the observed range.
+    EqualWidth(usize),
+    /// `n` bins with (approximately) equal numbers of observations.
+    Quantile(usize),
+}
+
+impl BinStrategy {
+    /// The requested number of bins.
+    pub fn n_bins(&self) -> usize {
+        match self {
+            BinStrategy::EqualWidth(n) | BinStrategy::Quantile(n) => *n,
+        }
+    }
+}
+
+/// When a numeric column has at most `n_bins` distinct finite values, each
+/// distinct value becomes its own category (sorted ascending). Returns
+/// `None` when the domain is larger.
+fn small_domain_codes(col: &Column, values: &[f64], n_bins: usize) -> Option<Codes> {
+    let mut distinct: Vec<f64> = Vec::with_capacity(n_bins + 1);
+    for &v in values {
+        if v.is_finite() && !distinct.contains(&v) {
+            distinct.push(v);
+            if distinct.len() > n_bins {
+                return None;
+            }
+        }
+    }
+    if distinct.is_empty() {
+        return None;
+    }
+    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = col.len();
+    let mut codes = Vec::with_capacity(n);
+    for i in 0..n {
+        match col.f64_at(i) {
+            // Non-finite payloads (possible under a null bit) map to 0.
+            Some(v) => codes.push(distinct.iter().position(|&d| d == v).unwrap_or(0) as u32),
+            None => codes.push(0),
+        }
+    }
+    Some(Codes {
+        codes,
+        cardinality: distinct.len() as u32,
+        validity: col.validity().cloned(),
+    })
+}
+
+/// Computes bin edges for `values` under `strategy`.
+///
+/// Returns a sorted, deduplicated edge vector `e` of length `≥ 2`; value `v`
+/// falls in bin `i` iff `e[i] <= v < e[i+1]` (last bin is right-closed).
+/// Fewer than `n` bins may result when the data has few distinct values.
+pub fn compute_edges(values: &[f64], strategy: BinStrategy) -> Result<Vec<f64>> {
+    let n_bins = strategy.n_bins();
+    if n_bins == 0 {
+        return Err(TableError::InvalidArgument("bin count must be > 0".into()));
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Err(TableError::InvalidArgument(
+            "cannot bin a column with no finite values".into(),
+        ));
+    }
+    let mut edges = match strategy {
+        BinStrategy::EqualWidth(_) => {
+            let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if lo == hi {
+                vec![lo, hi]
+            } else {
+                (0..=n_bins)
+                    .map(|i| lo + (hi - lo) * i as f64 / n_bins as f64)
+                    .collect()
+            }
+        }
+        BinStrategy::Quantile(_) => {
+            let mut sorted = finite.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            (0..=n_bins)
+                .map(|i| {
+                    let q = i as f64 / n_bins as f64;
+                    let pos = q * (sorted.len() - 1) as f64;
+                    let lo = pos.floor() as usize;
+                    let hi = pos.ceil() as usize;
+                    let frac = pos - lo as f64;
+                    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+                })
+                .collect()
+        }
+    };
+    edges.dedup_by(|a, b| a == b);
+    if edges.len() < 2 {
+        // All values identical: a single degenerate bin.
+        edges = vec![edges[0], edges[0]];
+    }
+    Ok(edges)
+}
+
+/// Assigns `v` to a bin given `edges` (see [`compute_edges`]).
+#[inline]
+pub fn assign_bin(v: f64, edges: &[f64]) -> u32 {
+    let n_bins = edges.len() - 1;
+    if v <= edges[0] {
+        return 0;
+    }
+    if v >= edges[n_bins] {
+        return (n_bins - 1) as u32;
+    }
+    // Binary search for the right edge.
+    match edges.binary_search_by(|e| e.partial_cmp(&v).expect("finite edges")) {
+        Ok(i) => (i.min(n_bins - 1)) as u32,
+        Err(i) => (i - 1) as u32,
+    }
+}
+
+/// Bins a numeric column into dense categorical codes.
+///
+/// Non-numeric columns are passed through [`Column::category_codes`], so this
+/// is safe to call on any column as a "make categorical" operation. When the
+/// column has no more distinct values than requested bins, each distinct
+/// value becomes its own category (quantile edges would otherwise merge
+/// small discrete domains arbitrarily).
+pub fn bin_codes(col: &Column, strategy: BinStrategy) -> Result<Codes> {
+    use crate::column::ColumnData;
+    match col.data() {
+        ColumnData::Float64(_) | ColumnData::Int64(_) => {
+            let values: Vec<f64> = (0..col.len()).filter_map(|i| col.f64_at(i)).collect();
+            if values.is_empty() {
+                // Entirely-null column: zero cardinality, all rows invalid.
+                return Ok(Codes {
+                    codes: vec![0; col.len()],
+                    cardinality: 0,
+                    validity: Some(Bitmap::with_value(col.len(), false)),
+                });
+            }
+            if let Some(codes) = small_domain_codes(col, &values, strategy.n_bins()) {
+                return Ok(codes);
+            }
+            let edges = compute_edges(&values, strategy)?;
+            let n_bins = edges.len() - 1;
+            let mut codes = Vec::with_capacity(col.len());
+            for i in 0..col.len() {
+                match col.f64_at(i) {
+                    Some(v) => codes.push(assign_bin(v, &edges)),
+                    None => codes.push(0),
+                }
+            }
+            // Compact: some bins may be empty (quantile ties); remap to
+            // dense codes preserving bin order, so codes stay monotone in
+            // the underlying values.
+            let mut used = vec![false; n_bins];
+            for (i, c) in codes.iter().enumerate() {
+                if !col.is_null(i) {
+                    used[*c as usize] = true;
+                }
+            }
+            let mut remap = vec![u32::MAX; n_bins];
+            let mut next = 0u32;
+            for (b, &u) in used.iter().enumerate() {
+                if u {
+                    remap[b] = next;
+                    next += 1;
+                }
+            }
+            for (i, c) in codes.iter_mut().enumerate() {
+                if !col.is_null(i) {
+                    *c = remap[*c as usize];
+                }
+            }
+            Ok(Codes {
+                codes,
+                cardinality: next,
+                validity: col.validity().cloned(),
+            })
+        }
+        _ => col.category_codes(),
+    }
+}
+
+/// Bins a numeric column into a Utf8 column of interval labels
+/// (`"[lo, hi)"`), suitable for grouping and for human-readable subgroup
+/// descriptions.
+pub fn bin_to_column(col: &Column, strategy: BinStrategy) -> Result<Column> {
+    use crate::column::ColumnData;
+    match col.data() {
+        ColumnData::Float64(_) | ColumnData::Int64(_) => {
+            let values: Vec<f64> = (0..col.len()).filter_map(|i| col.f64_at(i)).collect();
+            if values.is_empty() {
+                return Ok(Column::from_opt_strs(&vec![None::<&str>; col.len()]));
+            }
+            let edges = compute_edges(&values, strategy)?;
+            let n_bins = edges.len() - 1;
+            let labels: Vec<String> = (0..n_bins)
+                .map(|i| {
+                    if i + 1 == n_bins {
+                        format!("[{:.4}, {:.4}]", edges[i], edges[i + 1])
+                    } else {
+                        format!("[{:.4}, {:.4})", edges[i], edges[i + 1])
+                    }
+                })
+                .collect();
+            let out: Vec<Option<&str>> = (0..col.len())
+                .map(|i| {
+                    col.f64_at(i)
+                        .map(|v| labels[assign_bin(v, &edges) as usize].as_str())
+                })
+                .collect();
+            Ok(Column::from_opt_strs(&out))
+        }
+        _ => Ok(col.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_edges() {
+        let edges = compute_edges(&[0.0, 10.0], BinStrategy::EqualWidth(5)).unwrap();
+        assert_eq!(edges, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn quantile_edges_balance_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let edges = compute_edges(&values, BinStrategy::Quantile(4)).unwrap();
+        assert_eq!(edges.len(), 5);
+        // Each quartile boundary within one step of the exact quartile.
+        assert!((edges[1] - 24.75).abs() < 1.0);
+        assert!((edges[2] - 49.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn assign_bin_boundaries() {
+        let edges = vec![0.0, 2.0, 4.0, 6.0];
+        assert_eq!(assign_bin(-1.0, &edges), 0);
+        assert_eq!(assign_bin(0.0, &edges), 0);
+        assert_eq!(assign_bin(1.9, &edges), 0);
+        assert_eq!(assign_bin(2.0, &edges), 1);
+        assert_eq!(assign_bin(5.9, &edges), 2);
+        assert_eq!(assign_bin(6.0, &edges), 2); // right-closed last bin
+        assert_eq!(assign_bin(99.0, &edges), 2);
+    }
+
+    #[test]
+    fn bin_codes_respects_nulls() {
+        let col = Column::from_opt_f64(vec![Some(1.0), None, Some(9.0), Some(5.0)]);
+        let codes = bin_codes(&col, BinStrategy::EqualWidth(2)).unwrap();
+        assert_eq!(codes.cardinality, 2);
+        assert!(codes.is_valid(0));
+        assert!(!codes.is_valid(1));
+        assert_eq!(codes.codes[0], 0);
+        assert_eq!(codes.codes[2], 1);
+        assert_eq!(codes.codes[3], 1); // 5.0 on the boundary goes right
+    }
+
+    #[test]
+    fn bin_codes_constant_column() {
+        let col = Column::from_f64(vec![3.0; 10]);
+        let codes = bin_codes(&col, BinStrategy::Quantile(4)).unwrap();
+        assert_eq!(codes.cardinality, 1);
+        assert!(codes.codes.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn bin_codes_all_null_column() {
+        let col = Column::from_opt_f64(vec![None, None]);
+        let codes = bin_codes(&col, BinStrategy::EqualWidth(4)).unwrap();
+        assert_eq!(codes.cardinality, 0);
+        assert_eq!(codes.valid_count(), 0);
+    }
+
+    #[test]
+    fn bin_codes_passthrough_for_strings() {
+        let col = Column::from_strs(&["a", "b", "a"]);
+        let codes = bin_codes(&col, BinStrategy::EqualWidth(4)).unwrap();
+        assert_eq!(codes.cardinality, 2);
+    }
+
+    #[test]
+    fn bin_to_column_labels() {
+        let col = Column::from_f64(vec![0.0, 5.0, 10.0]);
+        let binned = bin_to_column(&col, BinStrategy::EqualWidth(2)).unwrap();
+        let a = binned.str_at(0).unwrap().to_string();
+        let c = binned.str_at(2).unwrap().to_string();
+        assert_ne!(a, c);
+        assert!(a.starts_with('['));
+        assert_eq!(binned.distinct_count(), 2);
+    }
+
+    #[test]
+    fn bin_codes_int_column() {
+        let col = Column::from_i64(vec![1, 2, 3, 100]);
+        let codes = bin_codes(&col, BinStrategy::EqualWidth(2)).unwrap();
+        assert_eq!(codes.cardinality, 2);
+        assert_eq!(codes.codes, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn zero_bins_rejected() {
+        assert!(compute_edges(&[1.0], BinStrategy::EqualWidth(0)).is_err());
+    }
+
+    #[test]
+    fn quantile_heavy_ties_dedup() {
+        let mut values = vec![1.0; 90];
+        values.extend(vec![2.0; 10]);
+        let edges = compute_edges(&values, BinStrategy::Quantile(4)).unwrap();
+        // Ties collapse duplicate edges; result is still a valid edge vector.
+        assert!(edges.len() >= 2);
+        assert!(edges.windows(2).all(|w| w[0] < w[1] || edges.len() == 2));
+    }
+}

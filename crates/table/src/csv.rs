@@ -1,0 +1,334 @@
+//! Minimal RFC-4180-style CSV reading and writing with type inference.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::table::Table;
+
+/// Options for CSV reading.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header (default true).
+    pub has_header: bool,
+    /// Strings treated as null in addition to the empty string.
+    pub null_tokens: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            null_tokens: vec!["NULL".into(), "null".into(), "NA".into()],
+        }
+    }
+}
+
+/// Reads a CSV file into a [`Table`], inferring column types.
+pub fn read_csv_path(path: impl AsRef<Path>) -> Result<Table> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file, &CsvOptions::default())
+}
+
+/// Reads CSV data into a [`Table`], inferring column types.
+///
+/// Type inference per column: Int64 if every non-null field parses as an
+/// integer; else Float64 if every non-null field parses as a number; else
+/// Bool if every non-null field is `true`/`false`; else Utf8.
+pub fn read_csv<R: Read>(reader: R, options: &CsvOptions) -> Result<Table> {
+    let mut reader = BufReader::new(reader);
+    let mut records: Vec<Vec<Option<String>>> = Vec::new();
+    let mut header: Option<Vec<String>> = None;
+    let mut line_no = 0usize;
+
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(line, options.delimiter, line_no)?;
+        if options.has_header && header.is_none() {
+            header = Some(fields.into_iter().map(|f| f.unwrap_or_default()).collect());
+            continue;
+        }
+        let fields: Vec<Option<String>> = fields
+            .into_iter()
+            .map(|f| match f {
+                Some(s) if options.null_tokens.iter().any(|t| t == &s) => None,
+                other => other,
+            })
+            .collect();
+        if let Some(h) = &header {
+            if fields.len() != h.len() {
+                return Err(TableError::Csv {
+                    line: line_no,
+                    message: format!("expected {} fields, got {}", h.len(), fields.len()),
+                });
+            }
+        }
+        records.push(fields);
+    }
+
+    let n_cols = header
+        .as_ref()
+        .map(|h| h.len())
+        .or_else(|| records.first().map(|r| r.len()))
+        .unwrap_or(0);
+    let names: Vec<String> = match header {
+        Some(h) => h,
+        None => (0..n_cols).map(|i| format!("col{i}")).collect(),
+    };
+
+    let mut columns = Vec::with_capacity(n_cols);
+    for (c, name) in names.into_iter().enumerate() {
+        let raw: Vec<Option<&str>> = records
+            .iter()
+            .map(|r| r.get(c).and_then(|f| f.as_deref()))
+            .collect();
+        columns.push((name, infer_column(&raw)));
+    }
+    Table::new(columns)
+}
+
+/// Splits one CSV record, honoring double-quoted fields with `""` escapes.
+/// Empty unquoted fields become `None`; quoted empty fields become `Some("")`.
+fn split_record(line: &str, delimiter: char, line_no: usize) -> Result<Vec<Option<String>>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut was_quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            if ch == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(ch);
+            }
+        } else if ch == '"' {
+            if cur.is_empty() {
+                in_quotes = true;
+                was_quoted = true;
+            } else {
+                return Err(TableError::Csv {
+                    line: line_no,
+                    message: "unexpected quote inside unquoted field".into(),
+                });
+            }
+        } else if ch == delimiter {
+            fields.push(finish_field(std::mem::take(&mut cur), was_quoted));
+            was_quoted = false;
+        } else {
+            cur.push(ch);
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(finish_field(cur, was_quoted));
+    Ok(fields)
+}
+
+fn finish_field(s: String, was_quoted: bool) -> Option<String> {
+    if s.is_empty() && !was_quoted {
+        None
+    } else {
+        Some(s)
+    }
+}
+
+/// Infers the tightest column type for raw string fields and builds it.
+fn infer_column(raw: &[Option<&str>]) -> Column {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    let mut any = false;
+    for v in raw.iter().flatten() {
+        any = true;
+        if all_int && v.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if all_float && v.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if all_bool && !matches!(*v, "true" | "false" | "True" | "False") {
+            all_bool = false;
+        }
+        if !all_int && !all_float && !all_bool {
+            break;
+        }
+    }
+    if !any {
+        // Entirely null; default to Utf8 nulls.
+        return Column::from_opt_strs(raw);
+    }
+    if all_int {
+        Column::from_opt_i64(
+            raw.iter()
+                .map(|v| v.and_then(|s| s.parse::<i64>().ok()))
+                .collect(),
+        )
+    } else if all_float {
+        Column::from_opt_f64(
+            raw.iter()
+                .map(|v| v.and_then(|s| s.parse::<f64>().ok()))
+                .collect(),
+        )
+    } else if all_bool {
+        Column::from_opt_bools(
+            raw.iter()
+                .map(|v| v.map(|s| matches!(s, "true" | "True")))
+                .collect(),
+        )
+    } else {
+        Column::from_opt_strs(raw)
+    }
+}
+
+/// Writes a table as CSV (header + rows). Nulls are written as empty fields;
+/// strings containing the delimiter, quotes, or newlines are quoted.
+pub fn write_csv<W: Write>(table: &Table, writer: W) -> Result<()> {
+    let mut w = std::io::BufWriter::new(writer);
+    let names = table.column_names();
+    let header: Vec<String> = names.iter().map(|n| escape_field(n)).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for r in 0..table.n_rows() {
+        let mut row = Vec::with_capacity(names.len());
+        for c in 0..table.n_cols() {
+            let v = table.column_at(c).value(r);
+            row.push(if v.is_null() {
+                String::new()
+            } else {
+                escape_field(&v.to_string())
+            });
+        }
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a table as CSV to a path.
+pub fn write_csv_path(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(table, file)
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn roundtrip_with_types_and_nulls() {
+        let csv = "name,age,score,member\nann,30,1.5,true\nbob,,2.5,false\n,40,,true\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.column("age").unwrap().dtype(), DataType::Int64);
+        assert_eq!(t.column("score").unwrap().dtype(), DataType::Float64);
+        assert_eq!(t.column("member").unwrap().dtype(), DataType::Bool);
+        assert_eq!(t.column("name").unwrap().dtype(), DataType::Utf8);
+        assert!(t.column("age").unwrap().is_null(1));
+        assert!(t.column("name").unwrap().is_null(2));
+
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let t2 = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(t2.n_rows(), 3);
+        assert_eq!(t2.value(0, "name").unwrap(), Value::Str("ann".into()));
+        assert!(t2.column("score").unwrap().is_null(2));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, "a").unwrap(), Value::Str("hello, world".into()));
+        assert_eq!(t.value(0, "b").unwrap(), Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn null_tokens() {
+        let csv = "x\nNULL\nNA\n7\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.column("x").unwrap().null_count(), 2);
+        assert_eq!(t.value(2, "x").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = read_csv(csv.as_bytes(), &CsvOptions::default());
+        assert!(matches!(err, Err(TableError::Csv { line: 3, .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "a\n\"oops\n";
+        // The reader treats lines independently, so the unterminated quote is
+        // caught on its own line.
+        assert!(read_csv(csv.as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn no_header_mode() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_csv("1,x\n2,y\n".as_bytes(), &opts).unwrap();
+        assert_eq!(t.column_names(), vec!["col0", "col1"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn int_column_promotes_to_float() {
+        let csv = "v\n1\n2.5\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.column("v").unwrap().dtype(), DataType::Float64);
+    }
+
+    #[test]
+    fn quoted_empty_is_empty_string_not_null() {
+        let csv = "a,b\n\"\",x\n";
+        let t = read_csv(csv.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, "a").unwrap(), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn write_escapes() {
+        let t = Table::new(vec![("a", Column::from_strs(&["x,y", "q\"t"]))]).unwrap();
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("\"x,y\""));
+        assert!(s.contains("\"q\"\"t\""));
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for the table crate.
+
+use std::fmt;
+
+/// Errors produced by table operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A referenced column does not exist in the table.
+    ColumnNotFound(String),
+    /// A column already exists with the given name.
+    DuplicateColumn(String),
+    /// An operation received a column of an unexpected data type.
+    TypeMismatch {
+        /// Column the operation was applied to.
+        column: String,
+        /// Data type the operation expected.
+        expected: &'static str,
+        /// Data type the column actually has.
+        actual: &'static str,
+    },
+    /// Columns in a table (or an appended column) disagree on length.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Actual number of rows.
+        actual: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error occurred (message of the underlying error).
+    Io(String),
+    /// An operation received an invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            TableError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch on column {column:?}: expected {expected}, got {actual}"
+            ),
+            TableError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} rows, got {actual}")
+            }
+            TableError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds for table of {len} rows")
+            }
+            TableError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            TableError::Io(msg) => write!(f, "io error: {msg}"),
+            TableError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TableError::ColumnNotFound("hdi".into());
+        assert!(e.to_string().contains("hdi"));
+        let e = TableError::TypeMismatch {
+            column: "salary".into(),
+            expected: "Float64",
+            actual: "Utf8",
+        };
+        let s = e.to_string();
+        assert!(s.contains("salary") && s.contains("Float64") && s.contains("Utf8"));
+        let e = TableError::LengthMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: TableError = io.into();
+        assert!(matches!(e, TableError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Hash joins between tables.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep every left row; right columns are null where unmatched.
+    Left,
+}
+
+/// Normalized join key: hashable wrapper over values appearing in keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+fn key_of(v: &Value) -> Option<Key> {
+    match v {
+        Value::Null => None,
+        Value::Int(x) => Some(Key::Int(*x)),
+        Value::Str(s) => Some(Key::Str(s.clone())),
+        Value::Bool(b) => Some(Key::Bool(*b)),
+        // Joining on floats is a footgun; treat as non-joinable like NULL.
+        Value::Float(_) => None,
+    }
+}
+
+/// Joins `left` with `right` on `left_on = right_on`.
+///
+/// Matching follows SQL semantics: NULL keys never match. Right-side columns
+/// whose names collide with left-side names are suffixed with `_right`.
+/// On a [`JoinType::Left`] join, unmatched left rows carry nulls in the
+/// right-side columns. If a left key matches multiple right rows, the left
+/// row is repeated per match (standard join multiplicity).
+pub fn join(
+    left: &Table,
+    right: &Table,
+    left_on: &str,
+    right_on: &str,
+    how: JoinType,
+) -> Result<Table> {
+    let lkey = left.column(left_on)?;
+    let rkey = right.column(right_on)?;
+    if lkey.dtype() != rkey.dtype() {
+        return Err(TableError::TypeMismatch {
+            column: right_on.to_string(),
+            expected: lkey.dtype().name(),
+            actual: rkey.dtype().name(),
+        });
+    }
+
+    // Build a hash index over the right key.
+    let mut index: HashMap<Key, Vec<usize>> = HashMap::new();
+    for r in 0..right.n_rows() {
+        if let Some(k) = key_of(&rkey.value(r)) {
+            index.entry(k).or_default().push(r);
+        }
+    }
+
+    // Probe.
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    for l in 0..left.n_rows() {
+        let matches = key_of(&lkey.value(l)).and_then(|k| index.get(&k));
+        match matches {
+            Some(rs) => {
+                for &r in rs {
+                    left_rows.push(l);
+                    right_rows.push(Some(r));
+                }
+            }
+            None => {
+                if how == JoinType::Left {
+                    left_rows.push(l);
+                    right_rows.push(None);
+                }
+            }
+        }
+    }
+
+    // Materialize output columns.
+    let mut out: Vec<(String, Column)> = Vec::new();
+    for (i, f) in left.schema().fields().iter().enumerate() {
+        out.push((f.name.clone(), left.column_at(i).gather(&left_rows)));
+    }
+    for (i, f) in right.schema().fields().iter().enumerate() {
+        if f.name == right_on && right_on == left_on {
+            continue; // same-named key column would duplicate the left key
+        }
+        let name = if left.has_column(&f.name) {
+            format!("{}_right", f.name)
+        } else {
+            f.name.clone()
+        };
+        let col = gather_optional(right.column_at(i), &right_rows);
+        out.push((name, col));
+    }
+    Table::new(out)
+}
+
+/// Gathers rows where `None` entries become nulls.
+fn gather_optional(col: &Column, rows: &[Option<usize>]) -> Column {
+    let values: Vec<Value> = rows
+        .iter()
+        .map(|r| match r {
+            Some(i) => col.value(*i),
+            None => Value::Null,
+        })
+        .collect();
+    Column::from_values(col.dtype(), &values).expect("values came from the same column")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        Table::new(vec![
+            ("name", Column::from_strs(&["ann", "bob", "eve", "sam"])),
+            (
+                "country",
+                Column::from_opt_strs(&[Some("us"), Some("fr"), Some("xx"), None]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn countries() -> Table {
+        Table::new(vec![
+            ("country", Column::from_strs(&["us", "fr", "de"])),
+            ("gdp", Column::from_f64(vec![21.0, 2.6, 3.8])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let j = join(&people(), &countries(), "country", "country", JoinType::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.column_names(), vec!["name", "country", "gdp"]);
+        assert_eq!(j.value(0, "gdp").unwrap(), Value::Float(21.0));
+    }
+
+    #[test]
+    fn left_join_nulls_unmatched() {
+        let j = join(&people(), &countries(), "country", "country", JoinType::Left).unwrap();
+        assert_eq!(j.n_rows(), 4);
+        assert_eq!(j.value(2, "gdp").unwrap(), Value::Null); // xx unmatched
+        assert_eq!(j.value(3, "gdp").unwrap(), Value::Null); // null key
+        assert_eq!(j.value(1, "gdp").unwrap(), Value::Float(2.6));
+    }
+
+    #[test]
+    fn join_multiplicity() {
+        let left = Table::new(vec![("k", Column::from_strs(&["a", "b"]))]).unwrap();
+        let right = Table::new(vec![
+            ("k", Column::from_strs(&["a", "a", "c"])),
+            ("v", Column::from_i64(vec![1, 2, 3])),
+        ])
+        .unwrap();
+        let j = join(&left, &right, "k", "k", JoinType::Left).unwrap();
+        assert_eq!(j.n_rows(), 3); // a matches twice, b unmatched
+        assert_eq!(j.value(0, "v").unwrap(), Value::Int(1));
+        assert_eq!(j.value(1, "v").unwrap(), Value::Int(2));
+        assert_eq!(j.value(2, "v").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn name_collision_suffixed() {
+        let left = Table::new(vec![
+            ("k", Column::from_strs(&["a"])),
+            ("v", Column::from_i64(vec![0])),
+        ])
+        .unwrap();
+        let right = Table::new(vec![
+            ("kk", Column::from_strs(&["a"])),
+            ("v", Column::from_i64(vec![9])),
+        ])
+        .unwrap();
+        let j = join(&left, &right, "k", "kk", JoinType::Inner).unwrap();
+        assert_eq!(j.column_names(), vec!["k", "v", "kk", "v_right"]);
+        assert_eq!(j.value(0, "v_right").unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let left = Table::new(vec![("k", Column::from_strs(&["a"]))]).unwrap();
+        let right = Table::new(vec![("k", Column::from_i64(vec![1]))]).unwrap();
+        assert!(join(&left, &right, "k", "k", JoinType::Inner).is_err());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = Table::new(vec![("k", Column::from_opt_strs(&[None::<&str>]))]).unwrap();
+        let right = Table::new(vec![("k", Column::from_opt_strs(&[None::<&str>]))]).unwrap();
+        let j = join(&left, &right, "k", "k", JoinType::Inner).unwrap();
+        assert_eq!(j.n_rows(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Table schemas: ordered, named, typed fields.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, TableError};
+use crate::value::DataType;
+
+/// A named, typed field in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of fields with fast name lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Creates a schema from fields, rejecting duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut index = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if index.insert(f.name.clone(), i).is_some() {
+                return Err(TableError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields, index })
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// The position of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| TableError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Whether a field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Field names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Appends a field, rejecting duplicates.
+    pub fn push(&mut self, field: Field) -> Result<()> {
+        if self.contains(&field.name) {
+            return Err(TableError::DuplicateColumn(field.name));
+        }
+        self.index.insert(field.name.clone(), self.fields.len());
+        self.fields.push(field);
+        Ok(())
+    }
+
+    /// Removes the field at position `i`, reindexing the rest.
+    pub fn remove(&mut self, i: usize) -> Field {
+        let f = self.fields.remove(i);
+        self.index.remove(&f.name);
+        for (j, g) in self.fields.iter().enumerate().skip(i) {
+            self.index.insert(g.name.clone(), j);
+        }
+        f
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+            Field::new("c", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup() {
+        let s = abc();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.contains("c"));
+        assert!(!s.contains("z"));
+        assert!(matches!(
+            s.index_of("z"),
+            Err(TableError::ColumnNotFound(_))
+        ));
+        assert_eq!(s.names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ]);
+        assert!(matches!(r, Err(TableError::DuplicateColumn(_))));
+
+        let mut s = abc();
+        assert!(s.push(Field::new("a", DataType::Bool)).is_err());
+        assert!(s.push(Field::new("d", DataType::Bool)).is_ok());
+        assert_eq!(s.index_of("d").unwrap(), 3);
+    }
+
+    #[test]
+    fn remove_reindexes() {
+        let mut s = abc();
+        let f = s.remove(0);
+        assert_eq!(f.name, "a");
+        assert_eq!(s.index_of("b").unwrap(), 0);
+        assert_eq!(s.index_of("c").unwrap(), 1);
+        assert!(!s.contains("a"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the dataframe substrate's invariants.
+
+use nexus_table::{
+    aggregate, bin_codes, group_by, join, read_csv, write_csv, AggFunc, BinStrategy, Bitmap,
+    Column, CsvOptions, JoinType, Table,
+};
+use proptest::prelude::*;
+
+fn small_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{1,6}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filter_preserves_values(
+        values in proptest::collection::vec(proptest::option::of(-1000i64..1000), 1..200),
+        mask_bits in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let n = values.len().min(mask_bits.len());
+        let values = &values[..n];
+        let col = Column::from_opt_i64(values.to_vec());
+        let t = Table::new(vec![("v", col)]).unwrap();
+        let mask: Bitmap = mask_bits[..n].iter().copied().collect();
+        let filtered = t.filter(&mask).unwrap();
+        prop_assert_eq!(filtered.n_rows(), mask.count_ones());
+        let kept: Vec<usize> = mask.iter_ones().collect();
+        for (new_i, &old_i) in kept.iter().enumerate() {
+            prop_assert_eq!(
+                filtered.value(new_i, "v").unwrap(),
+                t.value(old_i, "v").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn group_by_partitions_rows(
+        keys in proptest::collection::vec(small_string(), 1..150),
+    ) {
+        let t = Table::new(vec![("k", Column::from_strs(&keys))]).unwrap();
+        let groups = group_by(&t, &["k"]).unwrap();
+        // Every row appears in exactly one group.
+        let mut seen = vec![false; keys.len()];
+        for g in &groups.groups {
+            for &r in g {
+                prop_assert!(!seen[r], "row {r} in two groups");
+                seen[r] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Rows in a group share a key; different groups have different keys.
+        let mut reps = std::collections::HashSet::new();
+        for g in &groups.groups {
+            let k = &keys[g[0]];
+            for &r in g {
+                prop_assert_eq!(&keys[r], k);
+            }
+            prop_assert!(reps.insert(k.clone()));
+        }
+    }
+
+    #[test]
+    fn aggregate_avg_matches_manual(
+        pairs in proptest::collection::vec((small_string(), -100.0f64..100.0), 1..120),
+    ) {
+        let keys: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        let vals: Vec<f64> = pairs.iter().map(|(_, v)| *v).collect();
+        let t = Table::new(vec![
+            ("k", Column::from_strs(&keys)),
+            ("v", Column::from_f64(vals.clone())),
+        ])
+        .unwrap();
+        let out = aggregate(&t, &["k"], &[(AggFunc::Avg, "v")]).unwrap();
+        for r in 0..out.n_rows() {
+            let key = out.value(r, "k").unwrap().as_str().unwrap().to_string();
+            let avg = out.value(r, "avg(v)").unwrap().as_f64().unwrap();
+            let manual: Vec<f64> = pairs
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .collect();
+            let expect = manual.iter().sum::<f64>() / manual.len() as f64;
+            prop_assert!((avg - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inner_join_matches_nested_loop(
+        left in proptest::collection::vec(small_string(), 0..40),
+        right in proptest::collection::vec(small_string(), 0..40),
+    ) {
+        let lt = Table::new(vec![("k", Column::from_strs(&left))]).unwrap();
+        let mut rt = Table::new(vec![("k", Column::from_strs(&right))]).unwrap();
+        rt.add_column("idx", Column::from_i64((0..right.len() as i64).collect()))
+            .unwrap();
+        let joined = join(&lt, &rt, "k", "k", JoinType::Inner).unwrap();
+        let expected: usize = left
+            .iter()
+            .map(|l| right.iter().filter(|r| *r == l).count())
+            .sum();
+        prop_assert_eq!(joined.n_rows(), expected);
+    }
+
+    #[test]
+    fn csv_roundtrip_identity(
+        ints in proptest::collection::vec(proptest::option::of(-1000i64..1000), 1..60),
+        strs in proptest::collection::vec(proptest::option::of(small_string()), 1..60),
+    ) {
+        let n = ints.len().min(strs.len());
+        let t = Table::new(vec![
+            ("i", Column::from_opt_i64(ints[..n].to_vec())),
+            ("s", Column::from_opt_strs(&strs[..n])),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let t2 = read_csv(buf.as_slice(), &CsvOptions::default()).unwrap();
+        prop_assert_eq!(t2.n_rows(), t.n_rows());
+        for r in 0..t.n_rows() {
+            prop_assert_eq!(t2.value(r, "i").unwrap(), t.value(r, "i").unwrap());
+            prop_assert_eq!(t2.value(r, "s").unwrap(), t.value(r, "s").unwrap());
+        }
+    }
+
+    #[test]
+    fn binning_is_monotone(
+        values in proptest::collection::vec(-1e6f64..1e6, 2..300),
+        quantile in any::<bool>(),
+    ) {
+        let col = Column::from_f64(values.clone());
+        let strategy = if quantile {
+            BinStrategy::Quantile(6)
+        } else {
+            BinStrategy::EqualWidth(6)
+        };
+        let codes = bin_codes(&col, strategy).unwrap();
+        prop_assert!(codes.cardinality >= 1);
+        prop_assert!(codes.cardinality <= 6);
+        // Monotone: v1 <= v2 implies code(v1) <= code(v2).
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        for w in order.windows(2) {
+            prop_assert!(codes.codes[w[0]] <= codes.codes[w[1]]);
+        }
+    }
+
+    #[test]
+    fn gather_out_of_order(
+        values in proptest::collection::vec(-100i64..100, 1..100),
+        seed in any::<u64>(),
+    ) {
+        let col = Column::from_i64(values.clone());
+        let n = values.len();
+        // A deterministic pseudo-shuffled index list with repeats.
+        let indices: Vec<usize> = (0..n)
+            .map(|i| ((seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % n)
+            .collect();
+        let g = col.gather(&indices);
+        for (j, &i) in indices.iter().enumerate() {
+            prop_assert_eq!(g.value(j), col.value(i));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Selection-bias detection and IPW correction (the paper's Section 3),
+//! demonstrated on the public API of `nexus-missing` + `nexus-info`.
+//!
+//! The scenario: a salary study where education — the confounder that
+//! explains the country↔salary correlation — is *not missing at random*:
+//! high earners decline to report it. Complete-case analysis then
+//! understates the very correlation the analyst is trying to explain,
+//! mean/mode imputation manufactures unexplained correlation, and IPW
+//! recovers the clean estimates.
+//!
+//! Run with: `cargo run --release --example selection_bias`
+
+use nexus::info::InfoContext;
+use nexus::missing::{
+    detect_selection_bias, impute_mode, inject_missing, ipw_weights, BiasDetectOptions,
+    IpwOptions, MissingInjection,
+};
+use nexus::table::Column;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // A salary study: 12 countries in 3 development tiers; education is
+    // tier-driven and salary is education-driven, so Country ↔ Salary is
+    // confounded by Education (deterministic "noise" keeps the
+    // relationships stochastic without needing an RNG).
+    // ------------------------------------------------------------------
+    let mut country = Vec::new();
+    let mut edu_values: Vec<i64> = Vec::new();
+    let mut salary: Vec<i64> = Vec::new();
+    let mut i = 0usize;
+    for c in 0..12u32 {
+        let tier = (c % 3) as i64;
+        for _ in 0..250 {
+            let edu = if i.is_multiple_of(7) { (tier + 2) % 3 } else { tier };
+            let sal = if i.is_multiple_of(5) { (edu + 1) % 3 } else { edu };
+            country.push(format!("C{c:02}"));
+            edu_values.push(edu);
+            salary.push(sal);
+            i += 1;
+        }
+    }
+    const LEVELS: [&str; 3] = ["primary", "secondary", "tertiary"];
+    let edu_col = Column::from_strs(
+        &edu_values.iter().map(|&e| LEVELS[e as usize]).collect::<Vec<_>>(),
+    );
+    let t = Column::from_strs(&country).category_codes().expect("codes");
+    let o = Column::from_i64(salary.clone()).category_codes().expect("codes");
+    let e = edu_col.category_codes().expect("codes");
+
+    let ctx = InfoContext::default();
+    let mi_clean = ctx.mutual_information(&o, &t);
+    let cmi_clean = ctx.cmi(&o, &t, &[&e]);
+    println!("Clean data ({} rows):", salary.len());
+    println!("  I(Salary; Country)       = {mi_clean:.4} bits");
+    println!("  I(Salary; Country | Edu) = {cmi_clean:.4} bits  -> education explains the correlation\n");
+
+    // ------------------------------------------------------------------
+    // MNAR missingness: 75% of top-bracket earners hide their education.
+    // The response indicator R_Edu now depends on the *outcome*.
+    // ------------------------------------------------------------------
+    let edu_mnar = Column::from_opt_strs(
+        &edu_values
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| {
+                if salary[i] == 2 && i % 4 != 0 {
+                    None
+                } else {
+                    Some(LEVELS[e as usize])
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let e_obs = edu_mnar.category_codes().expect("codes");
+    let report = detect_selection_bias(&ctx, &edu_mnar, &o, &t, &BiasDetectOptions::default());
+    println!(
+        "High earners hide education ({:.1}% of values missing):",
+        report.missing_fraction * 100.0
+    );
+    println!(
+        "  I(R_Edu; Salary) = {:.4} bits, I(R_Edu; Country) = {:.4} bits  -> biased = {}",
+        report.mi_with_outcome, report.mi_with_exposure, report.biased
+    );
+    assert!(report.biased, "the detector must flag outcome-dependent missingness");
+
+    // Complete-case analysis truncates the salary distribution: the
+    // correlation to be explained looks weaker than it is.
+    let cc = InfoContext::masked(edu_mnar.validity().expect("has missing rows"));
+    println!("  complete-case I(Salary; Country)       = {:.4} bits  (clean: {mi_clean:.4})", cc.mutual_information(&o, &t));
+    println!("  complete-case I(Salary; Country | Edu) = {:.4} bits\n", cc.cmi(&o, &t, &[&e_obs]));
+
+    // Mode imputation restores the rows but poisons the stratification:
+    // the hidden rows are mostly Edu = 2, the mode is not.
+    let e_imp = impute_mode(&edu_mnar).category_codes().expect("codes");
+    let cmi_imp = ctx.cmi(&o, &t, &[&e_imp]);
+    println!("Mode imputation:");
+    println!("  I(Salary; Country | Edu_imputed) = {cmi_imp:.4} bits  -> residual correlation is an artifact\n");
+
+    // IPW: fit P(R_Edu = 1 | fully-observed attributes) — salary itself
+    // predicts disclosure — and weight complete cases by marginal/p.
+    // Missing rows get weight 0, so the weighted context is complete-case
+    // by construction.
+    let w = ipw_weights(&edu_mnar, &[&o, &t], &IpwOptions::default());
+    let ipw = InfoContext::weighted(&w);
+    let mi_ipw = ipw.mutual_information(&o, &t);
+    let cmi_ipw = ipw.cmi(&o, &t, &[&e_obs]);
+    println!("IPW-weighted complete-case:");
+    println!("  I(Salary; Country)       = {mi_ipw:.4} bits  (clean: {mi_clean:.4})");
+    println!("  I(Salary; Country | Edu) = {cmi_ipw:.4} bits  (clean: {cmi_clean:.4})");
+    assert!(
+        (mi_ipw - mi_clean).abs() < (cc.mutual_information(&o, &t) - mi_clean).abs(),
+        "IPW must move the estimate toward the clean value"
+    );
+
+    // ------------------------------------------------------------------
+    // Control: the same amount of missingness injected completely at
+    // random is recoverable and must NOT be flagged.
+    // ------------------------------------------------------------------
+    let edu_mcar = inject_missing(
+        &edu_col,
+        MissingInjection::Random {
+            fraction: report.missing_fraction,
+            seed: 7,
+        },
+    );
+    let mcar = detect_selection_bias(&ctx, &edu_mcar, &o, &t, &BiasDetectOptions::default());
+    println!(
+        "\nMCAR control ({:.1}% missing at random): biased = {}  -> complete-case analysis is safe there",
+        mcar.missing_fraction * 100.0,
+        mcar.biased
+    );
+    assert!(!mcar.biased, "random missingness must not be flagged");
+}

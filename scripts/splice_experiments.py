@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Splice measured experiment output into EXPERIMENTS.md.
+
+Reads results/all_default.txt (the output of `nexus-eval all`), splits it
+into sections by their `# ` headers, and replaces each
+`<!-- MEASURED:<key> -->` marker in EXPERIMENTS.md with the corresponding
+section in a fenced code block.
+"""
+
+import re
+import sys
+
+RESULTS = "results/all_default.txt"
+DOC = "EXPERIMENTS.md"
+
+# marker key -> regex matching the section header in the results file
+KEYS = {
+    "table1": r"Table 1",
+    "table2": r"Table 2",
+    "table3": r"Table 3",
+    "fig2": r"Figure 2",
+    "fig3": r"Figure 3",
+    "fig4": r"Figure 4",
+    "fig5": r"Figure 5",
+    "fig6": r"Figure 6",
+    "table4": r"Table 4",
+    "random-queries": r"Section 5\.1",
+    "missing-stats": r"Section 5\.2",
+    "multihop": r"Section 5\.4",
+    "pruning-stats": r"Appendix: pruning",
+    "ablations": r"Ablations",
+    "latency": r"Query latency",
+}
+
+
+def split_sections(text):
+    sections = {}
+    current_header = None
+    current = []
+    for line in text.splitlines():
+        if line.startswith("# "):
+            if current_header is not None:
+                sections.setdefault(current_header, []).append("\n".join(current).strip())
+            current_header = line[2:].strip()
+            current = [line]
+        elif current_header is not None:
+            current.append(line)
+    if current_header is not None:
+        sections.setdefault(current_header, []).append("\n".join(current).strip())
+    return sections
+
+
+def main():
+    results = open(RESULTS).read()
+    sections = split_sections(results)
+    doc = open(DOC).read()
+
+    for key, pattern in KEYS.items():
+        matched = []
+        for header, bodies in sections.items():
+            if re.search(pattern, header):
+                matched.extend(bodies)
+        marker = f"<!-- MEASURED:{key} -->"
+        if marker not in doc:
+            print(f"warning: marker {key} missing from {DOC}", file=sys.stderr)
+            continue
+        if not matched:
+            print(f"warning: no results section for {key}", file=sys.stderr)
+            continue
+        block = "Measured output:\n\n```text\n" + "\n\n".join(matched) + "\n```"
+        doc = doc.replace(marker, block)
+
+    open(DOC, "w").write(doc)
+    print("spliced", len(KEYS), "sections into", DOC)
+
+
+if __name__ == "__main__":
+    main()

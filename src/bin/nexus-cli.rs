@@ -1,0 +1,239 @@
+//! The `nexus-cli` command-line tool: explain a confounded correlation in
+//! a CSV file using a knowledge graph (triple file) or a data lake (a
+//! directory of CSVs) as the knowledge source.
+//!
+//! ```text
+//! nexus-cli --table data.csv --kg knowledge.tsv \
+//!           --extract Country --extract Continent \
+//!           --sql "SELECT Country, avg(Salary) FROM t GROUP BY Country" \
+//!           [--k 5] [--hops 1] [--subgroups] [--no-pruning]
+//!
+//! nexus-cli --table data.csv --lake ./lake-dir --extract Country --sql "…"
+//! ```
+
+use std::process::exit;
+
+use nexus::core::{unexplained_subgroups, SubgroupOptions};
+use nexus::kg::KnowledgeGraph;
+use nexus::lake::{DataLake, LakeOptions};
+use nexus::table::read_csv_path;
+use nexus::{parse, Nexus, NexusOptions};
+
+struct Args {
+    table: String,
+    kg: Option<String>,
+    lake: Option<String>,
+    extract: Vec<String>,
+    sql: String,
+    k: usize,
+    hops: usize,
+    subgroups: bool,
+    no_pruning: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nexus-cli --table <csv> (--kg <triples.tsv> | --lake <dir>) \
+         --extract <column>... --sql <query> [--k N] [--hops N] [--subgroups] [--no-pruning]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        table: String::new(),
+        kg: None,
+        lake: None,
+        extract: Vec::new(),
+        sql: String::new(),
+        k: 5,
+        hops: 1,
+        subgroups: false,
+        no_pruning: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--table" => args.table = value(&mut i),
+            "--kg" => args.kg = Some(value(&mut i)),
+            "--lake" => args.lake = Some(value(&mut i)),
+            "--extract" => args.extract.push(value(&mut i)),
+            "--sql" => args.sql = value(&mut i),
+            "--k" => args.k = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--hops" => args.hops = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--subgroups" => args.subgroups = true,
+            "--no-pruning" => args.no_pruning = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if args.table.is_empty() || args.sql.is_empty() || args.extract.is_empty() {
+        usage()
+    }
+    if args.kg.is_none() == args.lake.is_none() {
+        eprintln!("exactly one of --kg or --lake is required");
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let table = match read_csv_path(&args.table) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", args.table);
+            exit(1)
+        }
+    };
+
+    let query = match parse(&args.sql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("failed to parse SQL: {e}");
+            exit(1)
+        }
+    };
+
+    let kg: KnowledgeGraph = if let Some(path) = &args.kg {
+        match nexus::kg::read_kg_path(path) {
+            Ok(kg) => kg,
+            Err(e) => {
+                eprintln!("failed to read KG {path}: {e}");
+                exit(1)
+            }
+        }
+    } else {
+        let dir = args.lake.as_deref().expect("validated");
+        let mut lake = DataLake::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("failed to read lake dir {dir}: {e}");
+                exit(1)
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+                match read_csv_path(&path) {
+                    Ok(t) => {
+                        let name = path
+                            .file_stem()
+                            .and_then(|s| s.to_str())
+                            .unwrap_or("table")
+                            .to_string();
+                        eprintln!("lake: loaded {name} ({} rows)", t.n_rows());
+                        lake.add_table(name, t);
+                    }
+                    Err(e) => eprintln!("lake: skipping {}: {e}", path.display()),
+                }
+            }
+        }
+        // Build one KG keyed by the first extraction column.
+        let col = match table.column(&args.extract[0]) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        };
+        lake.to_knowledge_graph(col, &LakeOptions::default())
+    };
+
+    let mut options = NexusOptions {
+        max_explanation_size: args.k,
+        hops: args.hops,
+        ..NexusOptions::default()
+    };
+    if args.no_pruning {
+        options = options.without_pruning();
+    }
+
+    let nexus = Nexus::new(options);
+    let (explanation, artifacts) =
+        match nexus.explain_with_artifacts(&table, &kg, &args.extract, &query) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pipeline failed: {e}");
+                exit(1)
+            }
+        };
+
+    println!("query: {query}");
+    println!(
+        "I(O;T|C) = {:.4} bits → {:.4} bits after conditioning ({:.0}% explained)",
+        explanation.initial_cmi,
+        explanation.explained_cmi,
+        100.0 * explanation.explained_fraction()
+    );
+    if explanation.attributes.is_empty() {
+        println!("no explanation found (no candidate earned calibrated credit)");
+    } else {
+        println!("explanation:");
+        for attr in &explanation.attributes {
+            println!(
+                "  {:<32} responsibility {:.2}{}",
+                attr.name,
+                attr.responsibility,
+                if attr.weighted { "  [IPW]" } else { "" }
+            );
+        }
+    }
+    let s = &explanation.stats;
+    println!(
+        "candidates {} → {} (offline) → {} (online); {} selection-biased; {:.2?} total",
+        s.n_candidates_initial,
+        s.n_after_offline,
+        s.n_after_online,
+        s.n_biased,
+        s.total()
+    );
+
+    if args.subgroups {
+        let exclude: Vec<&str> = query
+            .group_by
+            .iter()
+            .map(|s| s.as_str())
+            .chain(query.outcome().map(|(_, o)| o))
+            .collect();
+        match unexplained_subgroups(
+            &table,
+            &artifacts.set,
+            &artifacts.mcimr.selected,
+            &exclude,
+            &nexus.options,
+            &SubgroupOptions {
+                tau: 0.2 * explanation.initial_cmi.max(1.0),
+                ..SubgroupOptions::default()
+            },
+        ) {
+            Ok(groups) if groups.is_empty() => {
+                println!("no unexplained subgroups above threshold")
+            }
+            Ok(groups) => {
+                println!("unexplained subgroups:");
+                for (i, g) in groups.iter().enumerate() {
+                    println!(
+                        "  {}. size {:>6}  score {:.3}  {}",
+                        i + 1,
+                        g.size,
+                        g.score,
+                        g.describe()
+                    );
+                }
+            }
+            Err(e) => eprintln!("subgroup search failed: {e}"),
+        }
+    }
+}
