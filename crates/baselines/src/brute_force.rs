@@ -8,9 +8,11 @@
 //! ones) and subsets are enumerated up to [`BruteForce::max_size`].
 //! Enumeration is scored with the raw estimator, then the best few hundred
 //! subsets are re-scored with the calibrated estimator to pick the winner.
-//! Subset scoring parallelizes across threads with crossbeam.
+//! Subset scoring parallelizes on the workspace thread pool
+//! ([`nexus_runtime::ThreadPool`]) with index-ordered reduction, so the
+//! ranking is identical at any thread count.
 
-use crossbeam::thread;
+use nexus_runtime::{Parallelism, ThreadPool};
 
 use nexus_core::{CandidateSet, Engine, NexusOptions};
 use nexus_info::InfoContext;
@@ -82,38 +84,17 @@ impl ExplainMethod for BruteForce {
         let pos_of: std::collections::HashMap<usize, usize> =
             pool.iter().enumerate().map(|(p, &i)| (i, p)).collect();
 
-        // Enumerate subsets of sizes 1..=max_size, scored raw.
+        // Enumerate subsets of sizes 1..=max_size, scored raw. The engine's
+        // interior caches are not Sync; workers score subsets from the
+        // pre-gathered sample codes instead.
         let subsets = enumerate_subsets(&pool, self.max_size);
-        let n_threads = self.threads.max(1).min(subsets.len().max(1));
-        let chunk = subsets.len().div_ceil(n_threads);
-        let mut scored: Vec<(f64, &Vec<usize>)> = thread::scope(|s| {
-            let mut handles = Vec::new();
-            let o_s = &o_s;
-            let t_s = &t_s;
-            let pool_rows = &pool_rows;
-            let pos_of = &pos_of;
-            for part in subsets.chunks(chunk.max(1)) {
-                // The engine's interior caches are not Sync; workers score
-                // subsets from pre-gathered sample codes.
-                handles.push(s.spawn(move |_| {
-                    part.iter()
-                        .map(|subset| {
-                            let refs: Vec<&Codes> = subset
-                                .iter()
-                                .map(|i| &pool_rows[pos_of[i]])
-                                .collect();
-                            let cmi = InfoContext::default().cmi_mm(o_s, t_s, &refs);
-                            (cmi * subset.len() as f64, subset)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scope");
+        let exec = ThreadPool::new(Parallelism::Fixed(self.threads.max(1)));
+        let raw: Vec<f64> = exec.map(subsets.len(), |si| {
+            let refs: Vec<&Codes> = subsets[si].iter().map(|i| &pool_rows[pos_of[i]]).collect();
+            let cmi = InfoContext::default().cmi_mm(&o_s, &t_s, &refs);
+            cmi * subsets[si].len() as f64
+        });
+        let mut scored: Vec<(f64, &Vec<usize>)> = raw.into_iter().zip(subsets.iter()).collect();
 
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
         scored.truncate(self.rescore_top);
@@ -121,28 +102,17 @@ impl ExplainMethod for BruteForce {
         // Walk the raw ranking (the paper's Def. 2.3 objective) and accept
         // the first subset that earns real *calibrated* credit — this is
         // what keeps shape-lucky noise bundles from hijacking the optimum.
+        // Def. 2.3's |E| size penalty is then applied member-by-member with
+        // the calibrated estimator (backward elimination): a member that
+        // buys < 5% of the baseline is dropped, but a genuine joint
+        // contributor survives — comparing `score·|E|` wholesale would
+        // collapse {strong, weak-but-real} pairs onto the strong singleton
+        // because calibration floors multi-attribute scores well above the
+        // raw product.
         for (_, subset) in &scored {
             let calibrated = engine.cmi_given_calibrated(set, subset);
             if calibrated < 0.9 * baseline {
-                // Re-optimize Def. 2.3 within the accepted subset using the
-                // calibrated estimator: sampled plug-in scoring lets a
-                // free-riding attribute slip into the product occasionally.
-                let trimmed = best_sub_subset(set, engine, subset);
-                // Def. 2.3's |E| factor, applied with calibrated scores:
-                // prefer the best single member when it matches the set's
-                // product.
-                let set_score = engine.cmi_given_calibrated(set, &trimmed)
-                    * trimmed.len() as f64;
-                let best_single = trimmed
-                    .iter()
-                    .map(|&i| (engine.cmi_single(set, i), i))
-                    .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-                if let Some((single_score, single)) = best_single {
-                    if trimmed.len() > 1 && single_score <= set_score {
-                        return vec![single];
-                    }
-                }
-                return trimmed;
+                return best_sub_subset(set, engine, subset);
             }
         }
         scored

@@ -70,7 +70,11 @@ impl LinearRegressionBaseline {
             return Vec::new();
         }
         // In-context rows, sampled.
-        let mut rows: Vec<usize> = set.mask.iter_ones().filter(|&i| set.o.is_valid(i)).collect();
+        let mut rows: Vec<usize> = set
+            .mask
+            .iter_ones()
+            .filter(|&i| set.o.is_valid(i))
+            .collect();
         if rows.len() > self.max_rows {
             let mut rng = StdRng::seed_from_u64(self.seed);
             rows.shuffle(&mut rng);
@@ -113,9 +117,11 @@ impl LinearRegressionBaseline {
                 }
             }
         }
-        let y_mean =
-            rows.iter().map(|&r| set.o.codes[r] as f64).sum::<f64>() / n as f64;
-        let y: Vec<f64> = rows.iter().map(|&r| set.o.codes[r] as f64 - y_mean).collect();
+        let y_mean = rows.iter().map(|&r| set.o.codes[r] as f64).sum::<f64>() / n as f64;
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|&r| set.o.codes[r] as f64 - y_mean)
+            .collect();
 
         // Normal equations with a small ridge for numerical stability.
         let mut xtx = Matrix::zeros(p, p);

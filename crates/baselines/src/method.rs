@@ -17,11 +17,7 @@ pub trait ExplainMethod {
 }
 
 /// The eligible candidate indices under the shared estimator policy.
-pub fn eligible_indices(
-    set: &CandidateSet,
-    engine: &Engine,
-    options: &NexusOptions,
-) -> Vec<usize> {
+pub fn eligible_indices(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Vec<usize> {
     (0..set.candidates.len())
         .filter(|&i| engine.eligible(set, i, options))
         .collect()
@@ -63,8 +59,7 @@ pub(crate) mod testkit {
         .unwrap();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
         let options = NexusOptions::default();
-        let set =
-            build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
+        let set = build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
         let engine = Engine::new(&set);
         (set, engine, options)
     }

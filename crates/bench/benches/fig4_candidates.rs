@@ -7,6 +7,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use nexus_bench::Scenario;
+use nexus_core::Parallelism;
 use nexus_datagen::{DatasetKind, Scale};
 use nexus_eval::{timed_query, PruningVariant};
 
@@ -19,6 +20,8 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(4));
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.sample_size(10);
+    // Every (variant, pool-width) cell runs the same query; t1 vs t4 shows
+    // the scoring-phase speedup without changing the selected explanation.
     for &n in &[50usize, 150, 300] {
         let n = n.min(total);
         for variant in [
@@ -26,23 +29,27 @@ fn bench(c: &mut Criterion) {
             PruningVariant::Offline,
             PruningVariant::Full,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(variant.name(), n),
-                &n,
-                |b, &n| {
-                    b.iter_batched(
-                        || {
-                            let mut set = full.clone();
-                            let mut rng = StdRng::seed_from_u64(4 + n as u64);
-                            set.candidates.shuffle(&mut rng);
-                            set.candidates.truncate(n);
-                            set
-                        },
-                        |set| timed_query(set, &scenario.options, variant),
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            for (tag, parallelism) in [("t1", Parallelism::Serial), ("t4", Parallelism::Fixed(4))] {
+                let mut options = scenario.options.clone();
+                options.parallelism = parallelism;
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}-{tag}", variant.name()), n),
+                    &n,
+                    |b, &n| {
+                        b.iter_batched(
+                            || {
+                                let mut set = full.clone();
+                                let mut rng = StdRng::seed_from_u64(4 + n as u64);
+                                set.candidates.shuffle(&mut rng);
+                                set.candidates.truncate(n);
+                                set
+                            },
+                            |set| timed_query(set, &options, variant),
+                            criterion::BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
         }
     }
     group.finish();

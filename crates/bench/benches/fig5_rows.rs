@@ -15,8 +15,8 @@ fn bench(c: &mut Criterion) {
         let scenario = Scenario::new(kind, Scale::Small);
         let n = scenario.dataset.table.n_rows();
         let mut group = c.benchmark_group(format!("fig5_rows_{}", scenario.dataset.name));
-    group.measurement_time(std::time::Duration::from_secs(4));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(4));
+        group.warm_up_time(std::time::Duration::from_secs(1));
         group.sample_size(10);
         for frac in [0.25, 0.5, 1.0] {
             let keep = ((n as f64) * frac) as usize;

@@ -10,7 +10,9 @@ fn synthetic(n: usize, card: u32, seed: u64) -> Codes {
     let mut s = seed;
     let codes = (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as u32) % card
         })
         .collect();

@@ -8,7 +8,7 @@ use nexus_baselines::{
     BruteForce, CajadeBaseline, ExplainMethod, HypDbBaseline, LinearRegressionBaseline, TopK,
 };
 use nexus_bench::Scenario;
-use nexus_core::{mcimr, prune_offline, prune_online, Engine};
+use nexus_core::{mcimr, prune_offline, prune_online, Engine, Parallelism};
 use nexus_datagen::{DatasetKind, Scale};
 
 fn bench(c: &mut Criterion) {
@@ -22,9 +22,22 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(4));
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.sample_size(10);
-    group.bench_function("MCIMR", |b| {
-        b.iter(|| mcimr(&set, &engine, &scenario.options))
-    });
+    // Candidate scoring at 1 vs 4 pool threads — selections must be
+    // identical (index-ordered reduction), only the wall clock moves. The
+    // engine is rebuilt every iteration: its per-candidate caches would
+    // otherwise absorb the scoring work after the first pass and the bench
+    // would time cache hits instead of the parallel region.
+    for (label, parallelism) in [
+        ("MCIMR/t1", Parallelism::Serial),
+        ("MCIMR/t4", Parallelism::Fixed(4)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let engine = Engine::with_parallelism(&set, parallelism);
+                mcimr(&set, &engine, &scenario.options)
+            })
+        });
+    }
     let methods: Vec<Box<dyn ExplainMethod>> = vec![
         Box::new(BruteForce {
             threads: 4,

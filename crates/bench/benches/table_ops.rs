@@ -10,7 +10,9 @@ use nexus_table::{
 fn people(n: usize) -> Table {
     let mut s = 7u64;
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 33) as usize
     };
     let countries: Vec<String> = (0..n).map(|_| format!("C{:03}", next() % 200)).collect();

@@ -479,8 +479,8 @@ mod tests {
     #[test]
     fn context_mask_and_outcome_binning() {
         let (table, kg, cols) = toy();
-        let q =
-            parse("SELECT Country, avg(Salary) FROM t WHERE Gender = 'm' GROUP BY Country").unwrap();
+        let q = parse("SELECT Country, avg(Salary) FROM t WHERE Gender = 'm' GROUP BY Country")
+            .unwrap();
         let set = build_candidates(&table, &kg, &cols, &q, &NexusOptions::default()).unwrap();
         assert_eq!(set.mask.count_ones(), 7);
         assert!(set.o.cardinality >= 2);
@@ -489,8 +489,8 @@ mod tests {
     #[test]
     fn composite_exposure() {
         let (table, kg, cols) = toy();
-        let q = parse("SELECT Country, Gender, avg(Salary) FROM t GROUP BY Country, Gender")
-            .unwrap();
+        let q =
+            parse("SELECT Country, Gender, avg(Salary) FROM t GROUP BY Country, Gender").unwrap();
         let set = build_candidates(&table, &kg, &cols, &q, &NexusOptions::default()).unwrap();
         // 4 countries (incl. Nowhere) × 2 genders present.
         assert!(set.t.cardinality >= 6);
@@ -506,7 +506,9 @@ mod tests {
         no_group.group_by.clear();
         assert!(build_candidates(&table, &kg, &cols, &no_group, &NexusOptions::default()).is_err());
         let mut no_agg = q;
-        no_agg.select.retain(|s| matches!(s, nexus_query::SelectItem::Column(_)));
+        no_agg
+            .select
+            .retain(|s| matches!(s, nexus_query::SelectItem::Column(_)));
         assert!(build_candidates(&table, &kg, &cols, &no_agg, &NexusOptions::default()).is_err());
     }
 }

@@ -11,10 +11,11 @@
 //! selected attributes fall back to direct row scans, which happen O(k)
 //! times, not O(|𝒜|) times.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 use nexus_info::{entropy_from_counts, entropy_mm, InfoContext, JointCounts};
+use nexus_runtime::{Parallelism, ThreadPool};
 use nexus_table::Codes;
 
 use crate::candidate::{Candidate, CandidateRepr, CandidateSet, MISSING_CODE};
@@ -55,8 +56,7 @@ impl CandStats {
     /// `I(O;T|E)` — the Min-CMI criterion value, Miller–Madow corrected so
     /// candidates with different complete-case supports compare fairly.
     pub fn cmi(&self) -> f64 {
-        (self.mm(self.h_oe) + self.mm(self.h_te) - self.mm(self.h_ote) - self.mm(self.h_e))
-            .max(0.0)
+        (self.mm(self.h_oe) + self.mm(self.h_te) - self.mm(self.h_ote) - self.mm(self.h_e)).max(0.0)
     }
 
     /// Plug-in (uncorrected) `I(O;T|E)`.
@@ -72,8 +72,7 @@ impl CandStats {
     /// `I(O;E|T)` — relevance within exposure groups (Miller–Madow
     /// corrected).
     pub fn relevance_given_t(&self) -> f64 {
-        (self.mm(self.h_ot) + self.mm(self.h_te) - self.mm(self.h_ote) - self.mm(self.h_t))
-            .max(0.0)
+        (self.mm(self.h_ot) + self.mm(self.h_te) - self.mm(self.h_ote) - self.mm(self.h_t)).max(0.0)
     }
 
     /// `H(T|E)` — the forward FD residual (plug-in: FD detection wants the
@@ -120,14 +119,18 @@ impl Contingency {
             if !set.mask.get(i) || !o.is_valid(i) || !t.is_valid(i) || !x.is_valid(i) {
                 continue;
             }
-            let key = (x.codes[i] as u64 * card_t + t.codes[i] as u64) * card_o
-                + o.codes[i] as u64;
+            let key = (x.codes[i] as u64 * card_t + t.codes[i] as u64) * card_o + o.codes[i] as u64;
             *map.entry(key).or_insert(0.0) += 1.0;
         }
-        let mut cells = Vec::with_capacity(map.len());
+        // Drain the map in key order: every downstream score folds these
+        // cells into f64 sums, and NEXUS promises bit-identical results
+        // across runs and thread counts — HashMap order is neither.
+        let mut keyed: Vec<(u64, f64)> = map.into_iter().collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let mut cells = Vec::with_capacity(keyed.len());
         let mut x_marginal = vec![0.0; x.cardinality as usize];
         let mut total = 0.0;
-        for (key, w) in map {
+        for (key, w) in keyed {
             let o_code = (key % card_o) as u32;
             let t_code = ((key / card_o) % card_t) as u32;
             let x_code = (key / (card_o * card_t)) as u32;
@@ -149,7 +152,11 @@ impl Contingency {
 /// The estimation engine for one candidate set.
 ///
 /// Caches are keyed by candidate *name* so they stay valid when the
-/// candidate vector is compacted by pruning.
+/// candidate vector is compacted by pruning. All interior caches are
+/// mutex-guarded and every cached value is a pure function of its key, so
+/// the engine is freely shared across the worker threads of its
+/// [`ThreadPool`]; a duplicated computation under contention is wasted
+/// work, never a wrong answer.
 pub struct Engine {
     /// `(O,T,X)` contingencies per extraction column.
     base: HashMap<String, Contingency>,
@@ -157,27 +164,39 @@ pub struct Engine {
     baseline_cmi: f64,
     /// Total in-context complete-case rows for (O,T).
     baseline_support: usize,
+    /// The pool candidate-parallel stages (scoring, pruning, bias
+    /// detection) run on.
+    pool: ThreadPool,
     /// Cached per-candidate stats, keyed by `(name, weighted)`.
-    stats_cache: RefCell<HashMap<(String, bool), CandStats>>,
+    stats_cache: Mutex<HashMap<(String, bool), CandStats>>,
     /// Cached calibrated CMI, keyed by `(name, weighted)`.
-    calibrated_cache: RefCell<HashMap<(String, bool), f64>>,
+    calibrated_cache: Mutex<HashMap<(String, bool), f64>>,
     /// Cached pairwise MI, keyed by ordered candidate names.
-    pair_cache: RefCell<HashMap<(String, String), f64>>,
+    pair_cache: Mutex<HashMap<(String, String), f64>>,
     /// Cached cross-column `(X₁, X₂)` joint counts.
-    column_pairs: RefCell<HashMap<(String, String), PairCells>>,
+    column_pairs: Mutex<HashMap<(String, String), Arc<PairCells>>>,
 }
 
 /// Joint `(x₁, x₂, weight)` cells for a pair of extraction columns.
 type PairCells = Vec<(u32, u32, f64)>;
 
 impl Engine {
-    /// Builds the engine: one row pass per extraction column plus one for
-    /// the baseline.
+    /// Builds the engine serially: one row pass per extraction column plus
+    /// one for the baseline.
     pub fn new(set: &CandidateSet) -> Engine {
-        let mut base = HashMap::new();
-        for column in set.column_codes.keys() {
-            base.insert(column.clone(), Contingency::build(set, column));
-        }
+        Engine::with_parallelism(set, Parallelism::Serial)
+    }
+
+    /// Builds the engine with the given parallelism; the per-column
+    /// contingency passes run on the pool, and the pool drives every
+    /// candidate-parallel stage scored through this engine.
+    pub fn with_parallelism(set: &CandidateSet, parallelism: Parallelism) -> Engine {
+        let pool = ThreadPool::new(parallelism);
+        let mut columns: Vec<&String> = set.column_codes.keys().collect();
+        columns.sort();
+        let contingencies = pool.map_slice(&columns, |_, column| Contingency::build(set, column));
+        let base: HashMap<String, Contingency> =
+            columns.into_iter().cloned().zip(contingencies).collect();
         let ctx = InfoContext::masked(&set.mask);
         let baseline_cmi = ctx.mutual_information_mm(&set.o, &set.t);
         let baseline_support = ctx.support(&[&set.o, &set.t]);
@@ -185,11 +204,17 @@ impl Engine {
             base,
             baseline_cmi,
             baseline_support,
-            stats_cache: RefCell::new(HashMap::new()),
-            calibrated_cache: RefCell::new(HashMap::new()),
-            pair_cache: RefCell::new(HashMap::new()),
-            column_pairs: RefCell::new(HashMap::new()),
+            pool,
+            stats_cache: Mutex::new(HashMap::new()),
+            calibrated_cache: Mutex::new(HashMap::new()),
+            pair_cache: Mutex::new(HashMap::new()),
+            column_pairs: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The pool shared by every candidate-parallel stage of this engine.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
     }
 
     /// `I(O;T|C)` — the unexplained correlation the query exposes.
@@ -205,7 +230,12 @@ impl Engine {
     /// Whether a candidate's complete-case support covers at least
     /// `min_support_fraction` of the in-context rows — the estimator
     /// validity precondition shared by MCIMR and every baseline.
-    pub fn eligible(&self, set: &CandidateSet, idx: usize, options: &crate::options::NexusOptions) -> bool {
+    pub fn eligible(
+        &self,
+        set: &CandidateSet,
+        idx: usize,
+        options: &crate::options::NexusOptions,
+    ) -> bool {
         let s = self.stats(set, idx);
         if s.support < options.min_support_fraction * self.baseline_support as f64 {
             return false;
@@ -233,11 +263,11 @@ impl Engine {
     pub fn stats(&self, set: &CandidateSet, idx: usize) -> CandStats {
         let cand = &set.candidates[idx];
         let key = (cand.name.clone(), cand.is_weighted());
-        if let Some(s) = self.stats_cache.borrow().get(&key) {
+        if let Some(s) = self.stats_cache.lock().expect("stats cache").get(&key) {
             return *s;
         }
         let s = self.compute_stats(set, cand);
-        self.stats_cache.borrow_mut().insert(key, s);
+        self.stats_cache.lock().expect("stats cache").insert(key, s);
         s
     }
 
@@ -249,8 +279,7 @@ impl Engine {
                 stats_from_cells(cont, map, weights)
             }
             CandidateRepr::RowLevel(codes) => {
-                let joint =
-                    JointCounts::count(&[&set.o, &set.t, codes], Some(&set.mask), None);
+                let joint = JointCounts::count(&[&set.o, &set.t, codes], Some(&set.mask), None);
                 CandStats {
                     h_o: joint.marginal_entropy_and_cells(&[0]),
                     h_t: joint.marginal_entropy_and_cells(&[1]),
@@ -282,11 +311,19 @@ impl Engine {
     pub fn cmi_single(&self, set: &CandidateSet, idx: usize) -> f64 {
         let cand = &set.candidates[idx];
         let key = (cand.name.clone(), cand.is_weighted());
-        if let Some(v) = self.calibrated_cache.borrow().get(&key) {
+        if let Some(v) = self
+            .calibrated_cache
+            .lock()
+            .expect("calibrated cache")
+            .get(&key)
+        {
             return *v;
         }
         let v = self.compute_calibrated(set, idx);
-        self.calibrated_cache.borrow_mut().insert(key, v);
+        self.calibrated_cache
+            .lock()
+            .expect("calibrated cache")
+            .insert(key, v);
         v
     }
 
@@ -302,12 +339,9 @@ impl Engine {
         let cand = &set.candidates[idx];
         let observed = self.stats(set, idx).cmi();
         // Deterministic per-candidate seed.
-        let seed = cand
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-            });
+        let seed = cand.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
         let samples: Vec<f64> = match &cand.repr {
@@ -334,8 +368,7 @@ impl Engine {
                         map_buf[x] = v;
                         w_buf[x] = w;
                     }
-                    let s =
-                        stats_from_cells(cont, &map_buf, weights.map(|_| w_buf.as_slice()));
+                    let s = stats_from_cells(cont, &map_buf, weights.map(|_| w_buf.as_slice()));
                     samples.push(s.cmi());
                 }
                 samples
@@ -398,11 +431,8 @@ impl Engine {
                             permuted.codes[i] = v;
                         }
                     }
-                    let joint = JointCounts::count(
-                        &[&set.o, &set.t, &permuted],
-                        Some(&set.mask),
-                        None,
-                    );
+                    let joint =
+                        JointCounts::count(&[&set.o, &set.t, &permuted], Some(&set.mask), None);
                     let n = joint.total;
                     let (h_xyz, k_xyz) = joint.entropy_and_cells();
                     let (h_oe, k_oe) = joint.marginal_entropy_and_cells(&[0, 2]);
@@ -442,11 +472,11 @@ impl Engine {
         } else {
             (nb.clone(), na.clone())
         };
-        if let Some(v) = self.pair_cache.borrow().get(&key) {
+        if let Some(v) = self.pair_cache.lock().expect("pair cache").get(&key) {
             return *v;
         }
         let v = self.compute_mi_pair(set, a, b);
-        self.pair_cache.borrow_mut().insert(key, v);
+        self.pair_cache.lock().expect("pair cache").insert(key, v);
         v
     }
 
@@ -469,7 +499,7 @@ impl Engine {
                 if col_a == col_b {
                     // Both are functions of the same entity code.
                     let cont = &self.base[col_a];
-                    let mut joint: HashMap<u64, f64> = HashMap::new();
+                    let mut joint: BTreeMap<u64, f64> = BTreeMap::new();
                     let mut total = 0.0;
                     for (x, &w) in cont.x_marginal.iter().enumerate() {
                         if w <= 0.0 {
@@ -480,15 +510,13 @@ impl Engine {
                         if ea == MISSING_CODE || eb == MISSING_CODE {
                             continue;
                         }
-                        *joint
-                            .entry(((ea as u64) << 32) | eb as u64)
-                            .or_insert(0.0) += w;
+                        *joint.entry(((ea as u64) << 32) | eb as u64).or_insert(0.0) += w;
                         total += w;
                     }
                     mi_from_joint(&joint, total)
                 } else {
                     let pairs = self.column_pair_counts(set, col_a, col_b);
-                    let mut joint: HashMap<u64, f64> = HashMap::new();
+                    let mut joint: BTreeMap<u64, f64> = BTreeMap::new();
                     let mut total = 0.0;
                     for &(xa, xb, w) in pairs.iter() {
                         let ea = map_a[xa as usize];
@@ -496,9 +524,7 @@ impl Engine {
                         if ea == MISSING_CODE || eb == MISSING_CODE {
                             continue;
                         }
-                        *joint
-                            .entry(((ea as u64) << 32) | eb as u64)
-                            .or_insert(0.0) += w;
+                        *joint.entry(((ea as u64) << 32) | eb as u64).or_insert(0.0) += w;
                         total += w;
                     }
                     mi_from_joint(&joint, total)
@@ -513,51 +539,46 @@ impl Engine {
         }
     }
 
-    /// Joint `(X₁, X₂)` counts across two extraction columns (cached).
-    fn column_pair_counts(
-        &self,
-        set: &CandidateSet,
-        col_a: &str,
-        col_b: &str,
-    ) -> std::rc::Rc<Vec<(u32, u32, f64)>> {
+    /// Joint `(X₁, X₂)` counts across two extraction columns (cached, in
+    /// ascending `(x₁, x₂)` order of the canonically ordered pair).
+    fn column_pair_counts(&self, set: &CandidateSet, col_a: &str, col_b: &str) -> Arc<PairCells> {
         let key = if col_a <= col_b {
             (col_a.to_string(), col_b.to_string())
         } else {
             (col_b.to_string(), col_a.to_string())
         };
         let swap = col_a > col_b;
-        {
-            let cache = self.column_pairs.borrow();
-            if let Some(v) = cache.get(&key) {
-                let v = if swap {
-                    v.iter().map(|&(a, b, w)| (b, a, w)).collect()
-                } else {
-                    v.clone()
-                };
-                return std::rc::Rc::new(v);
-            }
-        }
-        let xa = &set.column_codes[&key.0];
-        let xb = &set.column_codes[&key.1];
-        let mut map: HashMap<u64, f64> = HashMap::new();
-        for i in 0..xa.len() {
-            if !set.mask.get(i) || !xa.is_valid(i) || !xb.is_valid(i) {
-                continue;
-            }
-            let k = ((xa.codes[i] as u64) << 32) | xb.codes[i] as u64;
-            *map.entry(k).or_insert(0.0) += 1.0;
-        }
-        let v: Vec<(u32, u32, f64)> = map
-            .into_iter()
-            .map(|(k, w)| ((k >> 32) as u32, (k & 0xffff_ffff) as u32, w))
-            .collect();
-        self.column_pairs.borrow_mut().insert(key, v.clone());
-        let v = if swap {
-            v.into_iter().map(|(a, b, w)| (b, a, w)).collect()
-        } else {
-            v
+        let canonical = {
+            let cache = self.column_pairs.lock().expect("column pair cache");
+            cache.get(&key).cloned()
         };
-        std::rc::Rc::new(v)
+        let canonical = canonical.unwrap_or_else(|| {
+            let xa = &set.column_codes[&key.0];
+            let xb = &set.column_codes[&key.1];
+            let mut map: BTreeMap<u64, f64> = BTreeMap::new();
+            for i in 0..xa.len() {
+                if !set.mask.get(i) || !xa.is_valid(i) || !xb.is_valid(i) {
+                    continue;
+                }
+                let k = ((xa.codes[i] as u64) << 32) | xb.codes[i] as u64;
+                *map.entry(k).or_insert(0.0) += 1.0;
+            }
+            let v: Arc<PairCells> = Arc::new(
+                map.into_iter()
+                    .map(|(k, w)| ((k >> 32) as u32, (k & 0xffff_ffff) as u32, w))
+                    .collect(),
+            );
+            self.column_pairs
+                .lock()
+                .expect("column pair cache")
+                .insert(key, v.clone());
+            v
+        });
+        if swap {
+            Arc::new(canonical.iter().map(|&(a, b, w)| (b, a, w)).collect())
+        } else {
+            canonical
+        }
     }
 
     /// `I(O;T|C, E₁,…,Eₖ)` for a conditioning set (row-level; `k` is small).
@@ -686,9 +707,10 @@ impl Engine {
             return None;
         };
         let cont = &self.base[column];
-        // Joint (o, r) and (t, r) from the cells.
-        let mut m_or: HashMap<u64, f64> = HashMap::new();
-        let mut m_tr: HashMap<u64, f64> = HashMap::new();
+        // Joint (o, r) and (t, r) from the cells (ordered maps: the counts
+        // feed f64 entropy sums that must reproduce bit-for-bit).
+        let mut m_or: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut m_tr: BTreeMap<u64, f64> = BTreeMap::new();
         let mut missing = 0.0;
         for &(o, t, x, w) in &cont.cells {
             let r = (map[x as usize] != MISSING_CODE) as u64;
@@ -702,9 +724,9 @@ impl Engine {
         if total <= 0.0 {
             return Some((0.0, 0.0, 0.0));
         }
-        let mi = |m: &HashMap<u64, f64>| {
+        let mi = |m: &BTreeMap<u64, f64>| {
             // I(A;R) = H(A)+H(R)-H(A,R)
-            let mut m_a: HashMap<u64, f64> = HashMap::new();
+            let mut m_a: BTreeMap<u64, f64> = BTreeMap::new();
             let mut m_r = [0.0f64; 2];
             for (&k, &w) in m {
                 *m_a.entry(k >> 1).or_insert(0.0) += w;
@@ -729,13 +751,15 @@ impl Engine {
 /// contingency cells, applying per-entity IPW weights when present.
 fn stats_from_cells(cont: &Contingency, map: &[u32], weights: Option<&[f64]>) -> CandStats {
     let card_t = cont.card_t as u64;
-    let mut m_o: HashMap<u32, f64> = HashMap::new();
-    let mut m_t: HashMap<u32, f64> = HashMap::new();
-    let mut m_e: HashMap<u32, f64> = HashMap::new();
-    let mut m_ot: HashMap<u64, f64> = HashMap::new();
-    let mut m_oe: HashMap<u64, f64> = HashMap::new();
-    let mut m_te: HashMap<u64, f64> = HashMap::new();
-    let mut m_ote: HashMap<u64, f64> = HashMap::new();
+    // Ordered maps: the marginal counts feed f64 entropy sums whose low
+    // bits depend on summation order, and NEXUS reproduces bit-for-bit.
+    let mut m_o: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut m_t: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut m_e: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut m_ot: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut m_oe: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut m_te: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut m_ote: BTreeMap<u64, f64> = BTreeMap::new();
     let mut total = 0.0;
     for &(o, t, x, c) in &cont.cells {
         let e = map[x as usize];
@@ -764,9 +788,18 @@ fn stats_from_cells(cont: &Contingency, map: &[u32], weights: Option<&[f64]>) ->
         h_o: (entropy_from_counts(m_o.values().copied(), total), m_o.len()),
         h_t: (entropy_from_counts(m_t.values().copied(), total), m_t.len()),
         h_e: (entropy_from_counts(m_e.values().copied(), total), m_e.len()),
-        h_ot: (entropy_from_counts(m_ot.values().copied(), total), m_ot.len()),
-        h_oe: (entropy_from_counts(m_oe.values().copied(), total), m_oe.len()),
-        h_te: (entropy_from_counts(m_te.values().copied(), total), m_te.len()),
+        h_ot: (
+            entropy_from_counts(m_ot.values().copied(), total),
+            m_ot.len(),
+        ),
+        h_oe: (
+            entropy_from_counts(m_oe.values().copied(), total),
+            m_oe.len(),
+        ),
+        h_te: (
+            entropy_from_counts(m_te.values().copied(), total),
+            m_te.len(),
+        ),
         h_ote: (
             entropy_from_counts(m_ote.values().copied(), total),
             m_ote.len(),
@@ -776,19 +809,31 @@ fn stats_from_cells(cont: &Contingency, map: &[u32], weights: Option<&[f64]>) ->
     }
 }
 
-fn mi_from_joint(joint: &HashMap<u64, f64>, total: f64) -> f64 {
+fn mi_from_joint(joint: &BTreeMap<u64, f64>, total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let mut m_a: HashMap<u32, f64> = HashMap::new();
-    let mut m_b: HashMap<u32, f64> = HashMap::new();
+    let mut m_a: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut m_b: BTreeMap<u32, f64> = BTreeMap::new();
     for (&k, &w) in joint {
         *m_a.entry((k >> 32) as u32).or_insert(0.0) += w;
         *m_b.entry((k & 0xffff_ffff) as u32).or_insert(0.0) += w;
     }
-    let h_ab = entropy_mm(entropy_from_counts(joint.values().copied(), total), joint.len(), total);
-    let h_a = entropy_mm(entropy_from_counts(m_a.values().copied(), total), m_a.len(), total);
-    let h_b = entropy_mm(entropy_from_counts(m_b.values().copied(), total), m_b.len(), total);
+    let h_ab = entropy_mm(
+        entropy_from_counts(joint.values().copied(), total),
+        joint.len(),
+        total,
+    );
+    let h_a = entropy_mm(
+        entropy_from_counts(m_a.values().copied(), total),
+        m_a.len(),
+        total,
+    );
+    let h_b = entropy_mm(
+        entropy_from_counts(m_b.values().copied(), total),
+        m_b.len(),
+        total,
+    );
     (h_a + h_b - h_ab).max(0.0)
 }
 
@@ -843,7 +888,11 @@ mod tests {
     #[test]
     fn baseline_cmi_positive() {
         let (_, engine) = setup();
-        assert!(engine.baseline_cmi() > 0.5, "baseline {}", engine.baseline_cmi());
+        assert!(
+            engine.baseline_cmi() > 0.5,
+            "baseline {}",
+            engine.baseline_cmi()
+        );
         assert_eq!(engine.baseline_support(), 120);
     }
 

@@ -13,6 +13,12 @@ pub enum CoreError {
     Query(nexus_query::QueryError),
     /// No candidate attributes survive assembly/pruning.
     NoCandidates,
+    /// An [`crate::options::NexusOptions`] builder was given an
+    /// out-of-range value.
+    InvalidOptions(String),
+    /// An [`crate::pipeline::ExplainRequest`] is incomplete or
+    /// inconsistent.
+    InvalidRequest(String),
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +28,8 @@ impl fmt::Display for CoreError {
             CoreError::Table(e) => write!(f, "table error: {e}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
             CoreError::NoCandidates => write!(f, "no candidate attributes available"),
+            CoreError::InvalidOptions(m) => write!(f, "invalid options: {m}"),
+            CoreError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
         }
     }
 }
@@ -54,5 +62,11 @@ mod tests {
         let e: CoreError = nexus_query::QueryError::TableNotFound("t".into()).into();
         assert!(matches!(e, CoreError::Query(_)));
         assert!(CoreError::NoCandidates.to_string().contains("candidate"));
+        assert!(CoreError::InvalidOptions("hops".into())
+            .to_string()
+            .contains("hops"));
+        assert!(CoreError::InvalidRequest("no table".into())
+            .to_string()
+            .contains("no table"));
     }
 }

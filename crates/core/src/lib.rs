@@ -24,7 +24,7 @@
 //! ## Example
 //!
 //! ```
-//! use nexus_core::{Nexus, NexusOptions};
+//! use nexus_core::{ExplainRequest, Nexus, NexusOptions};
 //! use nexus_kg::KnowledgeGraph;
 //! use nexus_query::parse;
 //! use nexus_table::{Column, Table};
@@ -49,9 +49,12 @@
 //! ]).unwrap();
 //!
 //! let query = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
-//! let explanation = Nexus::default()
-//!     .explain(&table, &kg, &["Country".to_string()], &query)
-//!     .unwrap();
+//! let request = ExplainRequest::new()
+//!     .table(&table)
+//!     .knowledge_graph(&kg)
+//!     .extraction_column("Country")
+//!     .query(&query);
+//! let explanation = Nexus::default().run(&request).unwrap();
 //! assert!(explanation.names().contains(&"Country::hdi"));
 //! assert!(explanation.explained_fraction() > 0.9);
 //! # let _ = NexusOptions::default();
@@ -76,9 +79,10 @@ pub use candidate::{
 pub use engine::{CandStats, Engine};
 pub use error::{CoreError, Result};
 pub use mcimr::{mcimr, IterationTrace, McimrResult};
-pub use options::NexusOptions;
+pub use nexus_runtime::{Parallelism, PoolMetrics, ThreadPool};
+pub use options::{NexusOptions, NexusOptionsBuilder};
 pub use pipeline::{
-    apply_selection_bias_weights, Explanation, Nexus, PipelineStats, RunArtifacts,
+    apply_selection_bias_weights, ExplainRequest, Explanation, Nexus, PipelineStats, RunArtifacts,
     SelectedAttribute,
 };
 pub use prune::{prune_offline, prune_online, PruneReason, PruneReport};

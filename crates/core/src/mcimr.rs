@@ -50,12 +50,23 @@ impl McimrResult {
     }
 }
 
+/// A non-responsible argmin winner is set aside and the search continues
+/// with the next-best candidate — but only this many times per query, so
+/// the end-game (everything informative already selected) cannot grind a
+/// CI test through every remaining candidate.
+const MAX_REJECTIONS: usize = 8;
+
 /// Runs MCIMR over the (pruned) candidate set.
 ///
 /// Per Equation 5, iteration `k` picks
 /// `argmin_E [ I(O;T|C,E) + (1/(k-1)) Σ_{Eᵢ∈selected} I(E;Eᵢ) ]`,
 /// then applies the responsibility test: if `O ⫫ E | E_selected` the new
-/// attribute's responsibility would be ≤ 0 (Lemma 4.2) and the loop stops.
+/// attribute's responsibility would be ≤ 0 (Lemma 4.2) and it must not be
+/// selected. Because the argmin ranks by *individual* CMI, a weakly
+/// relevant attribute can out-rank a genuine joint confounder (whose
+/// redundancy term inflates its score) — so a rejected winner is set
+/// aside and the search retries with the next-best candidate, up to
+/// [`MAX_REJECTIONS`] times, rather than ending selection outright.
 pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> McimrResult {
     let k = options.max_explanation_size;
     let initial_cmi = engine.baseline_cmi();
@@ -66,9 +77,16 @@ pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Mci
 
     // Row-level codes of selected attributes, for the responsibility test.
     let mut selected_rows: Vec<Codes> = Vec::new();
+    // Candidates set aside as non-responsible (never reconsidered).
+    let mut rejected = vec![false; set.candidates.len()];
+    let mut rejections = 0usize;
 
-    for _ in 0..k {
-        let Some((best, v1, v2)) = next_best(set, engine, &selected, options) else {
+    while selected.len() < k {
+        let Some((best, v1, v2)) = next_best(set, engine, &selected, &rejected, options) else {
+            // Nothing selectable remains; if candidates were set aside on
+            // the way here, responsibility (not the bound k) ended the
+            // search.
+            stopped_by_responsibility = rejections > 0;
             break;
         };
         // Credit gate: when even the best first candidate explains no more
@@ -88,8 +106,13 @@ pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Mci
         let ctx = InfoContext::masked(&set.mask);
         let test = ci_test(&ctx, &set.o, &rows, &z, &options.ci);
         if test.independent {
-            stopped_by_responsibility = true;
-            break;
+            rejected[best] = true;
+            rejections += 1;
+            if rejections >= MAX_REJECTIONS {
+                stopped_by_responsibility = true;
+                break;
+            }
+            continue;
         }
         selected.push(best);
         selected_rows.push(rows);
@@ -101,8 +124,9 @@ pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Mci
             v2,
             cmi_after,
         });
-        // Backstop: stop when the marginal improvement is negligible
-        // relative to the initial correlation.
+        // Backstop to the responsibility test: an attribute whose marginal
+        // improvement is negligible relative to the initial correlation is
+        // undone and set aside like a failed responsibility test.
         if initial_cmi > 0.0
             && (last_cmi - cmi_after) / initial_cmi < options.min_improvement
             && selected.len() > 1
@@ -111,8 +135,13 @@ pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Mci
             selected.pop();
             selected_rows.pop();
             trace.pop();
-            stopped_by_responsibility = true;
-            break;
+            rejected[best] = true;
+            rejections += 1;
+            if rejections >= MAX_REJECTIONS {
+                stopped_by_responsibility = true;
+                break;
+            }
+            continue;
         }
         last_cmi = cmi_after;
     }
@@ -128,20 +157,31 @@ pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Mci
 }
 
 /// The `NextBestAtt` procedure of Algorithm 1.
+///
+/// Candidate scores are computed on the engine's thread pool and reduced
+/// **by candidate index** (lowest index wins exact ties), which is exactly
+/// the serial loop's first-strictly-smaller semantics — selection is
+/// bit-identical at any thread count.
+///
+/// Zero-credit candidates — calibration clamps a candidate with no
+/// individual signal to exactly the baseline CMI — rank **after** every
+/// credited candidate regardless of score: their redundancy term is ≈ 0
+/// against unrelated selections, which would otherwise let pure noise
+/// undercut genuine joint confounders (whose `v2` exceeds their `v1`
+/// discount) in the argmin. They stay selectable (a real confounder can
+/// carry purely joint information and also sit at the clamp), but only
+/// once every credited candidate has been tried.
 fn next_best(
     set: &CandidateSet,
     engine: &Engine,
     selected: &[usize],
+    rejected: &[bool],
     options: &NexusOptions,
 ) -> Option<(usize, f64, f64)> {
-    let mut best: Option<(usize, f64, f64)> = None;
-    let mut best_score = f64::INFINITY;
-    for idx in 0..set.candidates.len() {
-        if selected.contains(&idx) {
-            continue;
-        }
-        if !engine.eligible(set, idx, options) {
-            continue;
+    let initial_cmi = engine.baseline_cmi();
+    let scores: Vec<Option<(f64, f64)>> = engine.pool().map(set.candidates.len(), |idx| {
+        if rejected[idx] || selected.contains(&idx) || !engine.eligible(set, idx, options) {
+            return None;
         }
         let v1 = engine.cmi_single(set, idx);
         let v2 = if selected.is_empty() {
@@ -153,9 +193,15 @@ fn next_best(
                 .sum::<f64>()
                 / selected.len() as f64
         };
-        let score = v1 + v2;
-        if score < best_score {
-            best_score = score;
+        Some((v1, v2))
+    });
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut best_key = (true, f64::INFINITY);
+    for (idx, score) in scores.into_iter().enumerate() {
+        let Some((v1, v2)) = score else { continue };
+        let key = (v1 >= initial_cmi, v1 + v2);
+        if key < best_key {
+            best_key = key;
             best = Some((idx, v1, v2));
         }
     }

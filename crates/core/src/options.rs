@@ -2,7 +2,10 @@
 
 use nexus_info::CiTestOptions;
 use nexus_kg::OneToManyAgg;
+use nexus_runtime::Parallelism;
 use nexus_table::BinStrategy;
+
+use crate::error::CoreError;
 
 /// All tunables of the explanation pipeline, with paper-faithful defaults.
 #[derive(Debug, Clone)]
@@ -91,6 +94,13 @@ pub struct NexusOptions {
     /// Minimum relative CMI improvement a new attribute must deliver; the
     /// greedy loop stops below it (backstop to the responsibility test).
     pub min_improvement: f64,
+
+    // ---- execution ------------------------------------------------------
+    /// Worker threads for the candidate-parallel pipeline stages (online
+    /// pruning, bias detection, MCIMR scoring). Results are bit-identical
+    /// at any setting — parallel reductions are ordered by candidate
+    /// index — so this is purely a throughput knob.
+    pub parallelism: Parallelism,
 }
 
 impl Default for NexusOptions {
@@ -119,11 +129,32 @@ impl Default for NexusOptions {
             min_entities_per_category: 4.5,
             ci: CiTestOptions::default(),
             min_improvement: 0.02,
+            parallelism: Parallelism::Auto,
         }
     }
 }
 
 impl NexusOptions {
+    /// A validating builder over the paper-faithful defaults.
+    ///
+    /// ```
+    /// use nexus_core::{NexusOptions, Parallelism};
+    ///
+    /// let options = NexusOptions::builder()
+    ///     .max_explanation_size(3)
+    ///     .threads(4)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(options.max_explanation_size, 3);
+    /// assert_eq!(options.parallelism, Parallelism::Fixed(4));
+    /// assert!(NexusOptions::builder().hops(0).build().is_err());
+    /// ```
+    pub fn builder() -> NexusOptionsBuilder {
+        NexusOptionsBuilder {
+            options: NexusOptions::default(),
+        }
+    }
+
     /// An options preset with every pruning optimization disabled — the
     /// paper's **MESA-** baseline and the Figure 4 "No Pruning" series.
     pub fn without_pruning(mut self) -> Self {
@@ -137,6 +168,120 @@ impl NexusOptions {
         self.offline_pruning = true;
         self.online_pruning = false;
         self
+    }
+}
+
+/// Builder for [`NexusOptions`] with range validation at
+/// [`build`](NexusOptionsBuilder::build) time.
+///
+/// Only the commonly tuned knobs have setters; everything else keeps its
+/// paper default and remains reachable through the public fields of the
+/// built value.
+#[derive(Debug, Clone)]
+pub struct NexusOptionsBuilder {
+    options: NexusOptions,
+}
+
+impl NexusOptionsBuilder {
+    /// Base-table columns never to consider as candidates.
+    pub fn excluded_columns<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.options.excluded_columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Upper bound `k` on the explanation size.
+    pub fn max_explanation_size(mut self, k: usize) -> Self {
+        self.options.max_explanation_size = k;
+        self
+    }
+
+    /// KG extraction hops.
+    pub fn hops(mut self, hops: usize) -> Self {
+        self.options.hops = hops;
+        self
+    }
+
+    /// Aggregation for one-to-many KG links.
+    pub fn one_to_many(mut self, agg: OneToManyAgg) -> Self {
+        self.options.one_to_many = agg;
+        self
+    }
+
+    /// Toggle the offline (query-independent) pruning pass.
+    pub fn offline_pruning(mut self, on: bool) -> Self {
+        self.options.offline_pruning = on;
+        self
+    }
+
+    /// Toggle the online (query-specific) pruning pass.
+    pub fn online_pruning(mut self, on: bool) -> Self {
+        self.options.online_pruning = on;
+        self
+    }
+
+    /// Offline: maximum missing fraction an attribute may have.
+    pub fn max_missing_fraction(mut self, fraction: f64) -> Self {
+        self.options.max_missing_fraction = fraction;
+        self
+    }
+
+    /// Toggle selection-bias detection and IPW weighting.
+    pub fn handle_selection_bias(mut self, on: bool) -> Self {
+        self.options.handle_selection_bias = on;
+        self
+    }
+
+    /// Minimum relative CMI improvement before the greedy loop stops.
+    pub fn min_improvement(mut self, fraction: f64) -> Self {
+        self.options.min_improvement = fraction;
+        self
+    }
+
+    /// Worker threads for the candidate-parallel stages.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.options.parallelism = parallelism;
+        self
+    }
+
+    /// Shorthand for [`parallelism`](Self::parallelism): `0` means
+    /// [`Parallelism::Auto`], `1` [`Parallelism::Serial`], anything else
+    /// [`Parallelism::Fixed`].
+    pub fn threads(self, n: usize) -> Self {
+        self.parallelism(match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Serial,
+            n => Parallelism::Fixed(n),
+        })
+    }
+
+    /// Validates and returns the options.
+    pub fn build(self) -> Result<NexusOptions, CoreError> {
+        let o = self.options;
+        if !(0.0..=1.0).contains(&o.max_missing_fraction) {
+            return Err(CoreError::InvalidOptions(format!(
+                "max_missing_fraction must be in [0, 1], got {}",
+                o.max_missing_fraction
+            )));
+        }
+        if o.hops < 1 {
+            return Err(CoreError::InvalidOptions("hops must be at least 1".into()));
+        }
+        if o.max_explanation_size < 1 {
+            return Err(CoreError::InvalidOptions(
+                "max_explanation_size must be at least 1".into(),
+            ));
+        }
+        if !o.min_improvement.is_finite() || o.min_improvement < 0.0 {
+            return Err(CoreError::InvalidOptions(format!(
+                "min_improvement must be finite and non-negative, got {}",
+                o.min_improvement
+            )));
+        }
+        Ok(o)
     }
 }
 
@@ -159,5 +304,59 @@ mod tests {
         assert!(!o.offline_pruning && !o.online_pruning);
         let o = NexusOptions::default().offline_only();
         assert!(o.offline_pruning && !o.online_pruning);
+    }
+
+    #[test]
+    fn builder_accepts_valid_settings() {
+        let o = NexusOptions::builder()
+            .excluded_columns(["Arrival_delay"])
+            .max_explanation_size(3)
+            .hops(2)
+            .max_missing_fraction(0.5)
+            .offline_pruning(false)
+            .online_pruning(false)
+            .handle_selection_bias(false)
+            .min_improvement(0.1)
+            .threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(o.excluded_columns, vec!["Arrival_delay".to_string()]);
+        assert_eq!(o.max_explanation_size, 3);
+        assert_eq!(o.hops, 2);
+        assert!(!o.offline_pruning && !o.online_pruning && !o.handle_selection_bias);
+        assert_eq!(o.parallelism, Parallelism::Fixed(4));
+    }
+
+    #[test]
+    fn builder_threads_shorthand() {
+        let auto = NexusOptions::builder().threads(0).build().unwrap();
+        assert_eq!(auto.parallelism, Parallelism::Auto);
+        let serial = NexusOptions::builder().threads(1).build().unwrap();
+        assert_eq!(serial.parallelism, Parallelism::Serial);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        assert!(NexusOptions::builder()
+            .max_missing_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(NexusOptions::builder()
+            .max_missing_fraction(-0.1)
+            .build()
+            .is_err());
+        assert!(NexusOptions::builder().hops(0).build().is_err());
+        assert!(NexusOptions::builder()
+            .max_explanation_size(0)
+            .build()
+            .is_err());
+        assert!(NexusOptions::builder()
+            .min_improvement(f64::NAN)
+            .build()
+            .is_err());
+        assert!(NexusOptions::builder()
+            .min_improvement(-0.5)
+            .build()
+            .is_err());
     }
 }

@@ -13,7 +13,7 @@ use crate::candidate::{
     build_candidates, BiasSummary, CandidateRepr, CandidateSet, CandidateSource, MISSING_CODE,
 };
 use crate::engine::Engine;
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::mcimr::{mcimr, McimrResult};
 use crate::options::NexusOptions;
 use crate::prune::{prune_offline, prune_online, PruneReport};
@@ -53,12 +53,32 @@ pub struct PipelineStats {
     pub t_bias: Duration,
     /// Time in MCIMR (the paper's reported query latency).
     pub t_mcimr: Duration,
+
+    // ---- parallel execution ---------------------------------------------
+    /// Worker threads the engine's pool ran with (1 = serial).
+    pub threads: usize,
+    /// Items mapped across all parallel regions of the run.
+    pub pool_tasks: u64,
+    /// Wall-clock time spent inside parallel regions.
+    pub t_pool_wall: Duration,
+    /// Summed per-worker busy time inside parallel regions.
+    pub t_pool_busy: Duration,
 }
 
 impl PipelineStats {
     /// Total wall-clock time.
     pub fn total(&self) -> Duration {
         self.t_build + self.t_prune + self.t_bias + self.t_mcimr
+    }
+
+    /// Effective speedup realized by the parallel regions (busy time over
+    /// wall time): ≈ 1 when serial, approaches [`PipelineStats::threads`]
+    /// under perfect scaling.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.t_pool_wall.is_zero() {
+            return 1.0;
+        }
+        self.t_pool_busy.as_secs_f64() / self.t_pool_wall.as_secs_f64()
     }
 }
 
@@ -107,6 +127,127 @@ pub struct RunArtifacts {
     pub prune_reports: (PruneReport, PruneReport),
 }
 
+/// A typed description of one explanation task, consumed by
+/// [`Nexus::run`].
+///
+/// Replaces the positional `(table, kg, extraction_columns, query)`
+/// argument list of [`Nexus::explain`]: every input is named, the
+/// knowledge source can be a borrowed [`KnowledgeGraph`] *or* an owned one
+/// assembled from a data lake, and validation happens in one place.
+///
+/// ```
+/// use nexus_core::{ExplainRequest, Nexus};
+/// # use nexus_kg::KnowledgeGraph;
+/// # use nexus_query::parse;
+/// # use nexus_table::{Column, Table};
+/// # let mut kg = KnowledgeGraph::new();
+/// # let mut countries = Vec::new();
+/// # let mut salaries = Vec::new();
+/// # for c in 0..9 {
+/// #     let name = format!("C{c}");
+/// #     let id = kg.add_entity(name.clone(), "Country");
+/// #     kg.set_literal(id, "hdi", (c % 3) as f64);
+/// #     for i in 0..30 {
+/// #         countries.push(name.clone());
+/// #         salaries.push(10.0 * (c % 3) as f64 + (i % 2) as f64 * 0.1);
+/// #     }
+/// # }
+/// # let table = Table::new(vec![
+/// #     ("Country", Column::from_strs(&countries)),
+/// #     ("Salary", Column::from_f64(salaries)),
+/// # ]).unwrap();
+/// # let query = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
+/// let request = ExplainRequest::new()
+///     .table(&table)
+///     .knowledge_graph(&kg)
+///     .extraction_column("Country")
+///     .query(&query);
+/// let explanation = Nexus::default().run(&request).unwrap();
+/// assert!(explanation.names().contains(&"Country::hdi"));
+/// ```
+#[derive(Default)]
+pub struct ExplainRequest<'a> {
+    table: Option<&'a Table>,
+    kg: Option<&'a KnowledgeGraph>,
+    lake_kg: Option<KnowledgeGraph>,
+    extraction_columns: Vec<String>,
+    query: Option<&'a AggregateQuery>,
+}
+
+impl<'a> ExplainRequest<'a> {
+    /// An empty request.
+    pub fn new() -> Self {
+        ExplainRequest::default()
+    }
+
+    /// The queried base table.
+    pub fn table(mut self, table: &'a Table) -> Self {
+        self.table = Some(table);
+        self
+    }
+
+    /// The knowledge graph to mine candidate confounders from. Overrides a
+    /// previous [`lake`](Self::lake) source.
+    pub fn knowledge_graph(mut self, kg: &'a KnowledgeGraph) -> Self {
+        self.kg = Some(kg);
+        self.lake_kg = None;
+        self
+    }
+
+    /// A knowledge source assembled from a data lake (or any other owned
+    /// [`KnowledgeGraph`], e.g. `nexus_lake::DataLake::to_knowledge_graph`).
+    /// Overrides a previous [`knowledge_graph`](Self::knowledge_graph)
+    /// source.
+    pub fn lake(mut self, kg: KnowledgeGraph) -> Self {
+        self.lake_kg = Some(kg);
+        self.kg = None;
+        self
+    }
+
+    /// The base-table columns whose values are linked to KG entities
+    /// (replaces any previously set list).
+    pub fn extraction_columns<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.extraction_columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds one extraction column.
+    pub fn extraction_column(mut self, column: impl Into<String>) -> Self {
+        self.extraction_columns.push(column.into());
+        self
+    }
+
+    /// The aggregate query whose correlation is to be explained.
+    pub fn query(mut self, query: &'a AggregateQuery) -> Self {
+        self.query = Some(query);
+        self
+    }
+
+    /// Checks completeness and resolves the knowledge source.
+    fn resolve(&self) -> Result<(&Table, &KnowledgeGraph, &[String], &AggregateQuery)> {
+        let table = self
+            .table
+            .ok_or_else(|| CoreError::InvalidRequest("no table set".into()))?;
+        let kg = self
+            .kg
+            .or(self.lake_kg.as_ref())
+            .ok_or_else(|| CoreError::InvalidRequest("no knowledge source set".into()))?;
+        let query = self
+            .query
+            .ok_or_else(|| CoreError::InvalidRequest("no query set".into()))?;
+        if self.extraction_columns.is_empty() {
+            return Err(CoreError::InvalidRequest(
+                "no extraction columns set".into(),
+            ));
+        }
+        Ok((table, kg, &self.extraction_columns, query))
+    }
+}
+
 /// The NEXUS system facade.
 #[derive(Debug, Clone, Default)]
 pub struct Nexus {
@@ -120,8 +261,25 @@ impl Nexus {
         Nexus { options }
     }
 
+    /// Runs the pipeline on a typed [`ExplainRequest`].
+    pub fn run(&self, request: &ExplainRequest<'_>) -> Result<Explanation> {
+        self.run_with_artifacts(request).map(|(e, _)| e)
+    }
+
+    /// Like [`Nexus::run`] but also returns the run artifacts.
+    pub fn run_with_artifacts(
+        &self,
+        request: &ExplainRequest<'_>,
+    ) -> Result<(Explanation, RunArtifacts)> {
+        let (table, kg, columns, query) = request.resolve()?;
+        self.execute(table, kg, columns, query)
+    }
+
     /// Explains the correlation exposed by `query` over `table`, mining
     /// candidate confounders from `kg` via `extraction_columns`.
+    ///
+    /// Positional predecessor of [`Nexus::run`]; prefer the
+    /// [`ExplainRequest`] form in new code.
     pub fn explain(
         &self,
         table: &Table,
@@ -134,7 +292,20 @@ impl Nexus {
     }
 
     /// Like [`Nexus::explain`] but also returns the run artifacts.
+    ///
+    /// Positional predecessor of [`Nexus::run_with_artifacts`]; prefer the
+    /// [`ExplainRequest`] form in new code.
     pub fn explain_with_artifacts(
+        &self,
+        table: &Table,
+        kg: &KnowledgeGraph,
+        extraction_columns: &[String],
+        query: &AggregateQuery,
+    ) -> Result<(Explanation, RunArtifacts)> {
+        self.execute(table, kg, extraction_columns, query)
+    }
+
+    fn execute(
         &self,
         table: &Table,
         kg: &KnowledgeGraph,
@@ -156,7 +327,7 @@ impl Nexus {
         };
         let n_after_offline = set.candidates.len();
 
-        let engine = Engine::new(&set);
+        let engine = Engine::with_parallelism(&set, options.parallelism);
         let online_report = if options.online_pruning {
             prune_online(&mut set, &engine, options)
         } else {
@@ -193,6 +364,7 @@ impl Nexus {
             })
             .collect();
 
+        let pool = engine.pool();
         let explanation = Explanation {
             attributes,
             initial_cmi: result.initial_cmi,
@@ -208,6 +380,10 @@ impl Nexus {
                 t_prune,
                 t_bias,
                 t_mcimr,
+                threads: pool.threads(),
+                pool_tasks: pool.metrics().tasks(),
+                t_pool_wall: pool.metrics().wall(),
+                t_pool_busy: pool.metrics().busy(),
             },
         };
         Ok((
@@ -234,10 +410,15 @@ pub fn apply_selection_bias_weights(
     engine: &Engine,
     options: &NexusOptions,
 ) -> usize {
-    // Collect the bias verdicts first (immutable pass)…
+    // Collect the bias verdicts first (immutable pass, candidate-parallel;
+    // flagged order follows candidate order because the pool returns
+    // results by index).
+    let verdicts: Vec<Option<(f64, f64, f64)>> = engine
+        .pool()
+        .map(set.candidates.len(), |idx| engine.bias_mi(set, idx));
     let mut flagged: Vec<(usize, BiasSummary)> = Vec::new();
-    for idx in 0..set.candidates.len() {
-        let Some((mi_o, mi_t, missing)) = engine.bias_mi(set, idx) else {
+    for (idx, verdict) in verdicts.into_iter().enumerate() {
+        let Some((mi_o, mi_t, missing)) = verdict else {
             continue;
         };
         if missing < options.bias_min_missing || missing >= 1.0 {
@@ -284,20 +465,28 @@ pub fn apply_selection_bias_weights(
         covariates_by_column.insert(column.clone(), covs);
     }
 
-    let n_flagged = flagged.len();
-    for (idx, summary) in flagged {
+    // Each flagged candidate's logistic fit is independent: compute all
+    // weight vectors on the pool (immutable borrow of `set`), then attach
+    // them serially.
+    let fitted: Vec<Option<Vec<f64>>> = engine.pool().map(flagged.len(), |i| {
+        let (idx, _) = flagged[i];
         let (column, map) = match &set.candidates[idx].repr {
-            CandidateRepr::EntityLevel { column, map, .. } => (column.clone(), map.clone()),
-            CandidateRepr::RowLevel(_) => continue,
+            CandidateRepr::EntityLevel { column, map, .. } => (column, map),
+            CandidateRepr::RowLevel(_) => return None,
         };
-        let covs = &covariates_by_column[&column];
-        let weights = if covs.is_empty() {
+        let covs = &covariates_by_column[column];
+        Some(if covs.is_empty() {
             // No covariates: fall back to uniform weights (no correction
             // possible, but the flag is still recorded).
             vec![1.0; map.len()]
         } else {
-            fit_entity_weights(&map, covs, engine.x_marginal(&column))
-        };
+            fit_entity_weights(map, covs, engine.x_marginal(column))
+        })
+    });
+
+    let n_flagged = flagged.len();
+    for ((idx, summary), weights) in flagged.into_iter().zip(fitted) {
+        let Some(weights) = weights else { continue };
         set.candidates[idx].entity_weights = Some(weights);
         set.candidates[idx].bias = Some(summary);
     }
@@ -329,7 +518,10 @@ fn codes_from_map(map: &[u32], cardinality: u32) -> Codes {
 fn fit_entity_weights(map: &[u32], covs: &[Codes], x_marginal: Option<&[f64]>) -> Vec<f64> {
     let refs: Vec<&Codes> = covs.iter().collect();
     let x = FeatureMatrix::one_hot(&refs);
-    let y: Vec<f64> = map.iter().map(|&e| (e != MISSING_CODE) as u8 as f64).collect();
+    let y: Vec<f64> = map
+        .iter()
+        .map(|&e| (e != MISSING_CODE) as u8 as f64)
+        .collect();
     let model = LogisticRegression::fit(
         &x,
         &y,

@@ -148,54 +148,67 @@ fn offline_reason(
 /// Online pruning: logical-dependency and low-relevance tests against the
 /// query's exposure and outcome. Requires the engine (contingencies).
 /// Mutates `set.candidates` in place.
-pub fn prune_online(set: &mut CandidateSet, engine: &Engine, options: &NexusOptions) -> PruneReport {
+pub fn prune_online(
+    set: &mut CandidateSet,
+    engine: &Engine,
+    options: &NexusOptions,
+) -> PruneReport {
+    // Per-candidate verdicts are independent, so they run on the engine's
+    // pool; the verdict vector comes back in candidate order, keeping the
+    // report and the compaction identical to the serial pass.
+    let verdicts: Vec<Option<PruneReason>> = engine.pool().map(set.candidates.len(), |idx| {
+        online_reason(set, engine, options, idx)
+    });
     let mut report = PruneReport::default();
-    let mut keep = Vec::with_capacity(set.candidates.len());
-    for idx in 0..set.candidates.len() {
-        let stats = engine.stats(set, idx);
-        let name = set.candidates[idx].name.clone();
-        // Degenerate support (e.g. everything missing inside the context).
-        if stats.support <= 1.0 {
-            report.dropped.push((name, PruneReason::TooManyMissing));
-            keep.push(false);
-            continue;
+    for (idx, reason) in verdicts.iter().enumerate() {
+        if let Some(r) = reason {
+            report.dropped.push((set.candidates[idx].name.clone(), *r));
         }
-        // Logical dependency with T: both residual entropies ≈ 0 (Lemma
-        // A.2); same test against O.
-        let fd_t = stats.h_t_given_e() <= options.fd_epsilon
-            && stats.h_e_given_t() <= options.fd_epsilon;
-        let h_o_given_e = (stats.h_oe.0 - stats.h_e.0).max(0.0);
-        let h_e_given_o = (stats.h_oe.0 - stats.h_o.0).max(0.0);
-        let fd_o = h_o_given_e <= options.fd_epsilon && h_e_given_o <= options.fd_epsilon;
-        if fd_t || fd_o {
-            report.dropped.push((name, PruneReason::LogicalDependency));
-            keep.push(false);
-            continue;
-        }
-        // Outcome alias: a row-level attribute that tracks O within
-        // exposure groups is a measurement of the outcome, not a
-        // confounder.
-        if matches!(set.candidates[idx].repr, CandidateRepr::RowLevel(_))
-            && stats.relevance() > options.outcome_alias_fraction * stats.h_o.0
-        {
-            report.dropped.push((name, PruneReason::OutcomeAlias));
-            keep.push(false);
-            continue;
-        }
-        // Low relevance: E tells us nothing about O, marginally or within
-        // exposure groups.
-        if stats.relevance() <= options.relevance_epsilon
-            && stats.relevance_given_t() <= options.relevance_epsilon
-        {
-            report.dropped.push((name, PruneReason::LowRelevance));
-            keep.push(false);
-            continue;
-        }
-        keep.push(true);
     }
-    let mut it = keep.into_iter();
-    set.candidates.retain(|_| it.next().expect("keep mask aligned"));
+    let mut it = verdicts.into_iter();
+    set.candidates
+        .retain(|_| it.next().expect("verdicts aligned").is_none());
     report
+}
+
+/// The online verdict for one candidate (`None` = keep).
+fn online_reason(
+    set: &CandidateSet,
+    engine: &Engine,
+    options: &NexusOptions,
+    idx: usize,
+) -> Option<PruneReason> {
+    let stats = engine.stats(set, idx);
+    // Degenerate support (e.g. everything missing inside the context).
+    if stats.support <= 1.0 {
+        return Some(PruneReason::TooManyMissing);
+    }
+    // Logical dependency with T: both residual entropies ≈ 0 (Lemma
+    // A.2); same test against O.
+    let fd_t =
+        stats.h_t_given_e() <= options.fd_epsilon && stats.h_e_given_t() <= options.fd_epsilon;
+    let h_o_given_e = (stats.h_oe.0 - stats.h_e.0).max(0.0);
+    let h_e_given_o = (stats.h_oe.0 - stats.h_o.0).max(0.0);
+    let fd_o = h_o_given_e <= options.fd_epsilon && h_e_given_o <= options.fd_epsilon;
+    if fd_t || fd_o {
+        return Some(PruneReason::LogicalDependency);
+    }
+    // Outcome alias: a row-level attribute that tracks O within
+    // exposure groups is a measurement of the outcome, not a
+    // confounder.
+    if matches!(set.candidates[idx].repr, CandidateRepr::RowLevel(_))
+        && stats.relevance() > options.outcome_alias_fraction * stats.h_o.0
+    {
+        return Some(PruneReason::OutcomeAlias);
+    }
+    // Low relevance: E tells us nothing about O, marginally or within
+    // exposure groups.
+    if stats.relevance() <= options.relevance_epsilon
+        && stats.relevance_given_t() <= options.relevance_epsilon
+    {
+        return Some(PruneReason::LowRelevance);
+    }
+    None
 }
 
 #[cfg(test)]

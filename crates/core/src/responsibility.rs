@@ -67,9 +67,14 @@ mod tests {
         ])
         .unwrap();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
-        let set =
-            build_candidates(&table, &kg, &["Country".to_string()], &q, &NexusOptions::default())
-                .unwrap();
+        let set = build_candidates(
+            &table,
+            &kg,
+            &["Country".to_string()],
+            &q,
+            &NexusOptions::default(),
+        )
+        .unwrap();
         let engine = Engine::new(&set);
         (set, engine)
     }

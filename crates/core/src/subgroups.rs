@@ -214,7 +214,10 @@ pub fn unexplained_subgroups(
                     .conditions
                     .iter()
                     .map(|&(ai, code)| {
-                        (attrs[ai].name.clone(), attrs[ai].labels[code as usize].clone())
+                        (
+                            attrs[ai].name.clone(),
+                            attrs[ai].labels[code as usize].clone(),
+                        )
                     })
                     .collect(),
                 size: node.size,
@@ -229,7 +232,12 @@ pub fn unexplained_subgroups(
 
 /// Generates each child of `node` exactly once by only extending with
 /// attributes beyond the last condition's attribute index.
-fn push_children(heap: &mut BinaryHeap<Node>, node: &Node, attrs: &[RefineAttr], sg: &SubgroupOptions) {
+fn push_children(
+    heap: &mut BinaryHeap<Node>,
+    node: &Node,
+    attrs: &[RefineAttr],
+    sg: &SubgroupOptions,
+) {
     let start = node.conditions.last().map_or(0, |&(ai, _)| ai + 1);
     for (ai, attr) in attrs.iter().enumerate().skip(start) {
         for code in 0..attr.cardinality() {
@@ -314,8 +322,7 @@ mod tests {
         let (table, kg) = setup();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
         let options = NexusOptions::default();
-        let set =
-            build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
+        let set = build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
         let engine = Engine::new(&set);
         let hdi = set.index_of("Country::hdi").unwrap();
         // Force the explanation {hdi} as in the paper's Example 4.4.
@@ -347,8 +354,7 @@ mod tests {
         let (table, kg) = setup();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
         let options = NexusOptions::default();
-        let set =
-            build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
+        let set = build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
         let engine = Engine::new(&set);
         let r = mcimr(&set, &engine, &options);
         // MCIMR itself should find {hdi, gini}-ish sets that cover Europe.
@@ -376,8 +382,7 @@ mod tests {
         let (table, kg) = setup();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
         let options = NexusOptions::default();
-        let set =
-            build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
+        let set = build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
         let hdi = set.index_of("Country::hdi").unwrap();
         // With a 1-evaluation budget at most one group can be reported.
         let subgroups = unexplained_subgroups(
@@ -402,8 +407,7 @@ mod tests {
         let (table, kg) = setup();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
         let options = NexusOptions::default();
-        let set =
-            build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
+        let set = build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
         let hdi = set.index_of("Country::hdi").unwrap();
         let subgroups = unexplained_subgroups(
             &table,
@@ -431,8 +435,7 @@ mod tests {
         let (table, kg) = setup();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
         let options = NexusOptions::default();
-        let set =
-            build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
+        let set = build_candidates(&table, &kg, &["Country".to_string()], &q, &options).unwrap();
         let hdi = set.index_of("Country::hdi").unwrap();
         let subgroups = unexplained_subgroups(
             &table,

@@ -3,7 +3,10 @@
 use nexus_core::{Nexus, NexusOptions};
 use nexus_datagen::{load, queries_for, DatasetKind, Scale};
 
-fn explain(kind: DatasetKind, query_idx: usize) -> (nexus_core::Explanation, &'static [&'static str]) {
+fn explain(
+    kind: DatasetKind,
+    query_idx: usize,
+) -> (nexus_core::Explanation, &'static [&'static str]) {
     let d = load(kind, Scale::Small);
     let q = queries_for(kind)[query_idx];
     let parsed = q.parsed();

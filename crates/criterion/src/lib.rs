@@ -1,0 +1,287 @@
+//! Minimal, std-only drop-in for the subset of the `criterion` 0.5 API
+//! this workspace uses, so the benches build with `cargo --offline` (the
+//! build environment has no network and no vendored registry).
+//!
+//! Covered surface: [`Criterion::benchmark_group`], group knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`), `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] harness macros (the workspace
+//! benches set `harness = false`).
+//!
+//! Deviations from real criterion: no statistical outlier analysis, no
+//! HTML report, no saved baselines — each benchmark prints
+//! `min / median / max` of its sample wall-clock times to stdout.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup re-runs every iteration).
+    LargeInput,
+    /// One input per sample.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        self.run(|| (), |()| routine());
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.run(&mut setup, &mut routine);
+    }
+
+    fn run<I, R>(&mut self, mut setup: impl FnMut() -> I, mut routine: impl FnMut(I) -> R) {
+        // Warm-up: at least one run, then as many as fit the window.
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let measure_start = Instant::now();
+        while self.samples.len() < self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            // Keep long benches bounded, but never report < 3 samples.
+            if measure_start.elapsed() >= self.measurement_time && self.samples.len() >= 3 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget for one benchmark's measurement.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for warming up one benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// Runs and reports one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op hook).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs and reports an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.id.clone();
+        self.benchmark_group(label).bench_function(id, f);
+        self
+    }
+
+    fn report(&mut self, label: &str, samples: &[Duration]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{label:<50} time: [{} {} {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max),
+            sorted.len(),
+        );
+        self.results.push((label.to_string(), median));
+    }
+
+    /// `(label, median)` for every benchmark run so far.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a benchmark harness function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benches_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |n| n * n, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].0, "g/sum");
+        assert_eq!(c.results()[1].0, "g/square/7");
+    }
+}

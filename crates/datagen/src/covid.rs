@@ -69,11 +69,12 @@ pub fn generate(config: &CovidConfig) -> Dataset {
             * (0.5 + normal_with(&mut rng, 0.5, 0.15).clamp(0.05, 1.5)))
         .max(1e-5);
         let confirmed = (c.population * per_capita).round().max(10.0);
-        let rate = (expected_death_rate(c, per_capita * 500.0)
-            + normal_with(&mut rng, 0.0, 0.25))
-        .clamp(0.05, 25.0);
+        let rate = (expected_death_rate(c, per_capita * 500.0) + normal_with(&mut rng, 0.0, 0.25))
+            .clamp(0.05, 25.0);
         let recovered = (confirmed * normal_with(&mut rng, 0.6, 0.1).clamp(0.2, 0.95)).round();
-        let active = (confirmed - recovered - confirmed * rate / 100.0).max(0.0).round();
+        let active = (confirmed - recovered - confirmed * rate / 100.0)
+            .max(0.0)
+            .round();
         let newc = (confirmed * normal_with(&mut rng, 0.01, 0.004).clamp(0.0, 0.05)).round();
 
         col_country.push(c.name.clone());
@@ -157,7 +158,12 @@ mod tests {
             s / n.max(1) as f64
         };
         // AFRO countries (low econ) fare worse than EURO.
-        assert!(avg("AFRO") > avg("EURO") + 1.0, "afro={} euro={}", avg("AFRO"), avg("EURO"));
+        assert!(
+            avg("AFRO") > avg("EURO") + 1.0,
+            "afro={} euro={}",
+            avg("AFRO"),
+            avg("EURO")
+        );
     }
 
     #[test]

@@ -48,16 +48,27 @@ impl Default for FlightsConfig {
 /// Two-letter state codes (the real 50, so `WHERE Origin_state = 'CA'`
 /// reads like the paper's query).
 pub const STATES: &[&str] = &[
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
-    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
-    "VA", "WA", "WV", "WI", "WY",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
 ];
 
 /// The 14 airlines (paper: "large air carriers").
 pub const AIRLINES: &[&str] = &[
-    "AuroraAir", "BlueJet", "CascadeAir", "DeltaWing", "EagleExpress", "FrontRange",
-    "GoldenState", "Horizon", "IslandAir", "JetStream", "KittyHawk", "Liberty", "Meridian",
+    "AuroraAir",
+    "BlueJet",
+    "CascadeAir",
+    "DeltaWing",
+    "EagleExpress",
+    "FrontRange",
+    "GoldenState",
+    "Horizon",
+    "IslandAir",
+    "JetStream",
+    "KittyHawk",
+    "Liberty",
+    "Meridian",
     "NorthStar",
 ];
 
@@ -205,20 +216,64 @@ fn add_city_entities(kg: &mut KnowledgeGraph, cities: &[City], rng: &mut StdRng)
         .collect();
     for (&id, c) in ids.iter().zip(cities) {
         // Weather block.
-        kg.set_literal(id, "precipitation days", (40.0 + 140.0 * c.weather + normal_with(rng, 0.0, 4.0)).round());
-        kg.set_literal(id, "year low f", 58.0 - 45.0 * c.weather + normal_with(rng, 0.0, 1.5));
-        kg.set_literal(id, "december low f", 45.0 - 42.0 * c.weather + normal_with(rng, 0.0, 2.5));
-        kg.set_literal(id, "year avg f", 72.0 - 30.0 * c.weather + normal_with(rng, 0.0, 2.0));
-        kg.set_literal(id, "december percent sun", (65.0 - 40.0 * c.weather + normal_with(rng, 0.0, 3.0)).clamp(5.0, 95.0));
-        kg.set_literal(id, "uv index", (8.0 - 4.0 * c.weather + normal_with(rng, 0.0, 0.5)).clamp(1.0, 11.0));
+        kg.set_literal(
+            id,
+            "precipitation days",
+            (40.0 + 140.0 * c.weather + normal_with(rng, 0.0, 4.0)).round(),
+        );
+        kg.set_literal(
+            id,
+            "year low f",
+            58.0 - 45.0 * c.weather + normal_with(rng, 0.0, 1.5),
+        );
+        kg.set_literal(
+            id,
+            "december low f",
+            45.0 - 42.0 * c.weather + normal_with(rng, 0.0, 2.5),
+        );
+        kg.set_literal(
+            id,
+            "year avg f",
+            72.0 - 30.0 * c.weather + normal_with(rng, 0.0, 2.0),
+        );
+        kg.set_literal(
+            id,
+            "december percent sun",
+            (65.0 - 40.0 * c.weather + normal_with(rng, 0.0, 3.0)).clamp(5.0, 95.0),
+        );
+        kg.set_literal(
+            id,
+            "uv index",
+            (8.0 - 4.0 * c.weather + normal_with(rng, 0.0, 0.5)).clamp(1.0, 11.0),
+        );
         // Traffic block.
         let pop = 10f64.powf(4.8 + 2.4 * c.traffic + normal_with(rng, 0.0, 0.05));
         kg.set_literal(id, "population urban", pop.round());
-        kg.set_literal(id, "population metropolitan", (pop * normal_with(rng, 1.6, 0.1).max(1.0)).round());
-        kg.set_literal(id, "population estimation", (pop * normal_with(rng, 1.02, 0.02)).round());
-        kg.set_literal(id, "population total", (pop * normal_with(rng, 1.01, 0.01)).round());
-        kg.set_literal(id, "density", (pop / 10f64.powf(1.5 + rng.gen::<f64>())).round());
-        kg.set_literal(id, "median household income", (35_000.0 + 45_000.0 * rng.gen::<f64>()).round());
+        kg.set_literal(
+            id,
+            "population metropolitan",
+            (pop * normal_with(rng, 1.6, 0.1).max(1.0)).round(),
+        );
+        kg.set_literal(
+            id,
+            "population estimation",
+            (pop * normal_with(rng, 1.02, 0.02)).round(),
+        );
+        kg.set_literal(
+            id,
+            "population total",
+            (pop * normal_with(rng, 1.01, 0.01)).round(),
+        );
+        kg.set_literal(
+            id,
+            "density",
+            (pop / 10f64.powf(1.5 + rng.gen::<f64>())).round(),
+        );
+        kg.set_literal(
+            id,
+            "median household income",
+            (35_000.0 + 45_000.0 * rng.gen::<f64>()).round(),
+        );
     }
     add_rank_copy(kg, &ids, "population urban");
     let noise = NoiseConfig {
@@ -244,11 +299,31 @@ fn add_state_entities(kg: &mut KnowledgeGraph, cities: &[City], rng: &mut StdRng
         let traffic = members.iter().map(|c| c.traffic).sum::<f64>() / members.len() as f64;
         let pop = 10f64.powf(6.0 + 1.5 * traffic + normal_with(rng, 0.0, 0.05));
         kg.set_literal(id, "population estimation", pop.round());
-        kg.set_literal(id, "density", (pop / 10f64.powf(3.0 + rng.gen::<f64>())).round());
-        kg.set_literal(id, "year snow", (5.0 + 60.0 * weather + normal_with(rng, 0.0, 2.0)).max(0.0));
-        kg.set_literal(id, "year low f", 55.0 - 40.0 * weather + normal_with(rng, 0.0, 1.5));
-        kg.set_literal(id, "record low f", 20.0 - 50.0 * weather + normal_with(rng, 0.0, 4.0));
-        kg.set_literal(id, "median household income", (38_000.0 + 40_000.0 * rng.gen::<f64>()).round());
+        kg.set_literal(
+            id,
+            "density",
+            (pop / 10f64.powf(3.0 + rng.gen::<f64>())).round(),
+        );
+        kg.set_literal(
+            id,
+            "year snow",
+            (5.0 + 60.0 * weather + normal_with(rng, 0.0, 2.0)).max(0.0),
+        );
+        kg.set_literal(
+            id,
+            "year low f",
+            55.0 - 40.0 * weather + normal_with(rng, 0.0, 1.5),
+        );
+        kg.set_literal(
+            id,
+            "record low f",
+            20.0 - 50.0 * weather + normal_with(rng, 0.0, 4.0),
+        );
+        kg.set_literal(
+            id,
+            "median household income",
+            (38_000.0 + 40_000.0 * rng.gen::<f64>()).round(),
+        );
         ids.push(id);
     }
     add_rank_copy(kg, &ids, "population estimation");
@@ -269,11 +344,31 @@ fn add_airline_entities(kg: &mut KnowledgeGraph, airlines: &[Airline], rng: &mut
         .map(|a| kg.add_entity(a.name.clone(), "Airline"))
         .collect();
     for (&id, a) in ids.iter().zip(airlines) {
-        kg.set_literal(id, "fleet size", (80.0 + 700.0 * (0.55 * a.ops + 0.45 * a.size)).round());
-        kg.set_literal(id, "equity", (1.0 + 10.0 * a.ops + normal_with(rng, 0.0, 0.4)).max(0.1));
-        kg.set_literal(id, "net income", -0.4 + 3.0 * a.ops + normal_with(rng, 0.0, 0.2));
-        kg.set_literal(id, "revenue", (2.0 + 35.0 * a.size + normal_with(rng, 0.0, 1.0)).max(0.5));
-        kg.set_literal(id, "num of employees", (4_000.0 + 80_000.0 * a.size).round());
+        kg.set_literal(
+            id,
+            "fleet size",
+            (80.0 + 700.0 * (0.55 * a.ops + 0.45 * a.size)).round(),
+        );
+        kg.set_literal(
+            id,
+            "equity",
+            (1.0 + 10.0 * a.ops + normal_with(rng, 0.0, 0.4)).max(0.1),
+        );
+        kg.set_literal(
+            id,
+            "net income",
+            -0.4 + 3.0 * a.ops + normal_with(rng, 0.0, 0.2),
+        );
+        kg.set_literal(
+            id,
+            "revenue",
+            (2.0 + 35.0 * a.size + normal_with(rng, 0.0, 1.0)).max(0.5),
+        );
+        kg.set_literal(
+            id,
+            "num of employees",
+            (4_000.0 + 80_000.0 * a.size).round(),
+        );
         kg.set_literal(id, "founded", 1930 + (rng.gen::<f64>() * 70.0) as i64);
     }
     // DBpedia describes airlines with only a handful of properties; a
@@ -322,7 +417,9 @@ mod tests {
         let mut dry = (0.0, 0usize);
         for (i, l) in links.iter().enumerate() {
             let Some(id) = l else { continue };
-            let Some(nexus_kg::PropertyValue::Literal(v)) = d.kg.property(*id, "precipitation days") else {
+            let Some(nexus_kg::PropertyValue::Literal(v)) =
+                d.kg.property(*id, "precipitation days")
+            else {
                 continue;
             };
             let p = v.as_f64().unwrap();
@@ -346,7 +443,12 @@ mod tests {
         // Airline distribution must differ across cities (cross-column
         // confounding); chi-square-style check via entropy difference.
         let airline = d.table.column("Airline").unwrap().category_codes().unwrap();
-        let city = d.table.column("Origin_city").unwrap().category_codes().unwrap();
+        let city = d
+            .table
+            .column("Origin_city")
+            .unwrap()
+            .category_codes()
+            .unwrap();
         let mi = nexus_info::mutual_information(&airline, &city);
         assert!(mi > 0.05, "MI(airline, city) = {mi}");
     }

@@ -66,10 +66,9 @@ fn expected_pay(c: &Celebrity) -> f64 {
     let (cat, _, base) = CATEGORIES[c.category];
     let mut pay = base + 30.0 * c.fame;
     match cat {
-        "Actors"
-            if c.female => {
-                pay -= 9.0;
-            }
+        "Actors" if c.female => {
+            pay -= 9.0;
+        }
         "Athletes" => pay += 16.0 * c.perf + 7.0 * c.perf2,
         "Directors/Producers" => pay += 14.0 * c.perf,
         "Musicians" => pay += 8.0 * c.perf,
@@ -144,12 +143,20 @@ pub fn generate(config: &ForbesConfig) -> Dataset {
         .collect();
     for (&id, c) in ids.iter().zip(&celebrities) {
         let (cat, _, _) = CATEGORIES[c.category];
-        kg.set_literal(id, "net worth", (20.0 + 500.0 * c.fame + normal_with(&mut rng, 0.0, 15.0)).max(1.0));
+        kg.set_literal(
+            id,
+            "net worth",
+            (20.0 + 500.0 * c.fame + normal_with(&mut rng, 0.0, 15.0)).max(1.0),
+        );
         kg.set_literal(id, "gender", if c.female { "female" } else { "male" });
         kg.set_literal(id, "age", 22 + (rng.gen::<f64>() * 50.0) as i64);
         kg.set_literal(id, "active since", 2005 - (rng.gen::<f64>() * 30.0) as i64);
         if rng.gen::<f64>() < 0.6 {
-            kg.set_literal(id, "citizenship", ["US", "UK", "other"][rng.gen_range(0..3)]);
+            kg.set_literal(
+                id,
+                "citizenship",
+                ["US", "UK", "other"][rng.gen_range(0..3)],
+            );
         }
         match cat {
             "Actors" | "Directors/Producers" => {
@@ -161,12 +168,20 @@ pub fn generate(config: &ForbesConfig) -> Dataset {
                 let cups = (10.0 * c.perf).round() as i64;
                 kg.set_literal(id, "cups", cups);
                 kg.set_literal(id, "national cups", cups + rng.gen_range(0..2i64));
-                kg.set_literal(id, "draft pick", (1.0 + 59.0 * (1.0 - c.perf2)).round() as i64);
+                kg.set_literal(
+                    id,
+                    "draft pick",
+                    (1.0 + 59.0 * (1.0 - c.perf2)).round() as i64,
+                );
                 kg.set_literal(id, "total cups", cups + rng.gen_range(0..3i64));
             }
             "Musicians" => {
                 kg.set_literal(id, "albums", (2.0 + 20.0 * c.perf).round() as i64);
-                kg.set_literal(id, "grammys", (8.0 * c.perf * rng.gen::<f64>()).round() as i64);
+                kg.set_literal(
+                    id,
+                    "grammys",
+                    (8.0 * c.perf * rng.gen::<f64>()).round() as i64,
+                );
             }
             "Authors" => {
                 kg.set_literal(id, "books", (3.0 + 25.0 * c.perf).round() as i64);

@@ -133,7 +133,9 @@ pub fn add_country_entities(
     rng: &mut StdRng,
 ) -> Vec<EntityId> {
     let mut ids = Vec::with_capacity(countries.len());
-    let languages = ["english", "spanish", "french", "arabic", "mandarin", "other"];
+    let languages = [
+        "english", "spanish", "french", "arabic", "mandarin", "other",
+    ];
     let currencies = ["usd", "euro", "local"];
     for (i, c) in countries.iter().enumerate() {
         let id = kg.add_entity(c.name.clone(), "Country");
@@ -152,7 +154,11 @@ pub fn add_country_entities(
         kg.set_literal(id, "population census", c.population.round());
         kg.set_literal(id, "density", c.density);
         kg.set_literal(id, "area km2", (c.population / c.density).round());
-        kg.set_literal(id, "established date", 1200 + (rng.gen::<f64>() * 800.0) as i64);
+        kg.set_literal(
+            id,
+            "established date",
+            1200 + (rng.gen::<f64>() * 800.0) as i64,
+        );
         kg.set_literal(id, "language", languages[rng.gen_range(0..languages.len())]);
         // Currency correlates with continent (Euro in Europe) — the Table 4
         // "Currency == Euro" subgroup.
@@ -172,7 +178,11 @@ pub fn add_country_entities(
         kg.set_literal(
             leader,
             "gender",
-            if rng.gen::<f64>() < 0.25 { "female" } else { "male" },
+            if rng.gen::<f64>() < 0.25 {
+                "female"
+            } else {
+                "male"
+            },
         );
         kg.set_property(id, "leader", PropertyValue::Entity(leader));
         let n_groups = rng.gen_range(2..5usize);
@@ -222,8 +232,7 @@ pub fn add_continent_entities(
         let id = kg.add_entity(name, "Continent");
         let gdp: f64 = members.iter().map(|c| c.gdp).sum();
         let pop: f64 = members.iter().map(|c| c.population).sum();
-        let density: f64 =
-            members.iter().map(|c| c.density).sum::<f64>() / members.len() as f64;
+        let density: f64 = members.iter().map(|c| c.density).sum::<f64>() / members.len() as f64;
         kg.set_literal(id, "gdp", gdp);
         kg.set_literal(id, "population total", pop.round());
         kg.set_literal(id, "density", density);
@@ -254,8 +263,7 @@ pub fn add_who_region_entities(
     for name in names {
         let members: Vec<&Country> = countries.iter().filter(|c| c.who_region == name).collect();
         let id = kg.add_entity(name, "WhoRegion");
-        let density: f64 =
-            members.iter().map(|c| c.density).sum::<f64>() / members.len() as f64;
+        let density: f64 = members.iter().map(|c| c.density).sum::<f64>() / members.len() as f64;
         let pop: f64 = members.iter().map(|c| c.population).sum();
         kg.set_literal(id, "density", density);
         kg.set_literal(id, "population total", pop.round());

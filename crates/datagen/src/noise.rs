@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn noise_counts_and_missingness() {
         let mut kg = KnowledgeGraph::new();
-        let entities: Vec<EntityId> = (0..50).map(|i| kg.add_entity(format!("e{i}"), "X")).collect();
+        let entities: Vec<EntityId> = (0..50)
+            .map(|i| kg.add_entity(format!("e{i}"), "X"))
+            .collect();
         let cfg = NoiseConfig {
             n_numeric: 10,
             n_categorical: 5,
@@ -212,7 +214,9 @@ mod tests {
     #[test]
     fn unique_ids_are_unique() {
         let mut kg = KnowledgeGraph::new();
-        let entities: Vec<EntityId> = (0..20).map(|i| kg.add_entity(format!("e{i}"), "X")).collect();
+        let entities: Vec<EntityId> = (0..20)
+            .map(|i| kg.add_entity(format!("e{i}"), "X"))
+            .collect();
         let cfg = NoiseConfig {
             n_numeric: 0,
             n_categorical: 0,
@@ -237,7 +241,9 @@ mod tests {
     #[test]
     fn rank_copy_is_monotone() {
         let mut kg = KnowledgeGraph::new();
-        let entities: Vec<EntityId> = (0..5).map(|i| kg.add_entity(format!("e{i}"), "X")).collect();
+        let entities: Vec<EntityId> = (0..5)
+            .map(|i| kg.add_entity(format!("e{i}"), "X"))
+            .collect();
         for (i, &e) in entities.iter().enumerate() {
             kg.set_literal(e, "hdi", i as f64 / 10.0);
         }

@@ -243,7 +243,10 @@ pub const BENCH_QUERIES: &[BenchQuery] = &[
 
 /// The queries for a particular dataset.
 pub fn queries_for(dataset: DatasetKind) -> Vec<&'static BenchQuery> {
-    BENCH_QUERIES.iter().filter(|q| q.dataset == dataset).collect()
+    BENCH_QUERIES
+        .iter()
+        .filter(|q| q.dataset == dataset)
+        .collect()
 }
 
 /// Generates `n` random aggregate queries over a dataset (Section 5.1):

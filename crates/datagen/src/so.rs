@@ -57,7 +57,9 @@ const DEV_TYPES: &[(&str, f64)] = &[
 
 /// Salary model shared with tests: the expected salary of a developer.
 pub fn expected_salary(c: &Country, female: bool, dev_type_effect: f64, years: i64) -> f64 {
-    12_000.0 + 75_000.0 * c.econ - 1_200.0 * (c.gini - 40.0) - 7_000.0 * (c.population.log10() - 7.25)
+    12_000.0 + 75_000.0 * c.econ
+        - 1_200.0 * (c.gini - 40.0)
+        - 7_000.0 * (c.population.log10() - 7.25)
         + if female { -8_000.0 } else { 0.0 }
         + dev_type_effect
         + 250.0 * (years as f64 - 10.0)
@@ -178,7 +180,16 @@ mod tests {
         assert_eq!(d.table.n_rows(), 3_000);
         assert_eq!(
             d.table.column_names(),
-            vec!["Country", "Continent", "Gender", "Age", "DevType", "Hobby", "YearsCode", "Salary"]
+            vec![
+                "Country",
+                "Continent",
+                "Gender",
+                "Age",
+                "DevType",
+                "Hobby",
+                "YearsCode",
+                "Salary"
+            ]
         );
         assert_eq!(d.extraction_columns, vec!["Country", "Continent"]);
     }

@@ -152,7 +152,11 @@ pub fn ablations(cache: &mut DatasetCache, scale: Scale) -> String {
             }
             let hits = picks
                 .iter()
-                .filter(|&&i| bench.ground_truth.contains(&set.candidates[i].name.as_str()))
+                .filter(|&&i| {
+                    bench
+                        .ground_truth
+                        .contains(&set.candidates[i].name.as_str())
+                })
                 .count();
             precision_sum += hits as f64 / picks.len() as f64;
             let final_cmi = engine.cmi_given(&set, &picks);

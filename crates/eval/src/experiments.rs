@@ -57,7 +57,12 @@ pub fn run_user_study(cache: &mut DatasetCache, scale: Scale) -> Vec<QueryResult
 
 /// Table 1: the dataset inventory.
 pub fn table1(cache: &mut DatasetCache, scale: Scale) -> String {
-    let mut t = TextTable::new(&["Dataset", "n", "|E| (extractable)", "Columns used for extraction"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "n",
+        "|E| (extractable)",
+        "Columns used for extraction",
+    ]);
     for kind in DatasetKind::ALL {
         let d = cache.get(kind, scale);
         // Count extractable attributes the way Table 1 does: per extraction
@@ -100,7 +105,10 @@ pub fn table2(results: &[QueryResults]) -> String {
         }
         t.row(row);
     }
-    format!("# Table 2: Explanations per method (14 representative queries)\n{}", t.render())
+    format!(
+        "# Table 2: Explanations per method (14 representative queries)\n{}",
+        t.render()
+    )
 }
 
 /// Table 3: average judged explanation scores per method.
@@ -123,7 +131,10 @@ pub fn table3(results: &[QueryResults]) -> String {
             format!("{var:.1}"),
         ]);
     }
-    format!("# Table 3: Avg. explanation scores (simulated user study)\n{}", t.render())
+    format!(
+        "# Table 3: Avg. explanation scores (simulated user study)\n{}",
+        t.render()
+    )
 }
 
 /// Figure 2: distance between each method's explainability score and
@@ -201,8 +212,7 @@ pub fn table4(cache: &mut DatasetCache, scale: Scale) -> String {
                 k: 5,
                 // Unexplained = markedly worse than the explanation does
                 // globally: the paper's τ on top of the global residual.
-                tau: ctx.pruned.mcimr.final_cmi
-                    + 0.15 * ctx.pruned.mcimr.initial_cmi.max(1.0),
+                tau: ctx.pruned.mcimr.final_cmi + 0.15 * ctx.pruned.mcimr.initial_cmi.max(1.0),
                 // Only groups large enough that the score is not
                 // estimation noise (≥ 5% of the context).
                 min_size: dataset.table.n_rows() / 20,

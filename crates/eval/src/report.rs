@@ -92,7 +92,12 @@ impl TextTable {
 }
 
 /// Renders a named series (a "figure") as an aligned x/y listing.
-pub fn render_series(title: &str, x_label: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+pub fn render_series(
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+) -> String {
     let mut out = format!("# {title}\n");
     let mut t = TextTable::new(
         &std::iter::once(x_label)

@@ -88,7 +88,12 @@ pub fn prepare(dataset: &Dataset, query: &AggregateQuery, options: &NexusOptions
     let nexus = Nexus::new(options.clone());
     let t0 = Instant::now();
     let (explanation, artifacts) = nexus
-        .explain_with_artifacts(&dataset.table, &dataset.kg, &dataset.extraction_columns, query)
+        .explain_with_artifacts(
+            &dataset.table,
+            &dataset.kg,
+            &dataset.extraction_columns,
+            query,
+        )
         .expect("pipeline runs on benchmark queries");
     let elapsed = t0.elapsed();
     let names = explanation.names().iter().map(|s| s.to_string()).collect();

@@ -100,16 +100,18 @@ pub fn judge(
     // Simulated 1–5 subject ratings.
     let ideal = 1.0 + 4.0 * quality;
     let mut rng = StdRng::seed_from_u64(
-        options.seed ^ selected_names.iter().flat_map(|s| s.bytes()).fold(0u64, |h, b| {
-            h.wrapping_mul(31).wrapping_add(b as u64)
-        }),
+        options.seed
+            ^ selected_names
+                .iter()
+                .flat_map(|s| s.bytes())
+                .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
     );
     let scores: Vec<f64> = (0..options.n_subjects)
         .map(|_| normal_with(&mut rng, ideal, options.subject_sd).clamp(1.0, 5.0))
         .collect();
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-    let variance = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-        / (scores.len() - 1) as f64;
+    let variance =
+        scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (scores.len() - 1) as f64;
     JudgedScore {
         precision,
         strength,
@@ -121,12 +123,7 @@ pub fn judge(
 
 /// Fraction of selected pairs that are redundant (normalized pairwise MI
 /// above the threshold).
-fn redundancy_of(
-    set: &CandidateSet,
-    engine: &Engine,
-    names: &[String],
-    threshold: f64,
-) -> f64 {
+fn redundancy_of(set: &CandidateSet, engine: &Engine, names: &[String], threshold: f64) -> f64 {
     let indices: Vec<usize> = names.iter().filter_map(|n| set.index_of(n)).collect();
     if indices.len() < 2 {
         return 0.0;
@@ -180,8 +177,14 @@ mod tests {
         ])
         .unwrap();
         let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
-        let set = build_candidates(&table, &kg, &["Country".to_string()], &q, &NexusOptions::default())
-            .unwrap();
+        let set = build_candidates(
+            &table,
+            &kg,
+            &["Country".to_string()],
+            &q,
+            &NexusOptions::default(),
+        )
+        .unwrap();
         let engine = Engine::new(&set);
         (set, engine)
     }
@@ -251,8 +254,22 @@ mod tests {
     fn deterministic_given_seed() {
         let (set, engine) = fixture();
         let names = vec!["Country::hdi".to_string()];
-        let a = judge(&set, &engine, &names, &["Country::hdi"], 0.1, &JudgeOptions::default());
-        let b = judge(&set, &engine, &names, &["Country::hdi"], 0.1, &JudgeOptions::default());
+        let a = judge(
+            &set,
+            &engine,
+            &names,
+            &["Country::hdi"],
+            0.1,
+            &JudgeOptions::default(),
+        );
+        let b = judge(
+            &set,
+            &engine,
+            &names,
+            &["Country::hdi"],
+            0.1,
+            &JudgeOptions::default(),
+        );
         assert_eq!(a, b);
     }
 }

@@ -56,7 +56,7 @@ pub fn timed_query(
         prune_offline(&mut set, options);
     }
     let t0 = Instant::now();
-    let engine = Engine::new(&set);
+    let engine = Engine::with_parallelism(&set, options.parallelism);
     if variant == PruningVariant::Full {
         prune_online(&mut set, &engine, options);
     }
@@ -94,9 +94,14 @@ pub fn fig4(cache: &mut DatasetCache, scale: Scale) -> String {
         let query = bench.parsed();
         let mut opts = options.clone();
         opts.excluded_columns = excluded_for(dataset, &query);
-        let full =
-            build_candidates(&dataset.table, &dataset.kg, &dataset.extraction_columns, &query, &opts)
-                .expect("candidates build");
+        let full = build_candidates(
+            &dataset.table,
+            &dataset.kg,
+            &dataset.extraction_columns,
+            &query,
+            &opts,
+        )
+        .expect("candidates build");
         let total = full.candidates.len();
         let xs: Vec<usize> = [50usize, 100, 200, 300, 450, 600, 750]
             .into_iter()
@@ -104,7 +109,11 @@ pub fn fig4(cache: &mut DatasetCache, scale: Scale) -> String {
             .chain(std::iter::once(total))
             .collect();
         let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
-        for variant in [PruningVariant::None, PruningVariant::Offline, PruningVariant::Full] {
+        for variant in [
+            PruningVariant::None,
+            PruningVariant::Offline,
+            PruningVariant::Full,
+        ] {
             let ys: Vec<f64> = xs
                 .iter()
                 .map(|&n| {
@@ -117,7 +126,10 @@ pub fn fig4(cache: &mut DatasetCache, scale: Scale) -> String {
         }
         let xsf: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
         out.push_str(&render_series(
-            &format!("Figure 4 ({}): runtime [s] vs number of candidate attributes", dataset.name),
+            &format!(
+                "Figure 4 ({}): runtime [s] vs number of candidate attributes",
+                dataset.name
+            ),
             "candidates",
             &xsf,
             &series,
@@ -149,9 +161,14 @@ pub fn fig5(cache: &mut DatasetCache, scale: Scale) -> String {
             rows.truncate(keep);
             rows.sort_unstable();
             let sub = dataset.table.gather(&rows);
-            let set =
-                build_candidates(&sub, &dataset.kg, &dataset.extraction_columns, &query, &opts)
-                    .expect("candidates build");
+            let set = build_candidates(
+                &sub,
+                &dataset.kg,
+                &dataset.extraction_columns,
+                &query,
+                &opts,
+            )
+            .expect("candidates build");
             let (t, _, _) = timed_query(set, &opts, PruningVariant::Full);
             xs.push(keep as f64);
             ys.push(t.as_secs_f64());
@@ -196,7 +213,10 @@ pub fn fig6(cache: &mut DatasetCache, scale: Scale) -> String {
             sizes.push(names.len() as f64);
         }
         out.push_str(&render_series(
-            &format!("Figure 6 ({}): runtime [s] vs explanation-size bound k", dataset.name),
+            &format!(
+                "Figure 6 ({}): runtime [s] vs explanation-size bound k",
+                dataset.name
+            ),
             "k",
             &xs,
             &[("MCIMR", ys), ("|explanation|", sizes)],
@@ -245,7 +265,9 @@ fn inject_into_set(
 
     let mut rng = StdRng::seed_from_u64(seed);
     for idx in targets {
-        let CandidateRepr::EntityLevel { map, cardinality, .. } = &mut set.candidates[idx].repr
+        let CandidateRepr::EntityLevel {
+            map, cardinality, ..
+        } = &mut set.candidates[idx].repr
         else {
             continue;
         };
@@ -357,10 +379,8 @@ pub fn fig3(cache: &mut DatasetCache, scale: Scale) -> String {
             }
         }
         let xs: Vec<f64> = fractions.iter().map(|f| f * 100.0).collect();
-        let series_refs: Vec<(&str, Vec<f64>)> = series
-            .iter()
-            .map(|(n, v)| (*n, v.clone()))
-            .collect();
+        let series_refs: Vec<(&str, Vec<f64>)> =
+            series.iter().map(|(n, v)| (*n, v.clone())).collect();
         out.push_str(&render_series(
             &format!(
                 "Figure 3 ({}): avg explainability (lower = better) vs % injected missing values",
@@ -390,9 +410,12 @@ pub fn random_query_usefulness(cache: &mut DatasetCache, scale: Scale) -> String
             let mut opts = options.clone();
             opts.excluded_columns = excluded_for(dataset, query);
             let nexus = Nexus::new(opts);
-            let Ok(e) =
-                nexus.explain(&dataset.table, &dataset.kg, &dataset.extraction_columns, query)
-            else {
+            let Ok(e) = nexus.explain(
+                &dataset.table,
+                &dataset.kg,
+                &dataset.extraction_columns,
+                query,
+            ) else {
                 continue;
             };
             let lowered = e.explained_cmi < e.initial_cmi - 1e-9;
@@ -423,7 +446,11 @@ pub fn random_query_usefulness(cache: &mut DatasetCache, scale: Scale) -> String
 /// Section 5.2: missingness and selection-bias prevalence per dataset.
 pub fn missing_stats(cache: &mut DatasetCache, scale: Scale) -> String {
     let options = NexusOptions::default();
-    let mut t = TextTable::new(&["Dataset", "% missing (extracted)", "% attrs selection-biased"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "% missing (extracted)",
+        "% attrs selection-biased",
+    ]);
     for kind in DatasetKind::ALL {
         let dataset = cache.get(kind, scale);
         let bench = queries_for(kind)[0];
@@ -457,7 +484,10 @@ pub fn missing_stats(cache: &mut DatasetCache, scale: Scale) -> String {
         t.row(vec![
             dataset.name.to_string(),
             format!("{:.1}%", 100.0 * missing_sum / n_extracted.max(1) as f64),
-            format!("{:.1}%", 100.0 * n_biased as f64 / n_extracted.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * n_biased as f64 / n_extracted.max(1) as f64
+            ),
         ]);
     }
     format!(
@@ -481,7 +511,12 @@ pub fn multihop(cache: &mut DatasetCache, scale: Scale) -> String {
             let t0 = Instant::now();
             let nexus = Nexus::new(opts);
             let e = nexus
-                .explain(&dataset.table, &dataset.kg, &dataset.extraction_columns, &query)
+                .explain(
+                    &dataset.table,
+                    &dataset.kg,
+                    &dataset.extraction_columns,
+                    &query,
+                )
                 .expect("pipeline runs");
             t.row(vec![
                 dataset.name.to_string(),
@@ -514,7 +549,12 @@ pub fn pruning_stats(cache: &mut DatasetCache, scale: Scale) -> String {
         opts.excluded_columns = excluded_for(dataset, &query);
         let nexus = Nexus::new(opts);
         let e = nexus
-            .explain(&dataset.table, &dataset.kg, &dataset.extraction_columns, &query)
+            .explain(
+                &dataset.table,
+                &dataset.kg,
+                &dataset.extraction_columns,
+                &query,
+            )
             .expect("pipeline runs");
         let s = &e.stats;
         let off = s.n_candidates_initial - s.n_after_offline;
@@ -524,11 +564,20 @@ pub fn pruning_stats(cache: &mut DatasetCache, scale: Scale) -> String {
             s.n_candidates_initial.to_string(),
             s.n_after_offline.to_string(),
             s.n_after_online.to_string(),
-            format!("{:.1}%", 100.0 * off as f64 / s.n_candidates_initial.max(1) as f64),
-            format!("{:.1}%", 100.0 * on as f64 / s.n_after_offline.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * off as f64 / s.n_candidates_initial.max(1) as f64
+            ),
+            format!(
+                "{:.1}%",
+                100.0 * on as f64 / s.n_after_offline.max(1) as f64
+            ),
         ]);
     }
-    format!("# Appendix: pruning statistics (paper offline: 41–73%)\n{}", t.render())
+    format!(
+        "# Appendix: pruning statistics (paper offline: 41–73%)\n{}",
+        t.render()
+    )
 }
 
 /// One benchmark query per dataset, timed end-to-end — the headline
@@ -583,7 +632,11 @@ mod tests {
             &opts,
         )
         .unwrap();
-        for variant in [PruningVariant::None, PruningVariant::Offline, PruningVariant::Full] {
+        for variant in [
+            PruningVariant::None,
+            PruningVariant::Offline,
+            PruningVariant::Full,
+        ] {
             let (t, _, cmi) = timed_query(set.clone(), &opts, variant);
             assert!(t.as_secs_f64() >= 0.0);
             assert!(cmi.is_finite());
@@ -636,11 +689,30 @@ mod tests {
         };
         let before = count_missing(&set);
         let mut injured = set.clone();
-        inject_into_set(&mut injured, &engine, 0.5, Injection::Random, Handling::Ipw, 10, 1);
+        inject_into_set(
+            &mut injured,
+            &engine,
+            0.5,
+            Injection::Random,
+            Handling::Ipw,
+            10,
+            1,
+        );
         assert!(count_missing(&injured) > before);
         let mut imputed = set.clone();
-        inject_into_set(&mut imputed, &engine, 0.5, Injection::Random, Handling::Impute, 10, 1);
-        assert_eq!(count_missing(&imputed), before - count_imputed_originals(&set, &imputed));
+        inject_into_set(
+            &mut imputed,
+            &engine,
+            0.5,
+            Injection::Random,
+            Handling::Impute,
+            10,
+            1,
+        );
+        assert_eq!(
+            count_missing(&imputed),
+            before - count_imputed_originals(&set, &imputed)
+        );
     }
 
     /// Entities missing in the original stay missing targets after mode

@@ -39,7 +39,11 @@ impl Accumulator {
         }
     }
 
-    /// Iterates over `(key, count)` pairs with nonzero count.
+    /// Iterates over `(key, count)` pairs with nonzero count, **in key
+    /// order**. Deterministic order matters: these counts feed f64
+    /// entropy sums, whose low bits depend on summation order — and
+    /// NEXUS guarantees bit-identical results across runs and thread
+    /// counts.
     pub fn iter(&self) -> Box<dyn Iterator<Item = (u128, f64)> + '_> {
         match self {
             Accumulator::Dense(v) => Box::new(
@@ -48,7 +52,11 @@ impl Accumulator {
                     .filter(|(_, &c)| c > 0.0)
                     .map(|(k, &c)| (k as u128, c)),
             ),
-            Accumulator::Sparse(m) => Box::new(m.iter().map(|(&k, &c)| (k, c))),
+            Accumulator::Sparse(m) => {
+                let mut cells: Vec<(u128, f64)> = m.iter().map(|(&k, &c)| (k, c)).collect();
+                cells.sort_unstable_by_key(|&(k, _)| k);
+                Box::new(cells.into_iter())
+            }
         }
     }
 
@@ -81,7 +89,10 @@ impl JointCounts {
     ///
     /// All variables must share the same length; `vars` must be non-empty.
     pub fn count(vars: &[&Codes], mask: Option<&Bitmap>, weights: Option<&[f64]>) -> JointCounts {
-        assert!(!vars.is_empty(), "JointCounts requires at least one variable");
+        assert!(
+            !vars.is_empty(),
+            "JointCounts requires at least one variable"
+        );
         let n = vars[0].len();
         for v in vars {
             assert_eq!(v.len(), n, "variable length mismatch");
@@ -93,7 +104,10 @@ impl JointCounts {
             assert_eq!(m.len(), n, "mask length mismatch");
         }
 
-        let radices: Vec<u128> = vars.iter().map(|v| (v.cardinality as u128).max(1)).collect();
+        let radices: Vec<u128> = vars
+            .iter()
+            .map(|v| (v.cardinality as u128).max(1))
+            .collect();
         let space: u128 = radices
             .iter()
             .try_fold(1u128, |acc, &r| acc.checked_mul(r))
@@ -103,8 +117,7 @@ impl JointCounts {
         let mut rows = 0usize;
 
         // Collect validity bitmaps once to avoid per-row dynamic dispatch.
-        let validities: Vec<Option<&Bitmap>> =
-            vars.iter().map(|v| v.validity.as_ref()).collect();
+        let validities: Vec<Option<&Bitmap>> = vars.iter().map(|v| v.validity.as_ref()).collect();
 
         'rows: for i in 0..n {
             if let Some(m) = mask {
@@ -156,8 +169,11 @@ impl JointCounts {
     }
 
     /// Marginal plug-in entropy together with its occupied-cell count.
+    ///
+    /// A `BTreeMap` keeps the marginal cells in key order so the entropy
+    /// sum is reproducible bit-for-bit (see [`Accumulator::iter`]).
     pub fn marginal_entropy_and_cells(&self, keep: &[usize]) -> (f64, usize) {
-        let mut marg: HashMap<u128, f64> = HashMap::new();
+        let mut marg: std::collections::BTreeMap<u128, f64> = std::collections::BTreeMap::new();
         for (key, c) in self.counts.iter() {
             marg.entry(self.project(key, keep))
                 .and_modify(|v| *v += c)

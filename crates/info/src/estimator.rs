@@ -284,7 +284,9 @@ mod tests {
         let n = 500;
         let mut s = 12345u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as u32
         };
         let x = codes(&(0..n).map(|_| next() % 3).collect::<Vec<_>>(), 3);

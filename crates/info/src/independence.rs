@@ -103,9 +103,7 @@ pub fn ci_test(
     // Large-sample shortcut for the conditional case: at 10k+ complete
     // cases a CMI this far above zero cannot be a permutation artifact,
     // and each permutation costs a full row scan.
-    if options.cmi_shortcut > 0.0
-        && observed > options.cmi_shortcut * 50.0
-        && usable.len() > 10_000
+    if options.cmi_shortcut > 0.0 && observed > options.cmi_shortcut * 50.0 && usable.len() > 10_000
     {
         return CiTestResult {
             observed_cmi: observed,
@@ -119,8 +117,10 @@ pub fn ci_test(
         vec![usable.to_vec()]
     } else {
         let radices: Vec<u128> = z.iter().map(|v| (v.cardinality as u128).max(1)).collect();
-        let mut map: std::collections::HashMap<u128, Vec<usize>> =
-            std::collections::HashMap::new();
+        // Keyed order matters: the strata consume the permutation RNG in
+        // sequence, so stratum order must be reproducible across runs.
+        let mut map: std::collections::BTreeMap<u128, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for &i in &usable {
             let mut key = 0u128;
             for (v, r) in z.iter().zip(&radices).rev() {
@@ -182,7 +182,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> u32 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as u32
         }
     }

@@ -95,7 +95,11 @@ impl EntityAttributes {
 
     /// Expands one entity-level attribute to table rows via the link vector:
     /// row `i` takes the attribute value of `links[i]`, null when unlinked.
-    pub fn expand_to_rows(&self, links: &[Option<EntityId>], attr: &str) -> nexus_table::Result<Column> {
+    pub fn expand_to_rows(
+        &self,
+        links: &[Option<EntityId>],
+        attr: &str,
+    ) -> nexus_table::Result<Column> {
         let col = self.table.column(attr)?;
         let values: Vec<Value> = links
             .iter()
@@ -198,7 +202,14 @@ fn collect(
                 out.insert(name.clone(), Value::Str(kg.entity(*target).name.clone()));
                 // …and its own properties are followed on the next hop.
                 if hops_left > 1 {
-                    collect(kg, *target, &format!("{name}."), hops_left - 1, options, out);
+                    collect(
+                        kg,
+                        *target,
+                        &format!("{name}."),
+                        hops_left - 1,
+                        options,
+                        out,
+                    );
                 }
             }
             PropertyValue::EntityList(targets) => {
@@ -341,7 +352,10 @@ mod tests {
         assert!(!names.iter().any(|n| n.contains("avg")));
         // Universal relation: ru has null gdp.
         assert_eq!(ea.table.value(1, "gdp").unwrap(), Value::Null);
-        assert_eq!(ea.table.value(0, "leader").unwrap(), Value::Str("Joe Biden".into()));
+        assert_eq!(
+            ea.table.value(0, "leader").unwrap(),
+            Value::Str("Joe Biden".into())
+        );
     }
 
     #[test]
@@ -438,7 +452,10 @@ mod tests {
         let names = ea.attribute_names();
         // Flattened chains exist up to depth 3 and no further.
         assert!(names.contains(&"peer.peer.x"), "{names:?}");
-        assert!(!names.iter().any(|n| n.matches("peer.").count() > 2), "{names:?}");
+        assert!(
+            !names.iter().any(|n| n.matches("peer.").count() > 2),
+            "{names:?}"
+        );
         assert_eq!(ea.table.value(0, "peer.peer.x").unwrap(), Value::Float(1.0));
     }
 
@@ -447,8 +464,22 @@ mod tests {
         // The toy graph is exhausted at 2 hops; 3 hops must not add noise.
         let (kg, us, ru) = toy();
         let links = vec![Some(us), Some(ru)];
-        let two = extract(&kg, &links, &ExtractOptions { hops: 2, one_to_many: OneToManyAgg::Mean });
-        let three = extract(&kg, &links, &ExtractOptions { hops: 3, one_to_many: OneToManyAgg::Mean });
+        let two = extract(
+            &kg,
+            &links,
+            &ExtractOptions {
+                hops: 2,
+                one_to_many: OneToManyAgg::Mean,
+            },
+        );
+        let three = extract(
+            &kg,
+            &links,
+            &ExtractOptions {
+                hops: 3,
+                one_to_many: OneToManyAgg::Mean,
+            },
+        );
         assert_eq!(two.table.n_cols(), three.table.n_cols());
     }
 }

@@ -83,15 +83,13 @@ pub fn read_kg<R: Read>(reader: R) -> Result<KnowledgeGraph, KgIoError> {
             }
             _ => {
                 if fields.len() != 3 {
-                    return Err(err(line_no, "triple expects <subject>\\t<property>\\t<object>"));
+                    return Err(err(
+                        line_no,
+                        "triple expects <subject>\\t<property>\\t<object>",
+                    ));
                 }
                 let id = resolve(&mut kg, &mut by_name, fields[0]);
-                pending.push((
-                    line_no,
-                    id,
-                    fields[1].to_string(),
-                    fields[2].to_string(),
-                ));
+                pending.push((line_no, id, fields[1].to_string(), fields[2].to_string()));
             }
         }
     }
@@ -99,8 +97,7 @@ pub fn read_kg<R: Read>(reader: R) -> Result<KnowledgeGraph, KgIoError> {
     // Second pass: materialize property values (entity refs may point to
     // entities declared later in the file).
     for (line_no, id, prop, object) in pending {
-        let value = parse_object(&mut kg, &mut by_name, &object)
-            .map_err(|m| err(line_no, &m))?;
+        let value = parse_object(&mut kg, &mut by_name, &object).map_err(|m| err(line_no, &m))?;
         kg.set_property(id, &prop, value);
     }
     Ok(kg)
@@ -294,9 +291,18 @@ mod tests {
         let text = "e\ti\t42\ne\tf\t4.5\ne\tb\ttrue\ne\ts\thello world\n";
         let kg = read_kg(text.as_bytes()).unwrap();
         let id = 0;
-        assert_eq!(kg.property(id, "i"), Some(&PropertyValue::Literal(Value::Int(42))));
-        assert_eq!(kg.property(id, "f"), Some(&PropertyValue::Literal(Value::Float(4.5))));
-        assert_eq!(kg.property(id, "b"), Some(&PropertyValue::Literal(Value::Bool(true))));
+        assert_eq!(
+            kg.property(id, "i"),
+            Some(&PropertyValue::Literal(Value::Int(42)))
+        );
+        assert_eq!(
+            kg.property(id, "f"),
+            Some(&PropertyValue::Literal(Value::Float(4.5)))
+        );
+        assert_eq!(
+            kg.property(id, "b"),
+            Some(&PropertyValue::Literal(Value::Bool(true)))
+        );
         assert_eq!(
             kg.property(id, "s"),
             Some(&PropertyValue::Literal(Value::Str("hello world".into())))

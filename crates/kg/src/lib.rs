@@ -33,6 +33,6 @@ pub mod io;
 pub mod ned;
 
 pub use extract::{extract, EntityAttributes, ExtractOptions, OneToManyAgg};
-pub use io::{read_kg, read_kg_path, write_kg, write_kg_path, KgIoError};
 pub use graph::{Entity, EntityId, KnowledgeGraph, PropId, PropertyValue};
+pub use io::{read_kg, read_kg_path, write_kg, write_kg_path, KgIoError};
 pub use ned::{normalize, EntityLinker, LinkOutcome, LinkStats};

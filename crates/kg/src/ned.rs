@@ -25,10 +25,13 @@ pub fn normalize(s: &str) -> String {
     let mut last_space = true;
     for ch in s.chars() {
         if ch.is_alphanumeric() {
-            for c in ch.to_lowercase() {
+            // Re-filter after lowercasing: e.g. 'İ' lowercases to "i\u{307}"
+            // and the bare combining mark is not alphanumeric — keeping it
+            // would break idempotency (a second pass would drop it).
+            for c in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
                 out.push(c);
+                last_space = false;
             }
-            last_space = false;
         } else if !last_space {
             out.push(' ');
             last_space = true;
@@ -191,8 +194,7 @@ impl EntityLinker {
         match col.data() {
             ColumnData::Utf8(arr) => {
                 // Resolve each dictionary entry once.
-                let resolved: Vec<LinkOutcome> =
-                    arr.dict().iter().map(|s| self.link(s)).collect();
+                let resolved: Vec<LinkOutcome> = arr.dict().iter().map(|s| self.link(s)).collect();
                 let mut out = Vec::with_capacity(col.len());
                 for i in 0..col.len() {
                     if col.is_null(i) {

@@ -169,9 +169,7 @@ impl DataLake {
                                     *counts.entry(s).or_insert(0) += 1;
                                 }
                             }
-                            if let Some((mode, _)) =
-                                counts.into_iter().max_by_key(|&(_, c)| c)
-                            {
+                            if let Some((mode, _)) = counts.into_iter().max_by_key(|&(_, c)| c) {
                                 kg.set_literal(entity, &prop, mode);
                             }
                         }
@@ -224,7 +222,10 @@ mod tests {
                 "Country",
                 Column::from_strs(&["A", "A", "B", "B", "C", "C"]),
             ),
-            ("Salary", Column::from_f64(vec![90.0, 92.0, 50.0, 52.0, 70.0, 72.0])),
+            (
+                "Salary",
+                Column::from_f64(vec![90.0, 92.0, 50.0, 52.0, 70.0, 72.0]),
+            ),
         ])
         .unwrap()
     }
@@ -245,7 +246,10 @@ mod tests {
         lake.add_table(
             "cities",
             Table::new(vec![
-                ("country", Column::from_strs(&["A", "A", "B", "C", "C", "C"])),
+                (
+                    "country",
+                    Column::from_strs(&["A", "A", "B", "C", "C", "C"]),
+                ),
                 (
                     "population",
                     Column::from_f64(vec![10.0, 20.0, 5.0, 1.0, 2.0, 3.0]),
@@ -353,20 +357,13 @@ mod tests {
             ])
             .unwrap(),
         );
-        let kg = lake.to_knowledge_graph(
-            base.column("Country").unwrap(),
-            &LakeOptions::default(),
-        );
+        let kg = lake.to_knowledge_graph(base.column("Country").unwrap(), &LakeOptions::default());
         let query =
             nexus_query::parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
         let e = nexus_core::Nexus::default()
             .explain(&base, &kg, &["Country".to_string()], &query)
             .unwrap();
-        assert!(
-            e.names().contains(&"Country::stats.hdi"),
-            "{:?}",
-            e.names()
-        );
+        assert!(e.names().contains(&"Country::stats.hdi"), "{:?}", e.names());
         assert!(e.explained_fraction() > 0.8);
     }
 }

@@ -46,7 +46,13 @@ pub fn impute_mode(col: &Column) -> Column {
             };
             let mode = arr.dict()[mode_code].clone();
             let values: Vec<Option<&str>> = (0..col.len())
-                .map(|i| Some(if col.is_null(i) { mode.as_str() } else { arr.get(i) }))
+                .map(|i| {
+                    Some(if col.is_null(i) {
+                        mode.as_str()
+                    } else {
+                        arr.get(i)
+                    })
+                })
                 .collect();
             Column::from_opt_strs(&values)
         }

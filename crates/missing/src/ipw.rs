@@ -110,7 +110,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> u32 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as u32
         }
     }
@@ -191,7 +193,10 @@ mod tests {
         let n = 4000;
         let zv: Vec<u32> = (0..n).map(|_| next() % 2).collect();
         // O correlated with Z.
-        let ov: Vec<u32> = zv.iter().map(|&z| if next() % 10 < 7 { z } else { 1 - z }).collect();
+        let ov: Vec<u32> = zv
+            .iter()
+            .map(|&z| if next() % 10 < 7 { z } else { 1 - z })
+            .collect();
         // E observed always when z=1, rarely when z=0.
         let e_vals: Vec<Option<f64>> = zv
             .iter()
@@ -218,10 +223,17 @@ mod tests {
             }
         }
         let weighted_p0 = w0 / wt;
-        let complete0 = w.iter().enumerate().filter(|(i, &wi)| wi > 0.0 && zv[*i] == 0).count();
+        let complete0 = w
+            .iter()
+            .enumerate()
+            .filter(|(i, &wi)| wi > 0.0 && zv[*i] == 0)
+            .count();
         let complete = w.iter().filter(|&&wi| wi > 0.0).count();
         let unweighted_p0 = complete0 as f64 / complete as f64;
-        assert!(unweighted_p0 < 0.3, "unweighted should be biased: {unweighted_p0}");
+        assert!(
+            unweighted_p0 < 0.3,
+            "unweighted should be biased: {unweighted_p0}"
+        );
         assert!(
             (weighted_p0 - 0.5).abs() < 0.1,
             "weighted should recover 0.5: {weighted_p0}"

@@ -124,7 +124,9 @@ impl LogisticRegression {
 
     /// Predicted probabilities for every row of a matrix.
     pub fn predict_all(&self, x: &FeatureMatrix) -> Vec<f64> {
-        (0..x.n_rows).map(|i| self.predict_proba(x.row(i))).collect()
+        (0..x.n_rows)
+            .map(|i| self.predict_proba(x.row(i)))
+            .collect()
     }
 }
 

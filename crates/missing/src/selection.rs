@@ -7,8 +7,8 @@
 //! outcome (given the exposure) or with other attributes — complete-case
 //! estimates are biased and IPW weights are required.
 
-use nexus_table::{Bitmap, Codes, Column};
 use nexus_info::{ci_test, CiTestOptions, InfoContext};
+use nexus_table::{Bitmap, Codes, Column};
 
 /// Builds the selection indicator `R_E` of a column: code 1 where the value
 /// is present, 0 where missing. Always fully valid.
@@ -104,9 +104,14 @@ pub fn detect_selection_bias(
         };
     }
 
-    let dep_o = !ci_test(ctx, &r, o, &[], &options.ci).independent;
-    let dep_o_given_t = !ci_test(ctx, &r, o, &[t], &options.ci).independent;
-    let dep_t = !ci_test(ctx, &r, t, &[], &options.ci).independent;
+    // Three tests share the verdict via OR, so each runs at alpha/3
+    // (Bonferroni) — otherwise genuinely MCAR attributes get flagged at
+    // nearly 3x the nominal false-positive rate.
+    let mut ci = options.ci;
+    ci.alpha /= 3.0;
+    let dep_o = !ci_test(ctx, &r, o, &[], &ci).independent;
+    let dep_o_given_t = !ci_test(ctx, &r, o, &[t], &ci).independent;
+    let dep_t = !ci_test(ctx, &r, t, &[], &ci).independent;
 
     BiasReport {
         mi_with_outcome: mi_o,
@@ -132,7 +137,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> u32 {
         let mut s = seed;
         move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as u32
         }
     }
@@ -210,7 +217,9 @@ mod tests {
         let o = codes(&(0..n).map(|i| (i % 4) as u32).collect::<Vec<_>>(), 4);
         let t = codes(&(0..n).map(|i| (i % 3) as u32).collect::<Vec<_>>(), 3);
         // One missing value, perfectly aligned with high outcome.
-        let values: Vec<Option<f64>> = (0..n).map(|i| if i == 3 { None } else { Some(1.0) }).collect();
+        let values: Vec<Option<f64>> = (0..n)
+            .map(|i| if i == 3 { None } else { Some(1.0) })
+            .collect();
         let col = Column::from_opt_f64(values);
         let report = detect_selection_bias(
             &InfoContext::default(),

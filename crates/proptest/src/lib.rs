@@ -1,0 +1,457 @@
+//! Minimal, std-only drop-in for the subset of the `proptest` 1.x API this
+//! workspace uses, so the workspace builds with `cargo --offline` (the
+//! build environment has no network and no vendored registry).
+//!
+//! Covered surface: the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]`), [`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assume!`]/[`prop_oneof!`], the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`/`boxed`, range and tuple strategies,
+//! [`any`], [`string::string_regex`] (a practical regex subset),
+//! [`collection::vec`], [`option::of`], and `prop::bool`.
+//!
+//! Deliberate deviations from real proptest: cases are generated from a
+//! deterministic per-test seed, there is **no shrinking**, and
+//! `.proptest-regressions` files are not read — a failing case prints its
+//! inputs via the assertion message instead.
+//!
+//! [`Strategy`]: strategy::Strategy
+//! [`any`]: arbitrary::any
+//! [`string::string_regex`]: string::string_regex
+//! [`collection::vec`]: collection::vec
+//! [`option::of`]: option::of
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `bool` (`prop::bool::weighted`, `prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// `true` with the given probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(pub f64);
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<f64>() < self.0
+        }
+    }
+
+    /// Strategy producing `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p)
+    }
+
+    /// A fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<f64>() < 0.5
+        }
+    }
+
+    /// Uniformly random `bool`.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// `any::<T>()` over the primitive types the workspace tests use.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen::<f64>() < 0.5
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign- and magnitude-diverse without NaN/inf edge cases.
+            let m = rng.gen::<f64>() * 2.0 - 1.0;
+            let e = rng.gen_range(-60..60i32);
+            m * (e as f64).exp2()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy wrapper returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<T>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A target length: exact, or drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` (`None` one time in four).
+    #[derive(Debug, Clone)]
+    pub struct OfStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen::<f64>() < 0.25 {
+                None
+            } else {
+                Some(self.0.gen_value(rng))
+            }
+        }
+    }
+
+    /// `Some(inner)` three times in four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy(inner)
+    }
+}
+
+/// String strategies (`proptest::string::string_regex`).
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Regex parse error.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        /// `.` — any character; samples printable ASCII mostly, with a
+        /// pinch of non-ASCII (including uppercase-without-lowercase and
+        /// multi-char-lowercase oddities) to keep Unicode paths honest.
+        Any,
+    }
+
+    /// Non-ASCII sample pool for [`Atom::Any`].
+    const ANY_NON_ASCII: &[char] = &['é', 'Ü', 'ß', 'ϒ', 'İ', 'Σ', '中', '‐', '\u{a0}'];
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generator for a practical regex subset: literal characters, `.`,
+    /// character classes like `[a-zA-Z0-9 ']`, and `{m}`/`{m,n}`/`?`/`+`/`*`
+    /// quantifiers (unbounded quantifiers cap at 8 repetitions).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let count = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..count {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Any => {
+                            if rng.gen_range(0..8) == 0 {
+                                out.push(ANY_NON_ASCII[rng.gen_range(0..ANY_NON_ASCII.len())]);
+                            } else {
+                                out.push(
+                                    char::from_u32(rng.gen_range(0x20..=0x7eu32))
+                                        .expect("printable ascii"),
+                                );
+                            }
+                        }
+                        Atom::Class(ranges) => {
+                            let total: u32 = ranges
+                                .iter()
+                                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                                .sum();
+                            let mut pick = rng.gen_range(0..total);
+                            for &(lo, hi) in ranges {
+                                let span = hi as u32 - lo as u32 + 1;
+                                if pick < span {
+                                    out.push(char::from_u32(lo as u32 + pick).expect("in range"));
+                                    break;
+                                }
+                                pick -= span;
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Parses `pattern` and returns a strategy generating matching strings.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut pieces = Vec::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i + 1)
+                        .ok_or_else(|| Error(pattern.to_string()))?;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    if ranges.is_empty() {
+                        return Err(Error(pattern.to_string()));
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    let c = *chars.get(i + 1).ok_or_else(|| Error(pattern.to_string()))?;
+                    i += 2;
+                    Atom::Literal(c)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '(' | ')' | '|' | '^' | '$' => return Err(Error(pattern.to_string())),
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i + 1)
+                        .ok_or_else(|| Error(pattern.to_string()))?;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo = lo.parse().map_err(|_| Error(pattern.to_string()))?;
+                        let hi = hi.parse().map_err(|_| Error(pattern.to_string()))?;
+                        (lo, hi)
+                    } else {
+                        let n = body.parse().map_err(|_| Error(pattern.to_string()))?;
+                        (n, n)
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error(pattern.to_string()));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = crate::string::string_regex("[a-zA-Z][a-zA-Z0-9_]{0,8}").unwrap();
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 9, "{v:?}");
+            assert!(v.chars().next().unwrap().is_ascii_alphabetic(), "{v:?}");
+            assert!(v.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+        let t = crate::string::string_regex("[a-zA-Z0-9 ']{0,10}").unwrap();
+        for _ in 0..200 {
+            let v = t.gen_value(&mut rng);
+            assert!(v.chars().count() <= 10);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\''));
+        }
+        assert!(crate::string::string_regex("(a|b)").is_err());
+    }
+
+    #[test]
+    fn ranges_tuples_and_collections_compose() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = (2u32..=6, crate::collection::vec(-5i64..5, 1..10))
+            .prop_map(|(card, values)| (card, values.len()));
+        for _ in 0..100 {
+            let (card, len) = strat.gen_value(&mut rng);
+            assert!((2..=6).contains(&card));
+            assert!((1..10).contains(&len));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.gen_value(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0..100i64, flip in any::<bool>()) {
+            prop_assume!(x != 50);
+            prop_assert!(x < 100);
+            let y = if flip { x + 1 } else { x - 1 };
+            prop_assert_eq!((y - x).abs(), 1);
+        }
+    }
+}

@@ -2,9 +2,9 @@
 
 use std::collections::HashMap;
 
-use nexus_table::{aggregate, join, Bitmap, ColumnData, JoinType, Table, Value};
 #[cfg(test)]
 use nexus_table::Column;
+use nexus_table::{aggregate, join, Bitmap, ColumnData, JoinType, Table, Value};
 
 use crate::ast::{AggregateQuery, CmpOp, Predicate, SelectItem};
 use crate::error::{QueryError, Result};
@@ -51,9 +51,7 @@ pub fn eval_predicate(pred: &Predicate, table: &Table) -> Result<Bitmap> {
         Predicate::Not(p) => Ok(eval_predicate(p, table)?.not()),
         Predicate::IsNull { column, negated } => {
             let col = table.column(column)?;
-            let mask: Bitmap = (0..col.len())
-                .map(|i| col.is_null(i) != *negated)
-                .collect();
+            let mask: Bitmap = (0..col.len()).map(|i| col.is_null(i) != *negated).collect();
             Ok(mask)
         }
         Predicate::Compare { column, op, value } => compare_column(table, column, *op, value),
@@ -255,10 +253,9 @@ mod tests {
     #[test]
     fn where_filters_rows() {
         let c = catalog();
-        let q = parse(
-            "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'eu' GROUP BY Country",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT Country, avg(Salary) FROM SO WHERE Continent = 'eu' GROUP BY Country")
+                .unwrap();
         let r = execute(&q, &c).unwrap();
         assert_eq!(r.n_rows(), 2); // fr, de
         assert_eq!(r.value(0, "Country").unwrap(), Value::Str("fr".into()));
@@ -341,9 +338,8 @@ mod tests {
         let q = parse("SELECT Country, avg(Salary) FROM SO WHERE Age = 'old' GROUP BY Country")
             .unwrap();
         assert!(matches!(execute(&q, &c), Err(QueryError::Semantic(_))));
-        let q =
-            parse("SELECT Country, avg(Salary) FROM SO WHERE Country > 3 GROUP BY Country")
-                .unwrap();
+        let q = parse("SELECT Country, avg(Salary) FROM SO WHERE Country > 3 GROUP BY Country")
+            .unwrap();
         assert!(matches!(execute(&q, &c), Err(QueryError::Semantic(_))));
     }
 
@@ -367,8 +363,14 @@ mod tests {
         // Grouping by a continuous column bins it into quantile intervals
         // (Section 2.1's numerical-exposure rule).
         let t = Table::new(vec![
-            ("age", Column::from_f64((0..100).map(|i| i as f64).collect())),
-            ("salary", Column::from_f64((0..100).map(|i| (i * 10) as f64).collect())),
+            (
+                "age",
+                Column::from_f64((0..100).map(|i| i as f64).collect()),
+            ),
+            (
+                "salary",
+                Column::from_f64((0..100).map(|i| (i * 10) as f64).collect()),
+            ),
         ])
         .unwrap();
         let mut c = Catalog::new();
@@ -399,10 +401,9 @@ mod tests {
     #[test]
     fn context_mask_counts() {
         let c = catalog();
-        let q = parse(
-            "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'eu' GROUP BY Country",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT Country, avg(Salary) FROM SO WHERE Continent = 'eu' GROUP BY Country")
+                .unwrap();
         let mask = context_mask(&q, c.get("SO").unwrap()).unwrap();
         assert_eq!(mask.count_ones(), 4);
         let q2 = parse("SELECT Country, avg(Salary) FROM SO GROUP BY Country").unwrap();

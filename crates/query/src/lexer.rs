@@ -219,7 +219,9 @@ mod tests {
 
     #[test]
     fn basic_query_tokens() {
-        let toks = tokenize("SELECT Country, avg(Salary) FROM SO WHERE x = 'Europe' GROUP BY Country").unwrap();
+        let toks =
+            tokenize("SELECT Country, avg(Salary) FROM SO WHERE x = 'Europe' GROUP BY Country")
+                .unwrap();
         assert_eq!(toks[0], Token::Keyword("SELECT".into()));
         assert_eq!(toks[1], Token::Ident("Country".into()));
         assert_eq!(toks[2], Token::Comma);
@@ -231,7 +233,8 @@ mod tests {
 
     #[test]
     fn operators() {
-        let toks = tokenize("a = 1 AND b != 2 OR c <> 3 AND d <= 4 AND e >= 5 AND f < 6 AND g > 7").unwrap();
+        let toks = tokenize("a = 1 AND b != 2 OR c <> 3 AND d <= 4 AND e >= 5 AND f < 6 AND g > 7")
+            .unwrap();
         let ops: Vec<String> = toks
             .iter()
             .filter_map(|t| match t {

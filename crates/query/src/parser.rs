@@ -101,7 +101,8 @@ impl Parser {
         let from = self.ident()?;
 
         let mut join = None;
-        if self.eat_keyword("INNER") || matches!(self.peek(), Some(Token::Keyword(k)) if k == "JOIN")
+        if self.eat_keyword("INNER")
+            || matches!(self.peek(), Some(Token::Keyword(k)) if k == "JOIN")
         {
             self.expect_keyword("JOIN")?;
             let table = self.ident()?;
@@ -268,10 +269,7 @@ mod tests {
         assert_eq!(q.from, "SO");
         assert_eq!(q.exposure(), Some("Country"));
         assert_eq!(q.outcome(), Some((AggFunc::Avg, "Salary")));
-        assert_eq!(
-            q.where_clause,
-            Some(Predicate::eq("Continent", "Europe"))
-        );
+        assert_eq!(q.where_clause, Some(Predicate::eq("Continent", "Europe")));
     }
 
     #[test]
@@ -288,10 +286,9 @@ mod tests {
 
     #[test]
     fn parses_complex_where() {
-        let q = parse(
-            "SELECT a, sum(b) FROM t WHERE (x > 3 AND y != 'z') OR NOT w <= 2.5 GROUP BY a",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT a, sum(b) FROM t WHERE (x > 3 AND y != 'z') OR NOT w <= 2.5 GROUP BY a")
+                .unwrap();
         match q.where_clause.unwrap() {
             Predicate::Or(l, r) => {
                 assert!(matches!(*l, Predicate::And(_, _)));

@@ -1,0 +1,345 @@
+//! # nexus-runtime
+//!
+//! A small, std-only parallel execution layer for the candidate-parallel
+//! hot paths of the NEXUS pipeline (per-candidate scoring in MCIMR, the
+//! relevance/FD tests in online pruning, selection-bias detection, and the
+//! brute-force baseline's subset enumeration).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results are reduced **by item index**, never by
+//!    completion order, so every reduction is bit-identical to the serial
+//!    path regardless of thread count. Workers claim disjoint index ranges
+//!    from an atomic cursor; the per-index outputs are written into a
+//!    pre-sized slot vector and handed back in index order.
+//! 2. **No dependencies.** Built on [`std::thread::scope`] alone — the
+//!    workspace must compile with `cargo build --offline`.
+//! 3. **Honest failure.** A panicking worker panics the caller (via
+//!    [`std::panic::resume_unwind`]); the pool never deadlocks on or
+//!    swallows a worker panic.
+//!
+//! Threads are scoped per call rather than parked in a persistent pool:
+//! every NEXUS use site runs thousands of estimator evaluations per call,
+//! so spawn cost (~10µs/thread) is noise, and scoping keeps the borrow
+//! story trivial — workers borrow the caller's data directly.
+
+#![warn(missing_docs)]
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How many worker threads a [`ThreadPool`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run everything on the calling thread.
+    Serial,
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// Aggregate counters for every parallel region run on one pool.
+///
+/// `busy` sums the wall-clock time of each worker's claim loop, so
+/// `busy / wall` estimates the effective speedup actually realized
+/// (1.0 = serial, ≈ thread count = perfect scaling).
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    tasks: AtomicU64,
+    calls: AtomicU64,
+    wall_nanos: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl PoolMetrics {
+    /// Number of items mapped across all calls.
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Number of parallel regions entered.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time spent inside parallel regions.
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Summed per-worker busy time across parallel regions.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Effective speedup: worker-busy time over wall time (≥ 0; ≈ 1 when
+    /// serial, approaches the thread count under perfect scaling).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_nanos.load(Ordering::Relaxed);
+        if wall == 0 {
+            return 1.0;
+        }
+        self.busy_nanos.load(Ordering::Relaxed) as f64 / wall as f64
+    }
+
+    fn record(&self, tasks: u64, wall: Duration, busy: Duration) {
+        self.tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.wall_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A scoped thread pool: `threads` workers are spawned per [`map`] call
+/// with [`std::thread::scope`] and joined before it returns.
+///
+/// [`map`]: ThreadPool::map
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+    metrics: Arc<PoolMetrics>,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new(Parallelism::Serial)
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with the given parallelism.
+    pub fn new(parallelism: Parallelism) -> Self {
+        ThreadPool {
+            threads: parallelism.threads(),
+            metrics: Arc::new(PoolMetrics::default()),
+        }
+    }
+
+    /// The number of worker threads `map` will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Counters accumulated across every `map` call on this pool (shared
+    /// by clones of the pool).
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.metrics
+    }
+
+    /// Applies `f` to every index in `0..n` and returns the outputs **in
+    /// index order** — bit-identical to `(0..n).map(f).collect()` for a
+    /// pure `f`, at any thread count.
+    ///
+    /// Work is distributed by an atomic cursor in contiguous chunks, so
+    /// per-index cost imbalance (common across candidates: cardinality
+    /// varies wildly) still load-balances. If a worker panics, the panic
+    /// is re-raised on the caller after all workers have stopped.
+    pub fn map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let start = Instant::now();
+        let out = if self.threads <= 1 || n <= 1 {
+            (0..n).map(f).collect()
+        } else {
+            self.map_parallel(n, &f)
+        };
+        let wall = start.elapsed();
+        // Serial busy time equals wall time by definition.
+        let busy = if self.threads <= 1 || n <= 1 {
+            wall
+        } else {
+            Duration::ZERO // already recorded per worker inside map_parallel
+        };
+        self.metrics.record(n as u64, wall, busy);
+        out
+    }
+
+    fn map_parallel<R, F>(&self, n: usize, f: &F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+        // Small chunks keep load balanced without contending on the
+        // cursor for every item.
+        let chunk = (n / (workers * 8)).clamp(1, 1024);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let panic_payload = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let slots = &slots;
+                handles.push(scope.spawn(move || {
+                    let begin = Instant::now();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(n);
+                        for (i, slot) in slots[lo..hi].iter().enumerate() {
+                            let value = f(lo + i);
+                            *slot.lock().expect("slot poisoned") = Some(value);
+                        }
+                    }
+                    begin.elapsed()
+                }));
+            }
+            let mut first_panic = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(busy) => self
+                        .metrics
+                        .busy_nanos
+                        .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                        0
+                    }
+                };
+            }
+            first_panic
+        });
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .expect("slot poisoned")
+                    .unwrap_or_else(|| panic!("index {i} produced no value"))
+            })
+            .collect()
+    }
+
+    /// Maps `f` over a slice, index-ordered; convenience over [`map`].
+    ///
+    /// [`map`]: ThreadPool::map
+    pub fn map_slice<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &'a T) -> R + Sync,
+    {
+        self.map(items.len(), |i| f(i, &items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(Parallelism::Fixed(threads));
+            let out = pool.map(1000, |i| i * i);
+            let expected: Vec<usize> = (0..1000).map(|i| i * i).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_is_bit_identical_across_thread_counts() {
+        // A reduction whose result depends on evaluation *values* only:
+        // the f64 outputs must match bit-for-bit between serial and
+        // parallel pools.
+        let score = |i: usize| ((i as f64) * 0.1).sin() / ((i + 1) as f64).sqrt();
+        let serial: Vec<f64> = ThreadPool::new(Parallelism::Serial).map(513, score);
+        for threads in [2, 5, 16] {
+            let parallel = ThreadPool::new(Parallelism::Fixed(threads)).map(513, score);
+            let same = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = ThreadPool::new(Parallelism::Fixed(4));
+        assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn map_slice_borrows_items() {
+        let words = ["alpha", "beta", "gamma"];
+        let pool = ThreadPool::new(Parallelism::Fixed(2));
+        let lens = pool.map_slice(&words, |i, w| (i, w.len()));
+        assert_eq!(lens, vec![(0, 5), (1, 4), (2, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate worker panic")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(Parallelism::Fixed(4));
+        pool.map(64, |i| {
+            if i == 33 {
+                panic!("deliberate worker panic");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn worker_panic_does_not_hang_serial_pool() {
+        let pool = ThreadPool::new(Parallelism::Serial);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(4, |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let pool = ThreadPool::new(Parallelism::Fixed(2));
+        pool.map(100, |i| i);
+        pool.map(50, |i| i);
+        assert_eq!(pool.metrics().tasks(), 150);
+        assert_eq!(pool.metrics().calls(), 2);
+        assert!(pool.metrics().speedup() >= 0.0);
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::Fixed(6).threads(), 6);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+}

@@ -48,7 +48,11 @@ impl Bitmap {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit {i} out of bounds for bitmap of {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitmap of {}",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -58,7 +62,11 @@ impl Bitmap {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit {i} out of bounds for bitmap of {}", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitmap of {}",
+            self.len
+        );
         let word = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if value {

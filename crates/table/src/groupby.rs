@@ -210,7 +210,10 @@ pub fn aggregate(table: &Table, keys: &[&str], aggs: &[(AggFunc, &str)]) -> Resu
         } else {
             crate::value::DataType::Float64
         };
-        out_cols.push((format!("{}({})", func.name(), name), Column::from_values(dtype, &vals)?));
+        out_cols.push((
+            format!("{}({})", func.name(), name),
+            Column::from_values(dtype, &vals)?,
+        ));
     }
     Table::new(out_cols)
 }
@@ -236,10 +239,7 @@ mod tests {
                     Some(100.0),
                 ]),
             ),
-            (
-                "gender",
-                Column::from_strs(&["m", "f", "f", "m", "f", "m"]),
-            ),
+            ("gender", Column::from_strs(&["m", "f", "f", "m", "f", "m"])),
         ])
         .unwrap()
     }

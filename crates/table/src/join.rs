@@ -145,7 +145,14 @@ mod tests {
 
     #[test]
     fn inner_join_drops_unmatched() {
-        let j = join(&people(), &countries(), "country", "country", JoinType::Inner).unwrap();
+        let j = join(
+            &people(),
+            &countries(),
+            "country",
+            "country",
+            JoinType::Inner,
+        )
+        .unwrap();
         assert_eq!(j.n_rows(), 2);
         assert_eq!(j.column_names(), vec!["name", "country", "gdp"]);
         assert_eq!(j.value(0, "gdp").unwrap(), Value::Float(21.0));
@@ -153,7 +160,14 @@ mod tests {
 
     #[test]
     fn left_join_nulls_unmatched() {
-        let j = join(&people(), &countries(), "country", "country", JoinType::Left).unwrap();
+        let j = join(
+            &people(),
+            &countries(),
+            "country",
+            "country",
+            JoinType::Left,
+        )
+        .unwrap();
         assert_eq!(j.n_rows(), 4);
         assert_eq!(j.value(2, "gdp").unwrap(), Value::Null); // xx unmatched
         assert_eq!(j.value(3, "gdp").unwrap(), Value::Null); // null key

@@ -318,9 +318,7 @@ mod tests {
         t.add_column("bonus", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0]))
             .unwrap();
         assert_eq!(t.n_cols(), 4);
-        assert!(t
-            .add_column("short", Column::from_i64(vec![1]))
-            .is_err());
+        assert!(t.add_column("short", Column::from_i64(vec![1])).is_err());
         let dropped = t.drop_column("age").unwrap();
         assert_eq!(dropped.len(), 4);
         assert!(!t.has_column("age"));
@@ -367,7 +365,10 @@ mod tests {
         let desc = t.sort_by_column("salary", true).unwrap();
         assert_eq!(desc.value(0, "salary").unwrap(), Value::Float(90.0));
         let by_name = t.sort_by_column("country", false).unwrap();
-        assert_eq!(by_name.value(0, "country").unwrap(), Value::Str("de".into()));
+        assert_eq!(
+            by_name.value(0, "country").unwrap(),
+            Value::Str("de".into())
+        );
         assert!(t.sort_by_column("nope", false).is_err());
     }
 

@@ -31,7 +31,12 @@ fn main() {
     let options = NexusOptions::default();
     let nexus = Nexus::new(options);
     let e = nexus
-        .explain(&dataset.table, &dataset.kg, &dataset.extraction_columns, &query)
+        .explain(
+            &dataset.table,
+            &dataset.kg,
+            &dataset.extraction_columns,
+            &query,
+        )
         .expect("pipeline runs");
 
     println!(
@@ -46,7 +51,11 @@ fn main() {
             "  {:<32} responsibility {:.2}{}",
             attr.name,
             attr.responsibility,
-            if attr.weighted { "  [IPW-weighted]" } else { "" }
+            if attr.weighted {
+                "  [IPW-weighted]"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -26,14 +26,14 @@ fn main() {
     let nexus = Nexus::new(options.clone());
     let t0 = std::time::Instant::now();
     let (e, artifacts) = nexus
-        .explain_with_artifacts(&dataset.table, &dataset.kg, &dataset.extraction_columns, &query)
+        .explain_with_artifacts(
+            &dataset.table,
+            &dataset.kg,
+            &dataset.extraction_columns,
+            &query,
+        )
         .expect("pipeline runs");
-    println!(
-        "{:<14} {:>8.2?}  {:?}",
-        "MESA",
-        t0.elapsed(),
-        e.names()
-    );
+    println!("{:<14} {:>8.2?}  {:?}", "MESA", t0.elapsed(), e.names());
 
     let methods: Vec<Box<dyn ExplainMethod>> = vec![
         Box::new(BruteForce::default()),

@@ -30,8 +30,9 @@ fn main() {
         for i in 0..40 {
             countries.push(name.clone());
             genders.push(if i % 4 == 0 { "f" } else { "m" });
-            salaries.push(30_000.0 + 15_000.0 * development - 2_000.0 * inequality
-                + (i % 5) as f64 * 100.0);
+            salaries.push(
+                30_000.0 + 15_000.0 * development - 2_000.0 * inequality + (i % 5) as f64 * 100.0,
+            );
         }
     }
     let table = Table::new(vec![
@@ -42,8 +43,8 @@ fn main() {
     .expect("columns share one length");
 
     // The analyst's query: average salary per country.
-    let query = parse("SELECT Country, avg(Salary) FROM survey GROUP BY Country")
-        .expect("valid SQL");
+    let query =
+        parse("SELECT Country, avg(Salary) FROM survey GROUP BY Country").expect("valid SQL");
     println!("Query: {query}\n");
 
     // Show the puzzling result first.
@@ -70,7 +71,11 @@ fn main() {
             "  {:<24} responsibility {:.2}{}",
             attr.name,
             attr.responsibility,
-            if attr.weighted { "  [IPW-weighted]" } else { "" }
+            if attr.weighted {
+                "  [IPW-weighted]"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -18,7 +18,12 @@ fn main() {
     let query = q1.parsed();
     println!("Q1: {query}");
     let (e, artifacts) = nexus
-        .explain_with_artifacts(&dataset.table, &dataset.kg, &dataset.extraction_columns, &query)
+        .explain_with_artifacts(
+            &dataset.table,
+            &dataset.kg,
+            &dataset.extraction_columns,
+            &query,
+        )
         .expect("pipeline runs");
     println!(
         "  explanation: {:?}  ({:.0}% of the correlation explained)\n",
@@ -61,7 +66,12 @@ fn main() {
     let query3 = q3.parsed();
     println!("\nQ3 (refined): {query3}");
     let e3 = nexus
-        .explain(&dataset.table, &dataset.kg, &dataset.extraction_columns, &query3)
+        .explain(
+            &dataset.table,
+            &dataset.kg,
+            &dataset.extraction_columns,
+            &query3,
+        )
         .expect("pipeline runs");
     println!(
         "  explanation: {:?}  ({:.0}% explained)",

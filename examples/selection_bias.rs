@@ -12,8 +12,8 @@
 
 use nexus::info::InfoContext;
 use nexus::missing::{
-    detect_selection_bias, impute_mode, inject_missing, ipw_weights, BiasDetectOptions,
-    IpwOptions, MissingInjection,
+    detect_selection_bias, impute_mode, inject_missing, ipw_weights, BiasDetectOptions, IpwOptions,
+    MissingInjection,
 };
 use nexus::table::Column;
 
@@ -31,8 +31,16 @@ fn main() {
     for c in 0..12u32 {
         let tier = (c % 3) as i64;
         for _ in 0..250 {
-            let edu = if i.is_multiple_of(7) { (tier + 2) % 3 } else { tier };
-            let sal = if i.is_multiple_of(5) { (edu + 1) % 3 } else { edu };
+            let edu = if i.is_multiple_of(7) {
+                (tier + 2) % 3
+            } else {
+                tier
+            };
+            let sal = if i.is_multiple_of(5) {
+                (edu + 1) % 3
+            } else {
+                edu
+            };
             country.push(format!("C{c:02}"));
             edu_values.push(edu);
             salary.push(sal);
@@ -41,10 +49,15 @@ fn main() {
     }
     const LEVELS: [&str; 3] = ["primary", "secondary", "tertiary"];
     let edu_col = Column::from_strs(
-        &edu_values.iter().map(|&e| LEVELS[e as usize]).collect::<Vec<_>>(),
+        &edu_values
+            .iter()
+            .map(|&e| LEVELS[e as usize])
+            .collect::<Vec<_>>(),
     );
     let t = Column::from_strs(&country).category_codes().expect("codes");
-    let o = Column::from_i64(salary.clone()).category_codes().expect("codes");
+    let o = Column::from_i64(salary.clone())
+        .category_codes()
+        .expect("codes");
     let e = edu_col.category_codes().expect("codes");
 
     let ctx = InfoContext::default();
@@ -52,7 +65,9 @@ fn main() {
     let cmi_clean = ctx.cmi(&o, &t, &[&e]);
     println!("Clean data ({} rows):", salary.len());
     println!("  I(Salary; Country)       = {mi_clean:.4} bits");
-    println!("  I(Salary; Country | Edu) = {cmi_clean:.4} bits  -> education explains the correlation\n");
+    println!(
+        "  I(Salary; Country | Edu) = {cmi_clean:.4} bits  -> education explains the correlation\n"
+    );
 
     // ------------------------------------------------------------------
     // MNAR missingness: 75% of top-bracket earners hide their education.
@@ -81,13 +96,22 @@ fn main() {
         "  I(R_Edu; Salary) = {:.4} bits, I(R_Edu; Country) = {:.4} bits  -> biased = {}",
         report.mi_with_outcome, report.mi_with_exposure, report.biased
     );
-    assert!(report.biased, "the detector must flag outcome-dependent missingness");
+    assert!(
+        report.biased,
+        "the detector must flag outcome-dependent missingness"
+    );
 
     // Complete-case analysis truncates the salary distribution: the
     // correlation to be explained looks weaker than it is.
     let cc = InfoContext::masked(edu_mnar.validity().expect("has missing rows"));
-    println!("  complete-case I(Salary; Country)       = {:.4} bits  (clean: {mi_clean:.4})", cc.mutual_information(&o, &t));
-    println!("  complete-case I(Salary; Country | Edu) = {:.4} bits\n", cc.cmi(&o, &t, &[&e_obs]));
+    println!(
+        "  complete-case I(Salary; Country)       = {:.4} bits  (clean: {mi_clean:.4})",
+        cc.mutual_information(&o, &t)
+    );
+    println!(
+        "  complete-case I(Salary; Country | Edu) = {:.4} bits\n",
+        cc.cmi(&o, &t, &[&e_obs])
+    );
 
     // Mode imputation restores the rows but poisons the stratification:
     // the hidden rows are mostly Edu = 2, the mode is not.

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate. The workspace is dependency-free, so everything runs
+# with --offline; a network fetch in any step is a bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --offline"
+cargo test --offline --workspace -q
+
+echo "CI gate passed."

@@ -6,7 +6,7 @@
 //! nexus-cli --table data.csv --kg knowledge.tsv \
 //!           --extract Country --extract Continent \
 //!           --sql "SELECT Country, avg(Salary) FROM t GROUP BY Country" \
-//!           [--k 5] [--hops 1] [--subgroups] [--no-pruning]
+//!           [--k 5] [--hops 1] [--threads N] [--subgroups] [--no-pruning]
 //!
 //! nexus-cli --table data.csv --lake ./lake-dir --extract Country --sql "…"
 //! ```
@@ -17,7 +17,7 @@ use nexus::core::{unexplained_subgroups, SubgroupOptions};
 use nexus::kg::KnowledgeGraph;
 use nexus::lake::{DataLake, LakeOptions};
 use nexus::table::read_csv_path;
-use nexus::{parse, Nexus, NexusOptions};
+use nexus::{parse, ExplainRequest, Nexus, NexusOptions};
 
 struct Args {
     table: String,
@@ -27,6 +27,7 @@ struct Args {
     sql: String,
     k: usize,
     hops: usize,
+    threads: usize,
     subgroups: bool,
     no_pruning: bool,
 }
@@ -34,7 +35,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: nexus-cli --table <csv> (--kg <triples.tsv> | --lake <dir>) \
-         --extract <column>... --sql <query> [--k N] [--hops N] [--subgroups] [--no-pruning]"
+         --extract <column>... --sql <query> [--k N] [--hops N] [--threads N] \
+         [--subgroups] [--no-pruning]"
     );
     exit(2)
 }
@@ -48,6 +50,7 @@ fn parse_args() -> Args {
         sql: String::new(),
         k: 5,
         hops: 1,
+        threads: 0,
         subgroups: false,
         no_pruning: false,
     };
@@ -66,6 +69,7 @@ fn parse_args() -> Args {
             "--sql" => args.sql = value(&mut i),
             "--k" => args.k = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--hops" => args.hops = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--subgroups" => args.subgroups = true,
             "--no-pruning" => args.no_pruning = true,
             "--help" | "-h" => usage(),
@@ -105,14 +109,20 @@ fn main() {
         }
     };
 
-    let kg: KnowledgeGraph = if let Some(path) = &args.kg {
-        match nexus::kg::read_kg_path(path) {
+    let mut request = ExplainRequest::new()
+        .table(&table)
+        .extraction_columns(args.extract.iter().cloned())
+        .query(&query);
+    let file_kg: KnowledgeGraph;
+    if let Some(path) = &args.kg {
+        file_kg = match nexus::kg::read_kg_path(path) {
             Ok(kg) => kg,
             Err(e) => {
                 eprintln!("failed to read KG {path}: {e}");
                 exit(1)
             }
-        }
+        };
+        request = request.knowledge_graph(&file_kg);
     } else {
         let dir = args.lake.as_deref().expect("validated");
         let mut lake = DataLake::new();
@@ -148,27 +158,32 @@ fn main() {
                 exit(1)
             }
         };
-        lake.to_knowledge_graph(col, &LakeOptions::default())
-    };
-
-    let mut options = NexusOptions {
-        max_explanation_size: args.k,
-        hops: args.hops,
-        ..NexusOptions::default()
-    };
-    if args.no_pruning {
-        options = options.without_pruning();
+        request = request.lake(lake.to_knowledge_graph(col, &LakeOptions::default()));
     }
 
+    let options = match NexusOptions::builder()
+        .max_explanation_size(args.k)
+        .hops(args.hops)
+        .threads(args.threads)
+        .offline_pruning(!args.no_pruning)
+        .online_pruning(!args.no_pruning)
+        .build()
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(2)
+        }
+    };
+
     let nexus = Nexus::new(options);
-    let (explanation, artifacts) =
-        match nexus.explain_with_artifacts(&table, &kg, &args.extract, &query) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("pipeline failed: {e}");
-                exit(1)
-            }
-        };
+    let (explanation, artifacts) = match nexus.run_with_artifacts(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            exit(1)
+        }
+    };
 
     println!("query: {query}");
     println!(
@@ -198,6 +213,12 @@ fn main() {
         s.n_after_online,
         s.n_biased,
         s.total()
+    );
+    println!(
+        "pool: {} thread(s), {} task(s), {:.2}x scoring speedup",
+        s.threads,
+        s.pool_tasks,
+        s.parallel_speedup()
     );
 
     if args.subgroups {

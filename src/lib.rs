@@ -27,7 +27,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use nexus::{Nexus, parse};
+//! use nexus::{parse, ExplainRequest, Nexus, NexusOptions};
 //! use nexus::kg::KnowledgeGraph;
 //! use nexus::table::{Column, Table};
 //!
@@ -49,9 +49,13 @@
 //! ]).unwrap();
 //!
 //! let query = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
-//! let explanation = Nexus::default()
-//!     .explain(&table, &kg, &["Country".to_string()], &query)
-//!     .unwrap();
+//! let request = ExplainRequest::new()
+//!     .table(&table)
+//!     .knowledge_graph(&kg)
+//!     .extraction_column("Country")
+//!     .query(&query);
+//! let options = NexusOptions::builder().threads(2).build().unwrap();
+//! let explanation = Nexus::new(options).run(&request).unwrap();
 //! assert!(explanation.names().contains(&"Country::hdi"));
 //! ```
 
@@ -68,5 +72,7 @@ pub use nexus_missing as missing;
 pub use nexus_query as query;
 pub use nexus_table as table;
 
-pub use nexus_core::{Explanation, Nexus, NexusOptions};
+pub use nexus_core::{
+    ExplainRequest, Explanation, Nexus, NexusOptions, NexusOptionsBuilder, Parallelism,
+};
 pub use nexus_query::parse;

@@ -91,8 +91,12 @@ fn context_refinement_changes_explanation() {
         parse("SELECT Country, avg(Salary) FROM t WHERE Continent = 'Europe' GROUP BY Country")
             .unwrap();
     let nexus = Nexus::default();
-    let e_all = nexus.explain(&table, &kg, &["Country".to_string()], &q_all).unwrap();
-    let e_eu = nexus.explain(&table, &kg, &["Country".to_string()], &q_eu).unwrap();
+    let e_all = nexus
+        .explain(&table, &kg, &["Country".to_string()], &q_all)
+        .unwrap();
+    let e_eu = nexus
+        .explain(&table, &kg, &["Country".to_string()], &q_eu)
+        .unwrap();
     // Both find an explanation; the European one runs on the refined mask.
     assert!(!e_all.names().is_empty());
     assert!(!e_eu.names().is_empty());
@@ -171,8 +175,8 @@ fn csv_roundtrip_feeds_pipeline() {
     let (table, kg) = world();
     let mut buf = Vec::new();
     nexus::table::write_csv(&table, &mut buf).unwrap();
-    let table2 = nexus::table::read_csv(buf.as_slice(), &nexus::table::CsvOptions::default())
-        .unwrap();
+    let table2 =
+        nexus::table::read_csv(buf.as_slice(), &nexus::table::CsvOptions::default()).unwrap();
     assert_eq!(table2.n_rows(), table.n_rows());
     let query = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
     let e = Nexus::default()
