@@ -180,12 +180,119 @@ impl CandidateSet {
     }
 }
 
+/// The query-independent extraction artifact of one extraction column:
+/// entity links, row→entity codes, and the entity-level candidates mined
+/// from the knowledge graph.
+///
+/// Everything in here depends only on the table column, the KG, and the
+/// extraction options (`hops`, `one_to_many`, `candidate_bins`) — never on
+/// the query — so a resident server computes it once per column and reuses
+/// it across every request against the same dataset
+/// ([`assemble_candidates`] consumes it).
+#[derive(Debug, Clone)]
+pub struct ColumnExtraction {
+    /// The extraction column.
+    pub column: String,
+    /// Row-level entity codes (validity = successfully linked).
+    pub codes: Codes,
+    /// Linking statistics for the column.
+    pub link_stats: nexus_kg::LinkStats,
+    /// Entity-level candidates, unpruned and unweighted.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Links `column` against `kg` and mines its entity-level candidates —
+/// the query-independent half of [`build_candidates`].
+pub fn extract_column(
+    table: &Table,
+    kg: &KnowledgeGraph,
+    column: &str,
+    options: &NexusOptions,
+) -> Result<ColumnExtraction> {
+    let col = table.column(column)?;
+    let linker = EntityLinker::new(kg);
+    let (links, stats) = linker.link_column(col);
+    let ea = extract(
+        kg,
+        &links,
+        &ExtractOptions {
+            hops: options.hops,
+            one_to_many: options.one_to_many,
+        },
+    );
+    // Row-level entity codes for this column.
+    let n = table.n_rows();
+    let mut codes = Vec::with_capacity(n);
+    let mut validity = Bitmap::with_value(n, true);
+    for (i, l) in links.iter().enumerate() {
+        match l.and_then(|id| ea.index_of.get(&id)) {
+            Some(&e) => codes.push(e as u32),
+            None => {
+                codes.push(0);
+                validity.set(i, false);
+            }
+        }
+    }
+
+    // One candidate per extracted attribute.
+    let mut candidates = Vec::new();
+    for attr in ea.table.column_names() {
+        let entity_col = ea.table.column(attr).expect("attribute exists");
+        let (map, cardinality) = entity_level_codes(entity_col, options)?;
+        candidates.push(Candidate {
+            name: format!("{column}::{attr}"),
+            source: CandidateSource::Extracted {
+                column: column.to_string(),
+            },
+            repr: CandidateRepr::EntityLevel {
+                column: column.to_string(),
+                map,
+                cardinality,
+            },
+            entity_weights: None,
+            bias: None,
+        });
+    }
+
+    Ok(ColumnExtraction {
+        column: column.to_string(),
+        codes: Codes {
+            codes,
+            cardinality: ea.entity_ids.len() as u32,
+            validity: Some(validity),
+        },
+        link_stats: stats,
+        candidates,
+    })
+}
+
 /// Builds the candidate set for `query` over `table`, extracting attributes
 /// from `kg` via `extraction_columns`.
 pub fn build_candidates(
     table: &Table,
     kg: &KnowledgeGraph,
     extraction_columns: &[String],
+    query: &AggregateQuery,
+    options: &NexusOptions,
+) -> Result<CandidateSet> {
+    let mut extractions = Vec::with_capacity(extraction_columns.len());
+    for col_name in extraction_columns {
+        extractions.push(extract_column(table, kg, col_name, options)?);
+    }
+    let refs: Vec<&ColumnExtraction> = extractions.iter().collect();
+    assemble_candidates(table, &refs, query, options)
+}
+
+/// Assembles the candidate set for `query` from precomputed (possibly
+/// cached) column extractions plus the base-table columns — the
+/// query-*dependent* half of [`build_candidates`].
+///
+/// Candidate order (extracted per column in order, then base-table columns)
+/// matches [`build_candidates`] exactly, so a set assembled from resident
+/// extractions is bit-identical to one built from scratch.
+pub fn assemble_candidates(
+    table: &Table,
+    extractions: &[&ColumnExtraction],
     query: &AggregateQuery,
     options: &NexusOptions,
 ) -> Result<CandidateSet> {
@@ -212,59 +319,18 @@ pub fn build_candidates(
     let mut link_stats = HashMap::new();
 
     // ---- extracted candidates -------------------------------------------
-    let linker = EntityLinker::new(kg);
-    for col_name in extraction_columns {
-        let col = table.column(col_name)?;
-        let (links, stats) = linker.link_column(col);
-        link_stats.insert(col_name.clone(), stats);
-        let ea = extract(
-            kg,
-            &links,
-            &ExtractOptions {
-                hops: options.hops,
-                one_to_many: options.one_to_many,
-            },
-        );
-        // Row-level entity codes for this column.
-        let n = table.n_rows();
-        let mut codes = Vec::with_capacity(n);
-        let mut validity = Bitmap::with_value(n, true);
-        for (i, l) in links.iter().enumerate() {
-            match l.and_then(|id| ea.index_of.get(&id)) {
-                Some(&e) => codes.push(e as u32),
-                None => {
-                    codes.push(0);
-                    validity.set(i, false);
-                }
-            }
+    for ex in extractions {
+        if ex.codes.len() != table.n_rows() {
+            return Err(CoreError::InvalidRequest(format!(
+                "extraction for column {:?} covers {} rows but the table has {}",
+                ex.column,
+                ex.codes.len(),
+                table.n_rows()
+            )));
         }
-        column_codes.insert(
-            col_name.clone(),
-            Codes {
-                codes,
-                cardinality: ea.entity_ids.len() as u32,
-                validity: Some(validity),
-            },
-        );
-
-        // One candidate per extracted attribute.
-        for attr in ea.table.column_names() {
-            let entity_col = ea.table.column(attr).expect("attribute exists");
-            let (map, cardinality) = entity_level_codes(entity_col, options)?;
-            candidates.push(Candidate {
-                name: format!("{col_name}::{attr}"),
-                source: CandidateSource::Extracted {
-                    column: col_name.clone(),
-                },
-                repr: CandidateRepr::EntityLevel {
-                    column: col_name.clone(),
-                    map,
-                    cardinality,
-                },
-                entity_weights: None,
-                bias: None,
-            });
-        }
+        link_stats.insert(ex.column.clone(), ex.link_stats.clone());
+        column_codes.insert(ex.column.clone(), ex.codes.clone());
+        candidates.extend(ex.candidates.iter().cloned());
     }
 
     // ---- base-table candidates -------------------------------------------

@@ -73,8 +73,8 @@ pub mod responsibility;
 pub mod subgroups;
 
 pub use candidate::{
-    build_candidates, BiasSummary, Candidate, CandidateRepr, CandidateSet, CandidateSource,
-    MISSING_CODE,
+    assemble_candidates, build_candidates, extract_column, BiasSummary, Candidate, CandidateRepr,
+    CandidateSet, CandidateSource, ColumnExtraction, MISSING_CODE,
 };
 pub use engine::{CandStats, Engine};
 pub use error::{CoreError, Result};

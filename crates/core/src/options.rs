@@ -169,6 +169,63 @@ impl NexusOptions {
         self.online_pruning = false;
         self
     }
+
+    /// Deterministic digest of every option that can influence the
+    /// *content* of an explanation. The resident explanation server uses
+    /// this as the options component of its cache key.
+    ///
+    /// [`parallelism`](NexusOptions::parallelism) is deliberately excluded:
+    /// the runtime guarantees bit-identical results at any thread count, so
+    /// two runs differing only in pool width must share a cache entry.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = nexus_table::Fnv64::new();
+        h.write_u64(self.excluded_columns.len() as u64);
+        for c in &self.excluded_columns {
+            h.write_str(c);
+        }
+        h.write_u64(self.max_explanation_size as u64);
+        for bins in [self.outcome_bins, self.candidate_bins] {
+            match bins {
+                BinStrategy::EqualWidth(n) => {
+                    h.write_u8(1);
+                    h.write_u64(n as u64);
+                }
+                BinStrategy::Quantile(n) => {
+                    h.write_u8(2);
+                    h.write_u64(n as u64);
+                }
+            }
+        }
+        h.write_u64(self.hops as u64);
+        h.write_u8(match self.one_to_many {
+            OneToManyAgg::Mean => 1,
+            OneToManyAgg::Sum => 2,
+            OneToManyAgg::Max => 3,
+            OneToManyAgg::Min => 4,
+            OneToManyAgg::First => 5,
+        });
+        h.write_bool(self.offline_pruning);
+        h.write_bool(self.online_pruning);
+        h.write_f64(self.max_missing_fraction);
+        h.write_f64(self.high_entropy_ratio);
+        h.write_f64(self.entity_identifier_ratio);
+        h.write_u64(self.min_entities_for_identifier_test as u64);
+        h.write_f64(self.fd_epsilon);
+        h.write_f64(self.relevance_epsilon);
+        h.write_f64(self.outcome_alias_fraction);
+        h.write_bool(self.handle_selection_bias);
+        h.write_f64(self.bias_mi_threshold);
+        h.write_f64(self.bias_min_missing);
+        h.write_f64(self.min_support_fraction);
+        h.write_f64(self.min_rows_per_category);
+        h.write_f64(self.min_entities_per_category);
+        h.write_u64(self.ci.n_permutations as u64);
+        h.write_f64(self.ci.alpha);
+        h.write_u64(self.ci.seed);
+        h.write_f64(self.ci.cmi_shortcut);
+        h.write_f64(self.min_improvement);
+        h.finish()
+    }
 }
 
 /// Builder for [`NexusOptions`] with range validation at
@@ -325,6 +382,30 @@ mod tests {
         assert_eq!(o.hops, 2);
         assert!(!o.offline_pruning && !o.online_pruning && !o.handle_selection_bias);
         assert_eq!(o.parallelism, Parallelism::Fixed(4));
+    }
+
+    #[test]
+    fn fingerprint_ignores_parallelism_but_tracks_knobs() {
+        let base = NexusOptions::default().fingerprint();
+        let wide = NexusOptions {
+            parallelism: Parallelism::Fixed(8),
+            ..NexusOptions::default()
+        };
+        assert_eq!(base, wide.fingerprint(), "thread count must share a key");
+        assert_ne!(
+            base,
+            NexusOptions::default().without_pruning().fingerprint()
+        );
+        let k3 = NexusOptions {
+            max_explanation_size: 3,
+            ..NexusOptions::default()
+        };
+        assert_ne!(base, k3.fingerprint());
+        let excl = NexusOptions {
+            excluded_columns: vec!["Arrival_delay".into()],
+            ..NexusOptions::default()
+        };
+        assert_ne!(base, excl.fingerprint());
     }
 
     #[test]

@@ -10,7 +10,8 @@ use nexus_query::AggregateQuery;
 use nexus_table::{Codes, Table};
 
 use crate::candidate::{
-    build_candidates, BiasSummary, CandidateRepr, CandidateSet, CandidateSource, MISSING_CODE,
+    assemble_candidates, build_candidates, BiasSummary, CandidateRepr, CandidateSet,
+    CandidateSource, ColumnExtraction, MISSING_CODE,
 };
 use crate::engine::Engine;
 use crate::error::{CoreError, Result};
@@ -305,6 +306,25 @@ impl Nexus {
         self.execute(table, kg, extraction_columns, query)
     }
 
+    /// Runs the query-dependent pipeline stages over precomputed column
+    /// extractions (see [`crate::candidate::extract_column`]).
+    ///
+    /// This is the resident-server entry point: linking and KG attribute
+    /// mining — the dominant cost of candidate building — are amortized
+    /// across requests by reusing [`ColumnExtraction`] artifacts, while
+    /// pruning, bias weighting, and MCIMR still run per query. The result
+    /// is bit-identical to [`Nexus::run`] on the same inputs.
+    pub fn run_with_extractions(
+        &self,
+        table: &Table,
+        extractions: &[&ColumnExtraction],
+        query: &AggregateQuery,
+    ) -> Result<(Explanation, RunArtifacts)> {
+        let t0 = Instant::now();
+        let set = assemble_candidates(table, extractions, query, &self.options)?;
+        self.execute_set(set, t0.elapsed())
+    }
+
     fn execute(
         &self,
         table: &Table,
@@ -312,11 +332,20 @@ impl Nexus {
         extraction_columns: &[String],
         query: &AggregateQuery,
     ) -> Result<(Explanation, RunArtifacts)> {
-        let options = &self.options;
-
         let t0 = Instant::now();
-        let mut set = build_candidates(table, kg, extraction_columns, query, options)?;
-        let t_build = t0.elapsed();
+        let set = build_candidates(table, kg, extraction_columns, query, &self.options)?;
+        self.execute_set(set, t0.elapsed())
+    }
+
+    /// Pruning → bias weighting → MCIMR → responsibility over an assembled
+    /// candidate set. `t_build` is the (possibly amortized) build time
+    /// reported in the stats.
+    fn execute_set(
+        &self,
+        mut set: CandidateSet,
+        t_build: Duration,
+    ) -> Result<(Explanation, RunArtifacts)> {
+        let options = &self.options;
         let n_initial = set.candidates.len();
 
         let t0 = Instant::now();

@@ -150,6 +150,66 @@ impl KnowledgeGraph {
             .filter(|&id| self.entities[id as usize].class == class)
             .collect()
     }
+
+    /// Content fingerprint of the graph: entities (names, aliases, classes)
+    /// and every property triple, hashed in a canonical order so the digest
+    /// is independent of property-map iteration order. Used by the resident
+    /// explanation server as the knowledge-source half of its cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = nexus_table::Fnv64::new();
+        h.write_u64(self.entities.len() as u64);
+        for (entity, props) in self.entities.iter().zip(&self.properties) {
+            h.write_str(&entity.name);
+            h.write_u64(entity.aliases.len() as u64);
+            for alias in &entity.aliases {
+                h.write_str(alias);
+            }
+            h.write_str(&entity.class);
+            // HashMap iteration order is unstable: sort triples by PropId.
+            let mut pids: Vec<PropId> = props.keys().copied().collect();
+            pids.sort_unstable();
+            h.write_u64(pids.len() as u64);
+            for pid in pids {
+                h.write_str(&self.prop_names[pid as usize]);
+                match &props[&pid] {
+                    PropertyValue::Literal(v) => {
+                        h.write_u8(1);
+                        match v {
+                            Value::Null => h.write_u8(0),
+                            Value::Int(x) => {
+                                h.write_u8(1);
+                                h.write_i64(*x);
+                            }
+                            Value::Float(x) => {
+                                h.write_u8(2);
+                                h.write_f64(*x);
+                            }
+                            Value::Str(s) => {
+                                h.write_u8(3);
+                                h.write_str(s);
+                            }
+                            Value::Bool(b) => {
+                                h.write_u8(4);
+                                h.write_bool(*b);
+                            }
+                        }
+                    }
+                    PropertyValue::Entity(id) => {
+                        h.write_u8(2);
+                        h.write_u32(*id);
+                    }
+                    PropertyValue::EntityList(ids) => {
+                        h.write_u8(3);
+                        h.write_u64(ids.len() as u64);
+                        for id in ids {
+                            h.write_u32(*id);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +289,26 @@ mod tests {
             Some(&PropertyValue::Literal(Value::Float(0.5)))
         );
         assert_eq!(kg.n_triples(), 5); // overwrite, not insert
+    }
+
+    #[test]
+    fn fingerprint_is_content_stable() {
+        // Rebuilt graphs with identical content hash identically even
+        // though their internal HashMaps were populated independently.
+        assert_eq!(toy().fingerprint(), toy().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_content() {
+        let base = toy().fingerprint();
+        let mut kg = toy();
+        kg.set_literal(0, "hdi", 0.922);
+        assert_ne!(base, kg.fingerprint(), "literal change");
+        let mut kg = toy();
+        kg.add_alias(0, "USA");
+        assert_ne!(base, kg.fingerprint(), "alias change");
+        let mut kg = toy();
+        kg.add_entity("France", "Country");
+        assert_ne!(base, kg.fingerprint(), "new entity");
     }
 }

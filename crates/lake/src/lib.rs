@@ -78,10 +78,9 @@ impl DataLake {
         self.tables.len()
     }
 
-    /// Table access by index.
-    pub fn table(&self, i: usize) -> (&str, &Table) {
-        let (n, t) = &self.tables[i];
-        (n, t)
+    /// Table access by index; `None` when `i` is out of range.
+    pub fn table(&self, i: usize) -> Option<(&str, &Table)> {
+        self.tables.get(i).map(|(n, t)| (n.as_str(), t))
     }
 
     /// Finds lake columns joinable with `col` under the containment
@@ -134,7 +133,10 @@ impl DataLake {
             id_of.insert(v.clone(), kg.add_entity(v.clone(), "LakeEntity"));
         }
         for candidate in self.joinable_with(col, options) {
-            let (tname, table) = self.table(candidate.table);
+            // Candidates come from this lake, so the index is always live.
+            let Some((tname, table)) = self.table(candidate.table) else {
+                continue;
+            };
             let key = table.column(&candidate.key_column).expect("key column");
             // Rows of the lake table per entity value.
             let mut rows_of: HashMap<&str, Vec<usize>> = HashMap::new();

@@ -120,6 +120,59 @@ impl Predicate {
             }
         }
     }
+
+    /// Canonical rendering for cache keys: commutative `AND`/`OR` chains
+    /// are flattened (associativity) and their operands sorted, literals
+    /// carry a type tag, and floats are rendered by bit pattern.
+    pub fn canonical(&self) -> String {
+        match self {
+            Predicate::And(..) => {
+                let mut parts = Vec::new();
+                self.collect_chain(true, &mut parts);
+                parts.sort();
+                format!("and({})", parts.join(";"))
+            }
+            Predicate::Or(..) => {
+                let mut parts = Vec::new();
+                self.collect_chain(false, &mut parts);
+                parts.sort();
+                format!("or({})", parts.join(";"))
+            }
+            Predicate::Not(p) => format!("not({})", p.canonical()),
+            Predicate::Compare { column, op, value } => {
+                format!("cmp({column}{}{})", op.sql(), canonical_value(value))
+            }
+            Predicate::IsNull { column, negated } => {
+                if *negated {
+                    format!("notnull({column})")
+                } else {
+                    format!("null({column})")
+                }
+            }
+        }
+    }
+
+    /// Collects the canonical operands of a maximal `AND` (or `OR`) chain.
+    fn collect_chain(&self, conjunctive: bool, out: &mut Vec<String>) {
+        match (self, conjunctive) {
+            (Predicate::And(a, b), true) | (Predicate::Or(a, b), false) => {
+                a.collect_chain(conjunctive, out);
+                b.collect_chain(conjunctive, out);
+            }
+            _ => out.push(self.canonical()),
+        }
+    }
+}
+
+/// Type-tagged literal rendering used by [`Predicate::canonical`].
+fn canonical_value(value: &Value) -> String {
+    match value {
+        Value::Null => "n:".to_string(),
+        Value::Int(v) => format!("i:{v}"),
+        Value::Float(v) => format!("f:{:016x}", v.to_bits()),
+        Value::Str(s) => format!("s:{s}"),
+        Value::Bool(b) => format!("b:{b}"),
+    }
 }
 
 impl fmt::Display for Predicate {
@@ -203,6 +256,53 @@ impl AggregateQuery {
     pub fn context(&self) -> Option<&Predicate> {
         self.where_clause.as_ref()
     }
+
+    /// A canonical textual signature of the query's semantics.
+    ///
+    /// Two parses that mean the same thing produce the same signature even
+    /// when the SQL text differed: keyword case and whitespace are gone
+    /// after parsing, commutative `AND`/`OR` chains are flattened and
+    /// sorted, and literals are rendered with an unambiguous type tag
+    /// (floats by bit pattern, so `1.0` and `1` stay distinct and NaN
+    /// payloads survive). The resident explanation server uses this — not
+    /// the raw SQL string — as the query component of its cache key.
+    pub fn canonical_signature(&self) -> String {
+        let mut out = String::from("v1|select=");
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match item {
+                SelectItem::Column(c) => out.push_str(c),
+                SelectItem::Aggregate { func, column } => {
+                    out.push_str(func.name());
+                    out.push('(');
+                    out.push_str(column);
+                    out.push(')');
+                }
+            }
+        }
+        out.push_str("|from=");
+        out.push_str(&self.from);
+        out.push_str("|join=");
+        if let Some(j) = &self.join {
+            out.push_str(&format!("{}:{}={}", j.table, j.left_col, j.right_col));
+        }
+        out.push_str("|where=");
+        if let Some(w) = &self.where_clause {
+            out.push_str(&w.canonical());
+        }
+        out.push_str("|group_by=");
+        out.push_str(&self.group_by.join(","));
+        out
+    }
+
+    /// FNV-1a hash of [`canonical_signature`](Self::canonical_signature).
+    pub fn signature_hash(&self) -> u64 {
+        let mut h = nexus_table::Fnv64::new();
+        h.write_str(&self.canonical_signature());
+        h.finish()
+    }
 }
 
 impl fmt::Display for AggregateQuery {
@@ -278,5 +378,69 @@ mod tests {
             assert_eq!(CmpOp::parse(op).unwrap().sql(), op);
         }
         assert_eq!(CmpOp::parse("~"), None);
+    }
+
+    #[test]
+    fn canonical_signature_normalizes_commutative_chains() {
+        let base = AggregateQuery {
+            select: vec![
+                SelectItem::Column("Country".into()),
+                SelectItem::Aggregate {
+                    func: AggFunc::Avg,
+                    column: "Salary".into(),
+                },
+            ],
+            from: "t".into(),
+            join: None,
+            where_clause: Some(Predicate::eq("a", 1i64).and(Predicate::eq("b", "x"))),
+            group_by: vec!["Country".into()],
+        };
+        let mut flipped = base.clone();
+        flipped.where_clause = Some(Predicate::eq("b", "x").and(Predicate::eq("a", 1i64)));
+        assert_eq!(base.canonical_signature(), flipped.canonical_signature());
+        assert_eq!(base.signature_hash(), flipped.signature_hash());
+
+        // Associativity: (a AND b) AND c ≡ a AND (b AND c).
+        let abc = Predicate::eq("a", 1i64)
+            .and(Predicate::eq("b", 2i64))
+            .and(Predicate::eq("c", 3i64));
+        let a_bc =
+            Predicate::eq("a", 1i64).and(Predicate::eq("b", 2i64).and(Predicate::eq("c", 3i64)));
+        assert_eq!(abc.canonical(), a_bc.canonical());
+    }
+
+    #[test]
+    fn canonical_signature_distinguishes_semantics() {
+        let q = |sql_where: Option<Predicate>, group: &str| AggregateQuery {
+            select: vec![SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                column: "Salary".into(),
+            }],
+            from: "t".into(),
+            join: None,
+            where_clause: sql_where,
+            group_by: vec![group.into()],
+        };
+        let a = q(None, "Country");
+        assert_ne!(
+            a.canonical_signature(),
+            q(None, "Continent").canonical_signature()
+        );
+        assert_ne!(
+            a.canonical_signature(),
+            q(Some(Predicate::eq("g", "m")), "Country").canonical_signature()
+        );
+        // Int 1 and Float 1.0 literals are distinct under the type tags.
+        assert_ne!(
+            q(Some(Predicate::eq("x", 1i64)), "Country").canonical_signature(),
+            q(Some(Predicate::eq("x", 1.0)), "Country").canonical_signature()
+        );
+        // AND vs OR of the same operands are distinct.
+        let and = Predicate::eq("a", 1i64).and(Predicate::eq("b", 2i64));
+        let or = Predicate::Or(
+            Box::new(Predicate::eq("a", 1i64)),
+            Box::new(Predicate::eq("b", 2i64)),
+        );
+        assert_ne!(and.canonical(), or.canonical());
     }
 }

@@ -1,0 +1,130 @@
+//! A small bounded LRU map used for the server's result cache.
+//!
+//! Recency is tracked with a monotonically increasing stamp per access;
+//! eviction removes the entry with the smallest stamp. O(n) eviction is
+//! deliberate: capacities are small (hundreds of explanation payloads) and
+//! the simplicity keeps the crate dependency-free.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded least-recently-used cache.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, Entry<V>>,
+    capacity: usize,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            &e.value
+        })
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        let stamp = self.clock;
+        self.map.insert(key, Entry { value, stamp });
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // a is now fresher than b
+        c.insert("c", 3); // evicts b
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, "x");
+        c.insert(2, "y");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! A blocking NEXUSRPC client over a Unix or TCP stream.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::wire::{
+    read_frame, write_frame, ErrorWire, ExplanationWire, Frame, ServeStatsWire, ServerStatsWire,
+    WireError,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or protocol failure.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server(ErrorWire),
+    /// The server answered with a frame the client did not expect.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server(e) => write!(f, "server error {}: {}", e.code, e.message),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A served explanation: the decoded body, the raw deterministic bytes it
+/// was decoded from (for byte-identity checks), and the per-request
+/// server statistics.
+#[derive(Debug, Clone)]
+pub struct ExplainResponse {
+    /// The decoded explanation.
+    pub explanation: ExplanationWire,
+    /// The deterministic payload bytes exactly as served (and cached).
+    pub explanation_bytes: Vec<u8>,
+    /// Per-request server statistics.
+    pub stats: ServeStatsWire,
+}
+
+enum Stream {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking NEXUSRPC client. One request is in flight at a time; open
+/// several clients for concurrency.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a server's Unix socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: Stream::Unix(std::os::unix::net::UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connects to a server's TCP endpoint.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream: Stream::Tcp(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        let reply = read_frame(&mut self.stream)?;
+        if let Frame::Error(e) = reply {
+            return Err(ClientError::Server(e));
+        }
+        Ok(reply)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Requests an explanation of `sql` over the resident dataset.
+    pub fn explain(&mut self, dataset: &str, sql: &str) -> Result<ExplainResponse, ClientError> {
+        let request = Frame::Explain(crate::wire::ExplainRequestWire {
+            dataset: dataset.to_string(),
+            sql: sql.to_string(),
+        });
+        match self.roundtrip(&request)? {
+            Frame::Explanation(reply) => Ok(ExplainResponse {
+                explanation: ExplanationWire::decode(&reply.explanation)?,
+                explanation_bytes: reply.explanation,
+                stats: reply.stats,
+            }),
+            _ => Err(ClientError::Unexpected("wanted Explanation")),
+        }
+    }
+
+    /// Fetches cumulative server statistics.
+    pub fn stats(&mut self) -> Result<ServerStatsWire, ClientError> {
+        match self.roundtrip(&Frame::Stats)? {
+            Frame::StatsReply(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("wanted StatsReply")),
+        }
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::Shutdown)? {
+            Frame::ShutdownAck => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! The resident explanation server.
+//!
+//! A [`Server`] loads datasets (table + knowledge graph + extraction
+//! columns) once, mines each extraction column's KG candidates once
+//! ([`nexus_core::extract_column`]), and then answers NEXUSRPC `Explain`
+//! requests for the lifetime of the process:
+//!
+//! * requests run the query-dependent pipeline stages via
+//!   [`Nexus::run_with_extractions`], whose candidate scoring executes on
+//!   the `nexus-runtime` scoped pool;
+//! * a bounded [`LruCache`] keyed by (canonical query signature, dataset
+//!   fingerprint, options fingerprint) stores the encoded deterministic
+//!   explanation bytes — a hit echoes the stored bytes verbatim, so hot
+//!   replies are **byte-identical** to cold ones and skip candidate
+//!   scoring entirely (`scored_tasks == 0` in the reply stats);
+//! * a [`Gate`] semaphore bounds concurrent pipeline runs; time spent
+//!   waiting for a slot is reported as `queue_nanos`.
+//!
+//! [`Server::handle`] is a pure frame→frame function, so the full request
+//! path is testable in-process; [`Server::serve_unix`] and
+//! [`Server::serve_tcp`] wrap it in thread-per-connection socket loops.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+use nexus_core::{extract_column, ColumnExtraction, Explanation, Nexus, NexusOptions};
+use nexus_kg::KnowledgeGraph;
+use nexus_query::parse;
+use nexus_table::Table;
+
+use crate::cache::LruCache;
+use crate::wire::{
+    error_code, read_frame, write_frame, ErrorWire, ExplainRequestWire, ExplanationReplyWire,
+    ExplanationWire, Frame, LinkStatsWire, ServeStatsWire, ServerStatsWire, UnsupportedWire,
+    WireError, VERSION,
+};
+
+/// Server failures (setup and socket loops; per-request failures travel
+/// back to the client as [`Frame::Error`]).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Dataset registration failed (bad column, pipeline rejection, …).
+    Core(nexus_core::CoreError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "pipeline error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<nexus_core::CoreError> for ServeError {
+    fn from(e: nexus_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Pipeline options shared by every request (their fingerprint is part
+    /// of the cache key).
+    pub nexus: NexusOptions,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Maximum pipeline runs in flight; further requests queue.
+    pub max_concurrent: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            nexus: NexusOptions::default(),
+            cache_capacity: 256,
+            max_concurrent: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+        }
+    }
+}
+
+/// One resident dataset: the table, its knowledge source, and the
+/// extraction artifacts mined once at registration.
+struct DatasetState {
+    table: Table,
+    kg: KnowledgeGraph,
+    extraction_columns: Vec<String>,
+    /// Query-independent KG extraction artifacts, reused by every request.
+    extractions: Vec<ColumnExtraction>,
+    /// Content fingerprint of (table, kg, extraction columns).
+    fingerprint: u64,
+}
+
+/// Result-cache key. The canonical signature string (not just its hash)
+/// keeps collisions impossible; dataset and options enter as fingerprints.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    signature: String,
+    dataset_fp: u64,
+    options_fp: u64,
+}
+
+/// Counting semaphore bounding concurrent pipeline runs.
+struct Gate {
+    max: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+struct GateGuard<'a>(&'a Gate);
+
+impl Gate {
+    fn new(max: usize) -> Gate {
+        Gate {
+            max: max.max(1),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> GateGuard<'_> {
+        let mut n = self.in_flight.lock().unwrap();
+        while *n >= self.max {
+            n = self.freed.wait(n).unwrap();
+        }
+        *n += 1;
+        GateGuard(self)
+    }
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        *self.0.in_flight.lock().unwrap() -= 1;
+        self.0.freed.notify_one();
+    }
+}
+
+struct Inner {
+    datasets: RwLock<HashMap<String, Arc<DatasetState>>>,
+    nexus: Nexus,
+    options_fp: u64,
+    cache: Mutex<LruCache<CacheKey, Arc<Vec<u8>>>>,
+    gate: Gate,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// The resident explanation server. Cheap to clone (shared state behind an
+/// [`Arc`]); clones serve the same datasets, cache, and counters.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// A server with the given options and no datasets.
+    pub fn new(options: ServerOptions) -> Server {
+        let options_fp = options.nexus.fingerprint();
+        Server {
+            inner: Arc::new(Inner {
+                datasets: RwLock::new(HashMap::new()),
+                nexus: Nexus::new(options.nexus),
+                options_fp,
+                cache: Mutex::new(LruCache::new(options.cache_capacity)),
+                gate: Gate::new(options.max_concurrent),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Registers a dataset under `name`, mining each extraction column's
+    /// KG candidates once so subsequent requests only run the
+    /// query-dependent pipeline stages. Replaces any dataset of the same
+    /// name.
+    pub fn add_dataset(
+        &self,
+        name: impl Into<String>,
+        table: Table,
+        kg: KnowledgeGraph,
+        extraction_columns: Vec<String>,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        let mut extractions = Vec::with_capacity(extraction_columns.len());
+        for column in &extraction_columns {
+            extractions.push(extract_column(
+                &table,
+                &kg,
+                column,
+                &self.inner.nexus.options,
+            )?);
+        }
+        let fingerprint = {
+            let mut h = nexus_table::Fnv64::new();
+            h.write_u64(table.fingerprint());
+            h.write_u64(kg.fingerprint());
+            h.write_u64(extraction_columns.len() as u64);
+            for c in &extraction_columns {
+                h.write_str(c);
+            }
+            h.finish()
+        };
+        let state = Arc::new(DatasetState {
+            table,
+            kg,
+            extraction_columns,
+            extractions,
+            fingerprint,
+        });
+        self.inner.datasets.write().unwrap().insert(name, state);
+        Ok(())
+    }
+
+    /// Names of the resident datasets (sorted).
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .datasets
+            .read()
+            .unwrap()
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Entity count of a resident dataset's knowledge graph, if loaded.
+    pub fn dataset_kg_entities(&self, name: &str) -> Option<usize> {
+        self.inner
+            .datasets
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|d| d.kg.n_entities())
+    }
+
+    /// Extraction columns of a resident dataset, if loaded.
+    pub fn dataset_extraction_columns(&self, name: &str) -> Option<Vec<String>> {
+        self.inner
+            .datasets
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|d| d.extraction_columns.clone())
+    }
+
+    /// Whether a shutdown request has been received.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative server statistics.
+    pub fn stats(&self) -> ServerStatsWire {
+        ServerStatsWire {
+            datasets: self.inner.datasets.read().unwrap().len() as u64,
+            cache_entries: self.inner.cache.lock().unwrap().len() as u64,
+            cache_hits: self.inner.hits.load(Ordering::SeqCst),
+            cache_misses: self.inner.misses.load(Ordering::SeqCst),
+            requests_served: self.inner.requests.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Answers one request frame — the full in-process request path, used
+    /// by the socket loops and directly by tests.
+    pub fn handle(&self, frame: Frame) -> Frame {
+        match frame {
+            Frame::Ping => Frame::Pong,
+            Frame::Stats => Frame::StatsReply(self.stats()),
+            Frame::Shutdown => {
+                self.inner.shutdown.store(true, Ordering::SeqCst);
+                Frame::ShutdownAck
+            }
+            Frame::Explain(req) => self.explain(&req),
+            // Reply-only and unknown frames are not requests.
+            other => Frame::Unsupported(UnsupportedWire {
+                version: VERSION,
+                frame_type: other.frame_type(),
+                max_supported: VERSION,
+            }),
+        }
+    }
+
+    fn explain(&self, req: &ExplainRequestWire) -> Frame {
+        let arrived = Instant::now();
+        self.inner.requests.fetch_add(1, Ordering::SeqCst);
+        if self.is_shutting_down() {
+            return error(error_code::SHUTTING_DOWN, "server is shutting down");
+        }
+        let Some(dataset) = self
+            .inner
+            .datasets
+            .read()
+            .unwrap()
+            .get(&req.dataset)
+            .cloned()
+        else {
+            return error(
+                error_code::UNKNOWN_DATASET,
+                format!("no resident dataset named {:?}", req.dataset),
+            );
+        };
+        let query = match parse(&req.sql) {
+            Ok(q) => q,
+            Err(e) => return error(error_code::BAD_QUERY, e.to_string()),
+        };
+        let key = CacheKey {
+            signature: query.canonical_signature(),
+            dataset_fp: dataset.fingerprint,
+            options_fp: self.inner.options_fp,
+        };
+
+        // Fast path: echo the cached bytes verbatim. No pipeline, no pool.
+        let cached = self.inner.cache.lock().unwrap().get(&key).cloned();
+        if let Some(bytes) = cached {
+            let hits = self.inner.hits.fetch_add(1, Ordering::SeqCst) + 1;
+            return Frame::Explanation(ExplanationReplyWire {
+                explanation: bytes.as_ref().clone(),
+                stats: ServeStatsWire {
+                    cache_hit: true,
+                    cache_hits: hits,
+                    cache_misses: self.inner.misses.load(Ordering::SeqCst),
+                    scored_tasks: 0,
+                    queue_nanos: 0,
+                    service_nanos: arrived.elapsed().as_nanos() as u64,
+                },
+            });
+        }
+        let misses = self.inner.misses.fetch_add(1, Ordering::SeqCst) + 1;
+
+        // Cold path: wait for a pipeline slot, then run the
+        // query-dependent stages over the resident extractions.
+        let queued = Instant::now();
+        let _slot = self.inner.gate.acquire();
+        let queue_nanos = queued.elapsed().as_nanos() as u64;
+
+        let refs: Vec<&ColumnExtraction> = dataset.extractions.iter().collect();
+        match self
+            .inner
+            .nexus
+            .run_with_extractions(&dataset.table, &refs, &query)
+        {
+            Ok((explanation, _artifacts)) => {
+                let bytes = Arc::new(explanation_to_wire(&explanation).encode());
+                self.inner
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .insert(key, Arc::clone(&bytes));
+                Frame::Explanation(ExplanationReplyWire {
+                    explanation: bytes.as_ref().clone(),
+                    stats: ServeStatsWire {
+                        cache_hit: false,
+                        cache_hits: self.inner.hits.load(Ordering::SeqCst),
+                        cache_misses: misses,
+                        scored_tasks: explanation.stats.pool_tasks,
+                        queue_nanos,
+                        service_nanos: arrived.elapsed().as_nanos() as u64,
+                    },
+                })
+            }
+            Err(e) => error(error_code::PIPELINE, e.to_string()),
+        }
+    }
+
+    /// Serves NEXUSRPC on a Unix socket at `path` until a `Shutdown` frame
+    /// arrives. A stale socket file at `path` is removed before binding;
+    /// the file is removed again on exit.
+    pub fn serve_unix(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let path = path.as_ref();
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let result = self.accept_loop(|| match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                Some(Ok(stream))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+            Err(e) => Some(Err(e)),
+        });
+        let _ = std::fs::remove_file(path);
+        result
+    }
+
+    /// Serves NEXUSRPC on a TCP listener bound to `addr` (use a loopback
+    /// address — the protocol is unauthenticated) until a `Shutdown` frame
+    /// arrives. Returns the bound address via `on_bound` (useful with port
+    /// 0).
+    pub fn serve_tcp(
+        &self,
+        addr: &str,
+        on_bound: impl FnOnce(std::net::SocketAddr),
+    ) -> Result<(), ServeError> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        on_bound(listener.local_addr()?);
+        listener.set_nonblocking(true)?;
+        self.accept_loop(|| match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                Some(Ok(stream))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+            Err(e) => Some(Err(e)),
+        })
+    }
+
+    /// Polls `accept` until shutdown, spawning one handler thread per
+    /// connection, and joins them all before returning.
+    fn accept_loop<S>(
+        &self,
+        mut accept: impl FnMut() -> Option<std::io::Result<S>>,
+    ) -> Result<(), ServeError>
+    where
+        S: std::io::Read + std::io::Write + Send + 'static,
+    {
+        let mut workers = Vec::new();
+        loop {
+            if self.is_shutting_down() {
+                break;
+            }
+            match accept() {
+                Some(Ok(stream)) => {
+                    let server = self.clone();
+                    workers.push(std::thread::spawn(move || {
+                        server.serve_connection(stream);
+                    }));
+                }
+                Some(Err(e)) => return Err(ServeError::Io(e)),
+                None => std::thread::sleep(std::time::Duration::from_millis(2)),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Frame loop over one established connection. Malformed envelopes
+    /// that cannot be skipped safely (bad magic, bad CRC, truncation)
+    /// drop the connection; well-formed frames of an unknown version or
+    /// type get a [`Frame::Unsupported`] reply and the stream survives.
+    pub fn serve_connection<S: std::io::Read + std::io::Write>(&self, mut stream: S) {
+        loop {
+            let reply = match read_frame(&mut stream) {
+                Ok(frame) => {
+                    let is_shutdown = matches!(frame, Frame::Shutdown);
+                    let reply = self.handle(frame);
+                    if write_frame(&mut stream, &reply).is_err() || is_shutdown {
+                        return;
+                    }
+                    continue;
+                }
+                Err(WireError::UnsupportedVersion(version)) => {
+                    Frame::Unsupported(UnsupportedWire {
+                        version,
+                        frame_type: 0,
+                        max_supported: VERSION,
+                    })
+                }
+                Err(WireError::UnknownFrameType(frame_type)) => {
+                    Frame::Unsupported(UnsupportedWire {
+                        version: VERSION,
+                        frame_type,
+                        max_supported: VERSION,
+                    })
+                }
+                Err(_) => return,
+            };
+            if write_frame(&mut stream, &reply).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn error(code: u16, message: impl Into<String>) -> Frame {
+    Frame::Error(ErrorWire {
+        code,
+        message: message.into(),
+    })
+}
+
+/// Projects an [`Explanation`] onto its deterministic wire twin: only
+/// values that are bit-identical across reruns at any thread count.
+/// Timings and pool metrics stay out (they belong to [`ServeStatsWire`]).
+pub fn explanation_to_wire(e: &Explanation) -> ExplanationWire {
+    let mut link_stats: Vec<LinkStatsWire> = e
+        .stats
+        .link_stats
+        .iter()
+        .map(|(column, ls)| LinkStatsWire {
+            column: column.clone(),
+            linked: ls.linked as u64,
+            not_found: ls.not_found as u64,
+            ambiguous: ls.ambiguous as u64,
+            null: ls.null as u64,
+        })
+        .collect();
+    link_stats.sort_by(|a, b| a.column.cmp(&b.column));
+    ExplanationWire {
+        attributes: e
+            .attributes
+            .iter()
+            .map(|a| crate::wire::AttributeWire {
+                name: a.name.clone(),
+                source: match &a.source {
+                    nexus_core::CandidateSource::BaseTable => crate::wire::SourceWire::BaseTable,
+                    nexus_core::CandidateSource::Extracted { column } => {
+                        crate::wire::SourceWire::Extracted {
+                            column: column.clone(),
+                        }
+                    }
+                },
+                responsibility: a.responsibility,
+                weighted: a.weighted,
+            })
+            .collect(),
+        initial_cmi: e.initial_cmi,
+        explained_cmi: e.explained_cmi,
+        stopped_by_responsibility: e.stopped_by_responsibility,
+        n_candidates_initial: e.stats.n_candidates_initial as u64,
+        n_after_offline: e.stats.n_after_offline as u64,
+        n_after_online: e.stats.n_after_online as u64,
+        n_biased: e.stats.n_biased as u64,
+        link_stats,
+    }
+}

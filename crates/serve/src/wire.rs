@@ -1,0 +1,954 @@
+//! **NEXUSRPC v1** — the deterministic, length-prefixed binary wire
+//! protocol of the resident explanation server.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"NEXUSRPC"
+//! 8       2     protocol version, u16 LE (currently 1)
+//! 10      1     frame type, u8
+//! 11      4     payload length, u32 LE (capped at 64 MiB)
+//! 15      n     payload (frame-type specific)
+//! 15+n    4     CRC-32 (IEEE) over bytes [0, 15+n), u32 LE
+//! ```
+//!
+//! All integers are little-endian; floats travel as their IEEE-754 bit
+//! pattern (`f64::to_bits`), so every value round-trips bit-exactly —
+//! the property the server's byte-identity cache guarantee rests on.
+//! Strings are UTF-8 with a `u32` byte-length prefix.
+//!
+//! [`encode_frame`] and [`decode_frame`] are pure functions over byte
+//! slices: the protocol is usable (and tested) without any socket.
+//! [`read_frame`]/[`write_frame`] adapt them to `Read`/`Write` streams.
+//!
+//! Decoding never panics: truncated, oversized, corrupted (CRC), or
+//! malformed inputs produce a [`WireError`]. Frames with an unknown
+//! version or frame type are consumed in full and reported as
+//! [`WireError::UnsupportedVersion`] / [`WireError::UnknownFrameType`] so
+//! a server can keep the stream alive and answer with
+//! [`Frame::Unsupported`].
+
+use std::io::{Read, Write};
+use std::sync::OnceLock;
+
+/// Protocol magic, the first eight bytes of every frame.
+pub const MAGIC: [u8; 8] = *b"NEXUSRPC";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Frame header length (magic + version + type + payload length).
+pub const HEADER_LEN: usize = 15;
+/// Maximum accepted payload length (64 MiB).
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Decoding/encoding failures. Every decode path returns one of these —
+/// never panics — so a server survives arbitrary bytes on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Fewer bytes than the header or the declared payload length.
+    Truncated,
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// Well-formed frame of a version this build does not speak.
+    UnsupportedVersion(u16),
+    /// Well-formed v1 frame of an unknown type.
+    UnknownFrameType(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge(u32),
+    /// Checksum mismatch: the frame was corrupted in transit.
+    BadCrc {
+        /// CRC recomputed over the received bytes.
+        computed: u32,
+        /// CRC carried by the frame.
+        stored: u32,
+    },
+    /// Payload structure does not match the frame type.
+    Malformed(&'static str),
+    /// Stream-level I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic => write!(f, "bad magic (not a NEXUSRPC stream)"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds cap"),
+            WireError::BadCrc { computed, stored } => {
+                write!(
+                    f,
+                    "CRC mismatch: computed {computed:#010x}, stored {stored:#010x}"
+                )
+            }
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Decoding result.
+pub type Result<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes` — the checksum trailing every frame.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encode/decode
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked cursor over a payload slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool tag")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload types
+// ---------------------------------------------------------------------------
+
+/// An explanation request: which resident dataset, and the aggregate SQL
+/// query whose correlation is to be explained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainRequestWire {
+    /// Name of a dataset resident on the server.
+    pub dataset: String,
+    /// The aggregate query, as SQL text (parsed server-side).
+    pub sql: String,
+}
+
+/// Where a selected attribute came from (wire twin of
+/// `nexus_core::CandidateSource`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceWire {
+    /// A column of the queried table.
+    BaseTable,
+    /// Extracted from the knowledge graph via the named column.
+    Extracted {
+        /// The extraction column.
+        column: String,
+    },
+}
+
+/// One selected attribute of an explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeWire {
+    /// Candidate name (`"Country::hdi"` or `"Gender"`).
+    pub name: String,
+    /// Provenance.
+    pub source: SourceWire,
+    /// Degree of responsibility.
+    pub responsibility: f64,
+    /// Whether IPW weights were applied.
+    pub weighted: bool,
+}
+
+/// Per-extraction-column linking statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStatsWire {
+    /// The extraction column.
+    pub column: String,
+    /// Rows resolved to an entity.
+    pub linked: u64,
+    /// Rows with no candidate entity.
+    pub not_found: u64,
+    /// Rows with multiple candidate entities.
+    pub ambiguous: u64,
+    /// Null rows.
+    pub null: u64,
+}
+
+/// The deterministic body of an explanation reply.
+///
+/// This is the unit the server caches and compares byte-for-byte: it
+/// carries only values that are bit-identical across reruns at any thread
+/// count (attributes, CMIs, candidate counters, link statistics) and
+/// deliberately **excludes** timings and pool metrics, which live in the
+/// volatile [`ServeStatsWire`] alongside it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExplanationWire {
+    /// Selected attributes, in selection order.
+    pub attributes: Vec<AttributeWire>,
+    /// `I(O;T|C)` in bits.
+    pub initial_cmi: f64,
+    /// `I(O;T|C,E)` in bits.
+    pub explained_cmi: f64,
+    /// Whether the responsibility test stopped selection early.
+    pub stopped_by_responsibility: bool,
+    /// Candidates before pruning.
+    pub n_candidates_initial: u64,
+    /// Candidates after offline pruning.
+    pub n_after_offline: u64,
+    /// Candidates after online pruning.
+    pub n_after_online: u64,
+    /// Candidates flagged as selection-biased.
+    pub n_biased: u64,
+    /// Link statistics, sorted by column name for determinism.
+    pub link_stats: Vec<LinkStatsWire>,
+}
+
+impl ExplanationWire {
+    /// Deterministic encoding — equal values produce equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.attributes.len() as u32);
+        for a in &self.attributes {
+            put_str(&mut out, &a.name);
+            match &a.source {
+                SourceWire::BaseTable => out.push(0),
+                SourceWire::Extracted { column } => {
+                    out.push(1);
+                    put_str(&mut out, column);
+                }
+            }
+            put_f64(&mut out, a.responsibility);
+            out.push(a.weighted as u8);
+        }
+        put_f64(&mut out, self.initial_cmi);
+        put_f64(&mut out, self.explained_cmi);
+        out.push(self.stopped_by_responsibility as u8);
+        put_u64(&mut out, self.n_candidates_initial);
+        put_u64(&mut out, self.n_after_offline);
+        put_u64(&mut out, self.n_after_online);
+        put_u64(&mut out, self.n_biased);
+        put_u32(&mut out, self.link_stats.len() as u32);
+        for ls in &self.link_stats {
+            put_str(&mut out, &ls.column);
+            put_u64(&mut out, ls.linked);
+            put_u64(&mut out, ls.not_found);
+            put_u64(&mut out, ls.ambiguous);
+            put_u64(&mut out, ls.null);
+        }
+        out
+    }
+
+    /// Decodes an [`ExplanationWire::encode`] buffer.
+    pub fn decode(buf: &[u8]) -> Result<ExplanationWire> {
+        let mut r = Reader::new(buf);
+        let e = Self::read(&mut r)?;
+        r.finish()?;
+        Ok(e)
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<ExplanationWire> {
+        let n_attrs = r.u32()? as usize;
+        if n_attrs > buf_cap(r) {
+            return Err(WireError::Malformed("attribute count"));
+        }
+        let mut attributes = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let name = r.str()?;
+            let source = match r.u8()? {
+                0 => SourceWire::BaseTable,
+                1 => SourceWire::Extracted { column: r.str()? },
+                _ => return Err(WireError::Malformed("source tag")),
+            };
+            let responsibility = r.f64()?;
+            let weighted = r.bool()?;
+            attributes.push(AttributeWire {
+                name,
+                source,
+                responsibility,
+                weighted,
+            });
+        }
+        let initial_cmi = r.f64()?;
+        let explained_cmi = r.f64()?;
+        let stopped_by_responsibility = r.bool()?;
+        let n_candidates_initial = r.u64()?;
+        let n_after_offline = r.u64()?;
+        let n_after_online = r.u64()?;
+        let n_biased = r.u64()?;
+        let n_ls = r.u32()? as usize;
+        if n_ls > buf_cap(r) {
+            return Err(WireError::Malformed("link-stats count"));
+        }
+        let mut link_stats = Vec::with_capacity(n_ls);
+        for _ in 0..n_ls {
+            link_stats.push(LinkStatsWire {
+                column: r.str()?,
+                linked: r.u64()?,
+                not_found: r.u64()?,
+                ambiguous: r.u64()?,
+                null: r.u64()?,
+            });
+        }
+        Ok(ExplanationWire {
+            attributes,
+            initial_cmi,
+            explained_cmi,
+            stopped_by_responsibility,
+            n_candidates_initial,
+            n_after_offline,
+            n_after_online,
+            n_biased,
+            link_stats,
+        })
+    }
+}
+
+/// Remaining bytes of the reader — a sanity cap for declared element
+/// counts (each element is at least one byte, so a count beyond this is
+/// malformed, not merely large).
+fn buf_cap(r: &Reader<'_>) -> usize {
+    r.buf.len() - r.pos
+}
+
+/// Volatile per-request server statistics, carried alongside the cached
+/// explanation bytes (never inside them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStatsWire {
+    /// Whether this reply was served from the result cache.
+    pub cache_hit: bool,
+    /// Cumulative cache hits after this request.
+    pub cache_hits: u64,
+    /// Cumulative cache misses after this request.
+    pub cache_misses: u64,
+    /// Pool tasks scored for this request (0 on a cache hit — the
+    /// pipeline never ran).
+    pub scored_tasks: u64,
+    /// Nanoseconds spent queued for a pipeline slot.
+    pub queue_nanos: u64,
+    /// Nanoseconds from arrival to reply encoding.
+    pub service_nanos: u64,
+}
+
+impl ServeStatsWire {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.cache_hit as u8);
+        put_u64(out, self.cache_hits);
+        put_u64(out, self.cache_misses);
+        put_u64(out, self.scored_tasks);
+        put_u64(out, self.queue_nanos);
+        put_u64(out, self.service_nanos);
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<ServeStatsWire> {
+        Ok(ServeStatsWire {
+            cache_hit: r.bool()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            scored_tasks: r.u64()?,
+            queue_nanos: r.u64()?,
+            service_nanos: r.u64()?,
+        })
+    }
+}
+
+/// An explanation reply: the deterministic explanation bytes (cached
+/// verbatim server-side) plus the volatile per-request statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplanationReplyWire {
+    /// Nested [`ExplanationWire::encode`] bytes. Kept encoded so cache
+    /// hits echo the stored bytes untouched.
+    pub explanation: Vec<u8>,
+    /// Per-request statistics.
+    pub stats: ServeStatsWire,
+}
+
+/// An error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorWire {
+    /// Machine-readable error code (see [`error_code`]).
+    pub code: u16,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Error codes carried by [`ErrorWire`].
+pub mod error_code {
+    /// The named dataset is not resident on the server.
+    pub const UNKNOWN_DATASET: u16 = 1;
+    /// The SQL text failed to parse.
+    pub const BAD_QUERY: u16 = 2;
+    /// The pipeline rejected the request.
+    pub const PIPELINE: u16 = 3;
+    /// The server is shutting down.
+    pub const SHUTTING_DOWN: u16 = 4;
+}
+
+/// Cumulative server statistics ([`Frame::Stats`] reply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsWire {
+    /// Resident datasets.
+    pub datasets: u64,
+    /// Entries currently in the result cache.
+    pub cache_entries: u64,
+    /// Cumulative cache hits.
+    pub cache_hits: u64,
+    /// Cumulative cache misses.
+    pub cache_misses: u64,
+    /// Explain requests served.
+    pub requests_served: u64,
+}
+
+/// Echo of the envelope a peer could not handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedWire {
+    /// Version of the rejected frame.
+    pub version: u16,
+    /// Frame type of the rejected frame.
+    pub frame_type: u8,
+    /// Highest version the replying peer speaks.
+    pub max_supported: u16,
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// One NEXUSRPC frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Liveness probe.
+    Ping,
+    /// Liveness answer.
+    Pong,
+    /// Explanation request.
+    Explain(ExplainRequestWire),
+    /// Explanation reply.
+    Explanation(ExplanationReplyWire),
+    /// Error reply.
+    Error(ErrorWire),
+    /// Server statistics request.
+    Stats,
+    /// Server statistics reply.
+    StatsReply(ServerStatsWire),
+    /// Graceful shutdown request.
+    Shutdown,
+    /// Shutdown acknowledgement (the server exits after sending it).
+    ShutdownAck,
+    /// Reply to a frame of an unknown version or type.
+    Unsupported(UnsupportedWire),
+}
+
+impl Frame {
+    /// The frame-type byte of the envelope.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Frame::Ping => 1,
+            Frame::Pong => 2,
+            Frame::Explain(_) => 3,
+            Frame::Explanation(_) => 4,
+            Frame::Error(_) => 5,
+            Frame::Stats => 6,
+            Frame::StatsReply(_) => 7,
+            Frame::Shutdown => 8,
+            Frame::ShutdownAck => 9,
+            Frame::Unsupported(_) => 10,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Ping | Frame::Pong | Frame::Stats | Frame::Shutdown | Frame::ShutdownAck => {}
+            Frame::Explain(req) => {
+                put_str(&mut out, &req.dataset);
+                put_str(&mut out, &req.sql);
+            }
+            Frame::Explanation(reply) => {
+                put_u32(&mut out, reply.explanation.len() as u32);
+                out.extend_from_slice(&reply.explanation);
+                reply.stats.write(&mut out);
+            }
+            Frame::Error(e) => {
+                put_u16(&mut out, e.code);
+                put_str(&mut out, &e.message);
+            }
+            Frame::StatsReply(s) => {
+                put_u64(&mut out, s.datasets);
+                put_u64(&mut out, s.cache_entries);
+                put_u64(&mut out, s.cache_hits);
+                put_u64(&mut out, s.cache_misses);
+                put_u64(&mut out, s.requests_served);
+            }
+            Frame::Unsupported(u) => {
+                put_u16(&mut out, u.version);
+                out.push(u.frame_type);
+                put_u16(&mut out, u.max_supported);
+            }
+        }
+        out
+    }
+
+    fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame> {
+        let mut r = Reader::new(payload);
+        let frame = match frame_type {
+            1 => Frame::Ping,
+            2 => Frame::Pong,
+            3 => Frame::Explain(ExplainRequestWire {
+                dataset: r.str()?,
+                sql: r.str()?,
+            }),
+            4 => {
+                let n = r.u32()? as usize;
+                let explanation = r.take(n)?.to_vec();
+                let stats = ServeStatsWire::read(&mut r)?;
+                Frame::Explanation(ExplanationReplyWire { explanation, stats })
+            }
+            5 => {
+                let code = {
+                    let b = r.take(2)?;
+                    u16::from_le_bytes([b[0], b[1]])
+                };
+                Frame::Error(ErrorWire {
+                    code,
+                    message: r.str()?,
+                })
+            }
+            6 => Frame::Stats,
+            7 => Frame::StatsReply(ServerStatsWire {
+                datasets: r.u64()?,
+                cache_entries: r.u64()?,
+                cache_hits: r.u64()?,
+                cache_misses: r.u64()?,
+                requests_served: r.u64()?,
+            }),
+            8 => Frame::Shutdown,
+            9 => Frame::ShutdownAck,
+            10 => {
+                let version = {
+                    let b = r.take(2)?;
+                    u16::from_le_bytes([b[0], b[1]])
+                };
+                let frame_type = r.u8()?;
+                let max_supported = {
+                    let b = r.take(2)?;
+                    u16::from_le_bytes([b[0], b[1]])
+                };
+                Frame::Unsupported(UnsupportedWire {
+                    version,
+                    frame_type,
+                    max_supported,
+                })
+            }
+            other => return Err(WireError::UnknownFrameType(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Encodes `frame` into a complete NEXUSRPC envelope.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = frame.encode_payload();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(frame.frame_type());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Decodes one frame from the front of `buf`, returning it and the number
+/// of bytes consumed.
+///
+/// [`WireError::UnsupportedVersion`] and [`WireError::UnknownFrameType`]
+/// indicate a *well-formed* frame (magic, length, and CRC all valid) that
+/// this build cannot interpret; the envelope length is still consumed, so
+/// callers can skip it and answer [`Frame::Unsupported`].
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[..8] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([buf[8], buf[9]]);
+    let frame_type = buf[10];
+    let payload_len = u32::from_le_bytes([buf[11], buf[12], buf[13], buf[14]]);
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge(payload_len));
+    }
+    let total = HEADER_LEN + payload_len as usize + 4;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let body_end = HEADER_LEN + payload_len as usize;
+    let stored = u32::from_le_bytes([
+        buf[body_end],
+        buf[body_end + 1],
+        buf[body_end + 2],
+        buf[body_end + 3],
+    ]);
+    let computed = crc32(&buf[..body_end]);
+    if computed != stored {
+        return Err(WireError::BadCrc { computed, stored });
+    }
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let frame = Frame::decode_payload(frame_type, &buf[HEADER_LEN..body_end])?;
+    Ok((frame, total))
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a stream.
+///
+/// As with [`decode_frame`], `UnsupportedVersion`/`UnknownFrameType` leave
+/// the stream positioned at the next frame: the bad envelope (validated by
+/// its CRC) has been consumed in full.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    if header[..8] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[8], header[9]]);
+    let frame_type = header[10];
+    let payload_len = u32::from_le_bytes([header[11], header[12], header[13], header[14]]);
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge(payload_len));
+    }
+    let mut rest = vec![0u8; payload_len as usize + 4];
+    r.read_exact(&mut rest).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let body_end = payload_len as usize;
+    let stored = u32::from_le_bytes([
+        rest[body_end],
+        rest[body_end + 1],
+        rest[body_end + 2],
+        rest[body_end + 3],
+    ]);
+    let mut whole = header.to_vec();
+    whole.extend_from_slice(&rest[..body_end]);
+    let computed = crc32(&whole);
+    if computed != stored {
+        return Err(WireError::BadCrc { computed, stored });
+    }
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    Frame::decode_payload(frame_type, &rest[..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_reply() -> Frame {
+        let exp = ExplanationWire {
+            attributes: vec![
+                AttributeWire {
+                    name: "Country::hdi".into(),
+                    source: SourceWire::Extracted {
+                        column: "Country".into(),
+                    },
+                    responsibility: 0.875,
+                    weighted: false,
+                },
+                AttributeWire {
+                    name: "Gender".into(),
+                    source: SourceWire::BaseTable,
+                    responsibility: 0.125,
+                    weighted: true,
+                },
+            ],
+            initial_cmi: 1.5,
+            explained_cmi: 0.0625,
+            stopped_by_responsibility: true,
+            n_candidates_initial: 40,
+            n_after_offline: 12,
+            n_after_online: 9,
+            n_biased: 1,
+            link_stats: vec![LinkStatsWire {
+                column: "Country".into(),
+                linked: 700,
+                not_found: 12,
+                ambiguous: 3,
+                null: 5,
+            }],
+        };
+        Frame::Explanation(ExplanationReplyWire {
+            explanation: exp.encode(),
+            stats: ServeStatsWire {
+                cache_hit: false,
+                cache_hits: 0,
+                cache_misses: 1,
+                scored_tasks: 123,
+                queue_nanos: 42,
+                service_nanos: 98_765,
+            },
+        })
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::Ping,
+            Frame::Pong,
+            Frame::Explain(ExplainRequestWire {
+                dataset: "salaries".into(),
+                sql: "SELECT Country, avg(Salary) FROM t GROUP BY Country".into(),
+            }),
+            sample_reply(),
+            Frame::Error(ErrorWire {
+                code: error_code::BAD_QUERY,
+                message: "no GROUP BY".into(),
+            }),
+            Frame::Stats,
+            Frame::StatsReply(ServerStatsWire {
+                datasets: 2,
+                cache_entries: 7,
+                cache_hits: 100,
+                cache_misses: 8,
+                requests_served: 108,
+            }),
+            Frame::Shutdown,
+            Frame::ShutdownAck,
+            Frame::Unsupported(UnsupportedWire {
+                version: 9,
+                frame_type: 77,
+                max_supported: VERSION,
+            }),
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame);
+            let (decoded, consumed) = decode_frame(&bytes).expect("decode");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+            // Stream path agrees with the pure path.
+            let mut cursor = std::io::Cursor::new(&bytes);
+            assert_eq!(read_frame(&mut cursor).expect("read"), frame);
+        }
+    }
+
+    #[test]
+    fn explanation_wire_round_trips_bit_exactly() {
+        let exp = ExplanationWire {
+            attributes: vec![AttributeWire {
+                name: "x".into(),
+                source: SourceWire::BaseTable,
+                responsibility: -0.0, // sign bit must survive
+                weighted: false,
+            }],
+            initial_cmi: f64::from_bits(0x7FF0_0000_0000_0001), // a NaN payload
+            explained_cmi: 1.0e-308,                            // subnormal range
+            ..ExplanationWire::default()
+        };
+        let bytes = exp.encode();
+        let back = ExplanationWire::decode(&bytes).expect("decode");
+        assert_eq!(back.encode(), bytes, "re-encode must be byte-identical");
+        assert_eq!(
+            back.attributes[0].responsibility.to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(back.initial_cmi.to_bits(), 0x7FF0_0000_0000_0001);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = encode_frame(&sample_reply());
+        for n in 0..bytes.len() {
+            match decode_frame(&bytes[..n]) {
+                Err(_) => {}
+                Ok((_, consumed)) => panic!("decoded {consumed} bytes from a {n}-byte prefix"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = encode_frame(&sample_reply());
+        // Flip one bit at every position: magic, header, payload, or CRC —
+        // all must fail, none may panic.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_frame(&bad).is_err(), "bit flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn unknown_version_and_type_are_recoverable() {
+        let mut bytes = encode_frame(&Frame::Ping);
+        bytes[8] = 99; // version
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&crc);
+        match decode_frame(&bytes) {
+            Err(WireError::UnsupportedVersion(99)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+
+        let mut bytes = encode_frame(&Frame::Ping);
+        bytes[10] = 200; // frame type
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&crc);
+        match decode_frame(&bytes) {
+            Err(WireError::UnknownFrameType(200)) => {}
+            other => panic!("expected UnknownFrameType, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_without_allocation() {
+        let mut bytes = encode_frame(&Frame::Ping);
+        bytes[11..15].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(WireError::PayloadTooLarge(n)) => assert_eq!(n, u32::MAX),
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let a = encode_frame(&Frame::Ping);
+        let b = encode_frame(&Frame::Stats);
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (f1, n1) = decode_frame(&stream).unwrap();
+        assert_eq!(f1, Frame::Ping);
+        let (f2, n2) = decode_frame(&stream[n1..]).unwrap();
+        assert_eq!(f2, Frame::Stats);
+        assert_eq!(n1 + n2, stream.len());
+    }
+}

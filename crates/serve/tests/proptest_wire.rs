@@ -1,0 +1,215 @@
+//! Property-based tests for NEXUSRPC v1: arbitrary frames survive
+//! encode→decode bit-exactly, and truncated or corrupted envelopes decode
+//! to errors — never panics, never silent misreads.
+
+use nexus_serve::wire::{
+    decode_frame, encode_frame, AttributeWire, ErrorWire, ExplainRequestWire, ExplanationReplyWire,
+    ExplanationWire, Frame, LinkStatsWire, ServeStatsWire, ServerStatsWire, SourceWire,
+    UnsupportedWire, WireError,
+};
+use proptest::prelude::*;
+
+fn text() -> impl Strategy<Value = String> {
+    // Mixed ASCII + multi-byte UTF-8, including the empty string.
+    proptest::string::string_regex("[a-zA-Z0-9_:()|;=' é☃]{0,24}").expect("valid regex")
+}
+
+fn attribute() -> impl Strategy<Value = AttributeWire> {
+    (
+        text(),
+        proptest::option::of(text()),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(name, column, bits, weighted)| AttributeWire {
+            name,
+            source: match column {
+                None => SourceWire::BaseTable,
+                Some(column) => SourceWire::Extracted { column },
+            },
+            responsibility: f64::from_bits(bits),
+            weighted,
+        })
+}
+
+fn link_stats() -> impl Strategy<Value = LinkStatsWire> {
+    (
+        text(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(column, linked, not_found, ambiguous, null)| LinkStatsWire {
+                column,
+                linked,
+                not_found,
+                ambiguous,
+                null,
+            },
+        )
+}
+
+fn explanation() -> impl Strategy<Value = ExplanationWire> {
+    (
+        proptest::collection::vec(attribute(), 0..5),
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        proptest::collection::vec(link_stats(), 0..3),
+    )
+        .prop_map(
+            |(attributes, (i_bits, e_bits, stopped), counts, link_stats)| ExplanationWire {
+                attributes,
+                initial_cmi: f64::from_bits(i_bits),
+                explained_cmi: f64::from_bits(e_bits),
+                stopped_by_responsibility: stopped,
+                n_candidates_initial: counts.0,
+                n_after_offline: counts.1,
+                n_after_online: counts.2,
+                n_biased: counts.3,
+                link_stats,
+            },
+        )
+}
+
+fn serve_stats() -> impl Strategy<Value = ServeStatsWire> {
+    (
+        any::<bool>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(cache_hit, cache_hits, cache_misses, scored_tasks, queue_nanos, service_nanos)| {
+                ServeStatsWire {
+                    cache_hit,
+                    cache_hits,
+                    cache_misses,
+                    scored_tasks,
+                    queue_nanos,
+                    service_nanos,
+                }
+            },
+        )
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        Just(Frame::Ping),
+        Just(Frame::Pong),
+        (text(), text())
+            .prop_map(|(dataset, sql)| Frame::Explain(ExplainRequestWire { dataset, sql })),
+        (explanation(), serve_stats()).prop_map(|(e, stats)| Frame::Explanation(
+            ExplanationReplyWire {
+                explanation: e.encode(),
+                stats,
+            }
+        )),
+        (any::<u16>(), text())
+            .prop_map(|(code, message)| Frame::Error(ErrorWire { code, message })),
+        Just(Frame::Stats),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(d, c, h, m, r)| Frame::StatsReply(ServerStatsWire {
+                datasets: d,
+                cache_entries: c,
+                cache_hits: h,
+                cache_misses: m,
+                requests_served: r,
+            })),
+        Just(Frame::Shutdown),
+        Just(Frame::ShutdownAck),
+        (any::<u16>(), any::<u8>(), any::<u16>()).prop_map(|(version, frame_type, max)| {
+            Frame::Unsupported(UnsupportedWire {
+                version,
+                frame_type,
+                max_supported: max,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode → decode returns the identical frame, re-encoding returns
+    /// the identical bytes, and both the pure and stream decoders agree.
+    #[test]
+    fn frame_round_trip_is_bit_exact(f in frame()) {
+        let bytes = encode_frame(&f);
+        let (decoded, consumed) = decode_frame(&bytes).expect("well-formed frame");
+        prop_assert_eq!(consumed, bytes.len());
+        // Structural equality would miss NaN payloads (NaN != NaN), so
+        // compare the re-encoded bytes: bit-exactness is the real claim.
+        prop_assert_eq!(encode_frame(&decoded), bytes.clone());
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let streamed = nexus_serve::wire::read_frame(&mut cursor).expect("stream decode");
+        prop_assert_eq!(encode_frame(&streamed), bytes);
+    }
+
+    /// The nested explanation body round-trips bit-exactly on its own.
+    #[test]
+    fn explanation_round_trip_is_bit_exact(e in explanation()) {
+        let bytes = e.encode();
+        let back = ExplanationWire::decode(&bytes).expect("decode");
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Every strict prefix of a valid frame decodes to an error.
+    #[test]
+    fn truncation_decodes_to_error(f in frame(), cut in 0.0f64..1.0) {
+        let bytes = encode_frame(&f);
+        let n = ((bytes.len() as f64) * cut) as usize; // < bytes.len()
+        prop_assert!(decode_frame(&bytes[..n]).is_err());
+    }
+
+    /// Any single flipped bit is caught (by magic, bounds, or CRC) — and
+    /// never panics.
+    #[test]
+    fn single_bit_corruption_decodes_to_error(
+        f in frame(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_frame(&f);
+        let i = ((bytes.len() as f64) * pos) as usize % bytes.len();
+        bytes[i] ^= 1 << bit;
+        prop_assert!(decode_frame(&bytes).is_err(), "flip at byte {} bit {}", i, bit);
+    }
+
+    /// Arbitrary garbage never panics the decoder (and never yields a
+    /// frame: a valid magic+CRC by chance is astronomically unlikely).
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        match decode_frame(&bytes) {
+            Ok(_) => prop_assert!(bytes.len() >= 19, "frame from thin air"),
+            Err(WireError::Io(_)) => prop_assert!(false, "pure decode cannot do I/O"),
+            Err(_) => {}
+        }
+    }
+
+    /// The explanation-body decoder is equally robust to corruption of its
+    /// (unframed, CRC-less) bytes: errors or valid values, never panics.
+    #[test]
+    fn explanation_decoder_never_panics(
+        e in explanation(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = e.encode();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let i = ((bytes.len() as f64) * pos) as usize % bytes.len();
+        bytes[i] ^= 1 << bit;
+        let _ = ExplanationWire::decode(&bytes); // must not panic
+    }
+}

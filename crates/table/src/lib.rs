@@ -36,6 +36,7 @@ pub mod bitmap;
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod fingerprint;
 pub mod groupby;
 pub mod join;
 pub mod schema;
@@ -47,6 +48,7 @@ pub use bitmap::Bitmap;
 pub use column::{Codes, Column, ColumnData, DictArray};
 pub use csv::{read_csv, read_csv_path, write_csv, write_csv_path, CsvOptions};
 pub use error::{Result, TableError};
+pub use fingerprint::Fnv64;
 pub use groupby::{aggregate, group_by, AggFunc, Groups};
 pub use join::{join, JoinType};
 pub use schema::{Field, Schema};

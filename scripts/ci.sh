@@ -16,4 +16,67 @@ cargo build --release --offline --workspace
 echo "==> cargo test --offline"
 cargo test --offline --workspace -q
 
+echo "==> server smoke test (serve / submit vs direct explain)"
+SMOKE_DIR=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+# Tiny deterministic dataset: salary driven by each country's development
+# level, which lives only in the KG.
+CSV="$SMOKE_DIR/data.csv"
+KG="$SMOKE_DIR/kg.tsv"
+echo "Country,Salary" > "$CSV"
+for c in 0 1 2 3 4 5 6 7 8; do
+    dev=$((c % 3))
+    printf '@entity\tC%d\tCountry\n' "$c" >> "$KG"
+    printf 'C%d\thdi\t%d.0\n' "$c" "$dev" >> "$KG"
+    for i in $(seq 0 29); do
+        echo "C$c,$((10 * dev)).$((i % 2))" >> "$CSV"
+    done
+done
+
+BIN=target/release/nexus-cli
+SQL="SELECT Country, avg(Salary) FROM t GROUP BY Country"
+SOCK="$SMOKE_DIR/nexus.sock"
+
+"$BIN" explain --table "$CSV" --kg "$KG" --extract Country --sql "$SQL" \
+    > "$SMOKE_DIR/direct.txt" 2> /dev/null
+
+"$BIN" serve --socket "$SOCK" --table "$CSV" --kg "$KG" --extract Country \
+    2> "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then
+    echo "server did not come up:" >&2
+    cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+fi
+
+"$BIN" submit --socket "$SOCK" --sql "$SQL" \
+    > "$SMOKE_DIR/served_cold.txt" 2> /dev/null
+"$BIN" submit --socket "$SOCK" --sql "$SQL" \
+    > "$SMOKE_DIR/served_hot.txt" 2> "$SMOKE_DIR/submit_hot.log"
+
+# The served output must match the one-shot run line for line, cold and hot.
+diff "$SMOKE_DIR/direct.txt" "$SMOKE_DIR/served_cold.txt"
+diff "$SMOKE_DIR/served_cold.txt" "$SMOKE_DIR/served_hot.txt"
+grep -q "cache hit" "$SMOKE_DIR/submit_hot.log"
+grep -q "Country::hdi" "$SMOKE_DIR/served_hot.txt"
+
+"$BIN" submit --socket "$SOCK" --shutdown 2> /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+if [ -e "$SOCK" ]; then
+    echo "server left its socket file behind" >&2
+    exit 1
+fi
+echo "    direct == served (cold) == served (hot, from cache); clean shutdown"
+
 echo "CI gate passed."

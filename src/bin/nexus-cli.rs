@@ -1,77 +1,158 @@
 //! The `nexus-cli` command-line tool: explain a confounded correlation in
 //! a CSV file using a knowledge graph (triple file) or a data lake (a
-//! directory of CSVs) as the knowledge source.
+//! directory of CSVs) as the knowledge source — one-shot, or through a
+//! resident explanation server.
 //!
 //! ```text
-//! nexus-cli --table data.csv --kg knowledge.tsv \
+//! # One-shot explanation:
+//! nexus-cli explain --table data.csv --kg knowledge.tsv \
 //!           --extract Country --extract Continent \
 //!           --sql "SELECT Country, avg(Salary) FROM t GROUP BY Country" \
 //!           [--k 5] [--hops 1] [--threads N] [--subgroups] [--no-pruning]
 //!
-//! nexus-cli --table data.csv --lake ./lake-dir --extract Country --sql "…"
+//! # Resident server on a Unix socket (or --tcp 127.0.0.1:PORT):
+//! nexus-cli serve --socket /tmp/nexus.sock --table data.csv \
+//!           --kg knowledge.tsv --extract Country [--name salaries]
+//!
+//! # Submit queries to it:
+//! nexus-cli submit --socket /tmp/nexus.sock --sql "SELECT …" [--dataset salaries]
+//! nexus-cli submit --socket /tmp/nexus.sock --shutdown
 //! ```
+//!
+//! The legacy flag-only form (`nexus-cli --table … --sql …`) still works
+//! and means `explain`.
+//!
+//! Deterministic explanation output goes to **stdout** (identical between
+//! `explain` and `submit` for the same inputs — scriptable and diffable);
+//! timings, cache statistics, and progress go to **stderr**.
 
 use std::process::exit;
 
 use nexus::core::{unexplained_subgroups, SubgroupOptions};
 use nexus::kg::KnowledgeGraph;
 use nexus::lake::{DataLake, LakeOptions};
-use nexus::table::read_csv_path;
+use nexus::serve::wire::ExplanationWire;
+use nexus::serve::{explanation_to_wire, Client, Server, ServerOptions};
+use nexus::table::{read_csv_path, Table};
 use nexus::{parse, ExplainRequest, Nexus, NexusOptions};
-
-struct Args {
-    table: String,
-    kg: Option<String>,
-    lake: Option<String>,
-    extract: Vec<String>,
-    sql: String,
-    k: usize,
-    hops: usize,
-    threads: usize,
-    subgroups: bool,
-    no_pruning: bool,
-}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nexus-cli --table <csv> (--kg <triples.tsv> | --lake <dir>) \
-         --extract <column>... --sql <query> [--k N] [--hops N] [--threads N] \
-         [--subgroups] [--no-pruning]"
+        "usage:\n\
+         \x20 nexus-cli explain --table <csv> (--kg <triples.tsv> | --lake <dir>) \
+         --extract <column>... --sql <query>\n\
+         \x20         [--k N] [--hops N] [--threads N] [--subgroups] [--no-pruning]\n\
+         \x20 nexus-cli serve (--socket <path> | --tcp <addr>) --table <csv> \
+         (--kg <triples.tsv> | --lake <dir>) --extract <column>...\n\
+         \x20         [--name <dataset>] [--k N] [--hops N] [--threads N] [--no-pruning] \
+         [--cache N] [--max-concurrent N]\n\
+         \x20 nexus-cli submit (--socket <path> | --tcp <addr>) --sql <query> \
+         [--dataset <name>] | --shutdown | --ping | --stats"
     );
     exit(2)
 }
 
-fn parse_args() -> Args {
-    let mut args = Args {
-        table: String::new(),
-        kg: None,
-        lake: None,
-        extract: Vec::new(),
-        sql: String::new(),
+/// Flags shared by `explain` and `serve`: where the data lives and how the
+/// pipeline runs.
+#[derive(Default)]
+struct DataArgs {
+    table: String,
+    kg: Option<String>,
+    lake: Option<String>,
+    extract: Vec<String>,
+    k: usize,
+    hops: usize,
+    threads: usize,
+    no_pruning: bool,
+}
+
+struct ExplainArgs {
+    data: DataArgs,
+    sql: String,
+    subgroups: bool,
+}
+
+struct ServeArgs {
+    data: DataArgs,
+    socket: Option<String>,
+    tcp: Option<String>,
+    name: String,
+    cache: usize,
+    max_concurrent: usize,
+}
+
+struct SubmitArgs {
+    socket: Option<String>,
+    tcp: Option<String>,
+    dataset: String,
+    sql: String,
+    shutdown: bool,
+    ping: bool,
+    stats: bool,
+}
+
+enum Command {
+    Explain(ExplainArgs),
+    Serve(ServeArgs),
+    Submit(SubmitArgs),
+}
+
+fn parse_command() -> Command {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage()
+    }
+    let sub = if argv[0].starts_with("--") {
+        // Legacy flag-only form means `explain`.
+        "explain".to_string()
+    } else {
+        argv.remove(0)
+    };
+
+    let mut data = DataArgs {
         k: 5,
         hops: 1,
-        threads: 0,
-        subgroups: false,
-        no_pruning: false,
+        ..DataArgs::default()
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut sql = String::new();
+    let mut subgroups = false;
+    let mut socket = None;
+    let mut tcp = None;
+    let mut name = "default".to_string();
+    let mut dataset = "default".to_string();
+    let mut cache = 256;
+    let mut max_concurrent = 0usize;
+    let (mut shutdown, mut ping, mut stats) = (false, false, false);
+
     let mut i = 0;
-    let value = |i: &mut usize| -> String {
+    let value = |i: &mut usize, argv: &[String]| -> String {
         *i += 1;
         argv.get(*i).cloned().unwrap_or_else(|| usage())
     };
+    let number = |i: &mut usize, argv: &[String]| -> usize {
+        value(i, argv).parse().unwrap_or_else(|_| usage())
+    };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--table" => args.table = value(&mut i),
-            "--kg" => args.kg = Some(value(&mut i)),
-            "--lake" => args.lake = Some(value(&mut i)),
-            "--extract" => args.extract.push(value(&mut i)),
-            "--sql" => args.sql = value(&mut i),
-            "--k" => args.k = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--hops" => args.hops = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--subgroups" => args.subgroups = true,
-            "--no-pruning" => args.no_pruning = true,
+            "--table" => data.table = value(&mut i, &argv),
+            "--kg" => data.kg = Some(value(&mut i, &argv)),
+            "--lake" => data.lake = Some(value(&mut i, &argv)),
+            "--extract" => data.extract.push(value(&mut i, &argv)),
+            "--sql" => sql = value(&mut i, &argv),
+            "--k" => data.k = number(&mut i, &argv),
+            "--hops" => data.hops = number(&mut i, &argv),
+            "--threads" => data.threads = number(&mut i, &argv),
+            "--subgroups" => subgroups = true,
+            "--no-pruning" => data.no_pruning = true,
+            "--socket" => socket = Some(value(&mut i, &argv)),
+            "--tcp" => tcp = Some(value(&mut i, &argv)),
+            "--name" => name = value(&mut i, &argv),
+            "--dataset" => dataset = value(&mut i, &argv),
+            "--cache" => cache = number(&mut i, &argv),
+            "--max-concurrent" => max_concurrent = number(&mut i, &argv),
+            "--shutdown" => shutdown = true,
+            "--ping" => ping = true,
+            "--stats" => stats = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -80,59 +161,95 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    if args.table.is_empty() || args.sql.is_empty() || args.extract.is_empty() {
-        usage()
+
+    match sub.as_str() {
+        "explain" => {
+            if data.table.is_empty() || sql.is_empty() || data.extract.is_empty() {
+                usage()
+            }
+            if data.kg.is_none() == data.lake.is_none() {
+                eprintln!("exactly one of --kg or --lake is required");
+                usage()
+            }
+            Command::Explain(ExplainArgs {
+                data,
+                sql,
+                subgroups,
+            })
+        }
+        "serve" => {
+            if data.table.is_empty() || data.extract.is_empty() {
+                usage()
+            }
+            if data.kg.is_none() == data.lake.is_none() {
+                eprintln!("exactly one of --kg or --lake is required");
+                usage()
+            }
+            if socket.is_none() == tcp.is_none() {
+                eprintln!("exactly one of --socket or --tcp is required");
+                usage()
+            }
+            Command::Serve(ServeArgs {
+                data,
+                socket,
+                tcp,
+                name,
+                cache,
+                max_concurrent,
+            })
+        }
+        "submit" => {
+            if socket.is_none() == tcp.is_none() {
+                eprintln!("exactly one of --socket or --tcp is required");
+                usage()
+            }
+            if !(shutdown || ping || stats) && sql.is_empty() {
+                usage()
+            }
+            Command::Submit(SubmitArgs {
+                socket,
+                tcp,
+                dataset,
+                sql,
+                shutdown,
+                ping,
+                stats,
+            })
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            usage()
+        }
     }
-    if args.kg.is_none() == args.lake.is_none() {
-        eprintln!("exactly one of --kg or --lake is required");
-        usage()
-    }
-    args
 }
 
 fn main() {
-    let args = parse_args();
-
-    let table = match read_csv_path(&args.table) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("failed to read {}: {e}", args.table);
-            exit(1)
-        }
+    let result = match parse_command() {
+        Command::Explain(args) => run_explain(&args),
+        Command::Serve(args) => run_serve(&args),
+        Command::Submit(args) => run_submit(&args),
     };
+    if let Err(message) = result {
+        eprintln!("nexus-cli: {message}");
+        exit(1)
+    }
+}
 
-    let query = match parse(&args.sql) {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("failed to parse SQL: {e}");
-            exit(1)
-        }
-    };
+/// Loads the table, the knowledge source, and the extraction columns.
+fn load_inputs(data: &DataArgs) -> Result<(Table, KnowledgeGraph, Vec<String>), String> {
+    let table =
+        read_csv_path(&data.table).map_err(|e| format!("failed to read {}: {e}", data.table))?;
 
-    let mut request = ExplainRequest::new()
-        .table(&table)
-        .extraction_columns(args.extract.iter().cloned())
-        .query(&query);
-    let file_kg: KnowledgeGraph;
-    if let Some(path) = &args.kg {
-        file_kg = match nexus::kg::read_kg_path(path) {
-            Ok(kg) => kg,
-            Err(e) => {
-                eprintln!("failed to read KG {path}: {e}");
-                exit(1)
-            }
-        };
-        request = request.knowledge_graph(&file_kg);
+    let kg = if let Some(path) = &data.kg {
+        nexus::kg::read_kg_path(path).map_err(|e| format!("failed to read KG {path}: {e}"))?
     } else {
-        let dir = args.lake.as_deref().expect("validated");
+        let dir = data
+            .lake
+            .as_deref()
+            .ok_or("exactly one of --kg or --lake is required")?;
         let mut lake = DataLake::new();
-        let entries = match std::fs::read_dir(dir) {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!("failed to read lake dir {dir}: {e}");
-                exit(1)
-            }
-        };
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("failed to read lake dir {dir}: {e}"))?;
         for entry in entries.flatten() {
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) == Some("csv") {
@@ -151,52 +268,49 @@ fn main() {
             }
         }
         // Build one KG keyed by the first extraction column.
-        let col = match table.column(&args.extract[0]) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("{e}");
-                exit(1)
-            }
-        };
-        request = request.lake(lake.to_knowledge_graph(col, &LakeOptions::default()));
-    }
+        let first = data
+            .extract
+            .first()
+            .ok_or("at least one --extract column is required")?;
+        let col = table.column(first).map_err(|e| e.to_string())?;
+        lake.to_knowledge_graph(col, &LakeOptions::default())
+    };
 
-    let options = match NexusOptions::builder()
-        .max_explanation_size(args.k)
-        .hops(args.hops)
-        .threads(args.threads)
-        .offline_pruning(!args.no_pruning)
-        .online_pruning(!args.no_pruning)
+    Ok((table, kg, data.extract.clone()))
+}
+
+fn build_options(data: &DataArgs) -> Result<NexusOptions, String> {
+    NexusOptions::builder()
+        .max_explanation_size(data.k)
+        .hops(data.hops)
+        .threads(data.threads)
+        .offline_pruning(!data.no_pruning)
+        .online_pruning(!data.no_pruning)
         .build()
-    {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            exit(2)
-        }
-    };
+        .map_err(|e| e.to_string())
+}
 
-    let nexus = Nexus::new(options);
-    let (explanation, artifacts) = match nexus.run_with_artifacts(&request) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("pipeline failed: {e}");
-            exit(1)
-        }
+/// Prints the deterministic part of an explanation to stdout — the exact
+/// same lines whether it came from a one-shot run or a server reply, so
+/// the two paths are diffable.
+fn print_explanation(query_text: &str, e: &ExplanationWire) {
+    println!("query: {query_text}");
+    let explained = if e.initial_cmi <= 0.0 {
+        0.0
+    } else {
+        (1.0 - e.explained_cmi / e.initial_cmi).clamp(0.0, 1.0)
     };
-
-    println!("query: {query}");
     println!(
         "I(O;T|C) = {:.4} bits → {:.4} bits after conditioning ({:.0}% explained)",
-        explanation.initial_cmi,
-        explanation.explained_cmi,
-        100.0 * explanation.explained_fraction()
+        e.initial_cmi,
+        e.explained_cmi,
+        100.0 * explained
     );
-    if explanation.attributes.is_empty() {
+    if e.attributes.is_empty() {
         println!("no explanation found (no candidate earned calibrated credit)");
     } else {
         println!("explanation:");
-        for attr in &explanation.attributes {
+        for attr in &e.attributes {
             println!(
                 "  {:<32} responsibility {:.2}{}",
                 attr.name,
@@ -205,17 +319,33 @@ fn main() {
             );
         }
     }
-    let s = &explanation.stats;
     println!(
-        "candidates {} → {} (offline) → {} (online); {} selection-biased; {:.2?} total",
-        s.n_candidates_initial,
-        s.n_after_offline,
-        s.n_after_online,
-        s.n_biased,
-        s.total()
+        "candidates {} → {} (offline) → {} (online); {} selection-biased",
+        e.n_candidates_initial, e.n_after_offline, e.n_after_online, e.n_biased
     );
-    println!(
-        "pool: {} thread(s), {} task(s), {:.2}x scoring speedup",
+}
+
+fn run_explain(args: &ExplainArgs) -> Result<(), String> {
+    let (table, kg, extract) = load_inputs(&args.data)?;
+    let query = parse(&args.sql).map_err(|e| format!("failed to parse SQL: {e}"))?;
+    let options = build_options(&args.data)?;
+
+    let request = ExplainRequest::new()
+        .table(&table)
+        .knowledge_graph(&kg)
+        .extraction_columns(extract)
+        .query(&query);
+    let nexus = Nexus::new(options);
+    let (explanation, artifacts) = nexus
+        .run_with_artifacts(&request)
+        .map_err(|e| format!("pipeline failed: {e}"))?;
+
+    print_explanation(&query.to_string(), &explanation_to_wire(&explanation));
+
+    let s = &explanation.stats;
+    eprintln!(
+        "timing: {:.2?} total; pool: {} thread(s), {} task(s), {:.2}x scoring speedup",
+        s.total(),
         s.threads,
         s.pool_tasks,
         s.parallel_speedup()
@@ -257,4 +387,94 @@ fn main() {
             Err(e) => eprintln!("subgroup search failed: {e}"),
         }
     }
+    Ok(())
+}
+
+fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    let (table, kg, extract) = load_inputs(&args.data)?;
+    let nexus = build_options(&args.data)?;
+    let mut options = ServerOptions {
+        nexus,
+        cache_capacity: args.cache,
+        ..ServerOptions::default()
+    };
+    if args.max_concurrent > 0 {
+        options.max_concurrent = args.max_concurrent;
+    }
+
+    let server = Server::new(options);
+    server
+        .add_dataset(args.name.clone(), table, kg, extract)
+        .map_err(|e| format!("failed to load dataset: {e}"))?;
+    eprintln!(
+        "serve: dataset {:?} resident ({} KG entities); extraction columns {:?}",
+        args.name,
+        server.dataset_kg_entities(&args.name).unwrap_or(0),
+        server
+            .dataset_extraction_columns(&args.name)
+            .unwrap_or_default(),
+    );
+
+    if let Some(path) = &args.socket {
+        eprintln!("serve: listening on unix socket {path}");
+        server
+            .serve_unix(path)
+            .map_err(|e| format!("server failed: {e}"))?;
+    } else if let Some(addr) = &args.tcp {
+        server
+            .serve_tcp(addr, |bound| eprintln!("serve: listening on tcp {bound}"))
+            .map_err(|e| format!("server failed: {e}"))?;
+    }
+    eprintln!("serve: shut down cleanly");
+    Ok(())
+}
+
+fn connect(socket: &Option<String>, tcp: &Option<String>) -> Result<Client, String> {
+    if let Some(path) = socket {
+        Client::connect_unix(path).map_err(|e| format!("failed to connect to {path}: {e}"))
+    } else if let Some(addr) = tcp {
+        Client::connect_tcp(addr).map_err(|e| format!("failed to connect to {addr}: {e}"))
+    } else {
+        Err("exactly one of --socket or --tcp is required".to_string())
+    }
+}
+
+fn run_submit(args: &SubmitArgs) -> Result<(), String> {
+    let mut client = connect(&args.socket, &args.tcp)?;
+    if args.ping {
+        client.ping().map_err(|e| e.to_string())?;
+        eprintln!("pong");
+    }
+    if args.stats {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        eprintln!(
+            "server: {} dataset(s), {} cached, {} hit(s), {} miss(es), {} request(s)",
+            s.datasets, s.cache_entries, s.cache_hits, s.cache_misses, s.requests_served
+        );
+    }
+    if !args.sql.is_empty() {
+        // Parse locally too, so the echoed query line matches `explain`.
+        let query = parse(&args.sql).map_err(|e| format!("failed to parse SQL: {e}"))?;
+        let response = client
+            .explain(&args.dataset, &args.sql)
+            .map_err(|e| e.to_string())?;
+        print_explanation(&query.to_string(), &response.explanation);
+        let s = &response.stats;
+        eprintln!(
+            "serve: {}; {} scored task(s); queued {:.3} ms; served in {:.3} ms",
+            if s.cache_hit {
+                "cache hit"
+            } else {
+                "cache miss"
+            },
+            s.scored_tasks,
+            s.queue_nanos as f64 / 1e6,
+            s.service_nanos as f64 / 1e6,
+        );
+    }
+    if args.shutdown {
+        client.shutdown().map_err(|e| e.to_string())?;
+        eprintln!("server acknowledged shutdown");
+    }
+    Ok(())
 }

@@ -22,7 +22,9 @@
 //! * [`lake`] — data-lake knowledge source (joinability discovery +
 //!   extraction from related tables);
 //! * [`datagen`] — synthetic paper datasets with planted ground truth;
-//! * [`eval`] — the experiment harness regenerating every table and figure.
+//! * [`eval`] — the experiment harness regenerating every table and figure;
+//! * [`serve`] — the resident explanation server (NEXUSRPC binary
+//!   protocol, fingerprint-keyed result cache, Unix/TCP endpoints).
 //!
 //! ## Quickstart
 //!
@@ -70,6 +72,7 @@ pub use nexus_kg as kg;
 pub use nexus_lake as lake;
 pub use nexus_missing as missing;
 pub use nexus_query as query;
+pub use nexus_serve as serve;
 pub use nexus_table as table;
 
 pub use nexus_core::{
