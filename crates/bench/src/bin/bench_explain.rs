@@ -1,0 +1,230 @@
+//! Reproducible counting-kernel benchmark for the `explain` hot path.
+//!
+//! Runs the same fixed-seed Flights workload twice — once with the legacy
+//! hashed row-scan contingency builds, once with the dense/fused kernels —
+//! and emits `BENCH_explain.json` comparing **kernel operation counters**
+//! (rows scanned, hash ops, dense ops), never wall-clock: counters are
+//! machine-independent, so CI can gate on them without flaking.
+//!
+//! The harness also asserts the two runs produce bit-identical
+//! explanations (the kernels' core promise) and, with `--check`, exits
+//! nonzero unless the acceptance thresholds hold:
+//!
+//! * ≥ 3x fewer per-row hash operations on the kernel path,
+//! * kernel rows scanned ≤ legacy rows scanned,
+//! * outputs identical, and
+//! * pool tasks > 0 when run multi-threaded (the chunked builds actually
+//!   engaged the pool).
+//!
+//! Usage: `bench-explain [--rows N] [--cities N] [--threads N] [--quick]
+//! [--query ID] [--out PATH] [--check]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nexus_core::{ExplainRequest, Explanation, Nexus, NexusOptions, Parallelism};
+use nexus_datagen::flights::FlightsConfig;
+use nexus_datagen::{flights, BENCH_QUERIES};
+use nexus_info::kernel::{self, KernelMode};
+use nexus_info::KernelSnapshot;
+
+struct Args {
+    rows: usize,
+    cities: usize,
+    threads: usize,
+    query: String,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rows: 1_000_000,
+        cities: 320,
+        threads: 8,
+        query: "FL-Q1".to_string(),
+        out: "BENCH_explain.json".to_string(),
+        check: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rows" => args.rows = value(&mut i)?.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--cities" => {
+                args.cities = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--cities: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--query" => args.query = value(&mut i)?,
+            "--out" => args.out = value(&mut i)?,
+            "--quick" => {
+                args.rows = 20_000;
+                args.cities = 120;
+            }
+            "--check" => args.check = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// One measured pipeline run.
+struct RunResult {
+    kernel: KernelSnapshot,
+    pool_tasks: u64,
+    wall_ms: u128,
+    signature: String,
+}
+
+/// A byte-exact digest of everything user-visible in an explanation:
+/// f64s are rendered as raw bits so "equal" means bit-identical.
+fn signature(e: &Explanation) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "initial={:016x};explained={:016x};stopped={};",
+        e.initial_cmi.to_bits(),
+        e.explained_cmi.to_bits(),
+        e.stopped_by_responsibility
+    );
+    for a in &e.attributes {
+        let _ = write!(
+            s,
+            "name={};resp={:016x};weighted={};",
+            a.name,
+            a.responsibility.to_bits(),
+            a.weighted
+        );
+    }
+    s
+}
+
+fn run_mode(
+    mode: KernelMode,
+    dataset: &nexus_datagen::Dataset,
+    sql: &str,
+    threads: usize,
+) -> RunResult {
+    kernel::set_mode(mode);
+    let query = nexus_query::parse(sql).expect("bench SQL parses");
+    let options = NexusOptions::builder()
+        .parallelism(if threads <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Fixed(threads)
+        })
+        .build()
+        .expect("valid options");
+    let request = ExplainRequest::new()
+        .table(&dataset.table)
+        .knowledge_graph(&dataset.kg)
+        .extraction_columns(dataset.extraction_columns.clone())
+        .query(&query);
+    let t0 = Instant::now();
+    let explanation = Nexus::new(options).run(&request).expect("pipeline runs");
+    let wall_ms = t0.elapsed().as_millis();
+    kernel::set_mode(KernelMode::Auto);
+    RunResult {
+        kernel: explanation.stats.kernel,
+        pool_tasks: explanation.stats.pool_tasks,
+        wall_ms,
+        signature: signature(&explanation),
+    }
+}
+
+fn json_run(out: &mut String, label: &str, r: &RunResult) {
+    let k = &r.kernel;
+    let _ = write!(
+        out,
+        "  \"{label}\": {{\n    \"rows_scanned\": {},\n    \"hash_ops\": {},\n    \"dense_ops\": {},\n    \"dense_builds\": {},\n    \"sparse_builds\": {},\n    \"pool_tasks\": {},\n    \"wall_ms\": {}\n  }}",
+        k.rows_scanned, k.hash_ops, k.dense_ops, k.dense_builds, k.sparse_builds, r.pool_tasks, r.wall_ms
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench-explain: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bench_query = BENCH_QUERIES
+        .iter()
+        .find(|q| q.id == args.query)
+        .unwrap_or_else(|| {
+            eprintln!("bench-explain: unknown query id {}", args.query);
+            std::process::exit(2);
+        });
+
+    let cfg = FlightsConfig {
+        n_rows: args.rows,
+        n_cities: args.cities,
+        ..FlightsConfig::default()
+    };
+    eprintln!(
+        "bench-explain: generating Flights (rows={}, cities={}, seed={:#x})",
+        cfg.n_rows, cfg.n_cities, cfg.seed
+    );
+    let dataset = flights::generate(&cfg);
+
+    eprintln!("bench-explain: legacy pass ({} thread(s))", args.threads);
+    let legacy = run_mode(KernelMode::Legacy, &dataset, bench_query.sql, args.threads);
+    eprintln!("bench-explain: kernel pass ({} thread(s))", args.threads);
+    let fast = run_mode(KernelMode::Auto, &dataset, bench_query.sql, args.threads);
+
+    // Counter-based, machine-independent comparison. hash_ops can hit 0 on
+    // the kernel path (everything dense); clamp so the ratio stays finite.
+    let hash_ratio = legacy.kernel.hash_ops as f64 / fast.kernel.hash_ops.max(1) as f64;
+    let outputs_identical = legacy.signature == fast.signature;
+    let rows_not_worse = fast.kernel.rows_scanned <= legacy.kernel.rows_scanned;
+    let pool_engaged = args.threads <= 1 || fast.pool_tasks > 0;
+    let hash_ratio_ok = hash_ratio >= 3.0;
+
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"schema_version\": 1,\n  \"bench\": \"explain\",\n  \"workload\": {{\n    \"dataset\": \"Flights\",\n    \"rows\": {},\n    \"cities\": {},\n    \"seed\": {},\n    \"query_id\": \"{}\",\n    \"sql\": \"{}\",\n    \"threads\": {}\n  }},\n",
+        args.rows, args.cities, cfg.seed, bench_query.id, bench_query.sql, args.threads
+    );
+    json_run(&mut out, "legacy", &legacy);
+    out.push_str(",\n");
+    json_run(&mut out, "kernel", &fast);
+    let _ = write!(
+        out,
+        ",\n  \"ratios\": {{\n    \"hash_ops\": {hash_ratio:.2}\n  }},\n  \"checks\": {{\n    \"outputs_identical\": {outputs_identical},\n    \"hash_ratio_ok\": {hash_ratio_ok},\n    \"rows_not_worse\": {rows_not_worse},\n    \"pool_engaged\": {pool_engaged}\n  }}\n}}\n"
+    );
+
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| {
+        eprintln!("bench-explain: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    eprintln!(
+        "bench-explain: hash ops {} -> {} ({hash_ratio:.1}x), rows {} -> {}, wrote {}",
+        legacy.kernel.hash_ops,
+        fast.kernel.hash_ops,
+        legacy.kernel.rows_scanned,
+        fast.kernel.rows_scanned,
+        args.out
+    );
+
+    if args.check && !(outputs_identical && hash_ratio_ok && rows_not_worse && pool_engaged) {
+        eprintln!(
+            "bench-explain: CHECK FAILED (outputs_identical={outputs_identical}, hash_ratio_ok={hash_ratio_ok}, rows_not_worse={rows_not_worse}, pool_engaged={pool_engaged})"
+        );
+        std::process::exit(1);
+    }
+}

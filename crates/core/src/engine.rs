@@ -10,15 +10,55 @@
 //! Row-level candidates (base-table attributes) and conditioning sets of
 //! selected attributes fall back to direct row scans, which happen O(k)
 //! times, not O(|𝒜|) times.
+//!
+//! ## The counting kernel
+//!
+//! Contingency builds are the scoring hot path, so they run on a layered
+//! kernel rather than the naive per-row hashed scan:
+//!
+//! * the complete-case predicate (`mask ∧ valid(O) ∧ valid(T)`) and the
+//!   fused `T·|O|+O` code column are precomputed **once per candidate
+//!   set** ([`FusedSelection`]), turning each per-column build into a
+//!   straight gather over a selection vector;
+//! * when the `X × T × O` key space fits [`KERNEL_DENSE_LIMIT`], counts
+//!   accumulate into a dense flat array (`counts[x·|TO| + to] += 1`);
+//!   larger key spaces fall back to a hashed accumulator, and key spaces
+//!   beyond `u64` fall back to the legacy row scan (which itself guards
+//!   packing with `u128`);
+//! * large selections are chunked across the engine's pool with
+//!   per-thread local accumulators merged in fixed chunk order. Every
+//!   increment is exactly `1.0` (weights apply later, at entity level),
+//!   so per-cell sums are exact integers and any merge order is
+//!   bit-identical — the fixed order makes that robustness visible.
+//!
+//! All paths emit the same key `(x·|T| + t)·|O| + o` and drain cells in
+//! ascending key order, so every downstream f64 fold sees the same cell
+//! sequence and NEXUS's bit-identical-output promise holds across kernel
+//! paths and thread counts.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use nexus_info::kernel::{self, KernelMode};
 use nexus_info::{entropy_from_counts, entropy_mm, InfoContext, JointCounts};
 use nexus_runtime::{Parallelism, ThreadPool};
-use nexus_table::Codes;
+use nexus_table::{Bitmap, Codes};
 
 use crate::candidate::{Candidate, CandidateRepr, CandidateSet, MISSING_CODE};
+use crate::shard::{NameCache, PairCache};
+
+/// Key space above which the counting kernel switches from a dense flat
+/// array to a hashed accumulator (matches `nexus-info`'s dense budget).
+const KERNEL_DENSE_LIMIT: u128 = 1 << 21;
+
+/// Selection length below which a build stays serial: chunk bookkeeping
+/// and accumulator merging outweigh the scan itself on small contexts.
+const KERNEL_PAR_ROWS: usize = 1 << 16;
+
+/// Rows per parallel chunk. Fixed (never derived from the thread count)
+/// so the chunk grid — and with it the merge order — is identical at
+/// every parallelism level.
+const KERNEL_CHUNK_ROWS: usize = 1 << 16;
 
 /// Entropy-level statistics of one candidate `E` against the outcome `O`
 /// and exposure `T`, over the complete-case support of `(O, T, E)` within
@@ -106,29 +146,285 @@ struct Contingency {
     card_t: u32,
 }
 
+/// Per-candidate-set precomputation shared by every per-column kernel
+/// build: the complete-case bitmap over `(mask, O, T)` and the fused
+/// `t·|O| + o` code column.
+///
+/// Fusing as `t·|O| + o` (not `o·|T| + t`) makes the kernel key
+/// `x·|TO| + to` *numerically equal* to the legacy packed key
+/// `(x·|T| + t)·|O| + o`, so both paths sort cells identically and feed
+/// downstream f64 folds in the same order.
+struct FusedSelection {
+    /// `mask ∧ valid(O) ∧ valid(T)`; per-column builds AND in `valid(X)`.
+    base: Bitmap,
+    /// `t·|O| + o` per row; only meaningful where `base` is set.
+    to_codes: Vec<u32>,
+    /// `|O| · |T|`.
+    card_to: u64,
+}
+
+impl FusedSelection {
+    /// Builds the fused selection, or `None` when the table shape rules
+    /// the vectorized kernel out (`|O|·|T|` beyond `u32`, or more rows
+    /// than `u32` selection vectors can index).
+    fn build(set: &CandidateSet) -> Option<FusedSelection> {
+        let o = &set.o;
+        let t = &set.t;
+        let n = o.len();
+        let card_o = o.cardinality.max(1) as u64;
+        let card_t = t.cardinality.max(1) as u64;
+        let card_to = card_o.checked_mul(card_t)?;
+        if card_to > u32::MAX as u64 || n > u32::MAX as usize {
+            return None;
+        }
+        let mut maps: Vec<&Bitmap> = vec![&set.mask];
+        maps.extend(o.validity.as_ref());
+        maps.extend(t.validity.as_ref());
+        let base = Bitmap::and_all(&maps).expect("mask always present");
+        // Fuse only at selected rows: codes at invalid rows are unspecified
+        // and could overflow the u32 product.
+        let mut to_codes = vec![0u32; n];
+        for i in base.iter_ones() {
+            to_codes[i] = (t.codes[i] as u64 * card_o + o.codes[i] as u64) as u32;
+        }
+        Some(FusedSelection {
+            base,
+            to_codes,
+            card_to,
+        })
+    }
+}
+
+/// A thread-local partial histogram for one chunk of a kernel build.
+enum KernelAcc {
+    Dense(Vec<f64>),
+    Sparse(HashMap<u64, f64>),
+}
+
+impl KernelAcc {
+    fn new(space: u128, dense: bool) -> KernelAcc {
+        if dense {
+            KernelAcc::Dense(vec![0.0; space as usize])
+        } else {
+            KernelAcc::Sparse(HashMap::new())
+        }
+    }
+
+    /// Merges `other` into `self`. Cell sums are exact integer counts, so
+    /// the addition is associative bit-for-bit; chunk-ordered merging (see
+    /// `ThreadPool::fold_chunks`) keeps the order fixed anyway.
+    fn merge(mut self, other: KernelAcc) -> KernelAcc {
+        match (&mut self, other) {
+            (KernelAcc::Dense(a), KernelAcc::Dense(b)) => {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+            }
+            (KernelAcc::Sparse(a), KernelAcc::Sparse(b)) => {
+                for (k, w) in b {
+                    *a.entry(k).or_insert(0.0) += w;
+                }
+            }
+            _ => unreachable!("kernel chunks share one accumulator layout"),
+        }
+        self
+    }
+}
+
 impl Contingency {
-    fn build(set: &CandidateSet, column: &str) -> Contingency {
+    /// Builds the `(O, T, X)` contingency for one extraction column,
+    /// dispatching between the vectorized kernel and the legacy row scan.
+    fn build(
+        set: &CandidateSet,
+        column: &str,
+        fused: Option<&FusedSelection>,
+        pool: Option<&ThreadPool>,
+        mode: KernelMode,
+    ) -> Contingency {
+        match (mode, fused) {
+            (KernelMode::Auto, Some(fused)) => Self::build_kernel(set, column, fused, pool),
+            _ => Self::build_rowscan(set, column),
+        }
+    }
+
+    /// The dense/fused kernel: gathers the per-column selection vector,
+    /// accumulates `counts[x·|TO| + to] += 1` into a flat array (hashed
+    /// when the key space exceeds the dense budget), row-chunked across
+    /// the pool for large selections.
+    fn build_kernel(
+        set: &CandidateSet,
+        column: &str,
+        fused: &FusedSelection,
+        pool: Option<&ThreadPool>,
+    ) -> Contingency {
+        let x = &set.column_codes[column];
+        let card_x = x.cardinality.max(1) as u64;
+        let card_to = fused.card_to;
+        let space = card_x as u128 * card_to as u128;
+        if space > u64::MAX as u128 {
+            // Keys would not fit the u64 kernel; the row scan packs u128.
+            return Self::build_rowscan(set, column);
+        }
+
+        let sel: Vec<u32> = match &x.validity {
+            Some(v) => Bitmap::and_all(&[&fused.base, v])
+                .expect("two bitmaps")
+                .iter_ones()
+                .map(|i| i as u32)
+                .collect(),
+            None => fused.base.iter_ones().map(|i| i as u32).collect(),
+        };
+
+        let dense = space <= KERNEL_DENSE_LIMIT;
+        let codes = &x.codes;
+        let to_codes = &fused.to_codes;
+        let scan = |rows: &[u32]| {
+            let mut acc = KernelAcc::new(space, dense);
+            match &mut acc {
+                KernelAcc::Dense(v) => {
+                    for &ri in rows {
+                        let i = ri as usize;
+                        let key = codes[i] as u64 * card_to + to_codes[i] as u64;
+                        v[key as usize] += 1.0;
+                    }
+                }
+                KernelAcc::Sparse(m) => {
+                    for &ri in rows {
+                        let i = ri as usize;
+                        let key = codes[i] as u64 * card_to + to_codes[i] as u64;
+                        *m.entry(key).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+            acc
+        };
+
+        let parallel = pool.is_some_and(|p| p.threads() > 1) && sel.len() >= KERNEL_PAR_ROWS;
+        let acc = if parallel {
+            let pool = pool.expect("parallel requires a pool");
+            pool.fold_chunks(
+                sel.len(),
+                KERNEL_CHUNK_ROWS,
+                |range| scan(&sel[range]),
+                KernelAcc::new(space, dense),
+                KernelAcc::merge,
+            )
+        } else {
+            scan(&sel)
+        };
+
+        // Every selected row performed exactly one accumulator op.
+        let ops = sel.len() as u64;
+        kernel::counters().record_build(
+            ops,
+            if dense { 0 } else { ops },
+            if dense { ops } else { 0 },
+            dense,
+        );
+
+        let card_o = set.o.cardinality.max(1) as u64;
+        let card_t = set.t.cardinality.max(1) as u64;
+        match acc {
+            KernelAcc::Dense(v) => Self::from_sorted_cells(
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, &w)| w > 0.0)
+                    .map(|(k, &w)| (k as u64, w)),
+                card_o,
+                card_t,
+                x.cardinality as usize,
+            ),
+            KernelAcc::Sparse(m) => {
+                let mut keyed: Vec<(u64, f64)> = m.into_iter().collect();
+                keyed.sort_unstable_by_key(|&(k, _)| k);
+                Self::from_sorted_cells(keyed.into_iter(), card_o, card_t, x.cardinality as usize)
+            }
+        }
+    }
+
+    /// The legacy per-row masked scan. Kept as the route for shapes the
+    /// kernel cannot index (and as the bench harness's comparison
+    /// baseline). Key packing is u64 with a checked u128 fallback —
+    /// three u32 cardinalities can overflow 64 bits.
+    fn build_rowscan(set: &CandidateSet, column: &str) -> Contingency {
         let x = &set.column_codes[column];
         let o = &set.o;
         let t = &set.t;
         let n = x.len();
         let card_o = o.cardinality.max(1) as u64;
         let card_t = t.cardinality.max(1) as u64;
-        let mut map: HashMap<u64, f64> = HashMap::new();
-        for i in 0..n {
-            if !set.mask.get(i) || !o.is_valid(i) || !t.is_valid(i) || !x.is_valid(i) {
-                continue;
+        let card_x = x.cardinality.max(1) as u64;
+        let space = card_x as u128 * card_t as u128 * card_o as u128;
+
+        if space <= u64::MAX as u128 {
+            let mut map: HashMap<u64, f64> = HashMap::new();
+            for i in 0..n {
+                if !set.mask.get(i) || !o.is_valid(i) || !t.is_valid(i) || !x.is_valid(i) {
+                    continue;
+                }
+                let key =
+                    (x.codes[i] as u64 * card_t + t.codes[i] as u64) * card_o + o.codes[i] as u64;
+                *map.entry(key).or_insert(0.0) += 1.0;
             }
-            let key = (x.codes[i] as u64 * card_t + t.codes[i] as u64) * card_o + o.codes[i] as u64;
-            *map.entry(key).or_insert(0.0) += 1.0;
+            // Drain the map in key order: every downstream score folds
+            // these cells into f64 sums, and NEXUS promises bit-identical
+            // results across runs and thread counts — HashMap order is
+            // neither.
+            let mut keyed: Vec<(u64, f64)> = map.into_iter().collect();
+            keyed.sort_unstable_by_key(|&(k, _)| k);
+            let ops = keyed.iter().map(|&(_, w)| w).sum::<f64>() as u64;
+            kernel::counters().record_build(n as u64, ops, 0, false);
+            Self::from_sorted_cells(keyed.into_iter(), card_o, card_t, x.cardinality as usize)
+        } else {
+            // u128 keys: same semantics, for cardinality products beyond
+            // u64.
+            let mut map: HashMap<u128, f64> = HashMap::new();
+            for i in 0..n {
+                if !set.mask.get(i) || !o.is_valid(i) || !t.is_valid(i) || !x.is_valid(i) {
+                    continue;
+                }
+                let key = (x.codes[i] as u128 * card_t as u128 + t.codes[i] as u128)
+                    * card_o as u128
+                    + o.codes[i] as u128;
+                *map.entry(key).or_insert(0.0) += 1.0;
+            }
+            let mut keyed: Vec<(u128, f64)> = map.into_iter().collect();
+            keyed.sort_unstable_by_key(|&(k, _)| k);
+            let ops = keyed.iter().map(|&(_, w)| w).sum::<f64>() as u64;
+            kernel::counters().record_build(n as u64, ops, 0, false);
+            let mut cells = Vec::with_capacity(keyed.len());
+            let mut x_marginal = vec![0.0; x.cardinality as usize];
+            let mut total = 0.0;
+            for (key, w) in keyed {
+                let o_code = (key % card_o as u128) as u32;
+                let t_code = ((key / card_o as u128) % card_t as u128) as u32;
+                let x_code = (key / (card_o as u128 * card_t as u128)) as u32;
+                x_marginal[x_code as usize] += w;
+                total += w;
+                cells.push((o_code, t_code, x_code, w));
+            }
+            let n_entities_ctx = x_marginal.iter().filter(|&&w| w > 0.0).count();
+            Contingency {
+                cells,
+                x_marginal,
+                total,
+                n_entities_ctx,
+                card_t: card_t as u32,
+            }
         }
-        // Drain the map in key order: every downstream score folds these
-        // cells into f64 sums, and NEXUS promises bit-identical results
-        // across runs and thread counts — HashMap order is neither.
-        let mut keyed: Vec<(u64, f64)> = map.into_iter().collect();
-        keyed.sort_unstable_by_key(|&(k, _)| k);
-        let mut cells = Vec::with_capacity(keyed.len());
-        let mut x_marginal = vec![0.0; x.cardinality as usize];
+    }
+
+    /// Decodes ascending `(key, weight)` cells (key = `(x·|T|+t)·|O|+o`)
+    /// into the cell vector, x-marginal, and totals. Shared by the kernel
+    /// and the u64 row scan so all paths produce cells identically.
+    fn from_sorted_cells(
+        keyed: impl Iterator<Item = (u64, f64)>,
+        card_o: u64,
+        card_t: u64,
+        card_x: usize,
+    ) -> Contingency {
+        let mut cells = Vec::new();
+        let mut x_marginal = vec![0.0; card_x];
         let mut total = 0.0;
         for (key, w) in keyed {
             let o_code = (key % card_o) as u32;
@@ -168,13 +464,13 @@ pub struct Engine {
     /// detection) run on.
     pool: ThreadPool,
     /// Cached per-candidate stats, keyed by `(name, weighted)`.
-    stats_cache: Mutex<HashMap<(String, bool), CandStats>>,
+    stats_cache: NameCache<CandStats>,
     /// Cached calibrated CMI, keyed by `(name, weighted)`.
-    calibrated_cache: Mutex<HashMap<(String, bool), f64>>,
+    calibrated_cache: NameCache<f64>,
     /// Cached pairwise MI, keyed by ordered candidate names.
-    pair_cache: Mutex<HashMap<(String, String), f64>>,
+    pair_cache: PairCache<f64>,
     /// Cached cross-column `(X₁, X₂)` joint counts.
-    column_pairs: Mutex<HashMap<(String, String), Arc<PairCells>>>,
+    column_pairs: PairCache<Arc<PairCells>>,
 }
 
 /// Joint `(x₁, x₂, weight)` cells for a pair of extraction columns.
@@ -190,11 +486,41 @@ impl Engine {
     /// Builds the engine with the given parallelism; the per-column
     /// contingency passes run on the pool, and the pool drives every
     /// candidate-parallel stage scored through this engine.
+    ///
+    /// Kernel dispatch follows the process-global
+    /// [`nexus_info::kernel::mode`]; tests and benches that must not rely
+    /// on global state use [`Engine::with_kernel`].
     pub fn with_parallelism(set: &CandidateSet, parallelism: Parallelism) -> Engine {
+        Engine::with_kernel(set, parallelism, kernel::mode())
+    }
+
+    /// [`Engine::with_parallelism`] with an explicit [`KernelMode`] for
+    /// the contingency builds. Results are bit-identical across modes;
+    /// only the counting strategy (and its counters) differ.
+    pub fn with_kernel(set: &CandidateSet, parallelism: Parallelism, mode: KernelMode) -> Engine {
         let pool = ThreadPool::new(parallelism);
         let mut columns: Vec<&String> = set.column_codes.keys().collect();
         columns.sort();
-        let contingencies = pool.map_slice(&columns, |_, column| Contingency::build(set, column));
+        let fused = match mode {
+            KernelMode::Auto => FusedSelection::build(set),
+            KernelMode::Legacy => None,
+        };
+        // Parallelism policy: the pool's scoped workers must not nest (a
+        // row-parallel build inside a column-parallel map would spawn
+        // threads² workers), so large tables go row-parallel with columns
+        // built serially, and everything else keeps the column-parallel
+        // map with serial builds.
+        let row_parallel = fused.is_some() && pool.threads() > 1 && set.o.len() >= KERNEL_PAR_ROWS;
+        let contingencies: Vec<Contingency> = if row_parallel {
+            columns
+                .iter()
+                .map(|column| Contingency::build(set, column, fused.as_ref(), Some(&pool), mode))
+                .collect()
+        } else {
+            pool.map_slice(&columns, |_, column| {
+                Contingency::build(set, column, fused.as_ref(), None, mode)
+            })
+        };
         let base: HashMap<String, Contingency> =
             columns.into_iter().cloned().zip(contingencies).collect();
         let ctx = InfoContext::masked(&set.mask);
@@ -205,10 +531,10 @@ impl Engine {
             baseline_cmi,
             baseline_support,
             pool,
-            stats_cache: Mutex::new(HashMap::new()),
-            calibrated_cache: Mutex::new(HashMap::new()),
-            pair_cache: Mutex::new(HashMap::new()),
-            column_pairs: Mutex::new(HashMap::new()),
+            stats_cache: NameCache::new(),
+            calibrated_cache: NameCache::new(),
+            pair_cache: PairCache::new(),
+            column_pairs: PairCache::new(),
         }
     }
 
@@ -262,12 +588,12 @@ impl Engine {
     /// after a previous call).
     pub fn stats(&self, set: &CandidateSet, idx: usize) -> CandStats {
         let cand = &set.candidates[idx];
-        let key = (cand.name.clone(), cand.is_weighted());
-        if let Some(s) = self.stats_cache.lock().expect("stats cache").get(&key) {
-            return *s;
+        let weighted = cand.is_weighted();
+        if let Some(s) = self.stats_cache.get(&cand.name, weighted) {
+            return s;
         }
         let s = self.compute_stats(set, cand);
-        self.stats_cache.lock().expect("stats cache").insert(key, s);
+        self.stats_cache.insert(&cand.name, weighted, s);
         s
     }
 
@@ -310,20 +636,12 @@ impl Engine {
     /// gets no credit, consistent with the paper's logical-dependency rule.
     pub fn cmi_single(&self, set: &CandidateSet, idx: usize) -> f64 {
         let cand = &set.candidates[idx];
-        let key = (cand.name.clone(), cand.is_weighted());
-        if let Some(v) = self
-            .calibrated_cache
-            .lock()
-            .expect("calibrated cache")
-            .get(&key)
-        {
-            return *v;
+        let weighted = cand.is_weighted();
+        if let Some(v) = self.calibrated_cache.get(&cand.name, weighted) {
+            return v;
         }
         let v = self.compute_calibrated(set, idx);
-        self.calibrated_cache
-            .lock()
-            .expect("calibrated cache")
-            .insert(key, v);
+        self.calibrated_cache.insert(&cand.name, weighted, v);
         v
     }
 
@@ -465,18 +783,14 @@ impl Engine {
     /// Pairwise `I(Eᵢ;Eⱼ)` (the Min-Redundancy criterion), cached
     /// symmetrically.
     pub fn mi_pair(&self, set: &CandidateSet, a: usize, b: usize) -> f64 {
-        let na = &set.candidates[a].name;
-        let nb = &set.candidates[b].name;
-        let key = if na <= nb {
-            (na.clone(), nb.clone())
-        } else {
-            (nb.clone(), na.clone())
-        };
-        if let Some(v) = self.pair_cache.lock().expect("pair cache").get(&key) {
-            return *v;
+        let na = set.candidates[a].name.as_str();
+        let nb = set.candidates[b].name.as_str();
+        let (ka, kb) = if na <= nb { (na, nb) } else { (nb, na) };
+        if let Some(v) = self.pair_cache.get(ka, kb) {
+            return v;
         }
         let v = self.compute_mi_pair(set, a, b);
-        self.pair_cache.lock().expect("pair cache").insert(key, v);
+        self.pair_cache.insert(ka, kb, v);
         v
     }
 
@@ -542,19 +856,16 @@ impl Engine {
     /// Joint `(X₁, X₂)` counts across two extraction columns (cached, in
     /// ascending `(x₁, x₂)` order of the canonically ordered pair).
     fn column_pair_counts(&self, set: &CandidateSet, col_a: &str, col_b: &str) -> Arc<PairCells> {
-        let key = if col_a <= col_b {
-            (col_a.to_string(), col_b.to_string())
+        let (ka, kb) = if col_a <= col_b {
+            (col_a, col_b)
         } else {
-            (col_b.to_string(), col_a.to_string())
+            (col_b, col_a)
         };
         let swap = col_a > col_b;
-        let canonical = {
-            let cache = self.column_pairs.lock().expect("column pair cache");
-            cache.get(&key).cloned()
-        };
+        let canonical = self.column_pairs.get(ka, kb);
         let canonical = canonical.unwrap_or_else(|| {
-            let xa = &set.column_codes[&key.0];
-            let xb = &set.column_codes[&key.1];
+            let xa = &set.column_codes[ka];
+            let xb = &set.column_codes[kb];
             let mut map: BTreeMap<u64, f64> = BTreeMap::new();
             for i in 0..xa.len() {
                 if !set.mask.get(i) || !xa.is_valid(i) || !xb.is_valid(i) {
@@ -568,10 +879,7 @@ impl Engine {
                     .map(|(k, w)| ((k >> 32) as u32, (k & 0xffff_ffff) as u32, w))
                     .collect(),
             );
-            self.column_pairs
-                .lock()
-                .expect("column pair cache")
-                .insert(key, v.clone());
+            self.column_pairs.insert(ka, kb, v.clone());
             v
         });
         if swap {

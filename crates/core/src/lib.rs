@@ -70,6 +70,7 @@ pub mod options;
 pub mod pipeline;
 pub mod prune;
 pub mod responsibility;
+pub mod shard;
 pub mod subgroups;
 
 pub use candidate::{
@@ -79,6 +80,7 @@ pub use candidate::{
 pub use engine::{CandStats, Engine};
 pub use error::{CoreError, Result};
 pub use mcimr::{mcimr, IterationTrace, McimrResult};
+pub use nexus_info::{KernelMode, KernelSnapshot};
 pub use nexus_runtime::{Parallelism, PoolMetrics, ThreadPool};
 pub use options::{NexusOptions, NexusOptionsBuilder};
 pub use pipeline::{

@@ -64,6 +64,15 @@ pub struct PipelineStats {
     pub t_pool_wall: Duration,
     /// Summed per-worker busy time inside parallel regions.
     pub t_pool_busy: Duration,
+
+    // ---- counting kernels -----------------------------------------------
+    /// Counting-kernel counter movement attributable to this run
+    /// (rows scanned, hash vs dense accumulator ops, build dispatch).
+    ///
+    /// The underlying counters are process-global, so concurrent runs in
+    /// one process (e.g. a parallel test binary) can bleed into each
+    /// other's delta; treat as diagnostics, not an exact ledger.
+    pub kernel: nexus_info::KernelSnapshot,
 }
 
 impl PipelineStats {
@@ -347,6 +356,7 @@ impl Nexus {
     ) -> Result<(Explanation, RunArtifacts)> {
         let options = &self.options;
         let n_initial = set.candidates.len();
+        let kernel_before = nexus_info::kernel::counters().snapshot();
 
         let t0 = Instant::now();
         let offline_report = if options.offline_pruning {
@@ -413,6 +423,9 @@ impl Nexus {
                 pool_tasks: pool.metrics().tasks(),
                 t_pool_wall: pool.metrics().wall(),
                 t_pool_busy: pool.metrics().busy(),
+                kernel: nexus_info::kernel::counters()
+                    .snapshot()
+                    .delta(&kernel_before),
             },
         };
         Ok((

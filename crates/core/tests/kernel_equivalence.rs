@@ -1,0 +1,260 @@
+//! Kernel equivalence: the dense/fused counting kernels are a pure
+//! performance substitution, so every estimator quantity — per-candidate
+//! [`CandStats`], calibrated CMIs, pairwise MIs, and whole explanations —
+//! must be **bit-identical** between the kernel and legacy row-scan
+//! paths, serial and chunked-parallel, at any thread count.
+//!
+//! These tests pin modes explicitly through [`Engine::with_kernel`]
+//! (never the process-global switch), so they stay race-free under
+//! parallel test execution.
+
+use std::collections::HashMap;
+
+use nexus_core::{
+    Candidate, CandidateRepr, CandidateSet, CandidateSource, Engine, KernelMode, Parallelism,
+    MISSING_CODE,
+};
+use nexus_table::{Bitmap, Codes};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so the fixtures need no external RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A synthetic candidate set exercising every kernel ingredient: a WHERE
+/// mask, null outcome/exposure/entity rows, an unweighted and a weighted
+/// (IPW) entity-level candidate, and a row-level candidate.
+fn synthetic_set(n: usize, seed: u64) -> CandidateSet {
+    let mut rng = Rng(seed | 1);
+    let n_entities = 40u32;
+    let card_prop = 5u32;
+
+    fn codes_with_nulls(rng: &mut Rng, n: usize, card: u32, null_every: u64) -> Codes {
+        let mut codes = Vec::with_capacity(n);
+        let mut validity = Bitmap::with_value(n, true);
+        for i in 0..n {
+            codes.push(rng.below(card as u64) as u32);
+            if rng.below(null_every) == 0 {
+                validity.set(i, false);
+            }
+        }
+        Codes {
+            codes,
+            cardinality: card,
+            validity: Some(validity),
+        }
+    }
+
+    let o = codes_with_nulls(&mut rng, n, 6, 17);
+    let t = codes_with_nulls(&mut rng, n, 5, 23);
+    let city = codes_with_nulls(&mut rng, n, n_entities, 11);
+
+    let mut mask = Bitmap::with_value(n, true);
+    for i in 0..n {
+        if rng.below(4) == 0 {
+            mask.set(i, false);
+        }
+    }
+
+    // Entity → property map with a few missing entities.
+    let map: Vec<u32> = (0..n_entities)
+        .map(|_| {
+            if rng.below(8) == 0 {
+                MISSING_CODE
+            } else {
+                rng.below(card_prop as u64) as u32
+            }
+        })
+        .collect();
+    let weights: Vec<f64> = (0..n_entities)
+        .map(|_| 0.5 + rng.below(8) as f64 * 0.25)
+        .collect();
+
+    let row_cand = codes_with_nulls(&mut rng, n, 4, 13);
+
+    let candidates = vec![
+        Candidate {
+            name: "City::prop".to_string(),
+            source: CandidateSource::Extracted {
+                column: "City".to_string(),
+            },
+            repr: CandidateRepr::EntityLevel {
+                column: "City".to_string(),
+                map: map.clone(),
+                cardinality: card_prop,
+            },
+            entity_weights: None,
+            bias: None,
+        },
+        Candidate {
+            name: "City::wprop".to_string(),
+            source: CandidateSource::Extracted {
+                column: "City".to_string(),
+            },
+            repr: CandidateRepr::EntityLevel {
+                column: "City".to_string(),
+                map,
+                cardinality: card_prop,
+            },
+            entity_weights: Some(weights),
+            bias: None,
+        },
+        Candidate {
+            name: "RowCand".to_string(),
+            source: CandidateSource::BaseTable,
+            repr: CandidateRepr::RowLevel(row_cand),
+            entity_weights: None,
+            bias: None,
+        },
+    ];
+
+    let mut column_codes = HashMap::new();
+    column_codes.insert("City".to_string(), city);
+
+    CandidateSet {
+        candidates,
+        column_codes,
+        o,
+        t,
+        mask,
+        link_stats: HashMap::new(),
+    }
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Everything an engine computes for a set, rendered to raw bits.
+fn engine_digest(set: &CandidateSet, parallelism: Parallelism, mode: KernelMode) -> Vec<u64> {
+    let engine = Engine::with_kernel(set, parallelism, mode);
+    let mut digest = vec![
+        bits(engine.baseline_cmi()),
+        engine.baseline_support() as u64,
+    ];
+    for idx in 0..set.candidates.len() {
+        let s = engine.stats(set, idx);
+        for e in [s.h_o, s.h_t, s.h_e, s.h_ot, s.h_oe, s.h_te, s.h_ote] {
+            digest.push(bits(e.0));
+            digest.push(e.1 as u64);
+        }
+        digest.push(bits(s.support));
+        digest.push(s.present_entities as u64);
+        digest.push(bits(s.cmi()));
+        digest.push(bits(engine.cmi_single(set, idx)));
+    }
+    for a in 0..set.candidates.len() {
+        for b in (a + 1)..set.candidates.len() {
+            digest.push(bits(engine.mi_pair(set, a, b)));
+        }
+    }
+    digest
+}
+
+/// Every (parallelism, mode) combination must reproduce the serial legacy
+/// digest bit for bit.
+fn assert_all_paths_agree(set: &CandidateSet, what: &str) {
+    let reference = engine_digest(set, Parallelism::Serial, KernelMode::Legacy);
+    for (parallelism, p_name) in [
+        (Parallelism::Serial, "serial"),
+        (Parallelism::Fixed(2), "2 threads"),
+        (Parallelism::Fixed(8), "8 threads"),
+    ] {
+        for mode in [KernelMode::Auto, KernelMode::Legacy] {
+            let digest = engine_digest(set, parallelism, mode);
+            assert_eq!(
+                reference, digest,
+                "{what}: {mode:?} @ {p_name} diverges from legacy serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_set_all_paths_bit_identical() {
+    // Small enough that the kernels stay in the serial per-column path.
+    assert_all_paths_agree(&synthetic_set(3_000, 0xA11CE), "3k rows");
+}
+
+#[test]
+fn chunked_parallel_builds_bit_identical() {
+    // Above KERNEL_PAR_ROWS (1 << 16), so multi-thread engines go through
+    // the row-partitioned chunked builds with per-thread accumulators.
+    assert_all_paths_agree(&synthetic_set(70_000, 0xBEEF), "70k rows");
+}
+
+#[test]
+fn weighted_candidate_paths_agree() {
+    // The weighted digest must diverge from the unweighted one (the IPW
+    // weights matter) while staying path-invariant — guards against a
+    // kernel that "agrees" by dropping weights everywhere.
+    let set = synthetic_set(5_000, 0x5EED);
+    let engine = Engine::with_kernel(&set, Parallelism::Serial, KernelMode::Legacy);
+    let kernel = Engine::with_kernel(&set, Parallelism::Fixed(4), KernelMode::Auto);
+    let unweighted = engine.stats(&set, 0);
+    for e in [&engine, &kernel] {
+        let s = e.stats(&set, 1);
+        assert_ne!(
+            bits(s.support),
+            bits(unweighted.support),
+            "IPW weights should change the weighted support"
+        );
+    }
+    assert_eq!(
+        bits(engine.stats(&set, 1).support),
+        bits(kernel.stats(&set, 1).support)
+    );
+}
+
+#[test]
+fn full_mask_and_no_nulls_edge_case() {
+    // All-true mask + fully valid columns: the fused selection is the
+    // identity, the densest possible path.
+    let mut set = synthetic_set(2_048, 0xFACE);
+    set.mask = Bitmap::with_value(2_048, true);
+    set.o.validity = None;
+    set.t.validity = None;
+    if let Some(c) = set.column_codes.get_mut("City") {
+        c.validity = None;
+    }
+    assert_all_paths_agree(&set, "dense edge case");
+}
+
+#[test]
+fn empty_context_edge_case() {
+    // An all-false mask selects nothing; every path must agree on the
+    // degenerate answer rather than panic.
+    let mut set = synthetic_set(512, 0xD00D);
+    set.mask = Bitmap::with_value(512, false);
+    assert_all_paths_agree(&set, "empty context");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random codes, maps, masks, and sizes: the kernel paths reproduce
+    /// the legacy serial digest bit for bit.
+    #[test]
+    fn random_sets_bit_identical(seed in any::<u64>(), n in 64usize..1_500) {
+        let set = synthetic_set(n, seed);
+        let reference = engine_digest(&set, Parallelism::Serial, KernelMode::Legacy);
+        let kernel_serial = engine_digest(&set, Parallelism::Serial, KernelMode::Auto);
+        let kernel_parallel = engine_digest(&set, Parallelism::Fixed(3), KernelMode::Auto);
+        prop_assert_eq!(&reference, &kernel_serial);
+        prop_assert_eq!(&reference, &kernel_parallel);
+    }
+}

@@ -8,7 +8,9 @@
 
 use std::collections::HashMap;
 
-use nexus_table::{Bitmap, Codes};
+use nexus_table::{complete_case_rows, Bitmap, Codes};
+
+use crate::kernel::{self, KernelMode};
 
 /// Key space above which we switch from dense vectors to hash maps.
 const DENSE_LIMIT: u128 = 1 << 21;
@@ -29,6 +31,28 @@ impl Accumulator {
         } else {
             Accumulator::Sparse(HashMap::new())
         }
+    }
+
+    /// Row-aware dense policy for the kernel path. Dense is always taken
+    /// under the unconditional budget, and still pays for larger key
+    /// spaces when the space is within a small multiple of the rows about
+    /// to be scanned — the zeroed table amortizes against the per-row
+    /// hashing it replaces. The hard cap bounds the transient allocation
+    /// (2^25 f64 cells = 256 MiB).
+    fn for_scan(space: u128, rows_to_scan: u128) -> Accumulator {
+        const DENSE_ROWS_FACTOR: u128 = 32;
+        const DENSE_HARD_CAP: u128 = 1 << 25;
+        let dense = space <= DENSE_LIMIT
+            || (space <= DENSE_HARD_CAP && space <= rows_to_scan.saturating_mul(DENSE_ROWS_FACTOR));
+        if dense {
+            Accumulator::Dense(vec![0.0; space as usize])
+        } else {
+            Accumulator::Sparse(HashMap::new())
+        }
+    }
+
+    fn is_dense(&self) -> bool {
+        matches!(self, Accumulator::Dense(_))
     }
 
     #[inline]
@@ -88,7 +112,43 @@ impl JointCounts {
     /// each contributing `weights[row]` (or 1).
     ///
     /// All variables must share the same length; `vars` must be non-empty.
+    ///
+    /// Dispatches on the process-global [`KernelMode`]; the result is
+    /// bit-identical across modes (rows are visited in ascending order
+    /// either way, so every f64 accumulation order is preserved).
     pub fn count(vars: &[&Codes], mask: Option<&Bitmap>, weights: Option<&[f64]>) -> JointCounts {
+        Self::count_with_mode(vars, mask, weights, kernel::mode())
+    }
+
+    /// [`JointCounts::count`] with an explicit [`KernelMode`], for tests
+    /// and benches that must not rely on (or race over) the global mode.
+    pub fn count_with_mode(
+        vars: &[&Codes],
+        mask: Option<&Bitmap>,
+        weights: Option<&[f64]>,
+        mode: KernelMode,
+    ) -> JointCounts {
+        Self::count_impl(vars, mask, weights, mode, false)
+    }
+
+    /// [`JointCounts::count`] with the accumulator forced sparse — a test
+    /// hook so the equivalence suite can pit dense against hashed builds
+    /// on key spaces that would normally dispatch dense.
+    pub fn count_forced_sparse(
+        vars: &[&Codes],
+        mask: Option<&Bitmap>,
+        weights: Option<&[f64]>,
+    ) -> JointCounts {
+        Self::count_impl(vars, mask, weights, KernelMode::Auto, true)
+    }
+
+    fn count_impl(
+        vars: &[&Codes],
+        mask: Option<&Bitmap>,
+        weights: Option<&[f64]>,
+        mode: KernelMode,
+        force_sparse: bool,
+    ) -> JointCounts {
         assert!(
             !vars.is_empty(),
             "JointCounts requires at least one variable"
@@ -112,37 +172,121 @@ impl JointCounts {
             .iter()
             .try_fold(1u128, |acc, &r| acc.checked_mul(r))
             .expect("joint key space exceeds u128");
-        let mut counts = Accumulator::with_capacity(space);
+        let vectorized = mode == KernelMode::Auto && n <= u32::MAX as usize;
+        // Fold the mask and every validity bitmap into one word-level
+        // AND, then gather only the surviving rows. `None` means no
+        // constraint exists and `0..n` is the selection. Computed before
+        // the accumulator so the dense decision can be row-aware.
+        let selection: Option<Option<Vec<u32>>> = if vectorized {
+            let validities: Vec<&Bitmap> =
+                vars.iter().filter_map(|v| v.validity.as_ref()).collect();
+            Some(complete_case_rows(n, mask, &validities))
+        } else {
+            None
+        };
+        let rows_to_scan = match &selection {
+            Some(Some(s)) => s.len(),
+            _ => n,
+        };
+
+        let mut counts = if force_sparse {
+            Accumulator::Sparse(HashMap::new())
+        } else if vectorized {
+            Accumulator::for_scan(space, rows_to_scan as u128)
+        } else {
+            Accumulator::with_capacity(space)
+        };
         let mut total = 0.0;
         let mut rows = 0usize;
 
-        // Collect validity bitmaps once to avoid per-row dynamic dispatch.
-        let validities: Vec<Option<&Bitmap>> = vars.iter().map(|v| v.validity.as_ref()).collect();
-
-        'rows: for i in 0..n {
-            if let Some(m) = mask {
-                if !m.get(i) {
+        let rows_scanned: u64;
+        if let Some(selection) = selection {
+            let sel_iter: Box<dyn Iterator<Item = usize>> = match &selection {
+                Some(rows) => Box::new(rows.iter().map(|&i| i as usize)),
+                None => Box::new(0..n),
+            };
+            rows_scanned = rows_to_scan as u64;
+            if space <= u64::MAX as u128 {
+                // All keys fit u64: mixed-radix arithmetic in one word.
+                let radices64: Vec<u64> = radices.iter().map(|&r| r as u64).collect();
+                for i in sel_iter {
+                    let w = weights.map_or(1.0, |w| w[i]);
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let mut key = 0u64;
+                    for (v, r) in vars.iter().zip(&radices64).rev() {
+                        key = key * r + v.codes[i] as u64;
+                    }
+                    counts.add(key as u128, w);
+                    total += w;
+                    rows += 1;
+                }
+            } else {
+                for i in sel_iter {
+                    let w = weights.map_or(1.0, |w| w[i]);
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let mut key = 0u128;
+                    for (v, r) in vars.iter().zip(&radices).rev() {
+                        key = key * r + v.codes[i] as u128;
+                    }
+                    counts.add(key, w);
+                    total += w;
+                    rows += 1;
+                }
+            }
+        } else {
+            // Legacy path: per-row masked scan with a branchy validity
+            // chain. Kept (a) as the route for tables too large for u32
+            // selection vectors and (b) so the bench harness can compare
+            // kernels against the original behavior on identical inputs.
+            let validities: Vec<Option<&Bitmap>> =
+                vars.iter().map(|v| v.validity.as_ref()).collect();
+            rows_scanned = n as u64;
+            'rows: for i in 0..n {
+                if let Some(m) = mask {
+                    if !m.get(i) {
+                        continue;
+                    }
+                }
+                for b in validities.iter().flatten() {
+                    if !b.get(i) {
+                        continue 'rows;
+                    }
+                }
+                let mut key = 0u128;
+                // Mixed radix, last variable as the most significant digit.
+                for (v, r) in vars.iter().zip(&radices).rev() {
+                    key = key * r + v.codes[i] as u128;
+                }
+                let w = weights.map_or(1.0, |w| w[i]);
+                if w <= 0.0 {
                     continue;
                 }
+                counts.add(key, w);
+                total += w;
+                rows += 1;
             }
-            for b in validities.iter().flatten() {
-                if !b.get(i) {
-                    continue 'rows;
-                }
-            }
-            let mut key = 0u128;
-            // Mixed radix, last variable as the most significant digit.
-            for (v, r) in vars.iter().zip(&radices).rev() {
-                key = key * r + v.codes[i] as u128;
-            }
-            let w = weights.map_or(1.0, |w| w[i]);
-            if w <= 0.0 {
-                continue;
-            }
-            counts.add(key, w);
-            total += w;
-            rows += 1;
         }
+
+        // One batched counter update per build: every counted row performed
+        // exactly one accumulator op, so `rows` doubles as the op count.
+        let dense = counts.is_dense();
+        if !dense && std::env::var_os("NEXUS_KERNEL_DEBUG").is_some() {
+            eprintln!(
+                "sparse build: space={space} rows_scanned={rows_scanned} rows={rows} nvars={}",
+                vars.len()
+            );
+        }
+        kernel::counters().record_build(
+            rows_scanned,
+            if dense { 0 } else { rows as u64 },
+            if dense { rows as u64 } else { 0 },
+            dense,
+        );
+
         JointCounts {
             counts,
             radices,
@@ -311,5 +455,52 @@ mod tests {
     #[test]
     fn entropy_from_counts_empty() {
         assert_eq!(entropy_from_counts(std::iter::empty(), 0.0), 0.0);
+    }
+
+    /// Collects `(key, count)` cells for bitwise comparison across paths.
+    fn cells(j: &JointCounts) -> Vec<(u128, u64)> {
+        j.counts.iter().map(|(k, c)| (k, c.to_bits())).collect()
+    }
+
+    #[test]
+    fn kernel_and_legacy_paths_agree_bitwise() {
+        let mut x = codes(&[0, 3, 1, 2, 3, 0, 1, 1, 2], 4);
+        let mut validity = Bitmap::with_value(9, true);
+        validity.set(4, false);
+        x.validity = Some(validity);
+        let y = codes(&[1, 0, 1, 0, 1, 1, 0, 0, 1], 2);
+        let mask: Bitmap = (0..9).map(|i| i != 2).collect();
+        let weights = [0.5, 1.25, 2.0, 0.0, 1.0, 3.5, 0.75, 1.0, 0.25];
+
+        let auto =
+            JointCounts::count_with_mode(&[&x, &y], Some(&mask), Some(&weights), KernelMode::Auto);
+        let legacy = JointCounts::count_with_mode(
+            &[&x, &y],
+            Some(&mask),
+            Some(&weights),
+            KernelMode::Legacy,
+        );
+        let sparse = JointCounts::count_forced_sparse(&[&x, &y], Some(&mask), Some(&weights));
+
+        assert_eq!(auto.rows, legacy.rows);
+        assert_eq!(auto.total.to_bits(), legacy.total.to_bits());
+        assert_eq!(cells(&auto), cells(&legacy));
+        assert!(auto.counts.is_dense());
+        assert!(!sparse.counts.is_dense());
+        assert_eq!(cells(&auto), cells(&sparse));
+        assert_eq!(auto.entropy().to_bits(), legacy.entropy().to_bits());
+        assert_eq!(auto.entropy().to_bits(), sparse.entropy().to_bits());
+    }
+
+    #[test]
+    fn builds_move_kernel_counters() {
+        let x = codes(&[0, 1, 0, 1], 2);
+        let before = crate::kernel::counters().snapshot();
+        let j = JointCounts::count_with_mode(&[&x], None, None, KernelMode::Auto);
+        assert!(j.counts.is_dense());
+        let d = crate::kernel::counters().snapshot().delta(&before);
+        assert!(d.rows_scanned >= 4);
+        assert!(d.dense_ops >= 4);
+        assert!(d.dense_builds >= 1);
     }
 }

@@ -1,0 +1,188 @@
+//! Counting-kernel instrumentation and dispatch mode.
+//!
+//! Every score NEXUS produces reduces to building weighted contingency /
+//! joint-count tables, so the per-row *accumulator operations* of those
+//! builds — not wall-clock, which varies with the machine — are the
+//! system's portable cost model. This module holds:
+//!
+//! * [`KernelCounters`] — process-global atomic counters bumped (in batch,
+//!   once per build or chunk, never per row) by the counting kernels in
+//!   this crate and by the engine's contingency builds in `nexus-core`;
+//! * [`KernelSnapshot`] — a copyable snapshot with [`delta`] arithmetic so
+//!   callers can attribute counter movement to one pipeline run;
+//! * [`KernelMode`] — the process-global kernel dispatch override used by
+//!   the bench harness to compare the dense/fused kernels against the
+//!   legacy hashed row-scan on identical inputs.
+//!
+//! Counters are monotone and `Relaxed`: they are diagnostics, never inputs
+//! to any estimate, so they cannot perturb NEXUS's bit-identical-output
+//! guarantee.
+//!
+//! [`delta`]: KernelSnapshot::delta
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// How counting kernels dispatch between the dense/fused fast paths and
+/// the legacy hashed row-scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Dense flat-array kernels over precomputed selection vectors where
+    /// the key space fits the budget; sparse (hashed) fallback otherwise.
+    #[default]
+    Auto,
+    /// The pre-kernel behavior: per-row masked scans with a hash-map entry
+    /// operation per surviving row. Exists so the bench harness and the
+    /// equivalence suite can compare both paths on identical inputs.
+    Legacy,
+}
+
+/// Process-global dispatch mode (see [`set_mode`]).
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-global [`KernelMode`].
+///
+/// Intended for single-controller processes (the bench harness); library
+/// code and tests that need a specific mode should pass it explicitly
+/// (e.g. `Engine::with_kernel`) instead of toggling global state.
+pub fn set_mode(mode: KernelMode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The current process-global [`KernelMode`].
+pub fn mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => KernelMode::Legacy,
+        _ => KernelMode::Auto,
+    }
+}
+
+/// Process-global counters for every counting-kernel invocation.
+///
+/// All counters are cumulative over the process lifetime; use
+/// [`KernelCounters::snapshot`] + [`KernelSnapshot::delta`] to scope them
+/// to one region.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    rows_scanned: AtomicU64,
+    hash_ops: AtomicU64,
+    dense_ops: AtomicU64,
+    dense_builds: AtomicU64,
+    sparse_builds: AtomicU64,
+}
+
+/// The global counter instance.
+static COUNTERS: KernelCounters = KernelCounters {
+    rows_scanned: AtomicU64::new(0),
+    hash_ops: AtomicU64::new(0),
+    dense_ops: AtomicU64::new(0),
+    dense_builds: AtomicU64::new(0),
+    sparse_builds: AtomicU64::new(0),
+};
+
+/// The process-global [`KernelCounters`].
+pub fn counters() -> &'static KernelCounters {
+    &COUNTERS
+}
+
+impl KernelCounters {
+    /// Records one finished counting build: `rows` row visits, `hash_ops`
+    /// hash-map entry operations, `dense_ops` flat-array increments, and
+    /// whether the build used a dense accumulator.
+    pub fn record_build(&self, rows: u64, hash_ops: u64, dense_ops: u64, dense: bool) {
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+        self.hash_ops.fetch_add(hash_ops, Ordering::Relaxed);
+        self.dense_ops.fetch_add(dense_ops, Ordering::Relaxed);
+        if dense {
+            self.dense_builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sparse_builds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough copy of the counters (each counter is read
+    /// atomically; the set is not a transaction, which is fine for
+    /// monotone diagnostics).
+    pub fn snapshot(&self) -> KernelSnapshot {
+        KernelSnapshot {
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            hash_ops: self.hash_ops.load(Ordering::Relaxed),
+            dense_ops: self.dense_ops.load(Ordering::Relaxed),
+            dense_builds: self.dense_builds.load(Ordering::Relaxed),
+            sparse_builds: self.sparse_builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`KernelCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelSnapshot {
+    /// Row visits inside counting loops.
+    pub rows_scanned: u64,
+    /// Hash-map entry operations (one per row reaching a sparse
+    /// accumulator).
+    pub hash_ops: u64,
+    /// Dense flat-array increments (one per row reaching a dense
+    /// accumulator).
+    pub dense_ops: u64,
+    /// Builds that ran on a dense accumulator.
+    pub dense_builds: u64,
+    /// Builds that fell back to a sparse (hashed) accumulator.
+    pub sparse_builds: u64,
+}
+
+impl KernelSnapshot {
+    /// Counter movement since `earlier` (saturating, so a stale snapshot
+    /// never underflows).
+    pub fn delta(&self, earlier: &KernelSnapshot) -> KernelSnapshot {
+        KernelSnapshot {
+            rows_scanned: self.rows_scanned.saturating_sub(earlier.rows_scanned),
+            hash_ops: self.hash_ops.saturating_sub(earlier.hash_ops),
+            dense_ops: self.dense_ops.saturating_sub(earlier.dense_ops),
+            dense_builds: self.dense_builds.saturating_sub(earlier.dense_builds),
+            sparse_builds: self.sparse_builds.saturating_sub(earlier.sparse_builds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_delta() {
+        let c = KernelCounters::default();
+        let before = c.snapshot();
+        c.record_build(100, 0, 100, true);
+        c.record_build(50, 50, 0, false);
+        let d = c.snapshot().delta(&before);
+        assert_eq!(d.rows_scanned, 150);
+        assert_eq!(d.hash_ops, 50);
+        assert_eq!(d.dense_ops, 100);
+        assert_eq!(d.dense_builds, 1);
+        assert_eq!(d.sparse_builds, 1);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = KernelSnapshot {
+            rows_scanned: 5,
+            ..KernelSnapshot::default()
+        };
+        let b = KernelSnapshot {
+            rows_scanned: 9,
+            ..KernelSnapshot::default()
+        };
+        assert_eq!(a.delta(&b).rows_scanned, 0);
+    }
+
+    #[test]
+    fn mode_roundtrip() {
+        // Default is Auto; Legacy round-trips. Restore Auto so parallel
+        // tests in this binary observe the default.
+        assert_eq!(mode(), KernelMode::Auto);
+        set_mode(KernelMode::Legacy);
+        assert_eq!(mode(), KernelMode::Legacy);
+        set_mode(KernelMode::Auto);
+        assert_eq!(mode(), KernelMode::Auto);
+    }
+}

@@ -240,6 +240,56 @@ impl ThreadPool {
             .collect()
     }
 
+    /// Splits `0..n` into fixed-size chunks, maps each chunk range with
+    /// `map` in parallel, and folds the chunk results **in chunk order**.
+    ///
+    /// This is the row-partitioned histogram primitive: `map` builds a
+    /// thread-local partial accumulator over its row range, `fold` merges
+    /// it into the running total. Two properties make the result
+    /// independent of thread count:
+    ///
+    /// * the chunk grid depends only on `n` and `chunk_size` (never on
+    ///   `threads`), and
+    /// * chunks are merged in ascending chunk order, whatever order the
+    ///   workers finished in.
+    ///
+    /// Chunks are processed in *waves* of at most `threads` chunks, so at
+    /// most `threads` partial accumulators are live at once — large dense
+    /// histograms over millions of rows stay bounded at
+    /// `threads × |histogram|` memory rather than `n/chunk_size × …`.
+    pub fn fold_chunks<R, A, F, G>(
+        &self,
+        n: usize,
+        chunk_size: usize,
+        map: F,
+        init: A,
+        mut fold: G,
+    ) -> A
+    where
+        R: Send,
+        F: Fn(std::ops::Range<usize>) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        let chunk_size = chunk_size.max(1);
+        let n_chunks = n.div_ceil(chunk_size);
+        let wave = self.threads.max(1);
+        let mut acc = init;
+        let mut done = 0;
+        while done < n_chunks {
+            let in_wave = wave.min(n_chunks - done);
+            let results = self.map(in_wave, |j| {
+                let lo = (done + j) * chunk_size;
+                let hi = (lo + chunk_size).min(n);
+                map(lo..hi)
+            });
+            for r in results {
+                acc = fold(acc, r);
+            }
+            done += in_wave;
+        }
+        acc
+    }
+
     /// Maps `f` over a slice, index-ordered; convenience over [`map`].
     ///
     /// [`map`]: ThreadPool::map
@@ -323,6 +373,56 @@ mod tests {
             })
         }));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn fold_chunks_covers_every_row_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            for chunk in [1, 7, 64, 1000, 5000] {
+                let pool = ThreadPool::new(Parallelism::Fixed(threads));
+                let sum = pool.fold_chunks(
+                    1000,
+                    chunk,
+                    |range| range.sum::<usize>(),
+                    0usize,
+                    |acc, s| acc + s,
+                );
+                assert_eq!(sum, (0..1000).sum(), "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_chunks_merges_in_chunk_order() {
+        // Record the chunk ranges as seen by the fold: they must arrive
+        // ascending and partition 0..n for any thread count.
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(Parallelism::Fixed(threads));
+            let ranges = pool.fold_chunks(
+                103,
+                10,
+                |range| range,
+                Vec::new(),
+                |mut acc: Vec<std::ops::Range<usize>>, r| {
+                    acc.push(r);
+                    acc
+                },
+            );
+            assert_eq!(ranges.len(), 11);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, 103);
+        }
+    }
+
+    #[test]
+    fn fold_chunks_empty_input() {
+        let pool = ThreadPool::new(Parallelism::Fixed(4));
+        let out = pool.fold_chunks(0, 16, |r| r.len(), 0usize, |a, b| a + b);
+        assert_eq!(out, 0);
     }
 
     #[test]

@@ -161,6 +161,9 @@ struct Inner {
     misses: AtomicU64,
     requests: AtomicU64,
     shutdown: AtomicBool,
+    /// Counting-kernel counters at server construction; `stats()` reports
+    /// movement since then, not since process start.
+    kernel_baseline: nexus_info::KernelSnapshot,
 }
 
 /// The resident explanation server. Cheap to clone (shared state behind an
@@ -185,6 +188,7 @@ impl Server {
                 misses: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
+                kernel_baseline: nexus_info::kernel::counters().snapshot(),
             }),
         }
     }
@@ -272,12 +276,20 @@ impl Server {
 
     /// Cumulative server statistics.
     pub fn stats(&self) -> ServerStatsWire {
+        let kernel = nexus_info::kernel::counters()
+            .snapshot()
+            .delta(&self.inner.kernel_baseline);
         ServerStatsWire {
             datasets: self.inner.datasets.read().unwrap().len() as u64,
             cache_entries: self.inner.cache.lock().unwrap().len() as u64,
             cache_hits: self.inner.hits.load(Ordering::SeqCst),
             cache_misses: self.inner.misses.load(Ordering::SeqCst),
             requests_served: self.inner.requests.load(Ordering::SeqCst),
+            kernel_rows_scanned: kernel.rows_scanned,
+            kernel_hash_ops: kernel.hash_ops,
+            kernel_dense_ops: kernel.dense_ops,
+            kernel_dense_builds: kernel.dense_builds,
+            kernel_sparse_builds: kernel.sparse_builds,
         }
     }
 

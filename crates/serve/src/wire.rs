@@ -498,6 +498,16 @@ pub struct ServerStatsWire {
     pub cache_misses: u64,
     /// Explain requests served.
     pub requests_served: u64,
+    /// Rows visited by the counting kernels since server start.
+    pub kernel_rows_scanned: u64,
+    /// Hash-map accumulator ops in counting builds since server start.
+    pub kernel_hash_ops: u64,
+    /// Dense flat-array accumulator ops since server start.
+    pub kernel_dense_ops: u64,
+    /// Counting builds dispatched to the dense kernel.
+    pub kernel_dense_builds: u64,
+    /// Counting builds that fell back to a hashed accumulator.
+    pub kernel_sparse_builds: u64,
 }
 
 /// Echo of the envelope a peer could not handle.
@@ -580,6 +590,11 @@ impl Frame {
                 put_u64(&mut out, s.cache_hits);
                 put_u64(&mut out, s.cache_misses);
                 put_u64(&mut out, s.requests_served);
+                put_u64(&mut out, s.kernel_rows_scanned);
+                put_u64(&mut out, s.kernel_hash_ops);
+                put_u64(&mut out, s.kernel_dense_ops);
+                put_u64(&mut out, s.kernel_dense_builds);
+                put_u64(&mut out, s.kernel_sparse_builds);
             }
             Frame::Unsupported(u) => {
                 put_u16(&mut out, u.version);
@@ -622,6 +637,11 @@ impl Frame {
                 cache_hits: r.u64()?,
                 cache_misses: r.u64()?,
                 requests_served: r.u64()?,
+                kernel_rows_scanned: r.u64()?,
+                kernel_hash_ops: r.u64()?,
+                kernel_dense_ops: r.u64()?,
+                kernel_dense_builds: r.u64()?,
+                kernel_sparse_builds: r.u64()?,
             }),
             8 => Frame::Shutdown,
             9 => Frame::ShutdownAck,
@@ -833,6 +853,11 @@ mod tests {
                 cache_hits: 100,
                 cache_misses: 8,
                 requests_served: 108,
+                kernel_rows_scanned: 4_000_000,
+                kernel_hash_ops: 123,
+                kernel_dense_ops: 3_999_877,
+                kernel_dense_builds: 11,
+                kernel_sparse_builds: 1,
             }),
             Frame::Shutdown,
             Frame::ShutdownAck,

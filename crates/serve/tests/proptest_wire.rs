@@ -116,15 +116,24 @@ fn frame() -> impl Strategy<Value = Frame> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
-            any::<u64>()
+            any::<u64>(),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>())
         )
-            .prop_map(|(d, c, h, m, r)| Frame::StatsReply(ServerStatsWire {
-                datasets: d,
-                cache_entries: c,
-                cache_hits: h,
-                cache_misses: m,
-                requests_served: r,
-            })),
+            .prop_map(|(d, c, h, m, r, (kr, kh, kd), (kb, ks))| Frame::StatsReply(
+                ServerStatsWire {
+                    datasets: d,
+                    cache_entries: c,
+                    cache_hits: h,
+                    cache_misses: m,
+                    requests_served: r,
+                    kernel_rows_scanned: kr,
+                    kernel_hash_ops: kh,
+                    kernel_dense_ops: kd,
+                    kernel_dense_builds: kb,
+                    kernel_sparse_builds: ks,
+                }
+            )),
         Just(Frame::Shutdown),
         Just(Frame::ShutdownAck),
         (any::<u16>(), any::<u8>(), any::<u16>()).prop_map(|(version, frame_type, max)| {

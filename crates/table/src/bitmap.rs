@@ -142,6 +142,25 @@ impl Bitmap {
         }
     }
 
+    /// AND-combines any number of bitmaps word-by-word.
+    ///
+    /// Returns `None` when `maps` is empty (no constraint — every row
+    /// selected), so callers can skip materializing an all-ones bitmap.
+    ///
+    /// # Panics
+    /// Panics if the bitmaps disagree on length.
+    pub fn and_all(maps: &[&Bitmap]) -> Option<Bitmap> {
+        let (first, rest) = maps.split_first()?;
+        let mut out = (*first).clone();
+        for m in rest {
+            assert_eq!(out.len, m.len, "bitmap length mismatch in and_all()");
+            for (a, b) in out.words.iter_mut().zip(&m.words) {
+                *a &= b;
+            }
+        }
+        Some(out)
+    }
+
     /// Bitwise NOT.
     pub fn not(&self) -> Bitmap {
         let mut bm = Bitmap {
@@ -271,6 +290,19 @@ mod tests {
         let ones: Vec<usize> = bm.iter_ones().collect();
         let expect: Vec<usize> = (0..150).filter(|i| i % 7 == 0).collect();
         assert_eq!(ones, expect);
+    }
+
+    #[test]
+    fn and_all_combines_word_wise() {
+        let a: Bitmap = (0..130).map(|i| i % 2 == 0).collect();
+        let b: Bitmap = (0..130).map(|i| i % 3 == 0).collect();
+        let c: Bitmap = (0..130).map(|i| i % 5 == 0).collect();
+        let combined = Bitmap::and_all(&[&a, &b, &c]).unwrap();
+        for i in 0..130 {
+            assert_eq!(combined.get(i), i % 30 == 0, "bit {i}");
+        }
+        assert_eq!(Bitmap::and_all(&[&a]).unwrap(), a);
+        assert!(Bitmap::and_all(&[]).is_none());
     }
 
     #[test]

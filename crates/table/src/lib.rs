@@ -40,6 +40,7 @@ pub mod fingerprint;
 pub mod groupby;
 pub mod join;
 pub mod schema;
+pub mod selection;
 pub mod table;
 pub mod value;
 
@@ -52,5 +53,6 @@ pub use fingerprint::Fnv64;
 pub use groupby::{aggregate, group_by, AggFunc, Groups};
 pub use join::{join, JoinType};
 pub use schema::{Field, Schema};
+pub use selection::complete_case_rows;
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproducible counting-kernel benchmark for the explain hot path.
+#
+# Builds the `bench-explain` harness and runs the fixed-seed Flights
+# workload (1M rows by default), emitting BENCH_explain.json at the repo
+# root. The JSON compares kernel operation counters (rows scanned, hash
+# ops, dense ops) between the legacy hashed row-scan path and the dense
+# kernel path — counters are machine-independent, so the numbers are
+# reproducible anywhere; wall-clock is recorded but never gated on.
+#
+# Usage:
+#   scripts/bench.sh                 # full 1M-row workload, 8 threads
+#   scripts/bench.sh --quick         # 20k-row smoke (used by ci.sh)
+#   scripts/bench.sh --rows 500000 --threads 4 --out /tmp/b.json
+#
+# All flags are forwarded to bench-explain; --check makes the harness
+# exit nonzero unless the acceptance thresholds hold (>= 3x fewer hash
+# ops, bit-identical outputs, kernel rows <= legacy rows, pool engaged).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p nexus-bench --bin bench-explain
+
+exec target/release/bench-explain --out BENCH_explain.json "$@"

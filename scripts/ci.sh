@@ -16,6 +16,23 @@ cargo build --release --offline --workspace
 echo "==> cargo test --offline"
 cargo test --offline --workspace -q
 
+echo "==> bench smoke (quick kernel-counter regression gate)"
+# Runs the counting-kernel harness on the small fixed-seed workload.
+# --check fails on counter regressions only (hash-op ratio, rows scanned,
+# pool engagement, bit-identical outputs) — never on wall-clock.
+BENCH_OUT=$(mktemp)
+target/release/bench-explain --quick --threads 2 --check --out "$BENCH_OUT" \
+    2> /dev/null
+for key in schema_version workload legacy kernel ratios checks \
+    rows_scanned hash_ops dense_ops dense_builds sparse_builds pool_tasks; do
+    if ! grep -q "\"$key\"" "$BENCH_OUT"; then
+        echo "BENCH_explain.json missing key: $key" >&2
+        exit 1
+    fi
+done
+rm -f "$BENCH_OUT"
+echo "    counters within bounds, schema complete"
+
 echo "==> server smoke test (serve / submit vs direct explain)"
 SMOKE_DIR=$(mktemp -d)
 SERVE_PID=""

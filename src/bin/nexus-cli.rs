@@ -350,6 +350,14 @@ fn run_explain(args: &ExplainArgs) -> Result<(), String> {
         s.pool_tasks,
         s.parallel_speedup()
     );
+    eprintln!(
+        "kernel: {} row(s) scanned, {} hash op(s), {} dense op(s), {} dense / {} sparse build(s)",
+        s.kernel.rows_scanned,
+        s.kernel.hash_ops,
+        s.kernel.dense_ops,
+        s.kernel.dense_builds,
+        s.kernel.sparse_builds
+    );
 
     if args.subgroups {
         let exclude: Vec<&str> = query
@@ -450,6 +458,14 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
         eprintln!(
             "server: {} dataset(s), {} cached, {} hit(s), {} miss(es), {} request(s)",
             s.datasets, s.cache_entries, s.cache_hits, s.cache_misses, s.requests_served
+        );
+        eprintln!(
+            "kernel: {} row(s) scanned, {} hash op(s), {} dense op(s), {} dense / {} sparse build(s)",
+            s.kernel_rows_scanned,
+            s.kernel_hash_ops,
+            s.kernel_dense_ops,
+            s.kernel_dense_builds,
+            s.kernel_sparse_builds
         );
     }
     if !args.sql.is_empty() {
