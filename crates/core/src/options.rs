@@ -1,4 +1,11 @@
 //! Configuration of the NEXUS pipeline.
+//!
+//! These are *result-affecting* knobs: every field except `parallelism`
+//! enters the options fingerprint that keys the server's result cache.
+//! Operational server tunables that cannot change an explanation —
+//! connection caps, I/O deadlines, drain budgets — deliberately live in
+//! `nexus_serve::ServerOptions` instead, so governance can be retuned
+//! without invalidating cached results.
 
 use nexus_info::CiTestOptions;
 use nexus_kg::OneToManyAgg;

@@ -27,7 +27,7 @@
 
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How many worker threads a [`ThreadPool`] uses.
@@ -303,6 +303,192 @@ impl ThreadPool {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bounded workers: a counting semaphore with admission counters
+// ---------------------------------------------------------------------------
+
+/// A counting semaphore bounding how many workers run at once.
+///
+/// This is the admission-control primitive behind both the serve layer's
+/// pipeline gate (blocking [`acquire`](Semaphore::acquire)) and its
+/// connection cap (non-blocking [`try_acquire`](Semaphore::try_acquire),
+/// whose `None` becomes a graceful `Busy` reply instead of silent
+/// queueing). Counters record every admission decision so callers can
+/// assert behaviour without wall-clock measurements.
+#[derive(Debug)]
+pub struct Semaphore {
+    max: usize,
+    in_use: Mutex<usize>,
+    freed: Condvar,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// RAII permit from [`Semaphore::acquire`]/[`Semaphore::try_acquire`];
+/// releases its slot on drop.
+#[derive(Debug)]
+pub struct SemaphoreGuard<'a>(&'a Semaphore);
+
+/// RAII permit holding the semaphore alive via an [`Arc`] — usable from
+/// threads that outlive the acquiring scope.
+#[derive(Debug)]
+pub struct OwnedSemaphoreGuard(Arc<Semaphore>);
+
+impl Semaphore {
+    /// A semaphore with `max` slots (clamped to at least 1).
+    pub fn new(max: usize) -> Semaphore {
+        Semaphore {
+            max: max.max(1),
+            in_use: Mutex::new(0),
+            freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until a slot is free.
+    pub fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut n = self.in_use.lock().expect("semaphore poisoned");
+        while *n >= self.max {
+            n = self.freed.wait(n).expect("semaphore poisoned");
+        }
+        *n += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        SemaphoreGuard(self)
+    }
+
+    /// Takes a slot if one is free, without blocking. A `None` is counted
+    /// as a rejection.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard<'_>> {
+        let mut n = self.in_use.lock().expect("semaphore poisoned");
+        if *n >= self.max {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        *n += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Some(SemaphoreGuard(self))
+    }
+
+    /// [`try_acquire`](Semaphore::try_acquire), but the permit owns an
+    /// [`Arc`] to the semaphore and may be moved to another thread.
+    pub fn try_acquire_owned(self: &Arc<Self>) -> Option<OwnedSemaphoreGuard> {
+        let guard = self.try_acquire()?;
+        std::mem::forget(guard); // slot ownership moves to the owned guard
+        Some(OwnedSemaphoreGuard(Arc::clone(self)))
+    }
+
+    /// Slots currently held.
+    pub fn in_use(&self) -> usize {
+        *self.in_use.lock().expect("semaphore poisoned")
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+
+    /// Permits granted so far (blocking and non-blocking).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// `try_acquire` calls that found no free slot.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    fn release(&self) {
+        *self.in_use.lock().expect("semaphore poisoned") -= 1;
+        self.freed.notify_one();
+    }
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+impl Drop for OwnedSemaphoreGuard {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic randomness: SplitMix64 and jittered exponential backoff
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 — a tiny, deterministic, seedable PRNG (Steele et al.,
+/// *Fast Splittable Pseudorandom Number Generators*). Used wherever the
+/// system needs reproducible "randomness": retry jitter and the
+/// fault-injection harness's seeded byte offsets.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`; equal seeds yield equal sequences.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → the full double mantissa.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw from `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Deterministic jittered exponential backoff: delay `i` is
+/// `min(cap, base · 2^i)` scaled by a seeded jitter in `[0.5, 1.0)`, so
+/// retry storms decorrelate while tests stay reproducible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and capped at `cap`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            next: base.min(cap),
+            cap,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The next delay to sleep before retrying.
+    pub fn next_delay(&mut self) -> Duration {
+        let jitter = 0.5 + 0.5 * self.rng.next_f64();
+        let delay = self.next.mul_f64(jitter);
+        self.next = (self.next * 2).min(self.cap);
+        delay
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +627,83 @@ mod tests {
         assert_eq!(Parallelism::Fixed(0).threads(), 1);
         assert_eq!(Parallelism::Fixed(6).threads(), 6);
         assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn semaphore_bounds_and_counts() {
+        let sem = Semaphore::new(2);
+        let a = sem.try_acquire().expect("slot 1");
+        let _b = sem.try_acquire().expect("slot 2");
+        assert!(sem.try_acquire().is_none(), "capacity 2 must reject a 3rd");
+        assert_eq!(sem.in_use(), 2);
+        assert_eq!(sem.admitted(), 2);
+        assert_eq!(sem.rejected(), 1);
+        drop(a);
+        assert_eq!(sem.in_use(), 1);
+        let _c = sem.try_acquire().expect("freed slot is reusable");
+        assert_eq!(sem.admitted(), 3);
+    }
+
+    #[test]
+    fn semaphore_blocking_acquire_waits_for_release() {
+        let sem = Arc::new(Semaphore::new(1));
+        let guard = sem.try_acquire_owned().expect("slot");
+        let waiter = {
+            let sem = Arc::clone(&sem);
+            std::thread::spawn(move || {
+                let _g = sem.acquire(); // must block until the holder drops
+                sem.in_use()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(guard);
+        assert_eq!(waiter.join().expect("waiter"), 1);
+        assert_eq!(sem.in_use(), 0);
+    }
+
+    #[test]
+    fn owned_guard_releases_across_threads() {
+        let sem = Arc::new(Semaphore::new(1));
+        let guard = sem.try_acquire_owned().expect("slot");
+        let handle = std::thread::spawn(move || drop(guard));
+        handle.join().expect("release thread");
+        assert_eq!(sem.in_use(), 0);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let f = c.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(c.next_below(10) < 10);
+        }
+        assert_eq!(SplitMix64::new(1).next_below(0), 0);
+    }
+
+    #[test]
+    fn backoff_grows_to_cap_with_bounded_jitter() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut backoff = Backoff::new(base, cap, 99);
+        let mut expected_ceiling = base;
+        for _ in 0..6 {
+            let d = backoff.next_delay();
+            assert!(d >= expected_ceiling / 2, "jitter floor is 0.5×");
+            assert!(d < expected_ceiling, "jitter ceiling is 1.0×");
+            expected_ceiling = (expected_ceiling * 2).min(cap);
+        }
+        // Determinism: same seed, same sequence.
+        let mut x = Backoff::new(base, cap, 5);
+        let mut y = Backoff::new(base, cap, 5);
+        for _ in 0..5 {
+            assert_eq!(x.next_delay(), y.next_delay());
+        }
     }
 }

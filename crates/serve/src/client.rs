@@ -1,11 +1,24 @@
-//! A blocking NEXUSRPC client over a Unix or TCP stream.
+//! A blocking NEXUSRPC client over a Unix or TCP stream, with optional
+//! retry-with-jittered-backoff against a governed server.
+//!
+//! Every NEXUSRPC request is idempotent (`Explain` replies are
+//! deterministic and cached server-side), so a client may safely retry
+//! transient failures: `Busy` rejections from a server at its connection
+//! limit, timeout replies, and torn connections. [`RetryPolicy`]
+//! configures how often and how patiently; retries reconnect from the
+//! remembered endpoint and use a deterministic, seeded
+//! [`Backoff`](nexus_runtime::Backoff) whose jitter decorrelates
+//! stampeding clients without sacrificing reproducibility.
 
-use std::io::{Read, Write};
-use std::path::Path;
+use std::io::{ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use nexus_runtime::Backoff;
 
 use crate::wire::{
-    read_frame, write_frame, ErrorWire, ExplanationWire, Frame, ServeStatsWire, ServerStatsWire,
-    WireError,
+    error_code, read_frame, write_frame, ErrorWire, ExplanationWire, Frame, ServeStatsWire,
+    ServerStatsWire, WireError,
 };
 
 /// Client-side failures.
@@ -56,9 +69,88 @@ pub struct ExplainResponse {
     pub stats: ServeStatsWire,
 }
 
+/// When and how a [`Client`] retries transient failures (`Busy`
+/// rejections, timeout replies, torn connections). Retries reconnect and
+/// resend after a jittered exponential backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// A failure worth retrying: the server said "come back later", or the
+/// connection died in a way a fresh one may survive.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Server(err) => err.code == error_code::BUSY || err.code == error_code::TIMEOUT,
+        ClientError::Wire(WireError::Truncated) => true,
+        ClientError::Wire(WireError::Io(io)) => matches!(
+            io.kind(),
+            ErrorKind::WouldBlock
+                | ErrorKind::TimedOut
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::ConnectionRefused
+                | ErrorKind::BrokenPipe
+                | ErrorKind::UnexpectedEof
+                | ErrorKind::NotConnected
+        ),
+        _ => false,
+    }
+}
+
+/// The remembered server address, so retries can reconnect.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
 enum Stream {
     Unix(std::os::unix::net::UnixStream),
     Tcp(std::net::TcpStream),
+}
+
+impl Stream {
+    fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Stream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
 }
 
 impl Read for Stream {
@@ -86,36 +178,98 @@ impl Write for Stream {
     }
 }
 
+fn open(endpoint: &Endpoint, io_timeout: Option<Duration>) -> std::io::Result<Stream> {
+    let stream = match endpoint {
+        Endpoint::Unix(path) => Stream::Unix(std::os::unix::net::UnixStream::connect(path)?),
+        Endpoint::Tcp(addr) => {
+            let stream = std::net::TcpStream::connect(addr)?;
+            stream.set_nodelay(true).ok();
+            Stream::Tcp(stream)
+        }
+    };
+    stream.set_io_timeout(io_timeout)?;
+    Ok(stream)
+}
+
 /// A blocking NEXUSRPC client. One request is in flight at a time; open
-/// several clients for concurrency.
+/// several clients for concurrency. Retries are off by default
+/// ([`RetryPolicy::none`]); opt in with [`Client::set_retry_policy`].
 pub struct Client {
     stream: Stream,
+    endpoint: Endpoint,
+    io_timeout: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl Client {
     /// Connects to a server's Unix socket.
     pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        let endpoint = Endpoint::Unix(path.as_ref().to_path_buf());
         Ok(Client {
-            stream: Stream::Unix(std::os::unix::net::UnixStream::connect(path)?),
+            stream: open(&endpoint, None)?,
+            endpoint,
+            io_timeout: None,
+            retry: RetryPolicy::none(),
         })
     }
 
     /// Connects to a server's TCP endpoint.
     pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
-        let stream = std::net::TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
+        let endpoint = Endpoint::Tcp(addr.to_string());
         Ok(Client {
-            stream: Stream::Tcp(stream),
+            stream: open(&endpoint, None)?,
+            endpoint,
+            io_timeout: None,
+            retry: RetryPolicy::none(),
         })
     }
 
-    fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+    /// Bounds every socket read and write (`None` = block forever).
+    /// Expired deadlines surface as retryable I/O errors.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_io_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Enables retry-with-backoff for transient failures (`Busy`,
+    /// timeouts, torn connections). Retries reconnect and resend — safe
+    /// because every NEXUSRPC request is idempotent.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    fn send_and_receive(&mut self, request: &Frame) -> Result<Frame, ClientError> {
         write_frame(&mut self.stream, request)?;
         let reply = read_frame(&mut self.stream)?;
         if let Frame::Error(e) = reply {
             return Err(ClientError::Server(e));
         }
         Ok(reply)
+    }
+
+    fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        let mut backoff = Backoff::new(
+            self.retry.base_backoff,
+            self.retry.max_backoff,
+            self.retry.seed,
+        );
+        let mut attempt = 0u32;
+        loop {
+            match self.send_and_receive(request) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if attempt < self.retry.max_retries && retryable(&e) => {
+                    attempt += 1;
+                    std::thread::sleep(backoff.next_delay());
+                    // Reconnect; on failure keep the old stream — the next
+                    // attempt fails fast and consumes another retry.
+                    if let Ok(stream) = open(&self.endpoint, self.io_timeout) {
+                        self.stream = stream;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Liveness probe.
@@ -156,5 +310,32 @@ impl Client {
             Frame::ShutdownAck => Ok(()),
             _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(retryable(&ClientError::Server(ErrorWire {
+            code: error_code::BUSY,
+            message: String::new(),
+        })));
+        assert!(retryable(&ClientError::Server(ErrorWire {
+            code: error_code::TIMEOUT,
+            message: String::new(),
+        })));
+        assert!(!retryable(&ClientError::Server(ErrorWire {
+            code: error_code::BAD_QUERY,
+            message: String::new(),
+        })));
+        assert!(retryable(&ClientError::Wire(WireError::Truncated)));
+        assert!(retryable(&ClientError::Wire(WireError::Io(
+            ErrorKind::ConnectionReset.into()
+        ))));
+        assert!(!retryable(&ClientError::Wire(WireError::BadMagic)));
+        assert!(!retryable(&ClientError::Unexpected("x")));
     }
 }

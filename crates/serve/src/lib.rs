@@ -66,10 +66,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
+pub mod net;
 pub mod server;
 pub mod wire;
 
 pub use cache::LruCache;
-pub use client::{Client, ClientError, ExplainResponse};
+pub use client::{Client, ClientError, ExplainResponse, RetryPolicy};
+pub use faults::{pipe, Fault, FaultPlan, FaultyStream, PipeStream};
+pub use net::{deadline_tick, read_frame_deadline, DeadlineStream, ReadError};
 pub use server::{explanation_to_wire, ServeError, Server, ServerOptions};
 pub use wire::{Frame, WireError};

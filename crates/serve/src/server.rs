@@ -13,29 +13,57 @@
 //!   explanation bytes — a hit echoes the stored bytes verbatim, so hot
 //!   replies are **byte-identical** to cold ones and skip candidate
 //!   scoring entirely (`scored_tasks == 0` in the reply stats);
-//! * a [`Gate`] semaphore bounds concurrent pipeline runs; time spent
-//!   waiting for a slot is reported as `queue_nanos`.
+//! * a [`nexus_runtime::Semaphore`] bounds concurrent pipeline runs; time
+//!   spent waiting for a slot is reported as `queue_nanos`.
 //!
 //! [`Server::handle`] is a pure frame→frame function, so the full request
 //! path is testable in-process; [`Server::serve_unix`] and
 //! [`Server::serve_tcp`] wrap it in thread-per-connection socket loops.
+//!
+//! ## Connection governance
+//!
+//! The socket loops are bounded in every dimension a misbehaving peer
+//! could otherwise exhaust:
+//!
+//! * **connections** — at most [`ServerOptions::max_connections`] handler
+//!   threads run at once; an over-limit accept gets a one-shot
+//!   [`error_code::BUSY`] reply (clients retry with jittered backoff) and
+//!   is closed, never queued;
+//! * **time** — reads run under [`read_frame_deadline`]: an idle
+//!   connection is dropped after [`ServerOptions::io_timeout`] with an
+//!   [`error_code::TIMEOUT`] reply, and a frame that starts but does not
+//!   complete within the same budget (slow loris) is dropped too; writes
+//!   carry the same timeout;
+//! * **memory** — a header declaring more than
+//!   [`crate::wire::MAX_PAYLOAD`] is refused before any payload is read,
+//!   with an [`error_code::FRAME_TOO_LARGE`] reply;
+//! * **shutdown** — `Shutdown` stops accepting, lets in-flight requests
+//!   finish writing their replies, and joins every handler thread (up to
+//!   [`ServerOptions::drain_timeout`]); idle handlers notice the abort
+//!   flag within one deadline tick.
+//!
+//! Every enforcement action increments a counter reported in
+//! [`Frame::StatsReply`], so tests assert governance outcomes on counters
+//! rather than wall-clock timing.
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use nexus_core::{extract_column, ColumnExtraction, Explanation, Nexus, NexusOptions};
 use nexus_kg::KnowledgeGraph;
 use nexus_query::parse;
+use nexus_runtime::Semaphore;
 use nexus_table::Table;
 
 use crate::cache::LruCache;
+use crate::net::{deadline_tick, read_frame_deadline, DeadlineStream, ReadError};
 use crate::wire::{
-    error_code, read_frame, write_frame, ErrorWire, ExplainRequestWire, ExplanationReplyWire,
-    ExplanationWire, Frame, LinkStatsWire, ServeStatsWire, ServerStatsWire, UnsupportedWire,
-    WireError, VERSION,
+    error_code, write_frame, ErrorWire, ExplainRequestWire, ExplanationReplyWire, ExplanationWire,
+    Frame, LinkStatsWire, ServeStatsWire, ServerStatsWire, UnsupportedWire, WireError, VERSION,
 };
 
 /// Server failures (setup and socket loops; per-request failures travel
@@ -81,6 +109,18 @@ pub struct ServerOptions {
     pub cache_capacity: usize,
     /// Maximum pipeline runs in flight; further requests queue.
     pub max_concurrent: usize,
+    /// Maximum simultaneously served connections. An over-limit accept is
+    /// answered with a one-shot [`error_code::BUSY`] reply and closed —
+    /// never queued — so a connection flood cannot pile up handler
+    /// threads.
+    pub max_connections: usize,
+    /// Per-connection I/O budget: the idle timeout between frames, the
+    /// per-frame read budget (first byte → complete envelope), and the
+    /// write timeout for replies.
+    pub io_timeout: Duration,
+    /// How long shutdown waits for in-flight handler threads before
+    /// detaching the stragglers.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerOptions {
@@ -91,6 +131,9 @@ impl Default for ServerOptions {
             max_concurrent: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(2),
+            max_connections: 64,
+            io_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -116,38 +159,91 @@ struct CacheKey {
     options_fp: u64,
 }
 
-/// Counting semaphore bounding concurrent pipeline runs.
-struct Gate {
-    max: usize,
-    in_flight: Mutex<usize>,
-    freed: Condvar,
+/// A finished-handler signal shared between handler threads and the
+/// accept loop: handlers push their id and notify; the loop reaps.
+#[derive(Default)]
+struct DoneList {
+    finished: Mutex<Vec<u64>>,
+    signal: Condvar,
 }
 
-struct GateGuard<'a>(&'a Gate);
+/// The accept loop's ledger of live handler threads. Finished handlers
+/// announce themselves on the [`DoneList`], so the loop joins them as it
+/// goes (no unbounded `Vec<JoinHandle>` growth) and [`Registry::drain`]
+/// can wait for the stragglers at shutdown without busy-polling.
+struct Registry {
+    next_id: u64,
+    handlers: HashMap<u64, JoinHandle<()>>,
+    done: Arc<DoneList>,
+}
 
-impl Gate {
-    fn new(max: usize) -> Gate {
-        Gate {
-            max: max.max(1),
-            in_flight: Mutex::new(0),
-            freed: Condvar::new(),
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            next_id: 0,
+            handlers: HashMap::new(),
+            done: Arc::new(DoneList::default()),
         }
     }
 
-    fn acquire(&self) -> GateGuard<'_> {
-        let mut n = self.in_flight.lock().unwrap();
-        while *n >= self.max {
-            n = self.freed.wait(n).unwrap();
-        }
-        *n += 1;
-        GateGuard(self)
+    /// Spawns a handler thread that announces its completion.
+    fn spawn(&mut self, f: impl FnOnce() + Send + 'static) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let done = Arc::clone(&self.done);
+        let handle = std::thread::spawn(move || {
+            f();
+            done.finished.lock().expect("done list poisoned").push(id);
+            done.signal.notify_all();
+        });
+        self.handlers.insert(id, handle);
     }
-}
 
-impl Drop for GateGuard<'_> {
-    fn drop(&mut self) {
-        *self.0.in_flight.lock().unwrap() -= 1;
-        self.0.freed.notify_one();
+    /// Joins every handler that has announced completion. Returns the
+    /// number joined.
+    fn reap(&mut self) -> usize {
+        let finished: Vec<u64> = {
+            let mut list = self.done.finished.lock().expect("done list poisoned");
+            std::mem::take(&mut *list)
+        };
+        let mut joined = 0;
+        for id in finished {
+            if let Some(handle) = self.handlers.remove(&id) {
+                let _ = handle.join();
+                joined += 1;
+            }
+        }
+        joined
+    }
+
+    /// Joins handlers as they finish until none remain or `timeout`
+    /// elapses; remaining handlers are detached. Returns `(joined,
+    /// detached)`.
+    fn drain(&mut self, timeout: Duration) -> (usize, usize) {
+        let deadline = Instant::now() + timeout;
+        let mut joined = self.reap();
+        while !self.handlers.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            {
+                let list = self.done.finished.lock().expect("done list poisoned");
+                if list.is_empty() {
+                    // Wait for the next completion announcement (or
+                    // deadline).
+                    let _ = self
+                        .done
+                        .signal
+                        .wait_timeout(list, deadline - now)
+                        .expect("done list poisoned");
+                }
+            }
+            joined += self.reap();
+        }
+        let detached = self.handlers.len();
+        self.handlers.clear(); // dropping a JoinHandle detaches the thread
+        (joined, detached)
     }
 }
 
@@ -156,10 +252,21 @@ struct Inner {
     nexus: Nexus,
     options_fp: u64,
     cache: Mutex<LruCache<CacheKey, Arc<Vec<u8>>>>,
-    gate: Gate,
+    /// Bounds concurrent pipeline runs; requests queue on it.
+    gate: Semaphore,
+    /// Bounds concurrent connections; over-limit accepts are rejected with
+    /// `Busy`, never queued. Its admitted/rejected counters feed
+    /// `conns_accepted`/`busy_rejections` in [`ServerStatsWire`].
+    conns: Arc<Semaphore>,
+    io_timeout: Duration,
+    drain_timeout: Duration,
     hits: AtomicU64,
     misses: AtomicU64,
     requests: AtomicU64,
+    io_timeouts: AtomicU64,
+    oversize_frames: AtomicU64,
+    drained_handlers: AtomicU64,
+    live_handlers: AtomicU64,
     shutdown: AtomicBool,
     /// Counting-kernel counters at server construction; `stats()` reports
     /// movement since then, not since process start.
@@ -183,10 +290,17 @@ impl Server {
                 nexus: Nexus::new(options.nexus),
                 options_fp,
                 cache: Mutex::new(LruCache::new(options.cache_capacity)),
-                gate: Gate::new(options.max_concurrent),
+                gate: Semaphore::new(options.max_concurrent),
+                conns: Arc::new(Semaphore::new(options.max_connections)),
+                io_timeout: options.io_timeout,
+                drain_timeout: options.drain_timeout,
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
+                io_timeouts: AtomicU64::new(0),
+                oversize_frames: AtomicU64::new(0),
+                drained_handlers: AtomicU64::new(0),
+                live_handlers: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 kernel_baseline: nexus_info::kernel::counters().snapshot(),
             }),
@@ -290,6 +404,12 @@ impl Server {
             kernel_dense_ops: kernel.dense_ops,
             kernel_dense_builds: kernel.dense_builds,
             kernel_sparse_builds: kernel.sparse_builds,
+            conns_accepted: self.inner.conns.admitted(),
+            busy_rejections: self.inner.conns.rejected(),
+            io_timeouts: self.inner.io_timeouts.load(Ordering::SeqCst),
+            oversize_frames: self.inner.oversize_frames.load(Ordering::SeqCst),
+            drained_handlers: self.inner.drained_handlers.load(Ordering::SeqCst),
+            live_handlers: self.inner.live_handlers.load(Ordering::SeqCst),
         }
     }
 
@@ -439,68 +559,142 @@ impl Server {
         })
     }
 
-    /// Polls `accept` until shutdown, spawning one handler thread per
-    /// connection, and joins them all before returning.
+    /// Polls `accept` until shutdown, spawning one governed handler thread
+    /// per admitted connection. Finished handlers are joined as the loop
+    /// runs; shutdown drains the rest (bounded by the drain timeout).
     fn accept_loop<S>(
         &self,
         mut accept: impl FnMut() -> Option<std::io::Result<S>>,
     ) -> Result<(), ServeError>
     where
-        S: std::io::Read + std::io::Write + Send + 'static,
+        S: DeadlineStream + Send + 'static,
     {
-        let mut workers = Vec::new();
-        loop {
+        let mut registry = Registry::new();
+        let result = loop {
+            // Join whatever finished since the last iteration, so the
+            // ledger tracks live connections rather than growing forever.
+            let reaped = registry.reap();
+            self.inner
+                .drained_handlers
+                .fetch_add(reaped as u64, Ordering::SeqCst);
             if self.is_shutting_down() {
-                break;
+                break Ok(());
             }
             match accept() {
-                Some(Ok(stream)) => {
-                    let server = self.clone();
-                    workers.push(std::thread::spawn(move || {
-                        server.serve_connection(stream);
-                    }));
-                }
-                Some(Err(e)) => return Err(ServeError::Io(e)),
-                None => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Some(Ok(stream)) => match self.inner.conns.try_acquire_owned() {
+                    Some(slot) => {
+                        let server = self.clone();
+                        self.inner.live_handlers.fetch_add(1, Ordering::SeqCst);
+                        registry.spawn(move || {
+                            server.serve_connection(stream);
+                            server.inner.live_handlers.fetch_sub(1, Ordering::SeqCst);
+                            drop(slot); // free the connection slot last
+                        });
+                    }
+                    None => self.reject_busy(stream),
+                },
+                Some(Err(e)) => break Err(ServeError::Io(e)),
+                None => std::thread::sleep(Duration::from_millis(2)),
             }
-        }
-        for w in workers {
-            let _ = w.join();
-        }
-        Ok(())
+        };
+        let (joined, detached) = registry.drain(self.inner.drain_timeout);
+        self.inner
+            .drained_handlers
+            .fetch_add(joined as u64, Ordering::SeqCst);
+        // Detached handlers (still counted in live_handlers) exceeded the
+        // drain timeout; they die with the process.
+        let _ = detached;
+        result
     }
 
-    /// Frame loop over one established connection. Malformed envelopes
-    /// that cannot be skipped safely (bad magic, bad CRC, truncation)
-    /// drop the connection; well-formed frames of an unknown version or
-    /// type get a [`Frame::Unsupported`] reply and the stream survives.
-    pub fn serve_connection<S: std::io::Read + std::io::Write>(&self, mut stream: S) {
+    /// Tells an over-limit connection it lost the admission race: a
+    /// one-shot `Busy` error under a short write timeout, then close.
+    fn reject_busy<S: DeadlineStream>(&self, mut stream: S) {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let _ = write_frame(
+            &mut stream,
+            &error(
+                error_code::BUSY,
+                "connection limit reached; retry with backoff",
+            ),
+        );
+    }
+
+    /// Frame loop over one established connection, governed by the
+    /// server's I/O timeouts.
+    ///
+    /// Malformed envelopes that cannot be skipped safely (bad magic, bad
+    /// CRC, truncation) drop the connection; well-formed frames of an
+    /// unknown version or type get a [`Frame::Unsupported`] reply and the
+    /// stream survives. Idle and slow-loris connections are dropped after
+    /// an [`error_code::TIMEOUT`] reply; oversized declarations after an
+    /// [`error_code::FRAME_TOO_LARGE`] reply — each tallied in the server
+    /// stats. During shutdown the in-flight request (if any) finishes and
+    /// its reply is written before the connection closes.
+    pub fn serve_connection<S: DeadlineStream>(&self, mut stream: S) {
+        let io_timeout = self.inner.io_timeout;
+        let tick = deadline_tick(io_timeout);
+        let _ = stream.set_write_timeout(Some(io_timeout));
         loop {
-            let reply = match read_frame(&mut stream) {
-                Ok(frame) => {
-                    let is_shutdown = matches!(frame, Frame::Shutdown);
-                    let reply = self.handle(frame);
-                    if write_frame(&mut stream, &reply).is_err() || is_shutdown {
+            let reply =
+                match read_frame_deadline(&mut stream, io_timeout, io_timeout, tick, &|| {
+                    self.is_shutting_down()
+                }) {
+                    Ok(frame) => {
+                        let is_shutdown = matches!(frame, Frame::Shutdown);
+                        let reply = self.handle(frame);
+                        // The in-flight reply is always written — draining a
+                        // shutdown means finishing started work, then closing.
+                        if write_frame(&mut stream, &reply).is_err()
+                            || is_shutdown
+                            || self.is_shutting_down()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(ReadError::IdleTimeout | ReadError::FrameTimeout) => {
+                        self.inner.io_timeouts.fetch_add(1, Ordering::SeqCst);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        let _ = write_frame(
+                            &mut stream,
+                            &error(error_code::TIMEOUT, "i/o deadline exceeded"),
+                        );
                         return;
                     }
-                    continue;
-                }
-                Err(WireError::UnsupportedVersion(version)) => {
-                    Frame::Unsupported(UnsupportedWire {
-                        version,
-                        frame_type: 0,
-                        max_supported: VERSION,
-                    })
-                }
-                Err(WireError::UnknownFrameType(frame_type)) => {
-                    Frame::Unsupported(UnsupportedWire {
-                        version: VERSION,
-                        frame_type,
-                        max_supported: VERSION,
-                    })
-                }
-                Err(_) => return,
-            };
+                    Err(ReadError::Closed | ReadError::Aborted) => return,
+                    Err(ReadError::Wire(WireError::PayloadTooLarge(n))) => {
+                        self.inner.oversize_frames.fetch_add(1, Ordering::SeqCst);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        let _ = write_frame(
+                            &mut stream,
+                            &error(
+                                error_code::FRAME_TOO_LARGE,
+                                format!(
+                                    "declared payload of {n} bytes exceeds the \
+                                 {} byte cap",
+                                    crate::wire::MAX_PAYLOAD
+                                ),
+                            ),
+                        );
+                        return;
+                    }
+                    Err(ReadError::Wire(WireError::UnsupportedVersion(version))) => {
+                        Frame::Unsupported(UnsupportedWire {
+                            version,
+                            frame_type: 0,
+                            max_supported: VERSION,
+                        })
+                    }
+                    Err(ReadError::Wire(WireError::UnknownFrameType(frame_type))) => {
+                        Frame::Unsupported(UnsupportedWire {
+                            version: VERSION,
+                            frame_type,
+                            max_supported: VERSION,
+                        })
+                    }
+                    Err(ReadError::Wire(_)) => return,
+                };
             if write_frame(&mut stream, &reply).is_err() {
                 return;
             }

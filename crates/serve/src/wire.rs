@@ -483,6 +483,14 @@ pub mod error_code {
     pub const PIPELINE: u16 = 3;
     /// The server is shutting down.
     pub const SHUTTING_DOWN: u16 = 4;
+    /// The server is at its connection cap; retry after a backoff.
+    pub const BUSY: u16 = 5;
+    /// The connection idled, or a frame arrived too slowly, past the
+    /// server's I/O deadline; the server closes the stream after this.
+    pub const TIMEOUT: u16 = 6;
+    /// The frame declared a payload beyond the 64 MiB cap; the server
+    /// closes the stream after this (it cannot resynchronize).
+    pub const FRAME_TOO_LARGE: u16 = 7;
 }
 
 /// Cumulative server statistics ([`Frame::Stats`] reply).
@@ -508,6 +516,19 @@ pub struct ServerStatsWire {
     pub kernel_dense_builds: u64,
     /// Counting builds that fell back to a hashed accumulator.
     pub kernel_sparse_builds: u64,
+    /// Connections admitted past the connection cap.
+    pub conns_accepted: u64,
+    /// Connections refused with a `Busy` reply because the cap was full.
+    pub busy_rejections: u64,
+    /// Connections dropped by an idle or per-frame I/O deadline.
+    pub io_timeouts: u64,
+    /// Frames rejected for declaring a payload beyond the 64 MiB cap.
+    pub oversize_frames: u64,
+    /// Handler threads joined back by the accept loop — finished
+    /// connections reaped while serving plus the shutdown drain.
+    pub drained_handlers: u64,
+    /// Handler threads currently live (0 after a clean drain).
+    pub live_handlers: u64,
 }
 
 /// Echo of the envelope a peer could not handle.
@@ -595,6 +616,12 @@ impl Frame {
                 put_u64(&mut out, s.kernel_dense_ops);
                 put_u64(&mut out, s.kernel_dense_builds);
                 put_u64(&mut out, s.kernel_sparse_builds);
+                put_u64(&mut out, s.conns_accepted);
+                put_u64(&mut out, s.busy_rejections);
+                put_u64(&mut out, s.io_timeouts);
+                put_u64(&mut out, s.oversize_frames);
+                put_u64(&mut out, s.drained_handlers);
+                put_u64(&mut out, s.live_handlers);
             }
             Frame::Unsupported(u) => {
                 put_u16(&mut out, u.version);
@@ -642,6 +669,12 @@ impl Frame {
                 kernel_dense_ops: r.u64()?,
                 kernel_dense_builds: r.u64()?,
                 kernel_sparse_builds: r.u64()?,
+                conns_accepted: r.u64()?,
+                busy_rejections: r.u64()?,
+                io_timeouts: r.u64()?,
+                oversize_frames: r.u64()?,
+                drained_handlers: r.u64()?,
+                live_handlers: r.u64()?,
             }),
             8 => Frame::Shutdown,
             9 => Frame::ShutdownAck,
@@ -665,6 +698,48 @@ impl Frame {
         };
         r.finish()?;
         Ok(frame)
+    }
+}
+
+/// The parsed fixed-size envelope header — everything a reader needs to
+/// know before touching the payload: how many more bytes to expect, and
+/// whether to expect them at all.
+///
+/// [`parse`](FrameHeader::parse) validates only what must hold for the
+/// stream to stay framed (magic and the payload cap). Version and
+/// frame-type checks are deferred until the whole envelope (including its
+/// CRC) has been consumed, so foreign-but-well-formed frames can be
+/// skipped and answered with [`Frame::Unsupported`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version of the frame.
+    pub version: u16,
+    /// Frame-type byte.
+    pub frame_type: u8,
+    /// Declared payload length (validated against [`MAX_PAYLOAD`]).
+    pub payload_len: u32,
+}
+
+impl FrameHeader {
+    /// Parses the fixed [`HEADER_LEN`]-byte envelope prefix.
+    pub fn parse(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader> {
+        if bytes[..8] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let payload_len = u32::from_le_bytes([bytes[11], bytes[12], bytes[13], bytes[14]]);
+        if payload_len > MAX_PAYLOAD {
+            return Err(WireError::PayloadTooLarge(payload_len));
+        }
+        Ok(FrameHeader {
+            version: u16::from_le_bytes([bytes[8], bytes[9]]),
+            frame_type: bytes[10],
+            payload_len,
+        })
+    }
+
+    /// Bytes remaining after the header: payload plus the 4-byte CRC.
+    pub fn rest_len(&self) -> usize {
+        self.payload_len as usize + 4
     }
 }
 
@@ -693,15 +768,12 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
     if buf.len() < HEADER_LEN {
         return Err(WireError::Truncated);
     }
-    if buf[..8] != MAGIC {
-        return Err(WireError::BadMagic);
-    }
-    let version = u16::from_le_bytes([buf[8], buf[9]]);
-    let frame_type = buf[10];
-    let payload_len = u32::from_le_bytes([buf[11], buf[12], buf[13], buf[14]]);
-    if payload_len > MAX_PAYLOAD {
-        return Err(WireError::PayloadTooLarge(payload_len));
-    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("length checked");
+    let FrameHeader {
+        version,
+        frame_type,
+        payload_len,
+    } = FrameHeader::parse(header)?;
     let total = HEADER_LEN + payload_len as usize + 4;
     if buf.len() < total {
         return Err(WireError::Truncated);
@@ -746,15 +818,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
             WireError::Io(e)
         }
     })?;
-    if header[..8] != MAGIC {
-        return Err(WireError::BadMagic);
-    }
-    let version = u16::from_le_bytes([header[8], header[9]]);
-    let frame_type = header[10];
-    let payload_len = u32::from_le_bytes([header[11], header[12], header[13], header[14]]);
-    if payload_len > MAX_PAYLOAD {
-        return Err(WireError::PayloadTooLarge(payload_len));
-    }
+    let FrameHeader {
+        version,
+        frame_type,
+        payload_len,
+    } = FrameHeader::parse(&header)?;
     let mut rest = vec![0u8; payload_len as usize + 4];
     r.read_exact(&mut rest).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -858,6 +926,12 @@ mod tests {
                 kernel_dense_ops: 3_999_877,
                 kernel_dense_builds: 11,
                 kernel_sparse_builds: 1,
+                conns_accepted: 31,
+                busy_rejections: 4,
+                io_timeouts: 2,
+                oversize_frames: 1,
+                drained_handlers: 3,
+                live_handlers: 0,
             }),
             Frame::Shutdown,
             Frame::ShutdownAck,
@@ -955,6 +1029,33 @@ mod tests {
             Err(WireError::PayloadTooLarge(n)) => assert_eq!(n, u32::MAX),
             other => panic!("expected PayloadTooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn frame_header_parse_agrees_with_decoders() {
+        let bytes = encode_frame(&sample_reply());
+        let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+        let h = FrameHeader::parse(&header).expect("valid header");
+        assert_eq!(h.version, VERSION);
+        assert_eq!(h.frame_type, sample_reply().frame_type());
+        assert_eq!(HEADER_LEN + h.rest_len(), bytes.len());
+
+        let mut bad = header;
+        bad[0] ^= 0xFF;
+        assert!(matches!(FrameHeader::parse(&bad), Err(WireError::BadMagic)));
+        let mut oversize = header;
+        oversize[11..15].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            FrameHeader::parse(&oversize),
+            Err(WireError::PayloadTooLarge(n)) if n == MAX_PAYLOAD + 1
+        ));
+        // Foreign version/type still parse — the reader must be able to
+        // consume the envelope before answering Unsupported.
+        let mut foreign = header;
+        foreign[8..10].copy_from_slice(&9u16.to_le_bytes());
+        foreign[10] = 250;
+        let f = FrameHeader::parse(&foreign).expect("foreign header parses");
+        assert_eq!((f.version, f.frame_type), (9, 250));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Wire-level boundary behaviour at the 64 MiB payload cap: a frame whose
+//! payload is **exactly** [`MAX_PAYLOAD`] bytes is legal end to end
+//! (encode, pure decode, stream decode), while one byte more is refused —
+//! by the pure decoder, by the blocking stream reader, and by the
+//! deadline reader *before any payload is transferred*.
+
+use std::io::Write;
+use std::time::Duration;
+
+use nexus_serve::wire::{
+    decode_frame, encode_frame, read_frame, ExplanationReplyWire, Frame, ServeStatsWire, WireError,
+    HEADER_LEN, MAX_PAYLOAD,
+};
+use nexus_serve::{pipe, read_frame_deadline, ReadError};
+
+/// An `Explanation` frame whose nested payload is sized so the **frame
+/// payload** is exactly `payload_len` bytes.
+fn frame_with_payload_len(payload_len: u32) -> Frame {
+    let overhead = {
+        let empty = Frame::Explanation(ExplanationReplyWire {
+            explanation: Vec::new(),
+            stats: ServeStatsWire {
+                cache_hit: false,
+                cache_hits: 0,
+                cache_misses: 0,
+                scored_tasks: 0,
+                queue_nanos: 0,
+                service_nanos: 0,
+            },
+        });
+        encode_frame(&empty).len() - HEADER_LEN - 4 // minus envelope CRC
+    };
+    let nested = payload_len as usize - overhead;
+    Frame::Explanation(ExplanationReplyWire {
+        explanation: vec![0x5A; nested],
+        stats: ServeStatsWire {
+            cache_hit: true,
+            cache_hits: 1,
+            cache_misses: 2,
+            scored_tasks: 3,
+            queue_nanos: 4,
+            service_nanos: 5,
+        },
+    })
+}
+
+fn declared_payload_len(envelope: &[u8]) -> u32 {
+    u32::from_le_bytes(envelope[11..15].try_into().expect("header"))
+}
+
+#[test]
+fn payload_exactly_at_the_cap_is_accepted() {
+    let frame = frame_with_payload_len(MAX_PAYLOAD);
+    let envelope = encode_frame(&frame);
+    assert_eq!(
+        declared_payload_len(&envelope),
+        MAX_PAYLOAD,
+        "the test must sit exactly on the boundary"
+    );
+
+    // Pure decoder.
+    let (decoded, consumed) = decode_frame(&envelope).expect("cap payload decodes");
+    assert_eq!(consumed, envelope.len());
+    assert_eq!(encode_frame(&decoded), envelope, "bit-exact round trip");
+
+    // Blocking stream decoder.
+    let mut cursor = std::io::Cursor::new(&envelope);
+    let streamed = read_frame(&mut cursor).expect("cap payload streams");
+    assert_eq!(encode_frame(&streamed), envelope);
+}
+
+#[test]
+fn payload_one_byte_over_the_cap_is_rejected() {
+    // encode_frame happily produces the envelope; every decoder must
+    // refuse it from the header alone.
+    let frame = frame_with_payload_len(MAX_PAYLOAD + 1);
+    let envelope = encode_frame(&frame);
+    assert_eq!(declared_payload_len(&envelope), MAX_PAYLOAD + 1);
+
+    match decode_frame(&envelope) {
+        Err(WireError::PayloadTooLarge(n)) => assert_eq!(n, MAX_PAYLOAD + 1),
+        other => panic!("expected PayloadTooLarge, got {other:?}"),
+    }
+    let mut cursor = std::io::Cursor::new(&envelope);
+    match read_frame(&mut cursor) {
+        Err(WireError::PayloadTooLarge(n)) => assert_eq!(n, MAX_PAYLOAD + 1),
+        other => panic!("expected PayloadTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_reader_refuses_over_cap_header_before_any_payload() {
+    // Send ONLY the 15-byte header declaring one byte over the cap: the
+    // deadline reader must reject without waiting for (or buffering) a
+    // single payload byte.
+    let (mut sender, mut receiver) = pipe();
+    let mut header = encode_frame(&Frame::Ping);
+    header[11..15].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    sender.write_all(&header[..HEADER_LEN]).expect("header");
+
+    let budget = Duration::from_millis(200);
+    match read_frame_deadline(
+        &mut receiver,
+        budget,
+        budget,
+        Duration::from_millis(5),
+        &|| false,
+    ) {
+        Err(ReadError::Wire(WireError::PayloadTooLarge(n))) => assert_eq!(n, MAX_PAYLOAD + 1),
+        other => panic!("expected PayloadTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_reader_accepts_a_cap_sized_frame() {
+    // The full 64 MiB envelope through the in-memory pipe: the deadline
+    // reader must deliver it bit-exactly (writes land before the read
+    // side starts, so no deadline pressure).
+    let envelope = encode_frame(&frame_with_payload_len(MAX_PAYLOAD));
+    let (mut sender, mut receiver) = pipe();
+    sender
+        .write_all(&envelope)
+        .expect("cap frame fits the pipe");
+
+    let budget = Duration::from_secs(10);
+    let frame = read_frame_deadline(
+        &mut receiver,
+        budget,
+        budget,
+        Duration::from_millis(5),
+        &|| false,
+    )
+    .expect("cap frame reads");
+    assert_eq!(encode_frame(&frame), envelope);
+}

@@ -1,0 +1,207 @@
+//! Deterministic fault-injection suite: misbehaving clients — stalls,
+//! truncations, abrupt disconnects, dribbled writes, oversize
+//! declarations — driven through [`FaultyStream`] wrappers at **seeded**
+//! byte offsets against a governed [`Server::serve_connection`] over an
+//! in-memory pipe.
+//!
+//! Every assertion is on the server's own governance counters or on the
+//! reply frames it writes — never on wall-clock — and every handler
+//! thread is joined, so a regression that hangs a handler fails the test
+//! instead of leaking a thread. The whole suite runs at pipeline
+//! parallelism 1 and 8: governance must not depend on the pool width.
+
+use std::io::Write;
+use std::time::Duration;
+
+use nexus_core::{NexusOptions, Parallelism};
+use nexus_serve::wire::{encode_frame, error_code, read_frame, Frame, MAX_PAYLOAD};
+use nexus_serve::{pipe, Fault, FaultPlan, FaultyStream, Server, ServerOptions};
+
+/// A dataset-less governed server with a short I/O budget; Ping/Stats and
+/// wire-level abuse need no resident data.
+fn governed_server(parallelism: Parallelism) -> Server {
+    Server::new(ServerOptions {
+        nexus: NexusOptions::builder()
+            .parallelism(parallelism)
+            .build()
+            .expect("valid options"),
+        io_timeout: Duration::from_millis(150),
+        ..ServerOptions::default()
+    })
+}
+
+fn serve_in_thread(
+    server: &Server,
+    stream: nexus_serve::PipeStream,
+) -> std::thread::JoinHandle<()> {
+    let server = server.clone();
+    std::thread::spawn(move || server.serve_connection(stream))
+}
+
+/// Both pool widths the determinism suite uses; governance counters must
+/// be identical at each.
+const WIDTHS: [Parallelism; 2] = [Parallelism::Fixed(1), Parallelism::Fixed(8)];
+
+#[test]
+fn stalled_mid_frame_client_gets_timeout_reply_and_is_counted() {
+    for parallelism in WIDTHS {
+        for seed in [7u64, 21, 63] {
+            let server = governed_server(parallelism);
+            let (client_end, server_end) = pipe();
+            let handler = serve_in_thread(&server, server_end);
+
+            let frame = encode_frame(&Frame::Stats);
+            let offset = FaultPlan::seeded_offset(seed, frame.len());
+            let mut faulty =
+                FaultyStream::new(client_end, FaultPlan::with(Fault::StallAfter { offset }));
+            faulty.write_all(&frame).expect("stall swallows silently");
+            assert_eq!(faulty.delivered(), offset, "seed {seed}: exact offset");
+
+            // The handler must notice the stall, reply, and exit — joining
+            // proves no hang; the counter proves why it exited.
+            match read_frame(&mut faulty) {
+                Ok(Frame::Error(e)) => assert_eq!(e.code, error_code::TIMEOUT),
+                other => panic!("seed {seed}: expected timeout error, got {other:?}"),
+            }
+            handler.join().expect("handler thread exits");
+            let stats = server.stats();
+            assert_eq!(stats.io_timeouts, 1, "seed {seed}");
+            assert_eq!(stats.oversize_frames, 0);
+            assert_eq!(stats.requests_served, 0, "stalled frame never decoded");
+        }
+    }
+}
+
+#[test]
+fn truncated_client_is_dropped_without_counting_a_timeout() {
+    for parallelism in WIDTHS {
+        for seed in [5u64, 40, 99] {
+            let server = governed_server(parallelism);
+            let (client_end, server_end) = pipe();
+            let handler = serve_in_thread(&server, server_end);
+
+            let frame = encode_frame(&Frame::Ping);
+            let offset = FaultPlan::seeded_offset(seed, frame.len());
+            let mut faulty =
+                FaultyStream::new(client_end, FaultPlan::with(Fault::TruncateAfter { offset }));
+            faulty
+                .write_all(&frame)
+                .expect_err("truncation breaks the write");
+
+            handler.join().expect("handler exits on truncation");
+            let stats = server.stats();
+            assert_eq!(stats.io_timeouts, 0, "seed {seed}: truncation ≠ timeout");
+            assert_eq!(stats.requests_served, 0);
+        }
+    }
+}
+
+#[test]
+fn abrupt_disconnect_is_dropped_cleanly() {
+    for parallelism in WIDTHS {
+        for seed in [3u64, 17] {
+            let server = governed_server(parallelism);
+            let (client_end, server_end) = pipe();
+            let handler = serve_in_thread(&server, server_end);
+
+            let frame = encode_frame(&Frame::Stats);
+            let offset = FaultPlan::seeded_offset(seed, frame.len());
+            let mut faulty =
+                FaultyStream::new(client_end, FaultPlan::with(Fault::ResetAfter { offset }));
+            faulty
+                .write_all(&frame)
+                .expect_err("reset breaks the write");
+            drop(faulty); // the abrupt disconnect
+
+            handler.join().expect("handler exits on disconnect");
+            assert_eq!(server.stats().requests_served, 0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn chopped_writes_within_deadline_are_served_normally() {
+    for parallelism in WIDTHS {
+        let server = governed_server(parallelism);
+        let (client_end, server_end) = pipe();
+        let handler = serve_in_thread(&server, server_end);
+
+        // Dribble the frame 3 bytes per write — well-formed, just slow
+        // chunking; the per-frame budget is generous enough at this size.
+        let mut faulty = FaultyStream::new(client_end, FaultPlan::chopped(3));
+        faulty
+            .write_all(&encode_frame(&Frame::Ping))
+            .expect("write");
+        match read_frame(&mut faulty) {
+            Ok(Frame::Pong) => {}
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        drop(faulty);
+
+        handler.join().expect("handler exits on close");
+        let stats = server.stats();
+        assert_eq!(stats.io_timeouts, 0);
+        assert_eq!(stats.requests_served, 0, "ping is not an explain request");
+    }
+}
+
+#[test]
+fn oversize_declaration_is_refused_with_a_reply_and_counted() {
+    for parallelism in WIDTHS {
+        let server = governed_server(parallelism);
+        let (mut client_end, server_end) = pipe();
+        let handler = serve_in_thread(&server, server_end);
+
+        // A header declaring one byte over the cap; no payload follows —
+        // the server must refuse from the header alone.
+        let mut envelope = encode_frame(&Frame::Ping);
+        envelope[11..15].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        client_end.write_all(&envelope[..15]).expect("header");
+
+        match read_frame(&mut client_end) {
+            Ok(Frame::Error(e)) => {
+                assert_eq!(e.code, error_code::FRAME_TOO_LARGE);
+                assert!(e.message.contains("cap"), "message: {}", e.message);
+            }
+            other => panic!("expected frame-too-large error, got {other:?}"),
+        }
+        handler.join().expect("handler exits after refusing");
+        let stats = server.stats();
+        assert_eq!(stats.oversize_frames, 1);
+        assert_eq!(stats.io_timeouts, 0);
+    }
+}
+
+#[test]
+fn faults_on_one_connection_leave_another_serving() {
+    for parallelism in WIDTHS {
+        let server = governed_server(parallelism);
+
+        // Victim connection: stalls mid-frame.
+        let (victim_client, victim_server) = pipe();
+        let victim = serve_in_thread(&server, victim_server);
+        let frame = encode_frame(&Frame::Stats);
+        let offset = FaultPlan::seeded_offset(11, frame.len());
+        let mut stalled =
+            FaultyStream::new(victim_client, FaultPlan::with(Fault::StallAfter { offset }));
+        stalled.write_all(&frame).expect("swallowed");
+
+        // Healthy connection: ping-pongs while the victim is stalled.
+        let (mut healthy_client, healthy_server) = pipe();
+        let healthy = serve_in_thread(&server, healthy_server);
+        healthy_client
+            .write_all(&encode_frame(&Frame::Ping))
+            .expect("write");
+        match read_frame(&mut healthy_client) {
+            Ok(Frame::Pong) => {}
+            other => panic!("expected Pong, got {other:?}"),
+        }
+
+        // Close the healthy connection before waiting out the victim's
+        // deadline, so it cannot rack up an idle timeout of its own.
+        drop(healthy_client);
+        healthy.join().expect("healthy handler exits");
+        victim.join().expect("stalled handler exits");
+        assert_eq!(server.stats().io_timeouts, 1);
+    }
+}

@@ -112,28 +112,40 @@ fn frame() -> impl Strategy<Value = Frame> {
             .prop_map(|(code, message)| Frame::Error(ErrorWire { code, message })),
         Just(Frame::Stats),
         (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
+            ),
             (any::<u64>(), any::<u64>(), any::<u64>()),
-            (any::<u64>(), any::<u64>())
+            (any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>())
         )
-            .prop_map(|(d, c, h, m, r, (kr, kh, kd), (kb, ks))| Frame::StatsReply(
-                ServerStatsWire {
-                    datasets: d,
-                    cache_entries: c,
-                    cache_hits: h,
-                    cache_misses: m,
-                    requests_served: r,
-                    kernel_rows_scanned: kr,
-                    kernel_hash_ops: kh,
-                    kernel_dense_ops: kd,
-                    kernel_dense_builds: kb,
-                    kernel_sparse_builds: ks,
+            .prop_map(
+                |((d, c, h, m, r), (kr, kh, kd), (kb, ks), (ca, br, io), (of, dh, lh))| {
+                    Frame::StatsReply(ServerStatsWire {
+                        datasets: d,
+                        cache_entries: c,
+                        cache_hits: h,
+                        cache_misses: m,
+                        requests_served: r,
+                        kernel_rows_scanned: kr,
+                        kernel_hash_ops: kh,
+                        kernel_dense_ops: kd,
+                        kernel_dense_builds: kb,
+                        kernel_sparse_builds: ks,
+                        conns_accepted: ca,
+                        busy_rejections: br,
+                        io_timeouts: io,
+                        oversize_frames: of,
+                        drained_handlers: dh,
+                        live_handlers: lh,
+                    })
                 }
-            )),
+            ),
         Just(Frame::Shutdown),
         Just(Frame::ShutdownAck),
         (any::<u16>(), any::<u8>(), any::<u16>()).prop_map(|(version, frame_type, max)| {

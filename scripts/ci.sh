@@ -19,8 +19,9 @@ cargo test --offline --workspace -q
 echo "==> bench smoke (quick kernel-counter regression gate)"
 # Runs the counting-kernel harness on the small fixed-seed workload.
 # --check fails on counter regressions only (hash-op ratio, rows scanned,
-# pool engagement, bit-identical outputs) — never on wall-clock.
-BENCH_OUT=$(mktemp)
+# pool engagement, bit-identical outputs) — never on wall-clock. The
+# report is kept under target/ so CI can upload it as an artifact.
+BENCH_OUT=target/BENCH_explain.json
 target/release/bench-explain --quick --threads 2 --check --out "$BENCH_OUT" \
     2> /dev/null
 for key in schema_version workload legacy kernel ratios checks \
@@ -30,17 +31,65 @@ for key in schema_version workload legacy kernel ratios checks \
         exit 1
     fi
 done
-rm -f "$BENCH_OUT"
-echo "    counters within bounds, schema complete"
+echo "    counters within bounds, schema complete ($BENCH_OUT)"
 
 echo "==> server smoke test (serve / submit vs direct explain)"
 SMOKE_DIR=$(mktemp -d)
 SERVE_PID=""
 cleanup() {
-    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    status=$?
+    if [ -n "$SERVE_PID" ]; then
+        # The daemon outlived the script: kill it, and if the script was
+        # otherwise passing, fail — a smoke run that "passed" without
+        # shutting its server down cleanly did not actually pass.
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+        if [ "$status" -eq 0 ]; then
+            echo "server daemon was still running at exit" >&2
+            status=1
+        fi
+    fi
     rm -rf "$SMOKE_DIR"
+    exit "$status"
 }
 trap cleanup EXIT
+
+# Waits (bounded) for $SOCK to appear, failing fast with the server log if
+# the daemon dies first — a dead daemon otherwise burns the full poll
+# budget and reports a misleading "did not come up".
+wait_for_socket() {
+    local sock="$1" log="$2"
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && return 0
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "server daemon died before its socket appeared:" >&2
+            cat "$log" >&2
+            SERVE_PID=""
+            return 1
+        fi
+        sleep 0.1
+    done
+    echo "server did not come up:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# Shuts the daemon down over the wire and propagates its exit code.
+shutdown_daemon() {
+    local sock="$1"
+    "$BIN" submit --socket "$sock" --shutdown 2> /dev/null
+    local code=0
+    wait "$SERVE_PID" || code=$?
+    SERVE_PID=""
+    if [ "$code" -ne 0 ]; then
+        echo "server daemon exited with code $code" >&2
+        return 1
+    fi
+    if [ -e "$sock" ]; then
+        echo "server left its socket file behind" >&2
+        return 1
+    fi
+}
 
 # Tiny deterministic dataset: salary driven by each country's development
 # level, which lives only in the KG.
@@ -66,15 +115,7 @@ SOCK="$SMOKE_DIR/nexus.sock"
 "$BIN" serve --socket "$SOCK" --table "$CSV" --kg "$KG" --extract Country \
     2> "$SMOKE_DIR/serve.log" &
 SERVE_PID=$!
-for _ in $(seq 1 100); do
-    [ -S "$SOCK" ] && break
-    sleep 0.1
-done
-if [ ! -S "$SOCK" ]; then
-    echo "server did not come up:" >&2
-    cat "$SMOKE_DIR/serve.log" >&2
-    exit 1
-fi
+wait_for_socket "$SOCK" "$SMOKE_DIR/serve.log"
 
 "$BIN" submit --socket "$SOCK" --sql "$SQL" \
     > "$SMOKE_DIR/served_cold.txt" 2> /dev/null
@@ -87,13 +128,36 @@ diff "$SMOKE_DIR/served_cold.txt" "$SMOKE_DIR/served_hot.txt"
 grep -q "cache hit" "$SMOKE_DIR/submit_hot.log"
 grep -q "Country::hdi" "$SMOKE_DIR/served_hot.txt"
 
-"$BIN" submit --socket "$SOCK" --shutdown 2> /dev/null
-wait "$SERVE_PID"
-SERVE_PID=""
-if [ -e "$SOCK" ]; then
-    echo "server left its socket file behind" >&2
-    exit 1
-fi
+shutdown_daemon "$SOCK"
 echo "    direct == served (cold) == served (hot, from cache); clean shutdown"
+
+echo "==> abuse smoke test (governance under misbehaving clients)"
+# A tightly governed server: one connection slot, 300 ms I/O budget. Each
+# abuse mode must draw the documented governance reply — and the server
+# must keep serving normal traffic afterwards.
+ABUSE_SOCK="$SMOKE_DIR/abuse.sock"
+"$BIN" serve --socket "$ABUSE_SOCK" --table "$CSV" --kg "$KG" --extract Country \
+    --max-conns 1 --io-timeout-ms 300 \
+    2> "$SMOKE_DIR/abuse_serve.log" &
+SERVE_PID=$!
+wait_for_socket "$ABUSE_SOCK" "$SMOKE_DIR/abuse_serve.log"
+
+"$BIN" abuse --socket "$ABUSE_SOCK" --mode overlimit 2> "$SMOKE_DIR/abuse.log"
+"$BIN" abuse --socket "$ABUSE_SOCK" --mode stall 2>> "$SMOKE_DIR/abuse.log"
+"$BIN" abuse --socket "$ABUSE_SOCK" --mode busy 2>> "$SMOKE_DIR/abuse.log"
+
+# The abused server still answers real queries with the right bytes…
+"$BIN" submit --socket "$ABUSE_SOCK" --sql "$SQL" \
+    > "$SMOKE_DIR/served_after_abuse.txt" 2> /dev/null
+diff "$SMOKE_DIR/direct.txt" "$SMOKE_DIR/served_after_abuse.txt"
+
+# …and its counters recorded every enforcement action.
+"$BIN" submit --socket "$ABUSE_SOCK" --stats 2> "$SMOKE_DIR/abuse_stats.log"
+grep -Eq '[1-9][0-9]* busy rejection' "$SMOKE_DIR/abuse_stats.log"
+grep -Eq '[1-9][0-9]* i/o timeout' "$SMOKE_DIR/abuse_stats.log"
+grep -Eq '[1-9][0-9]* oversize frame' "$SMOKE_DIR/abuse_stats.log"
+
+shutdown_daemon "$ABUSE_SOCK"
+echo "    busy / timeout / frame-too-large replies delivered; server survived"
 
 echo "CI gate passed."

@@ -31,8 +31,8 @@ use std::process::exit;
 use nexus::core::{unexplained_subgroups, SubgroupOptions};
 use nexus::kg::KnowledgeGraph;
 use nexus::lake::{DataLake, LakeOptions};
-use nexus::serve::wire::ExplanationWire;
-use nexus::serve::{explanation_to_wire, Client, Server, ServerOptions};
+use nexus::serve::wire::{encode_frame, error_code, read_frame, ExplanationWire, Frame};
+use nexus::serve::{explanation_to_wire, Client, RetryPolicy, Server, ServerOptions};
 use nexus::table::{read_csv_path, Table};
 use nexus::{parse, ExplainRequest, Nexus, NexusOptions};
 
@@ -46,8 +46,11 @@ fn usage() -> ! {
          (--kg <triples.tsv> | --lake <dir>) --extract <column>...\n\
          \x20         [--name <dataset>] [--k N] [--hops N] [--threads N] [--no-pruning] \
          [--cache N] [--max-concurrent N]\n\
+         \x20         [--max-conns N] [--io-timeout-ms N] [--drain-timeout-ms N]\n\
          \x20 nexus-cli submit (--socket <path> | --tcp <addr>) --sql <query> \
-         [--dataset <name>] | --shutdown | --ping | --stats"
+         [--dataset <name>] [--retries N] [--timeout-ms N] | --shutdown | --ping | --stats\n\
+         \x20 nexus-cli abuse (--socket <path> | --tcp <addr>) \
+         --mode (stall | overlimit | busy)"
     );
     exit(2)
 }
@@ -79,6 +82,9 @@ struct ServeArgs {
     name: String,
     cache: usize,
     max_concurrent: usize,
+    max_conns: usize,
+    io_timeout_ms: u64,
+    drain_timeout_ms: u64,
 }
 
 struct SubmitArgs {
@@ -89,12 +95,23 @@ struct SubmitArgs {
     shutdown: bool,
     ping: bool,
     stats: bool,
+    retries: usize,
+    timeout_ms: u64,
+}
+
+/// A self-contained misbehaving client, used by the CI abuse smoke to
+/// prove governance replies without hand-rolled netcat scripting.
+struct AbuseArgs {
+    socket: Option<String>,
+    tcp: Option<String>,
+    mode: String,
 }
 
 enum Command {
     Explain(ExplainArgs),
     Serve(ServeArgs),
     Submit(SubmitArgs),
+    Abuse(AbuseArgs),
 }
 
 fn parse_command() -> Command {
@@ -122,6 +139,12 @@ fn parse_command() -> Command {
     let mut dataset = "default".to_string();
     let mut cache = 256;
     let mut max_concurrent = 0usize;
+    let mut max_conns = 0usize;
+    let mut io_timeout_ms = 0u64;
+    let mut drain_timeout_ms = 0u64;
+    let mut retries = 0usize;
+    let mut timeout_ms = 0u64;
+    let mut mode = String::new();
     let (mut shutdown, mut ping, mut stats) = (false, false, false);
 
     let mut i = 0;
@@ -150,6 +173,12 @@ fn parse_command() -> Command {
             "--dataset" => dataset = value(&mut i, &argv),
             "--cache" => cache = number(&mut i, &argv),
             "--max-concurrent" => max_concurrent = number(&mut i, &argv),
+            "--max-conns" => max_conns = number(&mut i, &argv),
+            "--io-timeout-ms" => io_timeout_ms = number(&mut i, &argv) as u64,
+            "--drain-timeout-ms" => drain_timeout_ms = number(&mut i, &argv) as u64,
+            "--retries" => retries = number(&mut i, &argv),
+            "--timeout-ms" => timeout_ms = number(&mut i, &argv) as u64,
+            "--mode" => mode = value(&mut i, &argv),
             "--shutdown" => shutdown = true,
             "--ping" => ping = true,
             "--stats" => stats = true,
@@ -196,6 +225,9 @@ fn parse_command() -> Command {
                 name,
                 cache,
                 max_concurrent,
+                max_conns,
+                io_timeout_ms,
+                drain_timeout_ms,
             })
         }
         "submit" => {
@@ -214,7 +246,20 @@ fn parse_command() -> Command {
                 shutdown,
                 ping,
                 stats,
+                retries,
+                timeout_ms,
             })
+        }
+        "abuse" => {
+            if socket.is_none() == tcp.is_none() {
+                eprintln!("exactly one of --socket or --tcp is required");
+                usage()
+            }
+            if !matches!(mode.as_str(), "stall" | "overlimit" | "busy") {
+                eprintln!("--mode must be one of stall, overlimit, busy");
+                usage()
+            }
+            Command::Abuse(AbuseArgs { socket, tcp, mode })
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
@@ -228,6 +273,7 @@ fn main() {
         Command::Explain(args) => run_explain(&args),
         Command::Serve(args) => run_serve(&args),
         Command::Submit(args) => run_submit(&args),
+        Command::Abuse(args) => run_abuse(&args),
     };
     if let Err(message) = result {
         eprintln!("nexus-cli: {message}");
@@ -409,6 +455,15 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     if args.max_concurrent > 0 {
         options.max_concurrent = args.max_concurrent;
     }
+    if args.max_conns > 0 {
+        options.max_connections = args.max_conns;
+    }
+    if args.io_timeout_ms > 0 {
+        options.io_timeout = std::time::Duration::from_millis(args.io_timeout_ms);
+    }
+    if args.drain_timeout_ms > 0 {
+        options.drain_timeout = std::time::Duration::from_millis(args.drain_timeout_ms);
+    }
 
     let server = Server::new(options);
     server
@@ -449,6 +504,17 @@ fn connect(socket: &Option<String>, tcp: &Option<String>) -> Result<Client, Stri
 
 fn run_submit(args: &SubmitArgs) -> Result<(), String> {
     let mut client = connect(&args.socket, &args.tcp)?;
+    if args.timeout_ms > 0 {
+        client
+            .set_io_timeout(Some(std::time::Duration::from_millis(args.timeout_ms)))
+            .map_err(|e| format!("failed to set i/o timeout: {e}"))?;
+    }
+    if args.retries > 0 {
+        client.set_retry_policy(RetryPolicy {
+            max_retries: args.retries as u32,
+            ..RetryPolicy::default()
+        });
+    }
     if args.ping {
         client.ping().map_err(|e| e.to_string())?;
         eprintln!("pong");
@@ -466,6 +532,16 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
             s.kernel_dense_ops,
             s.kernel_dense_builds,
             s.kernel_sparse_builds
+        );
+        eprintln!(
+            "governance: {} conn(s) accepted, {} busy rejection(s), {} i/o timeout(s), \
+             {} oversize frame(s), {} drained / {} live handler(s)",
+            s.conns_accepted,
+            s.busy_rejections,
+            s.io_timeouts,
+            s.oversize_frames,
+            s.drained_handlers,
+            s.live_handlers
         );
     }
     if !args.sql.is_empty() {
@@ -493,4 +569,159 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
         eprintln!("server acknowledged shutdown");
     }
     Ok(())
+}
+
+/// A raw protocol stream for the abuse modes, which deliberately send
+/// byte sequences no well-behaved [`Client`] would.
+enum RawStream {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl std::io::Read for RawStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            RawStream::Unix(s) => s.read(buf),
+            RawStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for RawStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            RawStream::Unix(s) => s.write(buf),
+            RawStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            RawStream::Unix(s) => s.flush(),
+            RawStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+fn raw_connect(socket: &Option<String>, tcp: &Option<String>) -> Result<RawStream, String> {
+    let read_timeout = Some(std::time::Duration::from_secs(10));
+    if let Some(path) = socket {
+        let s = std::os::unix::net::UnixStream::connect(path)
+            .map_err(|e| format!("failed to connect to {path}: {e}"))?;
+        s.set_read_timeout(read_timeout).ok();
+        Ok(RawStream::Unix(s))
+    } else if let Some(addr) = tcp {
+        let s = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("failed to connect to {addr}: {e}"))?;
+        s.set_read_timeout(read_timeout).ok();
+        Ok(RawStream::Tcp(s))
+    } else {
+        Err("exactly one of --socket or --tcp is required".to_string())
+    }
+}
+
+/// Expects the next frame on `stream` to be `Error` with `code`.
+fn expect_error_reply(stream: &mut RawStream, code: u16, what: &str) -> Result<(), String> {
+    match read_frame(stream) {
+        Ok(Frame::Error(e)) if e.code == code => {
+            eprintln!(
+                "abuse: got expected {what} reply (code {code}: {})",
+                e.message
+            );
+            Ok(())
+        }
+        Ok(other) => Err(format!("expected {what} error, got {other:?}")),
+        Err(e) => Err(format!("expected {what} error, stream failed: {e}")),
+    }
+}
+
+/// Deliberately misbehaves at the wire level and fails (exit 1) unless
+/// the server answers with the governance reply each mode expects:
+///
+/// * `stall` — sends a partial frame header and nothing more; expects an
+///   `Error(TIMEOUT)` reply when the server's frame deadline fires.
+/// * `overlimit` — declares a payload one byte over the 64 MiB cap;
+///   expects `Error(FRAME_TOO_LARGE)` before any payload is sent.
+/// * `busy` — opens connections (each proving admission with a served
+///   `Ping`) until one is rejected with `Error(BUSY)` — works at any
+///   `--max-conns` up to 64 — then proves a retrying client recovers
+///   once the held connections close.
+fn run_abuse(args: &AbuseArgs) -> Result<(), String> {
+    use std::io::Write as _;
+    match args.mode.as_str() {
+        "stall" => {
+            let mut stream = raw_connect(&args.socket, &args.tcp)?;
+            let envelope = encode_frame(&Frame::Ping);
+            stream
+                .write_all(&envelope[..7])
+                .map_err(|e| format!("failed to send partial header: {e}"))?;
+            stream.flush().ok();
+            eprintln!("abuse: sent 7 of {} bytes, stalling", envelope.len());
+            expect_error_reply(&mut stream, error_code::TIMEOUT, "timeout")
+        }
+        "overlimit" => {
+            let mut stream = raw_connect(&args.socket, &args.tcp)?;
+            let mut envelope = encode_frame(&Frame::Ping);
+            // Patch the payload length (bytes 11..15 of the header) to one
+            // past the cap; the server must refuse before reading payload.
+            let oversize = nexus::serve::wire::MAX_PAYLOAD + 1;
+            envelope[11..15].copy_from_slice(&oversize.to_le_bytes());
+            stream
+                .write_all(&envelope[..15])
+                .map_err(|e| format!("failed to send oversized header: {e}"))?;
+            stream.flush().ok();
+            eprintln!("abuse: declared a {oversize} byte payload");
+            expect_error_reply(&mut stream, error_code::FRAME_TOO_LARGE, "frame-too-large")
+        }
+        "busy" => {
+            // Fill the server's connection slots until an accept bounces.
+            // Each held connection proves admission with a served Ping, so
+            // this works at any --max-conns up to the 64-holder cap.
+            let mut holders: Vec<RawStream> = Vec::new();
+            loop {
+                if holders.len() >= 64 {
+                    return Err("no busy rejection after 64 held connections; \
+                         is the server's --max-conns larger than that?"
+                        .to_string());
+                }
+                let mut conn = raw_connect(&args.socket, &args.tcp)?;
+                // The write may race the server's rejection close; the
+                // buffered Busy reply is still readable, so only the read
+                // decides the outcome.
+                let _ = conn.write_all(&encode_frame(&Frame::Ping));
+                conn.flush().ok();
+                match read_frame(&mut conn) {
+                    Ok(Frame::Pong) => holders.push(conn), // admitted: hold the slot
+                    Ok(Frame::Error(e)) if e.code == error_code::BUSY => {
+                        eprintln!(
+                            "abuse: got expected busy reply with {} connection(s) held \
+                             (code {}: {})",
+                            holders.len(),
+                            e.code,
+                            e.message
+                        );
+                        break;
+                    }
+                    Ok(other) => return Err(format!("expected Pong or busy error, got {other:?}")),
+                    Err(e) => return Err(format!("holder connection failed: {e}")),
+                }
+            }
+            drop(holders);
+            // With the slots free again, a retrying client must get through
+            // even if it races the server reaping the held connections.
+            let mut retrier = connect(&args.socket, &args.tcp)?;
+            retrier.set_retry_policy(RetryPolicy {
+                max_retries: 10,
+                base_backoff: std::time::Duration::from_millis(20),
+                max_backoff: std::time::Duration::from_millis(200),
+                ..RetryPolicy::default()
+            });
+            retrier
+                .ping()
+                .map_err(|e| format!("retrying client after slot freed: {e}"))?;
+            eprintln!("abuse: retrying client recovered after the slot freed");
+            Ok(())
+        }
+        other => Err(format!("unknown abuse mode {other:?}")),
+    }
 }

@@ -1,0 +1,247 @@
+//! End-to-end connection-governance tests over real sockets: connection
+//! caps with `Busy` rejections and client retry, idle-timeout
+//! enforcement, and shutdown that drains in-flight requests — asserted
+//! via the server's governance counters (`conns_accepted`,
+//! `busy_rejections`, `io_timeouts`, `drained_handlers`,
+//! `live_handlers`), never via wall-clock timing.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use nexus::core::Parallelism;
+use nexus::kg::KnowledgeGraph;
+use nexus::serve::wire::{decode_frame, encode_frame, error_code, Frame};
+use nexus::serve::{Client, RetryPolicy, Server, ServerOptions};
+use nexus::table::{Column, Table};
+use nexus::NexusOptions;
+
+const SQL: &str = "SELECT Country, avg(Salary) FROM t GROUP BY Country";
+
+/// Same compact world as `serve_e2e.rs`: development drives salary.
+fn world() -> (Table, KnowledgeGraph) {
+    let mut kg = KnowledgeGraph::new();
+    let mut countries = Vec::new();
+    let mut salaries = Vec::new();
+    for c in 0..18 {
+        let name = format!("Country_{c:02}");
+        let dev = (c % 3) as f64;
+        let id = kg.add_entity(name.clone(), "Country");
+        kg.set_literal(id, "hdi", 0.4 + 0.2 * dev);
+        kg.set_literal(id, "gini", 30.0 + ((c / 3) % 2) as f64 * 8.0);
+        for i in 0..30 {
+            countries.push(name.clone());
+            salaries.push(30.0 + 20.0 * dev + (i % 3) as f64 * 0.2);
+        }
+    }
+    let table = Table::new(vec![
+        ("Country", Column::from_strs(&countries)),
+        ("Salary", Column::from_f64(salaries)),
+    ])
+    .unwrap();
+    (table, kg)
+}
+
+fn governed_server(options: ServerOptions) -> Server {
+    let (table, kg) = world();
+    let server = Server::new(options);
+    server
+        .add_dataset("world", table, kg, vec!["Country".into()])
+        .expect("dataset loads");
+    server
+}
+
+/// Binds the server on TCP loopback in a daemon thread; returns the
+/// address and the daemon handle.
+fn spawn_tcp(server: &Server) -> (String, std::thread::JoinHandle<()>) {
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let daemon = {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            server
+                .serve_tcp("127.0.0.1:0", move |addr| {
+                    addr_tx.send(addr).unwrap();
+                })
+                .expect("daemon exits cleanly");
+        })
+    };
+    let addr = addr_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("server binds")
+        .to_string();
+    (addr, daemon)
+}
+
+#[test]
+fn over_cap_connection_gets_busy_and_a_retrying_client_recovers() {
+    let server = governed_server(ServerOptions {
+        max_connections: 1,
+        ..ServerOptions::default()
+    });
+    let (addr, daemon) = spawn_tcp(&server);
+
+    // Fill the only slot and prove it is established server-side.
+    let mut holder = Client::connect_tcp(&addr).expect("connect");
+    holder.ping().expect("slot holder is served");
+
+    // The next connection must be bounced with Busy — read the one-shot
+    // reply straight off the raw socket.
+    let mut bounced = std::net::TcpStream::connect(&addr).expect("connect");
+    bounced
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reply = vec![0u8; 1024];
+    let n = bounced.read(&mut reply).expect("busy reply");
+    match decode_frame(&reply[..n]) {
+        Ok((Frame::Error(e), _)) => assert_eq!(e.code, error_code::BUSY),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert_eq!(bounced.read(&mut reply).unwrap_or(0), 0, "then closed");
+
+    // A retrying client pointed at the saturated server blocks out its
+    // backoff schedule; once the holder leaves, a retry gets through.
+    let freer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        drop(holder);
+    });
+    let mut retrier = Client::connect_tcp(&addr).expect("connect");
+    retrier.set_retry_policy(RetryPolicy {
+        max_retries: 20,
+        base_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(100),
+        seed: 42,
+    });
+    retrier.ping().expect("retrying client recovers");
+    freer.join().unwrap();
+
+    let stats = retrier.stats().expect("stats");
+    assert!(stats.busy_rejections >= 2, "bounced + ≥1 retry rejection");
+    assert!(stats.conns_accepted >= 2, "holder + eventual retrier");
+
+    retrier.shutdown().expect("shutdown");
+    daemon.join().unwrap();
+}
+
+#[test]
+fn idle_connection_is_timed_out_and_the_server_keeps_serving() {
+    let server = governed_server(ServerOptions {
+        io_timeout: Duration::from_millis(150),
+        ..ServerOptions::default()
+    });
+    let (addr, daemon) = spawn_tcp(&server);
+
+    // Connect and send nothing: the server must reply Error(TIMEOUT) and
+    // close, counted in io_timeouts.
+    let mut idler = std::net::TcpStream::connect(&addr).expect("connect");
+    idler
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reply = vec![0u8; 1024];
+    let n = idler.read(&mut reply).expect("timeout reply");
+    match decode_frame(&reply[..n]) {
+        Ok((Frame::Error(e), _)) => assert_eq!(e.code, error_code::TIMEOUT),
+        other => panic!("expected timeout error, got {other:?}"),
+    }
+    assert_eq!(idler.read(&mut reply).unwrap_or(0), 0, "then closed");
+
+    // A prompt client on a fresh connection is served normally.
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.ping().expect("server still serves");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.io_timeouts, 1);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap();
+}
+
+#[test]
+fn slow_loris_header_is_timed_out() {
+    let server = governed_server(ServerOptions {
+        io_timeout: Duration::from_millis(150),
+        ..ServerOptions::default()
+    });
+    let (addr, daemon) = spawn_tcp(&server);
+
+    // Send a partial header and stall: the per-frame budget, not the idle
+    // timeout, must kill it (first byte already arrived).
+    let mut loris = std::net::TcpStream::connect(&addr).expect("connect");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loris
+        .write_all(&encode_frame(&Frame::Ping)[..7])
+        .expect("partial header");
+    let mut reply = vec![0u8; 1024];
+    let n = loris.read(&mut reply).expect("timeout reply");
+    match decode_frame(&reply[..n]) {
+        Ok((Frame::Error(e), _)) => assert_eq!(e.code, error_code::TIMEOUT),
+        other => panic!("expected timeout error, got {other:?}"),
+    }
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    assert_eq!(client.stats().expect("stats").io_timeouts, 1);
+    client.shutdown().expect("shutdown");
+    daemon.join().unwrap();
+}
+
+/// Shutdown arriving while an `Explain` is in flight: the in-flight reply
+/// still arrives, the daemon drains every handler, and the post-drain
+/// counters prove it — `live_handlers == 0`, `drained_handlers` covers
+/// all accepted connections. Run at pipeline parallelism 1 and 8.
+#[test]
+fn shutdown_drains_in_flight_requests_at_either_pool_width() {
+    for threads in [1usize, 8] {
+        let server = governed_server(ServerOptions {
+            nexus: NexusOptions::builder()
+                .parallelism(Parallelism::Fixed(threads))
+                .build()
+                .expect("valid options"),
+            ..ServerOptions::default()
+        });
+        let (addr, daemon) = spawn_tcp(&server);
+
+        // In-flight worker: a cold Explain (the pipeline gives shutdown a
+        // real in-flight request to race against).
+        let worker = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect");
+                client.explain("world", SQL).expect("in-flight reply")
+            })
+        };
+
+        // Shutdown from a second connection as soon as the server has
+        // accepted both — admission is observable via conns_accepted, so
+        // this is counter-gated, not sleep-gated.
+        let mut controller = Client::connect_tcp(&addr).expect("connect");
+        loop {
+            let stats = controller.stats().expect("stats");
+            if stats.conns_accepted >= 2 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        controller.shutdown().expect("shutdown acknowledged");
+
+        // The in-flight explain must still complete with a real reply.
+        let response = worker.join().expect("worker thread");
+        assert!(
+            !response.explanation_bytes.is_empty(),
+            "threads {threads}: in-flight request must be answered during drain"
+        );
+
+        // Daemon returns only after the drain: every handler joined.
+        daemon.join().unwrap();
+        let stats = server.stats();
+        assert_eq!(
+            stats.live_handlers, 0,
+            "threads {threads}: no handler thread may outlive the drain"
+        );
+        assert!(
+            stats.drained_handlers >= 2,
+            "threads {threads}: worker + controller handlers were joined, got {}",
+            stats.drained_handlers
+        );
+        assert_eq!(stats.conns_accepted, 2, "threads {threads}");
+        assert_eq!(stats.busy_rejections, 0, "threads {threads}");
+    }
+}
