@@ -19,6 +19,9 @@ pub enum CoreError {
     /// An [`crate::pipeline::ExplainRequest`] is incomplete or
     /// inconsistent.
     InvalidRequest(String),
+    /// The run was aborted through a [`crate::control::RunControl`]
+    /// abort flag before it produced an explanation.
+    Aborted,
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +33,7 @@ impl fmt::Display for CoreError {
             CoreError::NoCandidates => write!(f, "no candidate attributes available"),
             CoreError::InvalidOptions(m) => write!(f, "invalid options: {m}"),
             CoreError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            CoreError::Aborted => write!(f, "run aborted by caller"),
         }
     }
 }

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod candidate;
+pub mod control;
 pub mod engine;
 pub mod error;
 pub mod mcimr;
@@ -77,9 +78,10 @@ pub use candidate::{
     assemble_candidates, build_candidates, extract_column, BiasSummary, Candidate, CandidateRepr,
     CandidateSet, CandidateSource, ColumnExtraction, MISSING_CODE,
 };
+pub use control::{ProgressEvent, RunControl};
 pub use engine::{CandStats, Engine};
 pub use error::{CoreError, Result};
-pub use mcimr::{mcimr, IterationTrace, McimrResult};
+pub use mcimr::{mcimr, mcimr_controlled, IterationTrace, McimrResult};
 pub use nexus_info::{KernelMode, KernelSnapshot};
 pub use nexus_runtime::{Parallelism, PoolMetrics, ThreadPool};
 pub use options::{NexusOptions, NexusOptionsBuilder};

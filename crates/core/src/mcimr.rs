@@ -6,7 +6,9 @@ use nexus_info::{ci_test, InfoContext};
 use nexus_table::Codes;
 
 use crate::candidate::CandidateSet;
+use crate::control::{ProgressEvent, RunControl};
 use crate::engine::Engine;
+use crate::error::Result;
 use crate::options::NexusOptions;
 
 /// One greedy iteration's bookkeeping.
@@ -68,6 +70,24 @@ const MAX_REJECTIONS: usize = 8;
 /// aside and the search retries with the next-best candidate, up to
 /// [`MAX_REJECTIONS`] times, rather than ending selection outright.
 pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> McimrResult {
+    mcimr_controlled(set, engine, options, RunControl::none()).expect("null control cannot abort")
+}
+
+/// [`mcimr`] with cooperative cancellation and progress streaming.
+///
+/// The abort flag is polled once per greedy iteration — the natural
+/// granularity: each iteration is one pool-mapped scoring pass plus one
+/// CI test, so a cancel lands within a single `NextBestAtt` round. After
+/// every *committed* selection the control receives a
+/// [`ProgressEvent::Selected`] carrying the top-k-so-far set; rejected or
+/// undone candidates emit nothing, so the event stream mirrors exactly
+/// the trace of the final result.
+pub fn mcimr_controlled(
+    set: &CandidateSet,
+    engine: &Engine,
+    options: &NexusOptions,
+    ctl: RunControl<'_>,
+) -> Result<McimrResult> {
     let k = options.max_explanation_size;
     let initial_cmi = engine.baseline_cmi();
     let mut selected: Vec<usize> = Vec::new();
@@ -82,6 +102,7 @@ pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Mci
     let mut rejections = 0usize;
 
     while selected.len() < k {
+        ctl.check()?;
         let Some((best, v1, v2)) = next_best(set, engine, &selected, &rejected, options) else {
             // Nothing selectable remains; if candidates were set aside on
             // the way here, responsibility (not the bound k) ended the
@@ -144,16 +165,24 @@ pub fn mcimr(set: &CandidateSet, engine: &Engine, options: &NexusOptions) -> Mci
             continue;
         }
         last_cmi = cmi_after;
+        ctl.emit(ProgressEvent::Selected {
+            names: selected
+                .iter()
+                .map(|&i| set.candidates[i].name.clone())
+                .collect(),
+            cmi_so_far: cmi_after,
+            initial_cmi,
+        });
     }
 
     let final_cmi = engine.cmi_given(set, &selected);
-    McimrResult {
+    Ok(McimrResult {
         selected,
         initial_cmi,
         final_cmi,
         trace,
         stopped_by_responsibility,
-    }
+    })
 }
 
 /// The `NextBestAtt` procedure of Algorithm 1.
@@ -312,6 +341,56 @@ mod tests {
         // a 20x coefficient vs gini's 8x).
         let name = r.names(&set)[0];
         assert!(name.contains("hdi"), "{name}");
+    }
+
+    #[test]
+    fn controlled_run_streams_committed_selections() {
+        use std::sync::Mutex;
+        let options = NexusOptions::default();
+        let (table, kg, cols) = toy();
+        let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
+        let set = build_candidates(&table, &kg, &cols, &q, &options).unwrap();
+        let engine = Engine::new(&set);
+        let events: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
+        let sink = |e: ProgressEvent| events.lock().unwrap().push(e);
+        let ctl = RunControl {
+            abort: None,
+            progress: Some(&sink),
+        };
+        let r = mcimr_controlled(&set, &engine, &options, ctl).unwrap();
+        let events = events.into_inner().unwrap();
+        // One Selected event per committed selection, mirroring the trace.
+        assert_eq!(events.len(), r.trace.len());
+        for (event, t) in events.iter().zip(&r.trace) {
+            let ProgressEvent::Selected {
+                names, cmi_so_far, ..
+            } = event
+            else {
+                panic!("unexpected event {event:?}");
+            };
+            assert_eq!(names.last().map(String::as_str), Some(t.name.as_str()));
+            assert_eq!(cmi_so_far.to_bits(), t.cmi_after.to_bits());
+        }
+        // The final event carries the full selected set.
+        if let Some(ProgressEvent::Selected { names, .. }) = events.last() {
+            assert_eq!(names.len(), r.selected.len());
+        }
+    }
+
+    #[test]
+    fn pre_set_abort_flag_stops_before_any_selection() {
+        use crate::error::CoreError;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let options = NexusOptions::default();
+        let (table, kg, cols) = toy();
+        let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
+        let set = build_candidates(&table, &kg, &cols, &q, &options).unwrap();
+        let engine = Engine::new(&set);
+        let flag = AtomicBool::new(true);
+        flag.store(true, Ordering::Release);
+        let err = mcimr_controlled(&set, &engine, &options, RunControl::with_abort(&flag))
+            .expect_err("aborted");
+        assert_eq!(err, CoreError::Aborted);
     }
 
     #[test]

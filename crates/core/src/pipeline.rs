@@ -13,9 +13,10 @@ use crate::candidate::{
     assemble_candidates, build_candidates, BiasSummary, CandidateRepr, CandidateSet,
     CandidateSource, ColumnExtraction, MISSING_CODE,
 };
+use crate::control::RunControl;
 use crate::engine::Engine;
 use crate::error::{CoreError, Result};
-use crate::mcimr::{mcimr, McimrResult};
+use crate::mcimr::{mcimr_controlled, McimrResult};
 use crate::options::NexusOptions;
 use crate::prune::{prune_offline, prune_online, PruneReport};
 use crate::responsibility::responsibilities;
@@ -329,9 +330,29 @@ impl Nexus {
         extractions: &[&ColumnExtraction],
         query: &AggregateQuery,
     ) -> Result<(Explanation, RunArtifacts)> {
+        self.run_with_extractions_controlled(table, extractions, query, RunControl::none())
+    }
+
+    /// [`Nexus::run_with_extractions`] with cooperative cancellation and
+    /// progress streaming (see [`RunControl`]).
+    ///
+    /// The abort flag is polled at every stage boundary and once per
+    /// MCIMR iteration; an aborted run returns
+    /// [`CoreError::Aborted`](crate::error::CoreError::Aborted) and
+    /// produces no explanation. A run with `RunControl::none()` is
+    /// bit-identical to the uncontrolled entry point.
+    pub fn run_with_extractions_controlled(
+        &self,
+        table: &Table,
+        extractions: &[&ColumnExtraction],
+        query: &AggregateQuery,
+        ctl: RunControl<'_>,
+    ) -> Result<(Explanation, RunArtifacts)> {
         let t0 = Instant::now();
+        ctl.check()?;
+        ctl.stage("assemble");
         let set = assemble_candidates(table, extractions, query, &self.options)?;
-        self.execute_set(set, t0.elapsed())
+        self.execute_set_controlled(set, t0.elapsed(), ctl)
     }
 
     fn execute(
@@ -351,14 +372,28 @@ impl Nexus {
     /// reported in the stats.
     fn execute_set(
         &self,
+        set: CandidateSet,
+        t_build: Duration,
+    ) -> Result<(Explanation, RunArtifacts)> {
+        self.execute_set_controlled(set, t_build, RunControl::none())
+    }
+
+    /// [`Nexus::execute_set`] with abort checks at every stage boundary
+    /// and [`ProgressEvent::Stage`](crate::control::ProgressEvent::Stage)
+    /// emissions as each stage begins.
+    fn execute_set_controlled(
+        &self,
         mut set: CandidateSet,
         t_build: Duration,
+        ctl: RunControl<'_>,
     ) -> Result<(Explanation, RunArtifacts)> {
         let options = &self.options;
         let n_initial = set.candidates.len();
         let kernel_before = nexus_info::kernel::counters().snapshot();
 
         let t0 = Instant::now();
+        ctl.check()?;
+        ctl.stage("prune-offline");
         let offline_report = if options.offline_pruning {
             prune_offline(&mut set, options)
         } else {
@@ -366,6 +401,8 @@ impl Nexus {
         };
         let n_after_offline = set.candidates.len();
 
+        ctl.check()?;
+        ctl.stage("prune-online");
         let engine = Engine::with_parallelism(&set, options.parallelism);
         let online_report = if options.online_pruning {
             prune_online(&mut set, &engine, options)
@@ -376,6 +413,8 @@ impl Nexus {
         let t_prune = t0.elapsed();
 
         let t0 = Instant::now();
+        ctl.check()?;
+        ctl.stage("bias");
         let n_biased = if options.handle_selection_bias {
             apply_selection_bias_weights(&mut set, &engine, options)
         } else {
@@ -384,7 +423,9 @@ impl Nexus {
         let t_bias = t0.elapsed();
 
         let t0 = Instant::now();
-        let result = mcimr(&set, &engine, options);
+        ctl.stage("select");
+        let result = mcimr_controlled(&set, &engine, options, ctl)?;
+        ctl.check()?;
         let resp = responsibilities(&set, &engine, &result.selected);
         let t_mcimr = t0.elapsed();
 

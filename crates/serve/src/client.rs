@@ -1,5 +1,17 @@
-//! A blocking NEXUSRPC client over a Unix or TCP stream, with optional
-//! retry-with-jittered-backoff against a governed server.
+//! Blocking NEXUSRPC clients over Unix or TCP streams.
+//!
+//! Two client shapes share the connection plumbing here:
+//!
+//! * [`Client`] — the classic v1 one-request-at-a-time client, with
+//!   optional retry-with-jittered-backoff against a governed server.
+//!   Requests are described by the typed [`ExplainCall`] builder and
+//!   submitted with [`Client::call`].
+//! * [`Session`] — a negotiated v2 session that pipelines many
+//!   correlation-id'd requests over one connection. [`Session::submit`]
+//!   returns a [`Ticket`] immediately; the reply (plus streamed
+//!   `Progress`/`Partial` frames) is collected by whichever ticket holder
+//!   blocks in [`Ticket::wait`], and [`Ticket::cancel`] aborts the
+//!   server-side run mid-pipeline.
 //!
 //! Every NEXUSRPC request is idempotent (`Explain` replies are
 //! deterministic and cached server-side), so a client may safely retry
@@ -10,15 +22,19 @@
 //! [`Backoff`](nexus_runtime::Backoff) whose jitter decorrelates
 //! stampeding clients without sacrificing reproducibility.
 
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use nexus_runtime::Backoff;
 
 use crate::wire::{
-    error_code, read_frame, write_frame, ErrorWire, ExplanationWire, Frame, ServeStatsWire,
-    ServerStatsWire, WireError,
+    error_code, read_envelope, read_frame, v2, write_envelope, write_frame, CallOverrides,
+    Envelope, ErrorWire, ExplainRequestWire, ExplanationWire, Frame, HelloWire, PartialWire,
+    ServeStatsWire, ServerStatsWire, WireError, Workspace, MAX_VERSION,
 };
 
 /// Client-side failures.
@@ -30,6 +46,9 @@ pub enum ClientError {
     Server(ErrorWire),
     /// The server answered with a frame the client did not expect.
     Unexpected(&'static str),
+    /// The call uses v2-only features (per-call overrides); submit it
+    /// through a [`Session`] instead of a v1 [`Client`].
+    NeedsSession,
 }
 
 impl std::fmt::Display for ClientError {
@@ -38,6 +57,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "{e}"),
             ClientError::Server(e) => write!(f, "server error {}: {}", e.code, e.message),
             ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+            ClientError::NeedsSession => {
+                write!(
+                    f,
+                    "call carries per-call overrides; submit it via a v2 Session"
+                )
+            }
         }
     }
 }
@@ -191,8 +216,85 @@ fn open(endpoint: &Endpoint, io_timeout: Option<Duration>) -> std::io::Result<St
     Ok(stream)
 }
 
+/// A typed explanation request: dataset, SQL, and optional per-call
+/// overrides of the server's resident pipeline options.
+///
+/// Plain calls (no overrides) travel over both protocol versions; calls
+/// with overrides are a v2 feature and must go through a [`Session`]
+/// ([`Client::call`] refuses them with [`ClientError::NeedsSession`]).
+///
+/// ```no_run
+/// # use nexus_serve::ExplainCall;
+/// let call = ExplainCall::new("salaries", "SELECT Country, avg(Salary) FROM t GROUP BY Country")
+///     .top_k(3)
+///     .exclude("Gender");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplainCall {
+    dataset: String,
+    sql: String,
+    overrides: CallOverrides,
+}
+
+impl ExplainCall {
+    /// A plain call: explain `sql` over the resident `dataset` with the
+    /// server's own pipeline options.
+    pub fn new(dataset: impl Into<String>, sql: impl Into<String>) -> ExplainCall {
+        ExplainCall {
+            dataset: dataset.into(),
+            sql: sql.into(),
+            overrides: CallOverrides::default(),
+        }
+    }
+
+    /// Overrides the maximum explanation size (top-k attributes).
+    /// The server rejects `0` with a `BAD_QUERY` error.
+    pub fn top_k(mut self, k: u32) -> ExplainCall {
+        self.overrides.top_k = Some(k);
+        self
+    }
+
+    /// Overrides whether selection-bias weighting is applied.
+    pub fn weights(mut self, on: bool) -> ExplainCall {
+        self.overrides.weights = Some(on);
+        self
+    }
+
+    /// Overrides whether offline candidate pruning runs.
+    pub fn offline_pruning(mut self, on: bool) -> ExplainCall {
+        self.overrides.offline_pruning = Some(on);
+        self
+    }
+
+    /// Overrides whether online candidate pruning runs.
+    pub fn online_pruning(mut self, on: bool) -> ExplainCall {
+        self.overrides.online_pruning = Some(on);
+        self
+    }
+
+    /// Excludes `column` from the candidate confounders for this call.
+    pub fn exclude(mut self, column: impl Into<String>) -> ExplainCall {
+        self.overrides.excluded.push(column.into());
+        self
+    }
+
+    /// Whether any per-call override is set (v2-only calls).
+    pub fn has_overrides(&self) -> bool {
+        !self.overrides.is_none()
+    }
+
+    fn to_wire(&self) -> ExplainRequestWire {
+        ExplainRequestWire {
+            dataset: self.dataset.clone(),
+            sql: self.sql.clone(),
+            overrides: self.overrides.clone(),
+        }
+    }
+}
+
 /// A blocking NEXUSRPC client. One request is in flight at a time; open
-/// several clients for concurrency. Retries are off by default
+/// several clients for concurrency (or a [`Session`] for pipelining over
+/// one connection). Retries are off by default
 /// ([`RetryPolicy::none`]); opt in with [`Client::set_retry_policy`].
 pub struct Client {
     stream: Stream,
@@ -280,13 +382,16 @@ impl Client {
         }
     }
 
-    /// Requests an explanation of `sql` over the resident dataset.
-    pub fn explain(&mut self, dataset: &str, sql: &str) -> Result<ExplainResponse, ClientError> {
-        let request = Frame::Explain(crate::wire::ExplainRequestWire {
-            dataset: dataset.to_string(),
-            sql: sql.to_string(),
-        });
-        match self.roundtrip(&request)? {
+    /// Submits a typed [`ExplainCall`] and blocks for the reply.
+    ///
+    /// Calls carrying per-call overrides are a v2-only feature; this v1
+    /// client refuses them with [`ClientError::NeedsSession`] rather than
+    /// silently dropping the overrides.
+    pub fn call(&mut self, call: &ExplainCall) -> Result<ExplainResponse, ClientError> {
+        if call.has_overrides() {
+            return Err(ClientError::NeedsSession);
+        }
+        match self.roundtrip(&Frame::Explain(call.to_wire()))? {
             Frame::Explanation(reply) => Ok(ExplainResponse {
                 explanation: ExplanationWire::decode(&reply.explanation)?,
                 explanation_bytes: reply.explanation,
@@ -294,6 +399,13 @@ impl Client {
             }),
             _ => Err(ClientError::Unexpected("wanted Explanation")),
         }
+    }
+
+    /// Requests an explanation of `sql` over the resident dataset.
+    #[deprecated(note = "use Client::call with an ExplainCall builder, \
+                or Session::submit for pipelining")]
+    pub fn explain(&mut self, dataset: &str, sql: &str) -> Result<ExplainResponse, ClientError> {
+        self.call(&ExplainCall::new(dataset, sql))
     }
 
     /// Fetches cumulative server statistics.
@@ -309,6 +421,293 @@ impl Client {
         match self.roundtrip(&Frame::Shutdown)? {
             Frame::ShutdownAck => Ok(()),
             _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
+        }
+    }
+}
+
+/// One in-flight (or finished, not yet consumed) v2 request's state.
+#[derive(Default)]
+struct PendingEntry {
+    /// Pipeline stages announced by `Progress` frames, in order.
+    stages: Vec<String>,
+    /// Top-k-so-far snapshots streamed by `Partial` frames, in order.
+    partials: Vec<PartialWire>,
+    /// The final reply (`Explanation` or `Error`), once it arrived.
+    outcome: Option<Frame>,
+}
+
+/// The connection half of a session, guarded by one mutex so every
+/// write (and every read) is serialized.
+struct SessionIo {
+    stream: Stream,
+    ws: Workspace,
+}
+
+/// Session state shared between the [`Session`] and its [`Ticket`]s.
+struct SessionShared {
+    io: Mutex<SessionIo>,
+    pending: Mutex<HashMap<u64, PendingEntry>>,
+    next_corr: AtomicU64,
+}
+
+impl SessionShared {
+    /// Writes one v2 envelope under the I/O lock.
+    fn write(&self, corr: u64, frame: Frame) -> Result<(), ClientError> {
+        let mut io = self.io.lock().expect("session i/o poisoned");
+        let SessionIo { stream, ws } = &mut *io;
+        write_envelope(stream, &Envelope::v2(corr, frame), ws)?;
+        Ok(())
+    }
+}
+
+/// Blocks until the final reply for `corr` is known, reading (and
+/// demultiplexing) envelopes off the shared stream as needed.
+///
+/// Any ticket holder may end up doing the reading; frames for *other*
+/// correlation ids are filed into their pending entries along the way,
+/// and frames for ids nobody waits on anymore (dropped tickets) are
+/// discarded. Waiting is repeatable: the outcome is cloned, not taken.
+fn wait_final(shared: &SessionShared, corr: u64) -> Result<Frame, ClientError> {
+    let settled = |shared: &SessionShared| {
+        shared
+            .pending
+            .lock()
+            .expect("session pending poisoned")
+            .get(&corr)
+            .and_then(|entry| entry.outcome.clone())
+    };
+    loop {
+        if let Some(frame) = settled(shared) {
+            return Ok(frame);
+        }
+        let mut io = shared.io.lock().expect("session i/o poisoned");
+        // Another ticket holder may have read our reply while we waited
+        // for the stream.
+        if let Some(frame) = settled(shared) {
+            return Ok(frame);
+        }
+        let env = read_envelope(&mut io.stream)?;
+        drop(io);
+        let mut pending = shared.pending.lock().expect("session pending poisoned");
+        if let Some(entry) = pending.get_mut(&env.corr_id) {
+            match env.frame {
+                Frame::Progress(p) => entry.stages.push(p.stage),
+                Frame::Partial(p) => entry.partials.push(p),
+                frame => entry.outcome = Some(frame),
+            }
+        }
+    }
+}
+
+/// A negotiated NEXUSRPC v2 session: many pipelined requests over one
+/// connection, with streamed progress, partial results, and
+/// cancellation.
+///
+/// [`Session::submit`] writes the request and returns a [`Ticket`]
+/// without waiting; replies may complete **out of order**, and each
+/// ticket's [`Ticket::wait`] collects exactly its own. A `Session` is
+/// `Sync` — tickets borrow the shared connection state, so submitting
+/// from one thread and waiting on others works without extra plumbing.
+///
+/// ```no_run
+/// # use nexus_serve::{ExplainCall, Session};
+/// let session = Session::connect_unix("/tmp/nexus.sock")?;
+/// let slow = session.submit(&ExplainCall::new("d", "SELECT A, avg(X) FROM t GROUP BY A"))?;
+/// let fast = session.submit(&ExplainCall::new("d", "SELECT B, avg(X) FROM t GROUP BY B"))?;
+/// let fast_reply = fast.wait()?; // may finish before `slow`
+/// slow.cancel()?;               // no longer needed: abort it mid-pipeline
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Session {
+    shared: Arc<SessionShared>,
+    max_inflight: u32,
+}
+
+impl Session {
+    /// Connects to a server's Unix socket and negotiates v2.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Session, ClientError> {
+        Session::handshake(open(&Endpoint::Unix(path.as_ref().to_path_buf()), None)?)
+    }
+
+    /// Connects to a server's TCP endpoint and negotiates v2.
+    pub fn connect_tcp(addr: &str) -> Result<Session, ClientError> {
+        Session::handshake(open(&Endpoint::Tcp(addr.to_string()), None)?)
+    }
+
+    /// Opens the session: `Hello` (correlation id 0) must be the first
+    /// frame on a v2 connection, and the server's `HelloAck` fixes the
+    /// negotiated version and in-flight budget.
+    fn handshake(mut stream: Stream) -> Result<Session, ClientError> {
+        let mut ws = Workspace::new();
+        write_envelope(
+            &mut stream,
+            &Envelope::v2(
+                0,
+                Frame::Hello(HelloWire {
+                    max_version: MAX_VERSION,
+                }),
+            ),
+            &mut ws,
+        )?;
+        let reply = read_envelope(&mut stream)?;
+        let max_inflight = match reply.frame {
+            Frame::HelloAck(ack) if ack.version == v2::VERSION => ack.max_inflight,
+            Frame::HelloAck(_) => {
+                return Err(ClientError::Unexpected("negotiated an unknown version"))
+            }
+            Frame::Unsupported(_) => {
+                return Err(ClientError::Unexpected("server does not speak NEXUSRPC v2"))
+            }
+            Frame::Error(e) => return Err(ClientError::Server(e)),
+            _ => return Err(ClientError::Unexpected("wanted HelloAck")),
+        };
+        Ok(Session {
+            shared: Arc::new(SessionShared {
+                io: Mutex::new(SessionIo { stream, ws }),
+                pending: Mutex::new(HashMap::new()),
+                next_corr: AtomicU64::new(1),
+            }),
+            max_inflight,
+        })
+    }
+
+    /// The server's per-connection in-flight budget from `HelloAck`;
+    /// requests beyond it draw `BUSY` errors for their correlation id.
+    pub fn max_inflight(&self) -> u32 {
+        self.max_inflight
+    }
+
+    /// Submits an [`ExplainCall`] (overrides welcome) without waiting.
+    pub fn submit(&self, call: &ExplainCall) -> Result<Ticket, ClientError> {
+        let corr = self.shared.next_corr.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .pending
+            .lock()
+            .expect("session pending poisoned")
+            .insert(corr, PendingEntry::default());
+        if let Err(e) = self.shared.write(corr, Frame::Explain(call.to_wire())) {
+            self.shared
+                .pending
+                .lock()
+                .expect("session pending poisoned")
+                .remove(&corr);
+            return Err(e);
+        }
+        Ok(Ticket {
+            corr,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// One full control roundtrip (used by ping/stats): these replies
+    /// arrive inline but still carry our correlation id, so they ride
+    /// the same demultiplexer as explanations.
+    fn control(&self, request: Frame) -> Result<Frame, ClientError> {
+        let corr = self.shared.next_corr.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .pending
+            .lock()
+            .expect("session pending poisoned")
+            .insert(corr, PendingEntry::default());
+        let result = self
+            .shared
+            .write(corr, request)
+            .and_then(|()| wait_final(&self.shared, corr));
+        self.shared
+            .pending
+            .lock()
+            .expect("session pending poisoned")
+            .remove(&corr);
+        result
+    }
+
+    /// Liveness probe. Answered inline by the session loop, so it
+    /// overtakes any in-flight explanations (and counts as an
+    /// out-of-order reply server-side when it does).
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.control(Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Fetches cumulative server statistics over this session.
+    pub fn stats(&self) -> Result<ServerStatsWire, ClientError> {
+        match self.control(Frame::Stats)? {
+            Frame::StatsReply(s) => Ok(s),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted StatsReply")),
+        }
+    }
+}
+
+/// A claim on one pipelined request's reply.
+///
+/// Dropping a ticket abandons the reply (late frames for it are
+/// discarded by the session demultiplexer) without cancelling the
+/// server-side run — call [`Ticket::cancel`] for that.
+pub struct Ticket {
+    corr: u64,
+    shared: Arc<SessionShared>,
+}
+
+impl Ticket {
+    /// The request's correlation id on the wire.
+    pub fn corr_id(&self) -> u64 {
+        self.corr
+    }
+
+    /// Blocks until this request's final reply and decodes it. Safe to
+    /// call again after an `Ok` — the outcome is kept until the ticket
+    /// drops.
+    pub fn wait(&self) -> Result<ExplainResponse, ClientError> {
+        match wait_final(&self.shared, self.corr)? {
+            Frame::Explanation(reply) => Ok(ExplainResponse {
+                explanation: ExplanationWire::decode(&reply.explanation)?,
+                explanation_bytes: reply.explanation,
+                stats: reply.stats,
+            }),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted Explanation")),
+        }
+    }
+
+    /// Asks the server to abort this request mid-pipeline. The final
+    /// reply (an [`error_code::CANCELLED`] error, or the explanation if
+    /// it won the race) still arrives; collect it with [`Ticket::wait`].
+    pub fn cancel(&self) -> Result<(), ClientError> {
+        self.shared.write(self.corr, Frame::Cancel)
+    }
+
+    /// Pipeline stages streamed so far (`Progress` frames read so far by
+    /// any waiter on this session).
+    pub fn progress(&self) -> Vec<String> {
+        self.shared
+            .pending
+            .lock()
+            .expect("session pending poisoned")
+            .get(&self.corr)
+            .map(|entry| entry.stages.clone())
+            .unwrap_or_default()
+    }
+
+    /// Top-k-so-far snapshots streamed so far (`Partial` frames).
+    pub fn partials(&self) -> Vec<PartialWire> {
+        self.shared
+            .pending
+            .lock()
+            .expect("session pending poisoned")
+            .get(&self.corr)
+            .map(|entry| entry.partials.clone())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if let Ok(mut pending) = self.shared.pending.lock() {
+            pending.remove(&self.corr);
         }
     }
 }

@@ -9,10 +9,13 @@
 //! columns against the knowledge graph, and mining candidate attributes.
 //! This crate keeps all of that resident in a long-lived process:
 //!
-//! * [`wire`] — **NEXUSRPC v1**, a versioned, length-prefixed,
-//!   CRC-checked binary protocol with fully deterministic little-endian
-//!   encoding. Pure [`wire::encode_frame`]/[`wire::decode_frame`] work on
-//!   byte slices without any socket.
+//! * [`wire`] — **NEXUSRPC**, a versioned, length-prefixed, CRC-checked
+//!   binary protocol with fully deterministic little-endian encoding.
+//!   v1 is one-request-at-a-time; v2 multiplexes many correlation-id'd
+//!   requests over one connection with streamed progress, partial
+//!   results, and cancellation. Pure
+//!   [`wire::encode_frame`]/[`wire::decode_frame`] work on byte slices
+//!   without any socket.
 //! * [`Server`] — loads datasets once, mines KG extraction artifacts once
 //!   ([`nexus_core::extract_column`]), schedules request pipelines (whose
 //!   candidate scoring runs on the `nexus-runtime` scoped pool) behind a
@@ -21,7 +24,11 @@
 //!   fingerprint)*. Cache hits echo stored bytes verbatim: **byte-identical**
 //!   to a cold run, with `scored_tasks == 0` because the pipeline never
 //!   executes.
-//! * [`Client`] — a blocking client over Unix or TCP loopback streams.
+//! * [`Client`] / [`Session`] — blocking clients over Unix or TCP
+//!   loopback streams: `Client` speaks one-at-a-time v1 with typed
+//!   [`ExplainCall`] requests, `Session` negotiates v2 and pipelines
+//!   many tickets over one connection with streamed partials and
+//!   cancellation.
 //!
 //! ## In-process example
 //!
@@ -51,6 +58,7 @@
 //! let request = Frame::Explain(ExplainRequestWire {
 //!     dataset: "salaries".into(),
 //!     sql: "SELECT Country, avg(Salary) FROM t GROUP BY Country".into(),
+//!     overrides: Default::default(),
 //! });
 //! let cold = server.handle(request.clone());
 //! let hot = server.handle(request);
@@ -72,8 +80,10 @@ pub mod server;
 pub mod wire;
 
 pub use cache::LruCache;
-pub use client::{Client, ClientError, ExplainResponse, RetryPolicy};
+pub use client::{Client, ClientError, ExplainCall, ExplainResponse, RetryPolicy, Session, Ticket};
 pub use faults::{pipe, Fault, FaultPlan, FaultyStream, PipeStream};
-pub use net::{deadline_tick, read_frame_deadline, DeadlineStream, ReadError};
+pub use net::{
+    deadline_tick, read_envelope_deadline, read_frame_deadline, DeadlineStream, ReadError,
+};
 pub use server::{explanation_to_wire, ServeError, Server, ServerOptions};
 pub use wire::{Frame, WireError};

@@ -20,7 +20,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::time::{Duration, Instant};
 
-use crate::wire::{self, Frame, FrameHeader, WireError, HEADER_LEN};
+use crate::wire::{Envelope, Frame, FrameHeader, WireError, HEADER_LEN, VERSION};
 
 /// A bidirectional stream whose blocking reads and writes can be given
 /// deadlines, and whose write half can be closed independently.
@@ -175,6 +175,26 @@ pub fn read_frame_deadline<S: DeadlineStream>(
     tick: Duration,
     abort: &dyn Fn() -> bool,
 ) -> Result<Frame, ReadError> {
+    read_envelope_deadline(stream, idle_timeout, frame_budget, tick, abort, VERSION)
+        .map(|env| env.frame)
+}
+
+/// Reads one envelope of any version up to `max_version` under the same
+/// deadlines as [`read_frame_deadline`] (which is this function fixed to
+/// v1).
+///
+/// The v2 demultiplexing loop calls this with a *short* idle timeout —
+/// one tick — so an [`ReadError::IdleTimeout`] doubles as "no inbound
+/// envelope right now", letting the loop interleave reads with flushing
+/// worker replies; no bytes are consumed on that path.
+pub fn read_envelope_deadline<S: DeadlineStream>(
+    stream: &mut S,
+    idle_timeout: Duration,
+    frame_budget: Duration,
+    tick: Duration,
+    abort: &dyn Fn() -> bool,
+    max_version: u16,
+) -> Result<Envelope, ReadError> {
     stream
         .set_read_timeout(Some(tick.max(Duration::from_millis(1))))
         .map_err(|e| ReadError::Wire(WireError::Io(e)))?;
@@ -196,10 +216,10 @@ pub fn read_frame_deadline<S: DeadlineStream>(
 
     // The full envelope is in hand; the pure decoder validates CRC,
     // version, and payload structure exactly as the blocking path does.
-    match wire::decode_frame(&envelope) {
-        Ok((frame, consumed)) => {
+    match Envelope::decode_version_max(&envelope, max_version) {
+        Ok((env, consumed)) => {
             debug_assert_eq!(consumed, envelope.len());
-            Ok(frame)
+            Ok(env)
         }
         Err(e) => Err(ReadError::Wire(e)),
     }

@@ -49,21 +49,26 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nexus_core::{extract_column, ColumnExtraction, Explanation, Nexus, NexusOptions};
+use nexus_core::{
+    extract_column, ColumnExtraction, CoreError, Explanation, Nexus, NexusOptions, ProgressEvent,
+    RunControl,
+};
 use nexus_kg::KnowledgeGraph;
 use nexus_query::parse;
 use nexus_runtime::Semaphore;
 use nexus_table::Table;
 
 use crate::cache::LruCache;
-use crate::net::{deadline_tick, read_frame_deadline, DeadlineStream, ReadError};
+use crate::net::{deadline_tick, read_envelope_deadline, DeadlineStream, ReadError};
 use crate::wire::{
-    error_code, write_frame, ErrorWire, ExplainRequestWire, ExplanationReplyWire, ExplanationWire,
-    Frame, LinkStatsWire, ServeStatsWire, ServerStatsWire, UnsupportedWire, WireError, VERSION,
+    encode_parts_into, error_code, v2, write_frame, Envelope, ErrorWire, ExplainRequestWire,
+    ExplanationReplyWire, ExplanationWire, Frame, HelloAckWire, LinkStatsWire, PartialWire,
+    ProgressWire, ServeStatsWire, ServerStatsWire, UnsupportedWire, WireError, MAX_VERSION,
+    VERSION,
 };
 
 /// Server failures (setup and socket loops; per-request failures travel
@@ -121,6 +126,10 @@ pub struct ServerOptions {
     /// How long shutdown waits for in-flight handler threads before
     /// detaching the stragglers.
     pub drain_timeout: Duration,
+    /// Most `Explain` requests a single v2 connection may hold in flight;
+    /// further submissions draw an [`error_code::BUSY`] reply for their
+    /// correlation id (the connection survives).
+    pub max_inflight: usize,
 }
 
 impl Default for ServerOptions {
@@ -134,6 +143,7 @@ impl Default for ServerOptions {
             max_connections: 64,
             io_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
+            max_inflight: 128,
         }
     }
 }
@@ -260,6 +270,7 @@ struct Inner {
     conns: Arc<Semaphore>,
     io_timeout: Duration,
     drain_timeout: Duration,
+    max_inflight: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     requests: AtomicU64,
@@ -267,6 +278,12 @@ struct Inner {
     oversize_frames: AtomicU64,
     drained_handlers: AtomicU64,
     live_handlers: AtomicU64,
+    /// Highest simultaneous in-flight count seen on any v2 connection.
+    inflight_peak: AtomicU64,
+    ooo_replies: AtomicU64,
+    cancels_honored: AtomicU64,
+    partials_streamed: AtomicU64,
+    workspace_reuse_hits: AtomicU64,
     shutdown: AtomicBool,
     /// Counting-kernel counters at server construction; `stats()` reports
     /// movement since then, not since process start.
@@ -294,6 +311,7 @@ impl Server {
                 conns: Arc::new(Semaphore::new(options.max_connections)),
                 io_timeout: options.io_timeout,
                 drain_timeout: options.drain_timeout,
+                max_inflight: options.max_inflight.max(1),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
@@ -301,6 +319,11 @@ impl Server {
                 oversize_frames: AtomicU64::new(0),
                 drained_handlers: AtomicU64::new(0),
                 live_handlers: AtomicU64::new(0),
+                inflight_peak: AtomicU64::new(0),
+                ooo_replies: AtomicU64::new(0),
+                cancels_honored: AtomicU64::new(0),
+                partials_streamed: AtomicU64::new(0),
+                workspace_reuse_hits: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 kernel_baseline: nexus_info::kernel::counters().snapshot(),
             }),
@@ -410,6 +433,11 @@ impl Server {
             oversize_frames: self.inner.oversize_frames.load(Ordering::SeqCst),
             drained_handlers: self.inner.drained_handlers.load(Ordering::SeqCst),
             live_handlers: self.inner.live_handlers.load(Ordering::SeqCst),
+            inflight_peak: self.inner.inflight_peak.load(Ordering::SeqCst),
+            ooo_replies: self.inner.ooo_replies.load(Ordering::SeqCst),
+            cancels_honored: self.inner.cancels_honored.load(Ordering::SeqCst),
+            partials_streamed: self.inner.partials_streamed.load(Ordering::SeqCst),
+            workspace_reuse_hits: self.inner.workspace_reuse_hits.load(Ordering::SeqCst),
         }
     }
 
@@ -434,10 +462,60 @@ impl Server {
     }
 
     fn explain(&self, req: &ExplainRequestWire) -> Frame {
+        self.explain_ctl(req, RunControl::none())
+    }
+
+    /// The effective [`Nexus`] for a request: `None` when the request
+    /// carries no overrides (the resident engine and its fingerprint are
+    /// reused), otherwise an engine over the base options with the
+    /// request's [`crate::wire::CallOverrides`] applied.
+    fn overridden_nexus(&self, req: &ExplainRequestWire) -> Result<Option<Nexus>, Box<Frame>> {
+        let o = &req.overrides;
+        if o.is_none() {
+            return Ok(None);
+        }
+        let mut opts = self.inner.nexus.options.clone();
+        if let Some(k) = o.top_k {
+            if k == 0 {
+                return Err(Box::new(error(
+                    error_code::BAD_QUERY,
+                    "top_k override must be at least 1",
+                )));
+            }
+            opts.max_explanation_size = k as usize;
+        }
+        if let Some(on) = o.weights {
+            opts.handle_selection_bias = on;
+        }
+        if let Some(on) = o.offline_pruning {
+            opts.offline_pruning = on;
+        }
+        if let Some(on) = o.online_pruning {
+            opts.online_pruning = on;
+        }
+        if !o.excluded.is_empty() {
+            // Union with the server's base exclusions, canonically ordered
+            // so the options fingerprint (and thus the cache key) does not
+            // depend on how the client spelled the list.
+            opts.excluded_columns.extend(o.excluded.iter().cloned());
+            opts.excluded_columns.sort();
+            opts.excluded_columns.dedup();
+        }
+        Ok(Some(Nexus::new(opts)))
+    }
+
+    /// [`Server::explain`] under a [`RunControl`]: the abort flag is
+    /// polled while queued for a pipeline slot and at every pipeline hook
+    /// point (an aborted request answers [`error_code::CANCELLED`] and
+    /// caches nothing), and progress events stream to the control's sink.
+    fn explain_ctl(&self, req: &ExplainRequestWire, ctl: RunControl<'_>) -> Frame {
         let arrived = Instant::now();
         self.inner.requests.fetch_add(1, Ordering::SeqCst);
         if self.is_shutting_down() {
             return error(error_code::SHUTTING_DOWN, "server is shutting down");
+        }
+        if ctl.check().is_err() {
+            return error(error_code::CANCELLED, "request cancelled");
         }
         let Some(dataset) = self
             .inner
@@ -456,10 +534,19 @@ impl Server {
             Ok(q) => q,
             Err(e) => return error(error_code::BAD_QUERY, e.to_string()),
         };
+        let custom = match self.overridden_nexus(req) {
+            Ok(n) => n,
+            Err(reply) => return *reply,
+        };
+        let nexus = custom.as_ref().unwrap_or(&self.inner.nexus);
+        let options_fp = custom
+            .as_ref()
+            .map(|n| n.options.fingerprint())
+            .unwrap_or(self.inner.options_fp);
         let key = CacheKey {
             signature: query.canonical_signature(),
             dataset_fp: dataset.fingerprint,
-            options_fp: self.inner.options_fp,
+            options_fp,
         };
 
         // Fast path: echo the cached bytes verbatim. No pipeline, no pool.
@@ -481,17 +568,27 @@ impl Server {
         let misses = self.inner.misses.fetch_add(1, Ordering::SeqCst) + 1;
 
         // Cold path: wait for a pipeline slot, then run the
-        // query-dependent stages over the resident extractions.
+        // query-dependent stages over the resident extractions. A
+        // cancellable request polls for its slot so a `Cancel` is honored
+        // even while queued behind other pipelines.
         let queued = Instant::now();
-        let _slot = self.inner.gate.acquire();
+        let _slot = if ctl.abort.is_some() {
+            loop {
+                if let Some(slot) = self.inner.gate.try_acquire() {
+                    break slot;
+                }
+                if ctl.check().is_err() {
+                    return error(error_code::CANCELLED, "request cancelled while queued");
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        } else {
+            self.inner.gate.acquire()
+        };
         let queue_nanos = queued.elapsed().as_nanos() as u64;
 
         let refs: Vec<&ColumnExtraction> = dataset.extractions.iter().collect();
-        match self
-            .inner
-            .nexus
-            .run_with_extractions(&dataset.table, &refs, &query)
-        {
+        match nexus.run_with_extractions_controlled(&dataset.table, &refs, &query, ctl) {
             Ok((explanation, _artifacts)) => {
                 let bytes = Arc::new(explanation_to_wire(&explanation).encode());
                 self.inner
@@ -511,6 +608,7 @@ impl Server {
                     },
                 })
             }
+            Err(CoreError::Aborted) => error(error_code::CANCELLED, "request cancelled"),
             Err(e) => error(error_code::PIPELINE, e.to_string()),
         }
     }
@@ -620,8 +718,36 @@ impl Server {
         );
     }
 
+    /// Encodes `frame` as an envelope through the connection's reusable
+    /// [`Workspace`] and writes it, folding the workspace's reuse-hit
+    /// delta into the server counter.
+    fn write_via<S: DeadlineStream>(
+        &self,
+        stream: &mut S,
+        lane: &mut ReplyLane,
+        version: u16,
+        corr_id: u64,
+        frame: &Frame,
+    ) -> std::io::Result<()> {
+        let bytes = encode_parts_into(version, corr_id, frame, &mut lane.ws);
+        let result = stream.write_all(bytes).and_then(|()| stream.flush());
+        let delta = lane.ws.reuse_hits() - lane.reported_reuse;
+        if delta > 0 {
+            self.inner
+                .workspace_reuse_hits
+                .fetch_add(delta, Ordering::SeqCst);
+            lane.reported_reuse = lane.ws.reuse_hits();
+        }
+        result
+    }
+
     /// Frame loop over one established connection, governed by the
     /// server's I/O timeouts.
+    ///
+    /// The **first** well-formed envelope negotiates the protocol: a v1
+    /// frame enters the classic one-request-at-a-time loop below, while a
+    /// v2 envelope (which must be [`Frame::Hello`]) hands the stream to
+    /// the multiplexing loop of [`Server::serve_v2`].
     ///
     /// Malformed envelopes that cannot be skipped safely (bad magic, bad
     /// CRC, truncation) drop the connection; well-formed frames of an
@@ -635,69 +761,443 @@ impl Server {
         let io_timeout = self.inner.io_timeout;
         let tick = deadline_tick(io_timeout);
         let _ = stream.set_write_timeout(Some(io_timeout));
+        let mut lane = ReplyLane::new();
+        // Until the first good envelope fixes the connection's version,
+        // read at the build ceiling so a v2 `Hello` can negotiate up; a
+        // v1 opener locks the loop to v1 (later v2 envelopes then draw
+        // `Unsupported`, exactly as before v2 existed).
+        let mut negotiating = true;
         loop {
-            let reply =
-                match read_frame_deadline(&mut stream, io_timeout, io_timeout, tick, &|| {
-                    self.is_shutting_down()
-                }) {
-                    Ok(frame) => {
-                        let is_shutdown = matches!(frame, Frame::Shutdown);
-                        let reply = self.handle(frame);
-                        // The in-flight reply is always written — draining a
-                        // shutdown means finishing started work, then closing.
-                        if write_frame(&mut stream, &reply).is_err()
-                            || is_shutdown
-                            || self.is_shutting_down()
+            let ceiling = if negotiating { MAX_VERSION } else { VERSION };
+            let reply = match read_envelope_deadline(
+                &mut stream,
+                io_timeout,
+                io_timeout,
+                tick,
+                &|| self.is_shutting_down(),
+                ceiling,
+            ) {
+                Ok(env) => {
+                    if negotiating && env.version >= v2::VERSION {
+                        self.serve_v2(stream, lane, env);
+                        return;
+                    }
+                    negotiating = false;
+                    let is_shutdown = matches!(env.frame, Frame::Shutdown);
+                    let reply = self.handle(env.frame);
+                    // The in-flight reply is always written — draining a
+                    // shutdown means finishing started work, then closing.
+                    if self
+                        .write_via(&mut stream, &mut lane, VERSION, 0, &reply)
+                        .is_err()
+                        || is_shutdown
+                        || self.is_shutting_down()
+                    {
+                        return;
+                    }
+                    continue;
+                }
+                Err(ReadError::IdleTimeout | ReadError::FrameTimeout) => {
+                    self.inner.io_timeouts.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = self.write_via(
+                        &mut stream,
+                        &mut lane,
+                        VERSION,
+                        0,
+                        &error(error_code::TIMEOUT, "i/o deadline exceeded"),
+                    );
+                    return;
+                }
+                Err(ReadError::Closed | ReadError::Aborted) => return,
+                Err(ReadError::Wire(WireError::PayloadTooLarge(n))) => {
+                    self.inner.oversize_frames.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = self.write_via(
+                        &mut stream,
+                        &mut lane,
+                        VERSION,
+                        0,
+                        &error(
+                            error_code::FRAME_TOO_LARGE,
+                            format!(
+                                "declared payload of {n} bytes exceeds the \
+                                 {} byte cap",
+                                crate::wire::MAX_PAYLOAD
+                            ),
+                        ),
+                    );
+                    return;
+                }
+                Err(ReadError::Wire(WireError::UnsupportedVersion(version))) => {
+                    Frame::Unsupported(UnsupportedWire {
+                        version,
+                        frame_type: 0,
+                        max_supported: MAX_VERSION,
+                    })
+                }
+                Err(ReadError::Wire(WireError::UnknownFrameType(frame_type))) => {
+                    Frame::Unsupported(UnsupportedWire {
+                        version: VERSION,
+                        frame_type,
+                        max_supported: MAX_VERSION,
+                    })
+                }
+                Err(ReadError::Wire(_)) => return,
+            };
+            if self
+                .write_via(&mut stream, &mut lane, VERSION, 0, &reply)
+                .is_err()
+            {
+                return;
+            }
+        }
+    }
+
+    /// The v2 session loop: one thread owns the stream and demultiplexes.
+    ///
+    /// Inbound envelopes are polled one tick at a time and dispatched —
+    /// `Ping`/`Stats`/`Shutdown`/`Cancel` inline, each `Explain` onto its
+    /// own worker thread; between polls the loop drains the workers'
+    /// reply queue onto the wire. Single-threaded I/O keeps every write
+    /// on one path (no stream cloning, one [`Workspace`]) at the cost of
+    /// at most one tick of streaming latency.
+    ///
+    /// Request lifecycle counters (`inflight_peak`, `ooo_replies`,
+    /// `cancels_honored`, `partials_streamed`) are maintained here, at
+    /// registration and reply-write time, so tests assert multiplexing
+    /// behaviour on counters rather than timing.
+    fn serve_v2<S: DeadlineStream>(&self, mut stream: S, mut lane: ReplyLane, first: Envelope) {
+        let io_timeout = self.inner.io_timeout;
+        let tick = deadline_tick(io_timeout);
+        let max_inflight = self.inner.max_inflight;
+
+        // A v2 session opens with Hello; anything else is a protocol
+        // violation worth naming before hanging up.
+        let hello_corr = first.corr_id;
+        if !matches!(first.frame, Frame::Hello(_)) {
+            let _ = self.write_via(
+                &mut stream,
+                &mut lane,
+                v2::VERSION,
+                hello_corr,
+                &error(
+                    error_code::BAD_CORRELATION,
+                    "a v2 session must open with Hello",
+                ),
+            );
+            return;
+        }
+        if self
+            .write_via(
+                &mut stream,
+                &mut lane,
+                v2::VERSION,
+                hello_corr,
+                &Frame::HelloAck(HelloAckWire {
+                    version: v2::VERSION,
+                    max_inflight: max_inflight as u32,
+                }),
+            )
+            .is_err()
+        {
+            return;
+        }
+
+        let mut inflight: HashMap<u64, InflightRequest> = HashMap::new();
+        let (tx, rx) = mpsc::channel::<(u64, Frame)>();
+        let mut next_seq: u64 = 0;
+        let mut last_activity = Instant::now();
+        let mut draining = false;
+
+        loop {
+            // Flush worker output before (and between) reads.
+            while let Ok((corr, frame)) = rx.try_recv() {
+                if matches!(frame, Frame::Explanation(_) | Frame::Error(_)) {
+                    if let Some(done) = inflight.remove(&corr) {
+                        // The worker sent its final reply, so the join is
+                        // imminent, never a stall.
+                        let _ = done.handle.join();
+                        if inflight.values().any(|other| other.seq < done.seq) {
+                            self.inner.ooo_replies.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if matches!(&frame, Frame::Error(e) if e.code == error_code::CANCELLED) {
+                            self.inner.cancels_honored.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                } else if matches!(frame, Frame::Partial(_)) {
+                    self.inner.partials_streamed.fetch_add(1, Ordering::SeqCst);
+                }
+                if self
+                    .write_via(&mut stream, &mut lane, v2::VERSION, corr, &frame)
+                    .is_err()
+                {
+                    abort_and_join(&mut inflight);
+                    return;
+                }
+                last_activity = Instant::now();
+            }
+
+            if self.is_shutting_down() {
+                draining = true;
+            }
+            if draining && inflight.is_empty() {
+                return;
+            }
+
+            // Poll for one inbound envelope. The short idle deadline (one
+            // tick) makes IdleTimeout mean "nothing right now": the real
+            // idle clock is `last_activity`, and a session with work in
+            // flight is never idle.
+            match read_envelope_deadline(
+                &mut stream,
+                tick,
+                io_timeout,
+                tick,
+                &|| false,
+                MAX_VERSION,
+            ) {
+                Ok(env) => {
+                    last_activity = Instant::now();
+                    let corr = env.corr_id;
+                    // An inline reply overtakes every unfinished explain.
+                    let overtakes = !inflight.is_empty();
+                    let inline = match env.frame {
+                        Frame::Ping => Some(Frame::Pong),
+                        Frame::Stats => Some(Frame::StatsReply(self.stats())),
+                        Frame::Shutdown => {
+                            self.inner.shutdown.store(true, Ordering::SeqCst);
+                            draining = true;
+                            Some(Frame::ShutdownAck)
+                        }
+                        Frame::Hello(_) => Some(error(
+                            error_code::BAD_CORRELATION,
+                            "session already negotiated",
+                        )),
+                        Frame::Cancel => {
+                            // Unknown ids are a benign race against the
+                            // final reply, not an error.
+                            if let Some(req) = inflight.get(&corr) {
+                                req.abort.store(true, Ordering::Release);
+                            }
+                            None
+                        }
+                        Frame::Explain(req) => {
+                            if draining {
+                                Some(error(error_code::SHUTTING_DOWN, "server is shutting down"))
+                            } else if inflight.contains_key(&corr) {
+                                Some(error(
+                                    error_code::BAD_CORRELATION,
+                                    "correlation id already in flight",
+                                ))
+                            } else if inflight.len() >= max_inflight {
+                                Some(error(
+                                    error_code::BUSY,
+                                    "per-connection in-flight limit reached; \
+                                     wait for a reply or cancel",
+                                ))
+                            } else {
+                                let abort = Arc::new(AtomicBool::new(false));
+                                let seq = next_seq;
+                                next_seq += 1;
+                                self.inner
+                                    .inflight_peak
+                                    .fetch_max(inflight.len() as u64 + 1, Ordering::SeqCst);
+                                let server = self.clone();
+                                let worker_tx = tx.clone();
+                                let flag = Arc::clone(&abort);
+                                let handle = std::thread::spawn(move || {
+                                    let reply =
+                                        server.explain_streaming(&req, corr, &flag, &worker_tx);
+                                    let _ = worker_tx.send((corr, reply));
+                                });
+                                inflight.insert(corr, InflightRequest { abort, seq, handle });
+                                None
+                            }
+                        }
+                        other => Some(Frame::Unsupported(UnsupportedWire {
+                            version: v2::VERSION,
+                            frame_type: other.frame_type(),
+                            max_supported: MAX_VERSION,
+                        })),
+                    };
+                    if let Some(reply) = inline {
+                        let is_final = matches!(
+                            reply,
+                            Frame::Pong
+                                | Frame::StatsReply(_)
+                                | Frame::ShutdownAck
+                                | Frame::Error(_)
+                        );
+                        if is_final && overtakes {
+                            self.inner.ooo_replies.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if self
+                            .write_via(&mut stream, &mut lane, v2::VERSION, corr, &reply)
+                            .is_err()
                         {
+                            abort_and_join(&mut inflight);
                             return;
                         }
-                        continue;
                     }
-                    Err(ReadError::IdleTimeout | ReadError::FrameTimeout) => {
+                }
+                Err(ReadError::IdleTimeout) => {
+                    if inflight.is_empty() && !draining && last_activity.elapsed() >= io_timeout {
                         self.inner.io_timeouts.fetch_add(1, Ordering::SeqCst);
                         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                        let _ = write_frame(
+                        let _ = self.write_via(
                             &mut stream,
+                            &mut lane,
+                            v2::VERSION,
+                            0,
                             &error(error_code::TIMEOUT, "i/o deadline exceeded"),
                         );
                         return;
                     }
-                    Err(ReadError::Closed | ReadError::Aborted) => return,
-                    Err(ReadError::Wire(WireError::PayloadTooLarge(n))) => {
-                        self.inner.oversize_frames.fetch_add(1, Ordering::SeqCst);
-                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                        let _ = write_frame(
-                            &mut stream,
-                            &error(
-                                error_code::FRAME_TOO_LARGE,
-                                format!(
-                                    "declared payload of {n} bytes exceeds the \
+                }
+                Err(ReadError::FrameTimeout) => {
+                    self.inner.io_timeouts.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = self.write_via(
+                        &mut stream,
+                        &mut lane,
+                        v2::VERSION,
+                        0,
+                        &error(error_code::TIMEOUT, "i/o deadline exceeded"),
+                    );
+                    abort_and_join(&mut inflight);
+                    return;
+                }
+                Err(ReadError::Wire(WireError::PayloadTooLarge(n))) => {
+                    self.inner.oversize_frames.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = self.write_via(
+                        &mut stream,
+                        &mut lane,
+                        v2::VERSION,
+                        0,
+                        &error(
+                            error_code::FRAME_TOO_LARGE,
+                            format!(
+                                "declared payload of {n} bytes exceeds the \
                                  {} byte cap",
-                                    crate::wire::MAX_PAYLOAD
-                                ),
+                                crate::wire::MAX_PAYLOAD
                             ),
-                        );
+                        ),
+                    );
+                    abort_and_join(&mut inflight);
+                    return;
+                }
+                Err(ReadError::Wire(WireError::UnsupportedVersion(version))) => {
+                    let reply = Frame::Unsupported(UnsupportedWire {
+                        version,
+                        frame_type: 0,
+                        max_supported: MAX_VERSION,
+                    });
+                    if self
+                        .write_via(&mut stream, &mut lane, v2::VERSION, 0, &reply)
+                        .is_err()
+                    {
+                        abort_and_join(&mut inflight);
                         return;
                     }
-                    Err(ReadError::Wire(WireError::UnsupportedVersion(version))) => {
-                        Frame::Unsupported(UnsupportedWire {
-                            version,
-                            frame_type: 0,
-                            max_supported: VERSION,
-                        })
+                }
+                Err(ReadError::Wire(WireError::UnknownFrameType(frame_type))) => {
+                    let reply = Frame::Unsupported(UnsupportedWire {
+                        version: v2::VERSION,
+                        frame_type,
+                        max_supported: MAX_VERSION,
+                    });
+                    if self
+                        .write_via(&mut stream, &mut lane, v2::VERSION, 0, &reply)
+                        .is_err()
+                    {
+                        abort_and_join(&mut inflight);
+                        return;
                     }
-                    Err(ReadError::Wire(WireError::UnknownFrameType(frame_type))) => {
-                        Frame::Unsupported(UnsupportedWire {
-                            version: VERSION,
-                            frame_type,
-                            max_supported: VERSION,
-                        })
-                    }
-                    Err(ReadError::Wire(_)) => return,
-                };
-            if write_frame(&mut stream, &reply).is_err() {
-                return;
+                }
+                // The peer is gone (or the stream is unframeable): abort
+                // what it was waiting on and bail.
+                Err(ReadError::Closed | ReadError::Aborted | ReadError::Wire(_)) => {
+                    abort_and_join(&mut inflight);
+                    return;
+                }
             }
+        }
+    }
+
+    /// The worker side of a v2 `Explain`: runs [`Server::explain_ctl`]
+    /// with the request's abort flag and a progress sink that forwards
+    /// pipeline events to the session loop as `Progress`/`Partial`
+    /// frames addressed at `corr`.
+    fn explain_streaming(
+        &self,
+        req: &ExplainRequestWire,
+        corr: u64,
+        abort: &AtomicBool,
+        tx: &mpsc::Sender<(u64, Frame)>,
+    ) -> Frame {
+        // `Sender` is not `Sync`; the sink must be (progress events can
+        // fire from pool threads), so gate it behind a mutex.
+        let tx = Mutex::new(tx.clone());
+        let sink = |event: ProgressEvent| {
+            let frame = match event {
+                ProgressEvent::Stage { stage } => Frame::Progress(ProgressWire {
+                    stage: stage.to_string(),
+                }),
+                ProgressEvent::Selected {
+                    names,
+                    cmi_so_far,
+                    initial_cmi,
+                } => Frame::Partial(PartialWire {
+                    selected: names,
+                    cmi_so_far,
+                    initial_cmi,
+                }),
+            };
+            let _ = tx
+                .lock()
+                .expect("reply channel poisoned")
+                .send((corr, frame));
+        };
+        let ctl = RunControl {
+            abort: Some(abort),
+            progress: Some(&sink),
+        };
+        self.explain_ctl(req, ctl)
+    }
+}
+
+/// A v2 request the session loop has dispatched to a worker thread.
+struct InflightRequest {
+    /// Raised by `Cancel` (or session teardown); the pipeline polls it.
+    abort: Arc<AtomicBool>,
+    /// Arrival order, for out-of-order reply detection.
+    seq: u64,
+    handle: JoinHandle<()>,
+}
+
+/// Raises every in-flight request's abort flag, then joins the workers
+/// (prompt, since each pipeline polls its flag at every hook point).
+fn abort_and_join(inflight: &mut HashMap<u64, InflightRequest>) {
+    for (_, req) in inflight.drain() {
+        req.abort.store(true, Ordering::Release);
+        let _ = req.handle.join();
+    }
+}
+
+/// Per-connection reply state: the reusable encode workspace plus the
+/// high-water mark of reuse hits already folded into the server counter.
+struct ReplyLane {
+    ws: crate::wire::Workspace,
+    reported_reuse: u64,
+}
+
+impl ReplyLane {
+    fn new() -> ReplyLane {
+        ReplyLane {
+            ws: crate::wire::Workspace::new(),
+            reported_reuse: 0,
         }
     }
 }

@@ -1,26 +1,41 @@
-//! **NEXUSRPC v1** — the deterministic, length-prefixed binary wire
-//! protocol of the resident explanation server.
+//! **NEXUSRPC** — the deterministic, length-prefixed binary wire
+//! protocol of the resident explanation server, in two negotiated
+//! versions behind one [`Envelope`] codec.
 //!
-//! ## Frame layout
+//! ## Envelope layout
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"NEXUSRPC"
-//! 8       2     protocol version, u16 LE (currently 1)
+//! 8       2     protocol version, u16 LE (1 or 2)
 //! 10      1     frame type, u8
 //! 11      4     payload length, u32 LE (capped at 64 MiB)
-//! 15      n     payload (frame-type specific)
+//! 15      n     payload (version/frame-type specific)
 //! 15+n    4     CRC-32 (IEEE) over bytes [0, 15+n), u32 LE
 //! ```
+//!
+//! Under **v1** the payload is the frame body alone and a connection is
+//! strictly request → reply. Under **v2** the payload is prefixed by a
+//! `u64` LE *correlation id*, so one connection carries many in-flight
+//! requests with out-of-order replies, plus the session frames
+//! ([`Frame::Hello`], [`Frame::HelloAck`], [`Frame::Cancel`],
+//! [`Frame::Progress`], [`Frame::Partial`]) of the [`v2`] module. A v2
+//! `Explain` payload additionally carries a [`CallOverrides`] section;
+//! everything else encodes identically, so a v2 final reply's frame body
+//! is byte-identical to its v1 twin.
 //!
 //! All integers are little-endian; floats travel as their IEEE-754 bit
 //! pattern (`f64::to_bits`), so every value round-trips bit-exactly —
 //! the property the server's byte-identity cache guarantee rests on.
 //! Strings are UTF-8 with a `u32` byte-length prefix.
 //!
-//! [`encode_frame`] and [`decode_frame`] are pure functions over byte
-//! slices: the protocol is usable (and tested) without any socket.
-//! [`read_frame`]/[`write_frame`] adapt them to `Read`/`Write` streams.
+//! [`Envelope::encode_into`] is the single encode path — header, payload
+//! and CRC for both versions — writing into a reusable [`Workspace`]
+//! buffer; [`encode_frame`]/[`decode_frame`] are the v1-fixed
+//! conveniences built on it, pure functions over byte slices so the
+//! protocol is usable (and tested) without any socket.
+//! [`read_frame`]/[`write_frame`]/[`read_envelope`]/[`write_envelope`]
+//! adapt them to `Read`/`Write` streams.
 //!
 //! Decoding never panics: truncated, oversized, corrupted (CRC), or
 //! malformed inputs produce a [`WireError`]. Frames with an unknown
@@ -32,10 +47,21 @@
 use std::io::{Read, Write};
 use std::sync::OnceLock;
 
+mod envelope;
+pub mod v1;
+pub mod v2;
+
+pub(crate) use envelope::encode_parts_into;
+pub use envelope::{read_envelope, write_envelope, Envelope, FrameHeader, Workspace};
+pub use v2::{CallOverrides, HelloAckWire, HelloWire, PartialWire, ProgressWire};
+
 /// Protocol magic, the first eight bytes of every frame.
 pub const MAGIC: [u8; 8] = *b"NEXUSRPC";
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// The baseline protocol version spoken by every peer (see [`v1`]).
+/// [`encode_frame`]/[`decode_frame`] are fixed to it.
+pub const VERSION: u16 = v1::VERSION;
+/// The highest protocol version this build speaks (see [`v2`]).
+pub const MAX_VERSION: u16 = v2::VERSION;
 /// Frame header length (magic + version + type + payload length).
 pub const HEADER_LEN: usize = 15;
 /// Maximum accepted payload length (64 MiB).
@@ -136,39 +162,39 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // Primitive encode/decode
 // ---------------------------------------------------------------------------
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
 /// Bounds-checked cursor over a payload slice.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
         if end > self.buf.len() {
             return Err(WireError::Truncated);
@@ -178,11 +204,11 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn bool(&mut self) -> Result<bool> {
+    pub(crate) fn bool(&mut self) -> Result<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -190,34 +216,46 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn f64(&mut self) -> Result<f64> {
+    pub(crate) fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn str(&mut self) -> Result<String> {
+    pub(crate) fn str(&mut self) -> Result<String> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
     }
 
-    fn finish(&self) -> Result<()> {
+    pub(crate) fn finish(&self) -> Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
             Err(WireError::Malformed("trailing bytes"))
         }
+    }
+
+    /// Bytes not yet consumed — a sanity cap for declared element counts
+    /// (each element is at least one byte, so a count beyond this is
+    /// malformed, not merely large).
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 }
 
@@ -227,12 +265,15 @@ impl<'a> Reader<'a> {
 
 /// An explanation request: which resident dataset, and the aggregate SQL
 /// query whose correlation is to be explained.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExplainRequestWire {
     /// Name of a dataset resident on the server.
     pub dataset: String,
     /// The aggregate query, as SQL text (parsed server-side).
     pub sql: String,
+    /// Per-call option overrides (v2 only on the wire; a v1 envelope
+    /// carries — and a v1 decode yields — the empty default).
+    pub overrides: CallOverrides,
 }
 
 /// Where a selected attribute came from (wire twin of
@@ -405,11 +446,9 @@ impl ExplanationWire {
     }
 }
 
-/// Remaining bytes of the reader — a sanity cap for declared element
-/// counts (each element is at least one byte, so a count beyond this is
-/// malformed, not merely large).
+/// Remaining bytes of the reader (see [`Reader::remaining`]).
 fn buf_cap(r: &Reader<'_>) -> usize {
-    r.buf.len() - r.pos
+    r.remaining()
 }
 
 /// Volatile per-request server statistics, carried alongside the cached
@@ -491,6 +530,12 @@ pub mod error_code {
     /// The frame declared a payload beyond the 64 MiB cap; the server
     /// closes the stream after this (it cannot resynchronize).
     pub const FRAME_TOO_LARGE: u16 = 7;
+    /// The request was aborted by a [`Cancel`](super::Frame::Cancel)
+    /// frame (or its connection went away) before it finished.
+    pub const CANCELLED: u16 = 8;
+    /// A v2 request reused a correlation id that is still in flight, or
+    /// addressed a control frame at an id the server does not know.
+    pub const BAD_CORRELATION: u16 = 9;
 }
 
 /// Cumulative server statistics ([`Frame::Stats`] reply).
@@ -529,6 +574,21 @@ pub struct ServerStatsWire {
     pub drained_handlers: u64,
     /// Handler threads currently live (0 after a clean drain).
     pub live_handlers: u64,
+    /// Highest number of requests simultaneously in flight on any single
+    /// v2 connection.
+    pub inflight_peak: u64,
+    /// v2 final replies written while an earlier-arrived request on the
+    /// same connection was still incomplete (out-of-order completions).
+    pub ooo_replies: u64,
+    /// In-flight explains aborted by a [`Cancel`](Frame::Cancel) frame
+    /// before they finished.
+    pub cancels_honored: u64,
+    /// [`Partial`](Frame::Partial) top-k-so-far frames streamed to v2
+    /// clients.
+    pub partials_streamed: u64,
+    /// Envelope encodes that reused a connection workspace buffer
+    /// without growing it (see [`Workspace`]).
+    pub workspace_reuse_hits: u64,
 }
 
 /// Echo of the envelope a peer could not handle.
@@ -569,6 +629,19 @@ pub enum Frame {
     ShutdownAck,
     /// Reply to a frame of an unknown version or type.
     Unsupported(UnsupportedWire),
+    /// Session negotiation opener (v2): the client's highest version.
+    Hello(HelloWire),
+    /// Session negotiation answer (v2): the agreed version and the
+    /// server's in-flight cap.
+    HelloAck(HelloAckWire),
+    /// Abort the in-flight request addressed by this envelope's
+    /// correlation id (v2; empty payload).
+    Cancel,
+    /// Stage-boundary progress notification for an in-flight request
+    /// (v2).
+    Progress(ProgressWire),
+    /// Top-k-so-far streaming update for an in-flight request (v2).
+    Partial(PartialWire),
 }
 
 impl Frame {
@@ -585,62 +658,113 @@ impl Frame {
             Frame::Shutdown => 8,
             Frame::ShutdownAck => 9,
             Frame::Unsupported(_) => 10,
+            Frame::Hello(_) => 11,
+            Frame::HelloAck(_) => 12,
+            Frame::Cancel => 13,
+            Frame::Progress(_) => 14,
+            Frame::Partial(_) => 15,
         }
     }
 
-    fn encode_payload(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+    /// Whether `version` includes this frame type in its vocabulary.
+    pub fn allowed_in(&self, version: u16) -> bool {
+        allows(version, self.frame_type())
+    }
+
+    pub(crate) fn encode_payload_into(&self, version: u16, out: &mut Vec<u8>) {
         match self {
-            Frame::Ping | Frame::Pong | Frame::Stats | Frame::Shutdown | Frame::ShutdownAck => {}
+            Frame::Ping
+            | Frame::Pong
+            | Frame::Stats
+            | Frame::Shutdown
+            | Frame::ShutdownAck
+            | Frame::Cancel => {}
             Frame::Explain(req) => {
-                put_str(&mut out, &req.dataset);
-                put_str(&mut out, &req.sql);
+                put_str(out, &req.dataset);
+                put_str(out, &req.sql);
+                // The overrides section exists only in the v2 vocabulary;
+                // a v1 encode of a request with overrides set would drop
+                // them silently, which the client refuses before encoding.
+                if version >= v2::VERSION {
+                    req.overrides.write(out);
+                }
             }
             Frame::Explanation(reply) => {
-                put_u32(&mut out, reply.explanation.len() as u32);
+                put_u32(out, reply.explanation.len() as u32);
                 out.extend_from_slice(&reply.explanation);
-                reply.stats.write(&mut out);
+                reply.stats.write(out);
             }
             Frame::Error(e) => {
-                put_u16(&mut out, e.code);
-                put_str(&mut out, &e.message);
+                put_u16(out, e.code);
+                put_str(out, &e.message);
             }
             Frame::StatsReply(s) => {
-                put_u64(&mut out, s.datasets);
-                put_u64(&mut out, s.cache_entries);
-                put_u64(&mut out, s.cache_hits);
-                put_u64(&mut out, s.cache_misses);
-                put_u64(&mut out, s.requests_served);
-                put_u64(&mut out, s.kernel_rows_scanned);
-                put_u64(&mut out, s.kernel_hash_ops);
-                put_u64(&mut out, s.kernel_dense_ops);
-                put_u64(&mut out, s.kernel_dense_builds);
-                put_u64(&mut out, s.kernel_sparse_builds);
-                put_u64(&mut out, s.conns_accepted);
-                put_u64(&mut out, s.busy_rejections);
-                put_u64(&mut out, s.io_timeouts);
-                put_u64(&mut out, s.oversize_frames);
-                put_u64(&mut out, s.drained_handlers);
-                put_u64(&mut out, s.live_handlers);
+                put_u64(out, s.datasets);
+                put_u64(out, s.cache_entries);
+                put_u64(out, s.cache_hits);
+                put_u64(out, s.cache_misses);
+                put_u64(out, s.requests_served);
+                put_u64(out, s.kernel_rows_scanned);
+                put_u64(out, s.kernel_hash_ops);
+                put_u64(out, s.kernel_dense_ops);
+                put_u64(out, s.kernel_dense_builds);
+                put_u64(out, s.kernel_sparse_builds);
+                put_u64(out, s.conns_accepted);
+                put_u64(out, s.busy_rejections);
+                put_u64(out, s.io_timeouts);
+                put_u64(out, s.oversize_frames);
+                put_u64(out, s.drained_handlers);
+                put_u64(out, s.live_handlers);
+                put_u64(out, s.inflight_peak);
+                put_u64(out, s.ooo_replies);
+                put_u64(out, s.cancels_honored);
+                put_u64(out, s.partials_streamed);
+                put_u64(out, s.workspace_reuse_hits);
             }
             Frame::Unsupported(u) => {
-                put_u16(&mut out, u.version);
+                put_u16(out, u.version);
                 out.push(u.frame_type);
-                put_u16(&mut out, u.max_supported);
+                put_u16(out, u.max_supported);
+            }
+            Frame::Hello(h) => put_u16(out, h.max_version),
+            Frame::HelloAck(h) => {
+                put_u16(out, h.version);
+                put_u32(out, h.max_inflight);
+            }
+            Frame::Progress(p) => put_str(out, &p.stage),
+            Frame::Partial(p) => {
+                put_u32(out, p.selected.len() as u32);
+                for name in &p.selected {
+                    put_str(out, name);
+                }
+                put_f64(out, p.cmi_so_far);
+                put_f64(out, p.initial_cmi);
             }
         }
-        out
     }
 
-    fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame> {
+    pub(crate) fn decode_payload(version: u16, frame_type: u8, payload: &[u8]) -> Result<Frame> {
+        if !allows(version, frame_type) {
+            return Err(WireError::UnknownFrameType(frame_type));
+        }
         let mut r = Reader::new(payload);
         let frame = match frame_type {
             1 => Frame::Ping,
             2 => Frame::Pong,
-            3 => Frame::Explain(ExplainRequestWire {
-                dataset: r.str()?,
-                sql: r.str()?,
-            }),
+            3 => {
+                let dataset = r.str()?;
+                let sql = r.str()?;
+                let overrides = if version >= v2::VERSION {
+                    CallOverrides::read(&mut r)?
+                } else {
+                    CallOverrides::default()
+                };
+                Frame::Explain(ExplainRequestWire {
+                    dataset,
+                    sql,
+                    overrides,
+                })
+            }
             4 => {
                 let n = r.u32()? as usize;
                 let explanation = r.take(n)?.to_vec();
@@ -675,6 +799,11 @@ impl Frame {
                 oversize_frames: r.u64()?,
                 drained_handlers: r.u64()?,
                 live_handlers: r.u64()?,
+                inflight_peak: r.u64()?,
+                ooo_replies: r.u64()?,
+                cancels_honored: r.u64()?,
+                partials_streamed: r.u64()?,
+                workspace_reuse_hits: r.u64()?,
             }),
             8 => Frame::Shutdown,
             9 => Frame::ShutdownAck,
@@ -694,6 +823,30 @@ impl Frame {
                     max_supported,
                 })
             }
+            11 => Frame::Hello(HelloWire {
+                max_version: r.u16()?,
+            }),
+            12 => Frame::HelloAck(HelloAckWire {
+                version: r.u16()?,
+                max_inflight: r.u32()?,
+            }),
+            13 => Frame::Cancel,
+            14 => Frame::Progress(ProgressWire { stage: r.str()? }),
+            15 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Malformed("partial selection count"));
+                }
+                let mut selected = Vec::with_capacity(n);
+                for _ in 0..n {
+                    selected.push(r.str()?);
+                }
+                Frame::Partial(PartialWire {
+                    selected,
+                    cmi_so_far: r.f64()?,
+                    initial_cmi: r.f64()?,
+                })
+            }
             other => return Err(WireError::UnknownFrameType(other)),
         };
         r.finish()?;
@@ -701,102 +854,45 @@ impl Frame {
     }
 }
 
-/// The parsed fixed-size envelope header — everything a reader needs to
-/// know before touching the payload: how many more bytes to expect, and
-/// whether to expect them at all.
+/// Whether `frame_type` belongs to `version`'s vocabulary.
 ///
-/// [`parse`](FrameHeader::parse) validates only what must hold for the
-/// stream to stay framed (magic and the payload cap). Version and
-/// frame-type checks are deferred until the whole envelope (including its
-/// CRC) has been consumed, so foreign-but-well-formed frames can be
-/// skipped and answered with [`Frame::Unsupported`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FrameHeader {
-    /// Protocol version of the frame.
-    pub version: u16,
-    /// Frame-type byte.
-    pub frame_type: u8,
-    /// Declared payload length (validated against [`MAX_PAYLOAD`]).
-    pub payload_len: u32,
-}
-
-impl FrameHeader {
-    /// Parses the fixed [`HEADER_LEN`]-byte envelope prefix.
-    pub fn parse(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader> {
-        if bytes[..8] != MAGIC {
-            return Err(WireError::BadMagic);
-        }
-        let payload_len = u32::from_le_bytes([bytes[11], bytes[12], bytes[13], bytes[14]]);
-        if payload_len > MAX_PAYLOAD {
-            return Err(WireError::PayloadTooLarge(payload_len));
-        }
-        Ok(FrameHeader {
-            version: u16::from_le_bytes([bytes[8], bytes[9]]),
-            frame_type: bytes[10],
-            payload_len,
-        })
-    }
-
-    /// Bytes remaining after the header: payload plus the 4-byte CRC.
-    pub fn rest_len(&self) -> usize {
-        self.payload_len as usize + 4
+/// Unknown versions admit nothing: the envelope layer rejects them with
+/// [`WireError::UnsupportedVersion`] before payload decoding.
+pub fn allows(version: u16, frame_type: u8) -> bool {
+    match version {
+        v1::VERSION => v1::allows(frame_type),
+        v2::VERSION => v2::allows(frame_type),
+        _ => false,
     }
 }
 
-/// Encodes `frame` into a complete NEXUSRPC envelope.
+/// Encodes `frame` into a complete NEXUSRPC **v1** envelope.
+///
+/// Convenience over [`Envelope::encode_into`] with a throwaway
+/// [`Workspace`]; per-connection code holds a workspace and encodes into
+/// it instead.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let payload = frame.encode_payload();
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
-    out.extend_from_slice(&MAGIC);
-    put_u16(&mut out, VERSION);
-    out.push(frame.frame_type());
-    put_u32(&mut out, payload.len() as u32);
-    out.extend_from_slice(&payload);
-    let crc = crc32(&out);
-    put_u32(&mut out, crc);
-    out
+    let mut ws = Workspace::new();
+    envelope::encode_parts_into(v1::VERSION, 0, frame, &mut ws);
+    ws.into_inner()
 }
 
-/// Decodes one frame from the front of `buf`, returning it and the number
-/// of bytes consumed.
+/// Decodes one **v1** frame from the front of `buf`, returning it and the
+/// number of bytes consumed.
 ///
 /// [`WireError::UnsupportedVersion`] and [`WireError::UnknownFrameType`]
 /// indicate a *well-formed* frame (magic, length, and CRC all valid) that
-/// this build cannot interpret; the envelope length is still consumed, so
-/// callers can skip it and answer [`Frame::Unsupported`].
+/// this decoder cannot interpret — including valid v2 envelopes, which
+/// this v1-fixed entry point reports as `UnsupportedVersion(2)`; the
+/// envelope length is still consumed, so callers can skip it and answer
+/// [`Frame::Unsupported`]. Version-aware readers use
+/// [`Envelope::decode`].
 pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize)> {
-    if buf.len() < HEADER_LEN {
-        return Err(WireError::Truncated);
-    }
-    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("length checked");
-    let FrameHeader {
-        version,
-        frame_type,
-        payload_len,
-    } = FrameHeader::parse(header)?;
-    let total = HEADER_LEN + payload_len as usize + 4;
-    if buf.len() < total {
-        return Err(WireError::Truncated);
-    }
-    let body_end = HEADER_LEN + payload_len as usize;
-    let stored = u32::from_le_bytes([
-        buf[body_end],
-        buf[body_end + 1],
-        buf[body_end + 2],
-        buf[body_end + 3],
-    ]);
-    let computed = crc32(&buf[..body_end]);
-    if computed != stored {
-        return Err(WireError::BadCrc { computed, stored });
-    }
-    if version != VERSION {
-        return Err(WireError::UnsupportedVersion(version));
-    }
-    let frame = Frame::decode_payload(frame_type, &buf[HEADER_LEN..body_end])?;
-    Ok((frame, total))
+    let (env, consumed) = Envelope::decode_version_max(buf, v1::VERSION)?;
+    Ok((env.frame, consumed))
 }
 
-/// Writes one frame to a stream.
+/// Writes one **v1** frame to a stream.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
     let bytes = encode_frame(frame);
     w.write_all(&bytes)?;
@@ -804,50 +900,14 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
     Ok(())
 }
 
-/// Reads one frame from a stream.
+/// Reads one **v1** frame from a stream.
 ///
 /// As with [`decode_frame`], `UnsupportedVersion`/`UnknownFrameType` leave
 /// the stream positioned at the next frame: the bad envelope (validated by
 /// its CRC) has been consumed in full.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            WireError::Truncated
-        } else {
-            WireError::Io(e)
-        }
-    })?;
-    let FrameHeader {
-        version,
-        frame_type,
-        payload_len,
-    } = FrameHeader::parse(&header)?;
-    let mut rest = vec![0u8; payload_len as usize + 4];
-    r.read_exact(&mut rest).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            WireError::Truncated
-        } else {
-            WireError::Io(e)
-        }
-    })?;
-    let body_end = payload_len as usize;
-    let stored = u32::from_le_bytes([
-        rest[body_end],
-        rest[body_end + 1],
-        rest[body_end + 2],
-        rest[body_end + 3],
-    ]);
-    let mut whole = header.to_vec();
-    whole.extend_from_slice(&rest[..body_end]);
-    let computed = crc32(&whole);
-    if computed != stored {
-        return Err(WireError::BadCrc { computed, stored });
-    }
-    if version != VERSION {
-        return Err(WireError::UnsupportedVersion(version));
-    }
-    Frame::decode_payload(frame_type, &rest[..body_end])
+    let env = envelope::read_envelope_version_max(r, v1::VERSION)?;
+    Ok(env.frame)
 }
 
 #[cfg(test)]
@@ -908,6 +968,7 @@ mod tests {
             Frame::Explain(ExplainRequestWire {
                 dataset: "salaries".into(),
                 sql: "SELECT Country, avg(Salary) FROM t GROUP BY Country".into(),
+                overrides: CallOverrides::default(),
             }),
             sample_reply(),
             Frame::Error(ErrorWire {
@@ -932,6 +993,11 @@ mod tests {
                 oversize_frames: 1,
                 drained_handlers: 3,
                 live_handlers: 0,
+                inflight_peak: 16,
+                ooo_replies: 5,
+                cancels_honored: 2,
+                partials_streamed: 9,
+                workspace_reuse_hits: 88,
             }),
             Frame::Shutdown,
             Frame::ShutdownAck,

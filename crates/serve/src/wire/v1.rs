@@ -1,0 +1,30 @@
+//! The **v1** vocabulary: strict request → reply, no correlation ids.
+//!
+//! v1 is frozen — every frame type it admits encodes byte-identically
+//! forever, because v1 clients negotiate nothing: the bytes they parse
+//! today are the bytes they must parse tomorrow.
+
+/// The v1 protocol version byte.
+pub const VERSION: u16 = 1;
+
+/// Whether `frame_type` belongs to the v1 vocabulary
+/// (`Ping` … `Unsupported`).
+pub fn allows(frame_type: u8) -> bool {
+    (1..=10).contains(&frame_type)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_exactly_the_ten_original_frames() {
+        for t in 1..=10u8 {
+            assert!(allows(t), "type {t}");
+        }
+        assert!(!allows(0));
+        for t in 11..=16u8 {
+            assert!(!allows(t), "type {t} is v2-only");
+        }
+    }
+}

@@ -29,6 +29,7 @@ fn submit(server: &Server, sql: &str) -> ExplanationReplyWire {
     let reply = server.handle(Frame::Explain(ExplainRequestWire {
         dataset: "bench".into(),
         sql: sql.into(),
+        overrides: Default::default(),
     }));
     match reply {
         Frame::Explanation(r) => r,

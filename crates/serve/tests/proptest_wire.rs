@@ -100,8 +100,15 @@ fn frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         Just(Frame::Ping),
         Just(Frame::Pong),
-        (text(), text())
-            .prop_map(|(dataset, sql)| Frame::Explain(ExplainRequestWire { dataset, sql })),
+        (text(), text()).prop_map(|(dataset, sql)| {
+            Frame::Explain(ExplainRequestWire {
+                dataset,
+                sql,
+                // v1 carries no overrides section on the wire; the v2
+                // suite exercises non-default overrides.
+                overrides: Default::default(),
+            })
+        }),
         (explanation(), serve_stats()).prop_map(|(e, stats)| Frame::Explanation(
             ExplanationReplyWire {
                 explanation: e.encode(),
@@ -122,10 +129,24 @@ fn frame() -> impl Strategy<Value = Frame> {
             (any::<u64>(), any::<u64>(), any::<u64>()),
             (any::<u64>(), any::<u64>()),
             (any::<u64>(), any::<u64>(), any::<u64>()),
-            (any::<u64>(), any::<u64>(), any::<u64>())
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
+            )
         )
             .prop_map(
-                |((d, c, h, m, r), (kr, kh, kd), (kb, ks), (ca, br, io), (of, dh, lh))| {
+                |(
+                    (d, c, h, m, r),
+                    (kr, kh, kd),
+                    (kb, ks),
+                    (ca, br, io),
+                    (of, dh, lh),
+                    (ip, oo, ch, ps, wr),
+                )| {
                     Frame::StatsReply(ServerStatsWire {
                         datasets: d,
                         cache_entries: c,
@@ -143,6 +164,11 @@ fn frame() -> impl Strategy<Value = Frame> {
                         oversize_frames: of,
                         drained_handlers: dh,
                         live_handlers: lh,
+                        inflight_peak: ip,
+                        ooo_replies: oo,
+                        cancels_honored: ch,
+                        partials_streamed: ps,
+                        workspace_reuse_hits: wr,
                     })
                 }
             ),

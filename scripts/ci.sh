@@ -160,4 +160,96 @@ grep -Eq '[1-9][0-9]* oversize frame' "$SMOKE_DIR/abuse_stats.log"
 shutdown_daemon "$ABUSE_SOCK"
 echo "    busy / timeout / frame-too-large replies delivered; server survived"
 
+echo "==> pipelined smoke test (NEXUSRPC v2 multiplexing over one connection)"
+# One connection slot: the 16 in-flight requests MUST share a single
+# multiplexed v2 session or the run could not complete at all. The
+# assertions are counters, never wall-clock: inflight_peak proves all 16
+# were in flight at once, ooo_replies proves at least one reply overtook
+# an older request. This smoke gets a larger dataset (100k rows, 8 KG
+# attributes) so an explain takes milliseconds while envelope dispatch
+# takes microseconds — the scale separation that makes inflight_peak=16
+# deterministic (on the tiny dataset above, early replies can complete
+# while later requests are still being dispatched).
+PIPE_CSV="$SMOKE_DIR/pipe_data.csv"
+PIPE_KG="$SMOKE_DIR/pipe_kg.tsv"
+awk 'BEGIN{
+    print "Country,Salary";
+    for (c = 0; c < 50; c++) {
+        dev = c % 3;
+        for (i = 0; i < 2000; i++) printf "C%d,%d.%d\n", c, 10*dev + (i%7), i%10;
+    }
+}' > "$PIPE_CSV"
+awk 'BEGIN{
+    for (c = 0; c < 50; c++) {
+        printf "@entity\tC%d\tCountry\n", c;
+        printf "C%d\thdi\t%d.0\n", c, c%3;
+        printf "C%d\tgdp\t%d.0\n", c, (c*7)%11;
+        printf "C%d\tarea\t%d.0\n", c, (c*13)%17;
+        printf "C%d\tpop\t%d.0\n", c, (c*5)%23;
+        printf "C%d\tlat\t%d.0\n", c, (c*3)%19;
+        printf "C%d\telev\t%d.0\n", c, (c*11)%13;
+        printf "C%d\tcoast\t%d.0\n", c, (c*17)%29;
+        printf "C%d\train\t%d.0\n", c, (c*19)%31;
+    }
+}' > "$PIPE_KG"
+
+"$BIN" explain --table "$PIPE_CSV" --kg "$PIPE_KG" --extract Country --sql "$SQL" \
+    > "$SMOKE_DIR/pipe_direct.txt" 2> /dev/null
+
+PIPE_SOCK="$SMOKE_DIR/pipeline.sock"
+"$BIN" serve --socket "$PIPE_SOCK" --table "$PIPE_CSV" --kg "$PIPE_KG" \
+    --extract Country --max-conns 1 \
+    2> "$SMOKE_DIR/pipe_serve.log" &
+SERVE_PID=$!
+wait_for_socket "$PIPE_SOCK" "$SMOKE_DIR/pipe_serve.log"
+
+"$BIN" submit --socket "$PIPE_SOCK" --sql "$SQL" --pipeline 16 \
+    > "$SMOKE_DIR/pipelined.txt" 2> "$SMOKE_DIR/pipeline.log"
+
+# Pipelined stdout is diffable against the one-shot run…
+diff "$SMOKE_DIR/pipe_direct.txt" "$SMOKE_DIR/pipelined.txt"
+# …and the v2 counters prove real multiplexing.
+grep -Eq 'inflight_peak=16 ' "$SMOKE_DIR/pipeline.log"
+grep -Eq 'ooo_replies=[1-9]' "$SMOKE_DIR/pipeline.log"
+
+shutdown_daemon "$PIPE_SOCK"
+echo "    16 requests multiplexed over one connection; out-of-order replies observed"
+
+echo "==> cancel smoke test (v2 cancellation mid-pipeline)"
+# A single-worker server over the larger dataset, so the second request
+# queues behind a multi-millisecond first one: the cancel (dispatched
+# microseconds behind the explains) deterministically lands while its
+# target is still pending. The tiny dataset would race — its explains
+# finish in microseconds, on the same scale as envelope dispatch.
+CANCEL_SOCK="$SMOKE_DIR/cancel.sock"
+"$BIN" serve --socket "$CANCEL_SOCK" --table "$PIPE_CSV" --kg "$PIPE_KG" \
+    --extract Country --max-concurrent 1 \
+    2> "$SMOKE_DIR/cancel_serve.log" &
+SERVE_PID=$!
+wait_for_socket "$CANCEL_SOCK" "$SMOKE_DIR/cancel_serve.log"
+
+"$BIN" submit --socket "$CANCEL_SOCK" --sql "$SQL" --pipeline 2 --cancel \
+    > "$SMOKE_DIR/cancel_run.txt" 2> "$SMOKE_DIR/cancel.log"
+grep -q 'cancelled as requested' "$SMOKE_DIR/cancel.log"
+grep -Eq 'cancels_honored=[1-9]' "$SMOKE_DIR/cancel.log"
+# The surviving request's reply is still the right bytes…
+diff "$SMOKE_DIR/pipe_direct.txt" "$SMOKE_DIR/cancel_run.txt"
+# …and the server keeps serving diffable output after honouring a cancel.
+"$BIN" submit --socket "$CANCEL_SOCK" --sql "$SQL" \
+    > "$SMOKE_DIR/after_cancel.txt" 2> /dev/null
+diff "$SMOKE_DIR/pipe_direct.txt" "$SMOKE_DIR/after_cancel.txt"
+
+# Server rejections are distinguishable from local failures: an error
+# frame from the server (here: unknown dataset) must exit with code 3.
+rc=0
+"$BIN" submit --socket "$CANCEL_SOCK" --dataset nope --sql "$SQL" \
+    > /dev/null 2> "$SMOKE_DIR/unknown_dataset.log" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "expected exit code 3 for a server-rejected request, got $rc" >&2
+    exit 1
+fi
+
+shutdown_daemon "$CANCEL_SOCK"
+echo "    cancel honoured and counted; server kept serving; server errors exit 3"
+
 echo "CI gate passed."

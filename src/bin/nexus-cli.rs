@@ -32,7 +32,10 @@ use nexus::core::{unexplained_subgroups, SubgroupOptions};
 use nexus::kg::KnowledgeGraph;
 use nexus::lake::{DataLake, LakeOptions};
 use nexus::serve::wire::{encode_frame, error_code, read_frame, ExplanationWire, Frame};
-use nexus::serve::{explanation_to_wire, Client, RetryPolicy, Server, ServerOptions};
+use nexus::serve::{
+    explanation_to_wire, Client, ClientError, ExplainCall, RetryPolicy, Server, ServerOptions,
+    Session,
+};
 use nexus::table::{read_csv_path, Table};
 use nexus::{parse, ExplainRequest, Nexus, NexusOptions};
 
@@ -48,7 +51,8 @@ fn usage() -> ! {
          [--cache N] [--max-concurrent N]\n\
          \x20         [--max-conns N] [--io-timeout-ms N] [--drain-timeout-ms N]\n\
          \x20 nexus-cli submit (--socket <path> | --tcp <addr>) --sql <query> \
-         [--dataset <name>] [--retries N] [--timeout-ms N] | --shutdown | --ping | --stats\n\
+         [--dataset <name>] [--retries N] [--timeout-ms N]\n\
+         \x20         [--pipeline N [--cancel]] | --shutdown | --ping | --stats\n\
          \x20 nexus-cli abuse (--socket <path> | --tcp <addr>) \
          --mode (stall | overlimit | busy)"
     );
@@ -97,6 +101,11 @@ struct SubmitArgs {
     stats: bool,
     retries: usize,
     timeout_ms: u64,
+    /// `> 0`: open a v2 session and keep this many copies of the query
+    /// in flight over one connection.
+    pipeline: usize,
+    /// Cancel the last pipelined request mid-flight (v2 smoke).
+    cancel: bool,
 }
 
 /// A self-contained misbehaving client, used by the CI abuse smoke to
@@ -144,6 +153,8 @@ fn parse_command() -> Command {
     let mut drain_timeout_ms = 0u64;
     let mut retries = 0usize;
     let mut timeout_ms = 0u64;
+    let mut pipeline = 0usize;
+    let mut cancel = false;
     let mut mode = String::new();
     let (mut shutdown, mut ping, mut stats) = (false, false, false);
 
@@ -178,6 +189,8 @@ fn parse_command() -> Command {
             "--drain-timeout-ms" => drain_timeout_ms = number(&mut i, &argv) as u64,
             "--retries" => retries = number(&mut i, &argv),
             "--timeout-ms" => timeout_ms = number(&mut i, &argv) as u64,
+            "--pipeline" => pipeline = number(&mut i, &argv),
+            "--cancel" => cancel = true,
             "--mode" => mode = value(&mut i, &argv),
             "--shutdown" => shutdown = true,
             "--ping" => ping = true,
@@ -238,6 +251,14 @@ fn parse_command() -> Command {
             if !(shutdown || ping || stats) && sql.is_empty() {
                 usage()
             }
+            if pipeline > 0 && sql.is_empty() {
+                eprintln!("--pipeline needs an --sql query to keep in flight");
+                usage()
+            }
+            if cancel && pipeline < 2 {
+                eprintln!("--cancel needs --pipeline of at least 2 (one request must hold the pipeline while another is cancelled)");
+                usage()
+            }
             Command::Submit(SubmitArgs {
                 socket,
                 tcp,
@@ -248,6 +269,8 @@ fn parse_command() -> Command {
                 stats,
                 retries,
                 timeout_ms,
+                pipeline,
+                cancel,
             })
         }
         "abuse" => {
@@ -268,16 +291,46 @@ fn parse_command() -> Command {
     }
 }
 
-fn main() {
-    let result = match parse_command() {
-        Command::Explain(args) => run_explain(&args),
-        Command::Serve(args) => run_serve(&args),
-        Command::Submit(args) => run_submit(&args),
-        Command::Abuse(args) => run_abuse(&args),
+/// A failed run and the process exit code that reports it: `1` for
+/// local failures (bad input, dead socket, torn connection), `3` when
+/// the server itself answered with an error frame — `Busy`, timeouts,
+/// unknown datasets, bad queries — after any configured retries were
+/// exhausted. Scripts can tell "my request was refused" from "I could
+/// not even ask".
+struct Failure {
+    message: String,
+    code: i32,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure { message, code: 1 }
+    }
+}
+
+/// Maps a client error to its exit code: server `Error` frames exit 3,
+/// everything else is a local failure (exit 1).
+fn client_failure(e: ClientError) -> Failure {
+    let code = match &e {
+        ClientError::Server(_) => 3,
+        _ => 1,
     };
-    if let Err(message) = result {
-        eprintln!("nexus-cli: {message}");
-        exit(1)
+    Failure {
+        message: e.to_string(),
+        code,
+    }
+}
+
+fn main() {
+    let result: Result<(), Failure> = match parse_command() {
+        Command::Explain(args) => run_explain(&args).map_err(Failure::from),
+        Command::Serve(args) => run_serve(&args).map_err(Failure::from),
+        Command::Submit(args) => run_submit(&args),
+        Command::Abuse(args) => run_abuse(&args).map_err(Failure::from),
+    };
+    if let Err(failure) = result {
+        eprintln!("nexus-cli: {}", failure.message);
+        exit(failure.code)
     }
 }
 
@@ -502,7 +555,10 @@ fn connect(socket: &Option<String>, tcp: &Option<String>) -> Result<Client, Stri
     }
 }
 
-fn run_submit(args: &SubmitArgs) -> Result<(), String> {
+fn run_submit(args: &SubmitArgs) -> Result<(), Failure> {
+    if args.pipeline > 0 {
+        return run_pipeline(args);
+    }
     let mut client = connect(&args.socket, &args.tcp)?;
     if args.timeout_ms > 0 {
         client
@@ -516,11 +572,11 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
         });
     }
     if args.ping {
-        client.ping().map_err(|e| e.to_string())?;
+        client.ping().map_err(client_failure)?;
         eprintln!("pong");
     }
     if args.stats {
-        let s = client.stats().map_err(|e| e.to_string())?;
+        let s = client.stats().map_err(client_failure)?;
         eprintln!(
             "server: {} dataset(s), {} cached, {} hit(s), {} miss(es), {} request(s)",
             s.datasets, s.cache_entries, s.cache_hits, s.cache_misses, s.requests_served
@@ -548,8 +604,8 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
         // Parse locally too, so the echoed query line matches `explain`.
         let query = parse(&args.sql).map_err(|e| format!("failed to parse SQL: {e}"))?;
         let response = client
-            .explain(&args.dataset, &args.sql)
-            .map_err(|e| e.to_string())?;
+            .call(&ExplainCall::new(&args.dataset, &args.sql))
+            .map_err(client_failure)?;
         print_explanation(&query.to_string(), &response.explanation);
         let s = &response.stats;
         eprintln!(
@@ -565,7 +621,122 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
         );
     }
     if args.shutdown {
-        client.shutdown().map_err(|e| e.to_string())?;
+        client.shutdown().map_err(client_failure)?;
+        eprintln!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// `submit --pipeline N`: one v2 [`Session`], `N` copies of the query in
+/// flight at once, replies collected out of order. With `--cancel` the
+/// last request is cancelled mid-flight instead of collected. All
+/// successful replies must be byte-identical (they are the same
+/// deterministic request); the first is printed to stdout exactly like a
+/// plain `submit`, keeping the pipelined path diffable against it.
+fn run_pipeline(args: &SubmitArgs) -> Result<(), Failure> {
+    let query = parse(&args.sql).map_err(|e| format!("failed to parse SQL: {e}"))?;
+    let session = if let Some(path) = &args.socket {
+        Session::connect_unix(path)
+    } else if let Some(addr) = &args.tcp {
+        Session::connect_tcp(addr)
+    } else {
+        return Err("exactly one of --socket or --tcp is required"
+            .to_string()
+            .into());
+    }
+    .map_err(client_failure)?;
+    eprintln!(
+        "pipeline: v2 session open; server allows {} in-flight request(s)",
+        session.max_inflight()
+    );
+
+    let call = ExplainCall::new(&args.dataset, &args.sql);
+    let tickets: Vec<_> = (0..args.pipeline)
+        .map(|_| session.submit(&call).map_err(client_failure))
+        .collect::<Result<_, _>>()?;
+
+    // Cancel the *last* submitted request while the earlier ones hold
+    // the pipeline; its final reply is a CANCELLED error we expect below.
+    let cancelled_corr = if args.cancel {
+        let last = tickets.last().expect("--cancel implies --pipeline >= 2");
+        last.cancel().map_err(client_failure)?;
+        Some(last.corr_id())
+    } else {
+        None
+    };
+
+    // A trailing ping is answered inline by the session loop, overtaking
+    // every in-flight explain — the out-of-order completion proof.
+    session.ping().map_err(client_failure)?;
+
+    let mut first_reply: Option<nexus::serve::ExplainResponse> = None;
+    for ticket in &tickets {
+        if Some(ticket.corr_id()) == cancelled_corr {
+            match ticket.wait() {
+                Err(ClientError::Server(e)) if e.code == error_code::CANCELLED => {
+                    eprintln!(
+                        "pipeline: corr {} cancelled as requested ({})",
+                        ticket.corr_id(),
+                        e.message
+                    );
+                    continue;
+                }
+                Ok(_) => {
+                    return Err(format!(
+                        "pipeline: corr {} finished before the cancel landed",
+                        ticket.corr_id()
+                    )
+                    .into())
+                }
+                Err(e) => return Err(client_failure(e)),
+            }
+        }
+        let reply = ticket.wait().map_err(client_failure)?;
+        eprintln!(
+            "pipeline: corr {} {}; {} progress stage(s), {} partial(s)",
+            ticket.corr_id(),
+            if reply.stats.cache_hit {
+                "cache hit"
+            } else {
+                "cache miss"
+            },
+            ticket.progress().len(),
+            ticket.partials().len(),
+        );
+        if let Some(first) = &first_reply {
+            if first.explanation_bytes != reply.explanation_bytes {
+                return Err(format!(
+                    "pipeline: corr {} reply differs from the first — \
+                     pipelined replies must be byte-identical",
+                    ticket.corr_id()
+                )
+                .into());
+            }
+        } else {
+            first_reply = Some(reply);
+        }
+    }
+    if let Some(reply) = &first_reply {
+        print_explanation(&query.to_string(), &reply.explanation);
+    }
+
+    let s = session.stats().map_err(client_failure)?;
+    eprintln!(
+        "rpc v2: inflight_peak={} ooo_replies={} cancels_honored={} \
+         partials_streamed={} workspace_reuse_hits={}",
+        s.inflight_peak,
+        s.ooo_replies,
+        s.cancels_honored,
+        s.partials_streamed,
+        s.workspace_reuse_hits
+    );
+    if args.shutdown {
+        // Free the session's connection slot first (--max-conns 1 servers
+        // would otherwise bounce the controller connection).
+        drop(tickets);
+        drop(session);
+        let mut client = connect(&args.socket, &args.tcp)?;
+        client.shutdown().map_err(client_failure)?;
         eprintln!("server acknowledged shutdown");
     }
     Ok(())

@@ -11,8 +11,8 @@
 use std::time::Duration;
 
 use nexus::kg::{KnowledgeGraph, PropertyValue};
-use nexus::serve::wire::{decode_frame, encode_frame, Frame, MAGIC, VERSION};
-use nexus::serve::{explanation_to_wire, Client, Server, ServerOptions};
+use nexus::serve::wire::{decode_frame, encode_frame, Frame, MAGIC, MAX_VERSION};
+use nexus::serve::{explanation_to_wire, Client, ExplainCall, Server, ServerOptions, Session};
 use nexus::table::{Column, Table};
 use nexus::{parse, ExplainRequest, Nexus, NexusOptions};
 
@@ -86,7 +86,9 @@ fn unix_socket_round_trip_with_cache_guarantees() {
     client.ping().expect("ping");
 
     // Cold run: misses the cache and scores candidates on the pool.
-    let cold = client.explain("world", SQL).expect("cold explain");
+    let cold = client
+        .call(&ExplainCall::new("world", SQL))
+        .expect("cold explain");
     assert!(!cold.stats.cache_hit);
     assert!(
         cold.stats.scored_tasks >= 10,
@@ -97,7 +99,9 @@ fn unix_socket_round_trip_with_cache_guarantees() {
     // Repeat: byte-identical payload, and ≥10× cheaper by the server's own
     // counters — the hit scores zero tasks (pipeline skipped), versus ≥10
     // cold. No wall-clock involved.
-    let hot = client.explain("world", SQL).expect("hot explain");
+    let hot = client
+        .call(&ExplainCall::new("world", SQL))
+        .expect("hot explain");
     assert!(hot.stats.cache_hit);
     assert_eq!(
         hot.stats.scored_tasks, 0,
@@ -140,7 +144,9 @@ fn unix_socket_round_trip_with_cache_guarantees() {
     assert!(stats.requests_served >= 2);
 
     // Unknown dataset is an error reply, not a dropped connection.
-    let err = client.explain("nope", SQL).expect_err("unknown dataset");
+    let err = client
+        .call(&ExplainCall::new("nope", SQL))
+        .expect_err("unknown dataset");
     assert!(err.to_string().contains("nope"));
     client.ping().expect("connection survives an error reply");
 
@@ -180,7 +186,7 @@ fn tcp_round_trip_and_concurrent_clients() {
                 std::thread::spawn(move || {
                     let mut client = Client::connect_tcp(&addr).expect("connect");
                     client
-                        .explain("world", SQL)
+                        .call(&ExplainCall::new("world", SQL))
                         .expect("explain")
                         .explanation_bytes
                 })
@@ -195,7 +201,7 @@ fn tcp_round_trip_and_concurrent_clients() {
     let mut client = Client::connect_tcp(&addr).expect("connect");
     assert!(
         client
-            .explain("world", SQL)
+            .call(&ExplainCall::new("world", SQL))
             .expect("explain")
             .stats
             .cache_hit
@@ -240,7 +246,7 @@ fn server_answers_unsupported_for_foreign_frames() {
     match decode_frame(&reply[..n]) {
         Ok((Frame::Unsupported(u), _)) => {
             assert_eq!(u.version, 7);
-            assert_eq!(u.max_supported, VERSION);
+            assert_eq!(u.max_supported, MAX_VERSION, "the server speaks up to v2");
         }
         other => panic!("expected Unsupported, got {other:?}"),
     }
@@ -262,4 +268,83 @@ fn server_answers_unsupported_for_foreign_frames() {
     client.ping().expect("server survives");
     client.shutdown().expect("shutdown");
     daemon.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn v2_session_pipelines_over_tcp_with_typed_calls() {
+    let server = resident_server();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let daemon = {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            server.serve_tcp("127.0.0.1:0", move |addr| {
+                addr_tx.send(addr).unwrap();
+            })
+        })
+    };
+    let addr = addr_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("server binds")
+        .to_string();
+
+    let session = Session::connect_tcp(&addr).expect("v2 handshake");
+    assert!(session.max_inflight() >= 8);
+
+    // Eight identical calls plus one with a per-call override (a v2-only
+    // feature a v1 Client refuses), all in flight on one connection.
+    let call = ExplainCall::new("world", SQL);
+    let tickets: Vec<_> = (0..8)
+        .map(|_| session.submit(&call).expect("submit"))
+        .collect();
+    let capped = session
+        .submit(&call.clone().top_k(1))
+        .expect("submit with overrides");
+
+    // The inline pong overtakes every in-flight explain.
+    session.ping().expect("ping mid-pipeline");
+
+    // Collect out of submission order; replies must be byte-identical.
+    let last_first = tickets.last().unwrap().wait().expect("last ticket");
+    for ticket in &tickets {
+        let reply = ticket.wait().expect("pipelined reply");
+        assert_eq!(
+            reply.explanation_bytes, last_first.explanation_bytes,
+            "pipelined replies must be byte-identical"
+        );
+    }
+    let capped_reply = capped.wait().expect("override reply");
+    assert!(capped_reply.explanation.attributes.len() <= 1, "top_k=1");
+    assert!(
+        !capped.partials().is_empty() || capped_reply.explanation.attributes.is_empty(),
+        "a cold run streams one partial per selected attribute"
+    );
+
+    // The v1 client path still refuses override calls loudly.
+    let mut v1 = Client::connect_tcp(&addr).expect("v1 connect");
+    assert!(matches!(
+        v1.call(&call.clone().top_k(1)),
+        Err(nexus::serve::ClientError::NeedsSession)
+    ));
+    drop(v1);
+
+    let stats = session.stats().expect("stats over the session");
+    assert!(
+        stats.inflight_peak >= 8,
+        "the pipeline must overlap at least its eight identical calls; peak {}",
+        stats.inflight_peak
+    );
+    assert!(
+        stats.ooo_replies >= 1,
+        "the overtaking pong is an out-of-order completion"
+    );
+
+    drop(tickets);
+    drop(capped);
+    drop(session);
+    let mut controller = Client::connect_tcp(&addr).expect("controller");
+    controller.shutdown().expect("shutdown");
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
 }

@@ -11,7 +11,7 @@ use std::time::Duration;
 use nexus::core::Parallelism;
 use nexus::kg::KnowledgeGraph;
 use nexus::serve::wire::{decode_frame, encode_frame, error_code, Frame};
-use nexus::serve::{Client, RetryPolicy, Server, ServerOptions};
+use nexus::serve::{Client, ExplainCall, RetryPolicy, Server, ServerOptions};
 use nexus::table::{Column, Table};
 use nexus::NexusOptions;
 
@@ -205,7 +205,9 @@ fn shutdown_drains_in_flight_requests_at_either_pool_width() {
             let addr = addr.clone();
             std::thread::spawn(move || {
                 let mut client = Client::connect_tcp(&addr).expect("connect");
-                client.explain("world", SQL).expect("in-flight reply")
+                client
+                    .call(&ExplainCall::new("world", SQL))
+                    .expect("in-flight reply")
             })
         };
 
