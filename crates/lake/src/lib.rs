@@ -73,6 +73,37 @@ impl DataLake {
         self.tables.push((name.into(), table));
     }
 
+    /// Loads every `*.nxcol` file in `dir` (non-recursively) as a lake
+    /// table named after the file stem, in lexicographic filename order
+    /// so the lake's table order — and everything derived from it — is
+    /// independent of directory enumeration order.
+    ///
+    /// Each file is strictly validated by `nexus-store`; the first
+    /// corrupt or unreadable file aborts the load with its typed error
+    /// (stringified into [`nexus_table::TableError::Io`]).
+    pub fn from_store(dir: impl AsRef<std::path::Path>) -> nexus_table::Result<DataLake> {
+        let dir = dir.as_ref();
+        let io = |m: String| nexus_table::TableError::Io(m);
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| io(format!("{}: {e}", dir.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "nxcol"))
+            .collect();
+        paths.sort();
+        let mut lake = DataLake::new();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| io(format!("{}: non-UTF-8 file name", path.display())))?
+                .to_string();
+            let table = nexus_store::read_table_path(&path)
+                .map_err(|e| io(format!("{}: {e}", path.display())))?;
+            lake.add_table(name, table);
+        }
+        Ok(lake)
+    }
+
     /// Number of tables in the lake.
     pub fn n_tables(&self) -> usize {
         self.tables.len()
@@ -323,6 +354,41 @@ mod tests {
         }
         // Unrelated tables contribute nothing.
         assert!(kg.lookup_prop("movies.gross").is_none());
+    }
+
+    #[test]
+    fn from_store_loads_packed_tables_in_name_order() {
+        let dir = std::env::temp_dir().join(format!("nexus-lake-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wdi = Table::new(vec![
+            ("iso", Column::from_strs(&["A", "B"])),
+            ("hdi", Column::from_f64(vec![0.9, 0.5])),
+        ])
+        .unwrap();
+        let cities = Table::new(vec![
+            ("country", Column::from_strs(&["A", "B", "B"])),
+            ("population", Column::from_f64(vec![1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        nexus_store::write_table_path(&wdi, dir.join("wdi.nxcol")).unwrap();
+        nexus_store::write_table_path(&cities, dir.join("cities.nxcol")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let lake = DataLake::from_store(&dir).unwrap();
+        assert_eq!(lake.n_tables(), 2);
+        // Lexicographic filename order, not insertion order.
+        let (name0, t0) = lake.table(0).unwrap();
+        assert_eq!(name0, "cities");
+        assert_eq!(t0.fingerprint(), cities.fingerprint());
+        let (name1, t1) = lake.table(1).unwrap();
+        assert_eq!(name1, "wdi");
+        assert_eq!(t1.fingerprint(), wdi.fingerprint());
+
+        // A corrupt store file aborts the whole load with a typed error.
+        std::fs::write(dir.join("bad.nxcol"), b"not a store file").unwrap();
+        let err = DataLake::from_store(&dir).unwrap_err();
+        assert!(matches!(err, nexus_table::TableError::Io(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -33,8 +33,9 @@ use nexus_runtime::Backoff;
 
 use crate::wire::{
     error_code, read_envelope, read_frame, v2, write_envelope, write_frame, CallOverrides,
-    Envelope, ErrorWire, ExplainRequestWire, ExplanationWire, Frame, HelloWire, PartialWire,
-    ServeStatsWire, ServerStatsWire, WireError, Workspace, MAX_VERSION,
+    DatasetAckWire, DatasetEntryWire, Envelope, ErrorWire, EvictDatasetWire, ExplainRequestWire,
+    ExplanationWire, Frame, HelloWire, LoadDatasetWire, PartialWire, ServeStatsWire,
+    ServerStatsWire, WireError, Workspace, MAX_VERSION,
 };
 
 /// Client-side failures.
@@ -638,6 +639,53 @@ impl Session {
             Frame::StatsReply(s) => Ok(s),
             Frame::Error(e) => Err(ClientError::Server(e)),
             _ => Err(ClientError::Unexpected("wanted StatsReply")),
+        }
+    }
+
+    /// Registers a store-backed dataset on the server: `table_path` (an
+    /// NXCOL file) and `kg_path` (a KG TSV; `None` = empty graph) name
+    /// files on the **server's** filesystem. The server validates the
+    /// NXCOL header immediately but materializes artifacts lazily, on
+    /// the first explain that needs them.
+    pub fn load_dataset(
+        &self,
+        name: &str,
+        table_path: &str,
+        kg_path: Option<&str>,
+        extraction_columns: &[String],
+    ) -> Result<DatasetAckWire, ClientError> {
+        let request = Frame::LoadDataset(LoadDatasetWire {
+            name: name.to_string(),
+            table_path: table_path.to_string(),
+            kg_path: kg_path.unwrap_or_default().to_string(),
+            extraction_columns: extraction_columns.to_vec(),
+        });
+        match self.control(request)? {
+            Frame::DatasetAck(ack) => Ok(ack),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted DatasetAck")),
+        }
+    }
+
+    /// Drops a dataset's resident artifacts server-side; the
+    /// registration survives and re-materializes on the next explain.
+    pub fn evict_dataset(&self, name: &str) -> Result<DatasetAckWire, ClientError> {
+        let request = Frame::EvictDataset(EvictDatasetWire {
+            name: name.to_string(),
+        });
+        match self.control(request)? {
+            Frame::DatasetAck(ack) => Ok(ack),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted DatasetAck")),
+        }
+    }
+
+    /// Fetches the server's dataset registry listing, sorted by name.
+    pub fn list_datasets(&self) -> Result<Vec<DatasetEntryWire>, ClientError> {
+        match self.control(Frame::ListDatasets)? {
+            Frame::DatasetList(l) => Ok(l.datasets),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted DatasetList")),
         }
     }
 }

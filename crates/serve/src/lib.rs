@@ -76,6 +76,7 @@ pub mod cache;
 pub mod client;
 pub mod faults;
 pub mod net;
+mod registry;
 pub mod server;
 pub mod wire;
 

@@ -1,7 +1,11 @@
 //! The resident explanation server.
 //!
-//! A [`Server`] loads datasets (table + knowledge graph + extraction
-//! columns) once, mines each extraction column's KG candidates once
+//! A [`Server`] hosts a registry of named datasets (table + knowledge
+//! graph + extraction columns) — handed over in memory
+//! ([`Server::add_dataset`]) or backed by NXCOL store files
+//! ([`Server::add_dataset_from_store`], lazily materialized, LRU-evicted
+//! under [`ServerOptions::max_resident_bytes`]) — mines each extraction
+//! column's KG candidates once per materialization
 //! ([`nexus_core::extract_column`]), and then answers NEXUSRPC `Explain`
 //! requests for the lifetime of the process:
 //!
@@ -47,15 +51,14 @@
 //! rather than wall-clock timing.
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nexus_core::{
-    extract_column, ColumnExtraction, CoreError, Explanation, Nexus, NexusOptions, ProgressEvent,
-    RunControl,
+    ColumnExtraction, CoreError, Explanation, Nexus, NexusOptions, ProgressEvent, RunControl,
 };
 use nexus_kg::KnowledgeGraph;
 use nexus_query::parse;
@@ -64,11 +67,12 @@ use nexus_table::Table;
 
 use crate::cache::LruCache;
 use crate::net::{deadline_tick, read_envelope_deadline, DeadlineStream, ReadError};
+use crate::registry::{DatasetRegistry, DatasetSource, DatasetSpec, RegistryError};
 use crate::wire::{
-    encode_parts_into, error_code, v2, write_frame, Envelope, ErrorWire, ExplainRequestWire,
-    ExplanationReplyWire, ExplanationWire, Frame, HelloAckWire, LinkStatsWire, PartialWire,
-    ProgressWire, ServeStatsWire, ServerStatsWire, UnsupportedWire, WireError, MAX_VERSION,
-    VERSION,
+    encode_parts_into, error_code, v2, write_frame, DatasetAckWire, DatasetListWire, Envelope,
+    ErrorWire, EvictDatasetWire, ExplainRequestWire, ExplanationReplyWire, ExplanationWire, Frame,
+    HelloAckWire, LinkStatsWire, LoadDatasetWire, PartialWire, ProgressWire, ServeStatsWire,
+    ServerStatsWire, UnsupportedWire, WireError, MAX_VERSION, VERSION,
 };
 
 /// Server failures (setup and socket loops; per-request failures travel
@@ -79,6 +83,9 @@ pub enum ServeError {
     Core(nexus_core::CoreError),
     /// Socket-level failure.
     Io(std::io::Error),
+    /// A dataset store file or knowledge-graph TSV could not be loaded
+    /// (I/O, NXCOL validation, or KG parse failure).
+    Store(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -86,6 +93,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Core(e) => write!(f, "pipeline error: {e}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Store(msg) => write!(f, "store error: {msg}"),
         }
     }
 }
@@ -130,6 +138,11 @@ pub struct ServerOptions {
     /// further submissions draw an [`error_code::BUSY`] reply for their
     /// correlation id (the connection survives).
     pub max_inflight: usize,
+    /// Budget over the NXCOL-encoded bytes of resident dataset tables
+    /// (0 = unbounded). When a materialization pushes the gauge past the
+    /// budget, least-recently-used resident datasets are dropped; their
+    /// registrations survive and re-materialize on demand.
+    pub max_resident_bytes: u64,
 }
 
 impl Default for ServerOptions {
@@ -144,20 +157,9 @@ impl Default for ServerOptions {
             io_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
             max_inflight: 128,
+            max_resident_bytes: 0,
         }
     }
-}
-
-/// One resident dataset: the table, its knowledge source, and the
-/// extraction artifacts mined once at registration.
-struct DatasetState {
-    table: Table,
-    kg: KnowledgeGraph,
-    extraction_columns: Vec<String>,
-    /// Query-independent KG extraction artifacts, reused by every request.
-    extractions: Vec<ColumnExtraction>,
-    /// Content fingerprint of (table, kg, extraction columns).
-    fingerprint: u64,
 }
 
 /// Result-cache key. The canonical signature string (not just its hash)
@@ -258,7 +260,7 @@ impl Registry {
 }
 
 struct Inner {
-    datasets: RwLock<HashMap<String, Arc<DatasetState>>>,
+    registry: DatasetRegistry,
     nexus: Nexus,
     options_fp: u64,
     cache: Mutex<LruCache<CacheKey, Arc<Vec<u8>>>>,
@@ -303,7 +305,7 @@ impl Server {
         let options_fp = options.nexus.fingerprint();
         Server {
             inner: Arc::new(Inner {
-                datasets: RwLock::new(HashMap::new()),
+                registry: DatasetRegistry::new(options.max_resident_bytes),
                 nexus: Nexus::new(options.nexus),
                 options_fp,
                 cache: Mutex::new(LruCache::new(options.cache_capacity)),
@@ -330,10 +332,10 @@ impl Server {
         }
     }
 
-    /// Registers a dataset under `name`, mining each extraction column's
-    /// KG candidates once so subsequent requests only run the
-    /// query-dependent pipeline stages. Replaces any dataset of the same
-    /// name.
+    /// Registers a dataset under `name` and materializes it eagerly,
+    /// mining each extraction column's KG candidates once so subsequent
+    /// requests only run the query-dependent pipeline stages. Replaces
+    /// any dataset of the same name.
     pub fn add_dataset(
         &self,
         name: impl Into<String>,
@@ -342,68 +344,66 @@ impl Server {
         extraction_columns: Vec<String>,
     ) -> Result<(), ServeError> {
         let name = name.into();
-        let mut extractions = Vec::with_capacity(extraction_columns.len());
-        for column in &extraction_columns {
-            extractions.push(extract_column(
-                &table,
-                &kg,
-                column,
-                &self.inner.nexus.options,
-            )?);
-        }
-        let fingerprint = {
-            let mut h = nexus_table::Fnv64::new();
-            h.write_u64(table.fingerprint());
-            h.write_u64(kg.fingerprint());
-            h.write_u64(extraction_columns.len() as u64);
-            for c in &extraction_columns {
-                h.write_str(c);
-            }
-            h.finish()
-        };
-        let state = Arc::new(DatasetState {
-            table,
-            kg,
-            extraction_columns,
-            extractions,
-            fingerprint,
-        });
-        self.inner.datasets.write().unwrap().insert(name, state);
+        self.inner.registry.register(
+            name.clone(),
+            DatasetSpec {
+                source: DatasetSource::Memory {
+                    table: Arc::new(table),
+                    kg: Arc::new(kg),
+                },
+                extraction_columns,
+            },
+        );
+        self.inner
+            .registry
+            .ensure_resident(&name, &self.inner.nexus.options)
+            .map(|_| ())
+            .map_err(registry_to_serve)
+    }
+
+    /// Registers a store-backed dataset under `name`: `table_path` must
+    /// be an NXCOL file (its header is validated now, so typos and
+    /// corruption surface immediately) and `kg_path` an optional KG TSV.
+    /// The table, the graph, and the KG extraction artifacts are
+    /// materialized lazily, on the first request that needs them.
+    /// Replaces any dataset of the same name.
+    pub fn add_dataset_from_store(
+        &self,
+        name: impl Into<String>,
+        table_path: impl Into<PathBuf>,
+        kg_path: Option<PathBuf>,
+        extraction_columns: Vec<String>,
+    ) -> Result<(), ServeError> {
+        let table_path = table_path.into();
+        nexus_store::inspect_path(&table_path)
+            .map_err(|e| ServeError::Store(format!("{}: {e}", table_path.display())))?;
+        self.inner.registry.register(
+            name.into(),
+            DatasetSpec {
+                source: DatasetSource::Store {
+                    table_path,
+                    kg_path,
+                },
+                extraction_columns,
+            },
+        );
         Ok(())
     }
 
-    /// Names of the resident datasets (sorted).
+    /// Names of the registered datasets (sorted; resident or not).
     pub fn dataset_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .inner
-            .datasets
-            .read()
-            .unwrap()
-            .keys()
-            .cloned()
-            .collect();
-        names.sort();
-        names
+        self.inner.registry.names()
     }
 
-    /// Entity count of a resident dataset's knowledge graph, if loaded.
+    /// Entity count of a dataset's knowledge graph, if its artifacts are
+    /// currently materialized.
     pub fn dataset_kg_entities(&self, name: &str) -> Option<usize> {
-        self.inner
-            .datasets
-            .read()
-            .unwrap()
-            .get(name)
-            .map(|d| d.kg.n_entities())
+        self.inner.registry.kg_entities(name)
     }
 
-    /// Extraction columns of a resident dataset, if loaded.
+    /// Extraction columns of a registered dataset.
     pub fn dataset_extraction_columns(&self, name: &str) -> Option<Vec<String>> {
-        self.inner
-            .datasets
-            .read()
-            .unwrap()
-            .get(name)
-            .map(|d| d.extraction_columns.clone())
+        self.inner.registry.extraction_columns(name)
     }
 
     /// Whether a shutdown request has been received.
@@ -417,7 +417,7 @@ impl Server {
             .snapshot()
             .delta(&self.inner.kernel_baseline);
         ServerStatsWire {
-            datasets: self.inner.datasets.read().unwrap().len() as u64,
+            datasets: self.inner.registry.registered(),
             cache_entries: self.inner.cache.lock().unwrap().len() as u64,
             cache_hits: self.inner.hits.load(Ordering::SeqCst),
             cache_misses: self.inner.misses.load(Ordering::SeqCst),
@@ -438,6 +438,12 @@ impl Server {
             cancels_honored: self.inner.cancels_honored.load(Ordering::SeqCst),
             partials_streamed: self.inner.partials_streamed.load(Ordering::SeqCst),
             workspace_reuse_hits: self.inner.workspace_reuse_hits.load(Ordering::SeqCst),
+            datasets_resident: self.inner.registry.resident_count(),
+            datasets_loaded: self.inner.registry.loads(),
+            dataset_evictions: self.inner.registry.evictions(),
+            store_bytes: self.inner.registry.resident_bytes(),
+            extraction_builds: self.inner.registry.extraction_builds(),
+            registry_fingerprint: self.inner.registry.combined_fingerprint(),
         }
     }
 
@@ -452,6 +458,9 @@ impl Server {
                 Frame::ShutdownAck
             }
             Frame::Explain(req) => self.explain(&req),
+            Frame::LoadDataset(w) => self.load_dataset_frame(&w),
+            Frame::EvictDataset(w) => self.evict_dataset_frame(&w),
+            Frame::ListDatasets => self.list_datasets_frame(),
             // Reply-only and unknown frames are not requests.
             other => Frame::Unsupported(UnsupportedWire {
                 version: VERSION,
@@ -459,6 +468,50 @@ impl Server {
                 max_supported: VERSION,
             }),
         }
+    }
+
+    /// Answers a `LoadDataset`: registers a lazily-materialized
+    /// store-backed dataset (the NXCOL header is validated immediately).
+    fn load_dataset_frame(&self, w: &LoadDatasetWire) -> Frame {
+        if self.is_shutting_down() {
+            return error(error_code::SHUTTING_DOWN, "server is shutting down");
+        }
+        let kg_path = (!w.kg_path.is_empty()).then(|| PathBuf::from(&w.kg_path));
+        match self.add_dataset_from_store(
+            &w.name,
+            PathBuf::from(&w.table_path),
+            kg_path,
+            w.extraction_columns.clone(),
+        ) {
+            Ok(()) => Frame::DatasetAck(DatasetAckWire {
+                name: w.name.clone(),
+                resident: false,
+            }),
+            Err(e) => error(error_code::STORE, e.to_string()),
+        }
+    }
+
+    /// Answers an `EvictDataset`: drops resident artifacts, keeps the
+    /// registration.
+    fn evict_dataset_frame(&self, w: &EvictDatasetWire) -> Frame {
+        match self.inner.registry.evict(&w.name) {
+            Ok(_) => Frame::DatasetAck(DatasetAckWire {
+                name: w.name.clone(),
+                resident: false,
+            }),
+            Err(RegistryError::Unknown(_)) => error(
+                error_code::UNKNOWN_DATASET,
+                format!("no dataset named {:?}", w.name),
+            ),
+            Err(e) => error(error_code::STORE, e.to_string()),
+        }
+    }
+
+    /// Answers a `ListDatasets` with the sorted registry listing.
+    fn list_datasets_frame(&self) -> Frame {
+        Frame::DatasetList(DatasetListWire {
+            datasets: self.inner.registry.list(),
+        })
     }
 
     fn explain(&self, req: &ExplainRequestWire) -> Frame {
@@ -517,18 +570,23 @@ impl Server {
         if ctl.check().is_err() {
             return error(error_code::CANCELLED, "request cancelled");
         }
-        let Some(dataset) = self
+        // Materializes the dataset if it is registered but not resident
+        // (first touch after a lazy load or an eviction); a warm dataset
+        // is an `Arc` clone.
+        let dataset = match self
             .inner
-            .datasets
-            .read()
-            .unwrap()
-            .get(&req.dataset)
-            .cloned()
-        else {
-            return error(
-                error_code::UNKNOWN_DATASET,
-                format!("no resident dataset named {:?}", req.dataset),
-            );
+            .registry
+            .ensure_resident(&req.dataset, &self.inner.nexus.options)
+        {
+            Ok(d) => d,
+            Err(RegistryError::Unknown(_)) => {
+                return error(
+                    error_code::UNKNOWN_DATASET,
+                    format!("no resident dataset named {:?}", req.dataset),
+                )
+            }
+            Err(RegistryError::Load(msg)) => return error(error_code::STORE, msg),
+            Err(RegistryError::Core(e)) => return error(error_code::PIPELINE, e.to_string()),
         };
         let query = match parse(&req.sql) {
             Ok(q) => q,
@@ -974,6 +1032,9 @@ impl Server {
                             error_code::BAD_CORRELATION,
                             "session already negotiated",
                         )),
+                        Frame::LoadDataset(w) => Some(self.load_dataset_frame(&w)),
+                        Frame::EvictDataset(w) => Some(self.evict_dataset_frame(&w)),
+                        Frame::ListDatasets => Some(self.list_datasets_frame()),
                         Frame::Cancel => {
                             // Unknown ids are a benign race against the
                             // final reply, not an error.
@@ -1028,6 +1089,8 @@ impl Server {
                                 | Frame::StatsReply(_)
                                 | Frame::ShutdownAck
                                 | Frame::Error(_)
+                                | Frame::DatasetList(_)
+                                | Frame::DatasetAck(_)
                         );
                         if is_final && overtakes {
                             self.inner.ooo_replies.fetch_add(1, Ordering::SeqCst);
@@ -1207,6 +1270,15 @@ fn error(code: u16, message: impl Into<String>) -> Frame {
         code,
         message: message.into(),
     })
+}
+
+/// Maps registry failures onto the public setup error type.
+fn registry_to_serve(e: RegistryError) -> ServeError {
+    match e {
+        RegistryError::Core(e) => ServeError::Core(e),
+        RegistryError::Load(msg) => ServeError::Store(msg),
+        RegistryError::Unknown(name) => ServeError::Store(format!("no dataset named {name:?}")),
+    }
 }
 
 /// Projects an [`Explanation`] onto its deterministic wire twin: only

@@ -536,6 +536,9 @@ pub mod error_code {
     /// A v2 request reused a correlation id that is still in flight, or
     /// addressed a control frame at an id the server does not know.
     pub const BAD_CORRELATION: u16 = 9;
+    /// A dataset store file could not be read, failed NXCOL validation,
+    /// or its knowledge graph failed to load.
+    pub const STORE: u16 = 10;
 }
 
 /// Cumulative server statistics ([`Frame::Stats`] reply).
@@ -589,6 +592,82 @@ pub struct ServerStatsWire {
     /// Envelope encodes that reused a connection workspace buffer
     /// without growing it (see [`Workspace`]).
     pub workspace_reuse_hits: u64,
+    /// Datasets whose artifacts (table + KG extractions) are currently
+    /// materialized in memory. `datasets` counts *registered* names;
+    /// lazily-loaded or evicted entries keep their registration.
+    pub datasets_resident: u64,
+    /// Cumulative dataset materializations (cold loads plus reloads after
+    /// eviction). A warm request leaves this flat.
+    pub datasets_loaded: u64,
+    /// Resident datasets dropped by the registry's byte-budget LRU (or an
+    /// explicit `EvictDataset`).
+    pub dataset_evictions: u64,
+    /// NXCOL-encoded bytes of all resident tables — the gauge the
+    /// registry's `max_resident_bytes` budget bounds.
+    pub store_bytes: u64,
+    /// Cumulative per-column KG extraction builds. Flat across warm
+    /// requests: the proof that a resident dataset is never re-mined.
+    pub extraction_builds: u64,
+    /// Order-independent fingerprint over the resident `(name,
+    /// fingerprint)` pairs — changes exactly when the resident set does.
+    pub registry_fingerprint: u64,
+}
+
+/// Registers a store-backed dataset (v2): the server validates the NXCOL
+/// header eagerly but materializes the table and its KG extraction
+/// artifacts lazily, on the first request that needs them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadDatasetWire {
+    /// Registry name for the dataset.
+    pub name: String,
+    /// Server-side path of the NXCOL table file.
+    pub table_path: String,
+    /// Server-side path of the knowledge-graph TSV (empty = serve with an
+    /// empty knowledge graph).
+    pub kg_path: String,
+    /// Columns to mine KG candidates from.
+    pub extraction_columns: Vec<String>,
+}
+
+/// Drops a dataset's resident artifacts (v2). The registration survives:
+/// the next request re-materializes from the source.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvictDatasetWire {
+    /// Registry name of the dataset.
+    pub name: String,
+}
+
+/// Acknowledges a `LoadDataset`/`EvictDataset` (v2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetAckWire {
+    /// Registry name of the dataset.
+    pub name: String,
+    /// Whether the dataset's artifacts are materialized after the
+    /// operation (`false` for a lazy registration or an eviction).
+    pub resident: bool,
+}
+
+/// One registry entry in a [`DatasetListWire`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetEntryWire {
+    /// Registry name.
+    pub name: String,
+    /// Whether the artifacts are currently materialized.
+    pub resident: bool,
+    /// Table rows (0 when not resident).
+    pub rows: u64,
+    /// NXCOL-encoded size of the resident table (0 when not resident).
+    pub store_bytes: u64,
+    /// Dataset fingerprint from the last materialization (0 if the
+    /// dataset has never been loaded).
+    pub fingerprint: u64,
+}
+
+/// The registry listing (v2 reply to `ListDatasets`), sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetListWire {
+    /// All registered datasets, resident or not, sorted by name.
+    pub datasets: Vec<DatasetEntryWire>,
 }
 
 /// Echo of the envelope a peer could not handle.
@@ -642,6 +721,16 @@ pub enum Frame {
     Progress(ProgressWire),
     /// Top-k-so-far streaming update for an in-flight request (v2).
     Partial(PartialWire),
+    /// Register a store-backed dataset (v2).
+    LoadDataset(LoadDatasetWire),
+    /// Drop a dataset's resident artifacts (v2).
+    EvictDataset(EvictDatasetWire),
+    /// Request the registry listing (v2; empty payload).
+    ListDatasets,
+    /// Registry listing reply (v2).
+    DatasetList(DatasetListWire),
+    /// Load/evict acknowledgement (v2).
+    DatasetAck(DatasetAckWire),
 }
 
 impl Frame {
@@ -663,6 +752,11 @@ impl Frame {
             Frame::Cancel => 13,
             Frame::Progress(_) => 14,
             Frame::Partial(_) => 15,
+            Frame::LoadDataset(_) => 16,
+            Frame::EvictDataset(_) => 17,
+            Frame::ListDatasets => 18,
+            Frame::DatasetList(_) => 19,
+            Frame::DatasetAck(_) => 20,
         }
     }
 
@@ -678,7 +772,8 @@ impl Frame {
             | Frame::Stats
             | Frame::Shutdown
             | Frame::ShutdownAck
-            | Frame::Cancel => {}
+            | Frame::Cancel
+            | Frame::ListDatasets => {}
             Frame::Explain(req) => {
                 put_str(out, &req.dataset);
                 put_str(out, &req.sql);
@@ -720,6 +815,12 @@ impl Frame {
                 put_u64(out, s.cancels_honored);
                 put_u64(out, s.partials_streamed);
                 put_u64(out, s.workspace_reuse_hits);
+                put_u64(out, s.datasets_resident);
+                put_u64(out, s.datasets_loaded);
+                put_u64(out, s.dataset_evictions);
+                put_u64(out, s.store_bytes);
+                put_u64(out, s.extraction_builds);
+                put_u64(out, s.registry_fingerprint);
             }
             Frame::Unsupported(u) => {
                 put_u16(out, u.version);
@@ -732,6 +833,30 @@ impl Frame {
                 put_u32(out, h.max_inflight);
             }
             Frame::Progress(p) => put_str(out, &p.stage),
+            Frame::LoadDataset(d) => {
+                put_str(out, &d.name);
+                put_str(out, &d.table_path);
+                put_str(out, &d.kg_path);
+                put_u32(out, d.extraction_columns.len() as u32);
+                for column in &d.extraction_columns {
+                    put_str(out, column);
+                }
+            }
+            Frame::EvictDataset(d) => put_str(out, &d.name),
+            Frame::DatasetAck(a) => {
+                put_str(out, &a.name);
+                out.push(a.resident as u8);
+            }
+            Frame::DatasetList(l) => {
+                put_u32(out, l.datasets.len() as u32);
+                for d in &l.datasets {
+                    put_str(out, &d.name);
+                    out.push(d.resident as u8);
+                    put_u64(out, d.rows);
+                    put_u64(out, d.store_bytes);
+                    put_u64(out, d.fingerprint);
+                }
+            }
             Frame::Partial(p) => {
                 put_u32(out, p.selected.len() as u32);
                 for name in &p.selected {
@@ -804,6 +929,12 @@ impl Frame {
                 cancels_honored: r.u64()?,
                 partials_streamed: r.u64()?,
                 workspace_reuse_hits: r.u64()?,
+                datasets_resident: r.u64()?,
+                datasets_loaded: r.u64()?,
+                dataset_evictions: r.u64()?,
+                store_bytes: r.u64()?,
+                extraction_builds: r.u64()?,
+                registry_fingerprint: r.u64()?,
             }),
             8 => Frame::Shutdown,
             9 => Frame::ShutdownAck,
@@ -847,6 +978,48 @@ impl Frame {
                     initial_cmi: r.f64()?,
                 })
             }
+            16 => {
+                let name = r.str()?;
+                let table_path = r.str()?;
+                let kg_path = r.str()?;
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Malformed("extraction-column count"));
+                }
+                let mut extraction_columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    extraction_columns.push(r.str()?);
+                }
+                Frame::LoadDataset(LoadDatasetWire {
+                    name,
+                    table_path,
+                    kg_path,
+                    extraction_columns,
+                })
+            }
+            17 => Frame::EvictDataset(EvictDatasetWire { name: r.str()? }),
+            18 => Frame::ListDatasets,
+            19 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Malformed("dataset count"));
+                }
+                let mut datasets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    datasets.push(DatasetEntryWire {
+                        name: r.str()?,
+                        resident: r.bool()?,
+                        rows: r.u64()?,
+                        store_bytes: r.u64()?,
+                        fingerprint: r.u64()?,
+                    });
+                }
+                Frame::DatasetList(DatasetListWire { datasets })
+            }
+            20 => Frame::DatasetAck(DatasetAckWire {
+                name: r.str()?,
+                resident: r.bool()?,
+            }),
             other => return Err(WireError::UnknownFrameType(other)),
         };
         r.finish()?;
@@ -998,6 +1171,12 @@ mod tests {
                 cancels_honored: 2,
                 partials_streamed: 9,
                 workspace_reuse_hits: 88,
+                datasets_resident: 1,
+                datasets_loaded: 3,
+                dataset_evictions: 2,
+                store_bytes: 65_536,
+                extraction_builds: 6,
+                registry_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
             }),
             Frame::Shutdown,
             Frame::ShutdownAck,
@@ -1015,6 +1194,65 @@ mod tests {
             // Stream path agrees with the pure path.
             let mut cursor = std::io::Cursor::new(&bytes);
             assert_eq!(read_frame(&mut cursor).expect("read"), frame);
+        }
+    }
+
+    #[test]
+    fn registry_frames_round_trip_under_v2_and_are_refused_by_v1() {
+        let frames = vec![
+            Frame::LoadDataset(LoadDatasetWire {
+                name: "wdi".into(),
+                table_path: "/data/wdi.nxcol".into(),
+                kg_path: "/data/kg.tsv".into(),
+                extraction_columns: vec!["Country".into(), "City".into()],
+            }),
+            Frame::LoadDataset(LoadDatasetWire {
+                name: "bare".into(),
+                table_path: "t.nxcol".into(),
+                kg_path: String::new(), // no KG
+                extraction_columns: vec![],
+            }),
+            Frame::EvictDataset(EvictDatasetWire { name: "wdi".into() }),
+            Frame::ListDatasets,
+            Frame::DatasetList(DatasetListWire {
+                datasets: vec![
+                    DatasetEntryWire {
+                        name: "salaries".into(),
+                        resident: true,
+                        rows: 270,
+                        store_bytes: 4_096,
+                        fingerprint: 7,
+                    },
+                    DatasetEntryWire {
+                        name: "wdi".into(),
+                        resident: false,
+                        rows: 0,
+                        store_bytes: 0,
+                        fingerprint: 0,
+                    },
+                ],
+            }),
+            Frame::DatasetAck(DatasetAckWire {
+                name: "wdi".into(),
+                resident: false,
+            }),
+        ];
+        let mut ws = Workspace::new();
+        for frame in frames {
+            let bytes = encode_parts_into(v2::VERSION, 42, &frame, &mut ws).to_vec();
+            let (env, consumed) =
+                Envelope::decode_version_max(&bytes, MAX_VERSION).expect("v2 decode");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(env.corr_id, 42);
+            assert_eq!(env.frame, frame);
+            // The frozen v1 vocabulary excludes the registry frames, and
+            // a v1-capped reader reports the v2 envelope as a version it
+            // does not speak (never a misread).
+            assert!(!v1::allows(frame.frame_type()));
+            assert!(matches!(
+                Envelope::decode_version_max(&bytes, v1::VERSION),
+                Err(WireError::UnsupportedVersion(2))
+            ));
         }
     }
 

@@ -3,9 +3,10 @@
 //! v2 extends v1 with a `u64` correlation-id prefix on every payload and
 //! five session frames — [`HelloWire`]/[`HelloAckWire`] negotiation,
 //! `Cancel`, and the [`ProgressWire`]/[`PartialWire`] streaming updates —
-//! plus a [`CallOverrides`] section on `Explain` payloads. Every v1
-//! frame keeps its v1 body encoding, so a v2 final reply is the v1 reply
-//! with the corr id spliced in.
+//! plus a [`CallOverrides`] section on `Explain` payloads and the dataset
+//! registry frames (`LoadDataset`/`EvictDataset`/`ListDatasets` and their
+//! replies). Every v1 frame keeps its v1 body encoding, so a v2 final
+//! reply is the v1 reply with the corr id spliced in.
 
 use super::{put_str, put_u32, Reader, Result, WireError};
 
@@ -13,9 +14,11 @@ use super::{put_str, put_u32, Reader, Result, WireError};
 pub const VERSION: u16 = 2;
 
 /// Whether `frame_type` belongs to the v2 vocabulary (all of v1 plus
-/// `Hello`, `HelloAck`, `Cancel`, `Progress`, `Partial`).
+/// `Hello`, `HelloAck`, `Cancel`, `Progress`, `Partial`, and the dataset
+/// registry frames `LoadDataset`, `EvictDataset`, `ListDatasets`,
+/// `DatasetList`, `DatasetAck`).
 pub fn allows(frame_type: u8) -> bool {
-    (1..=15).contains(&frame_type)
+    (1..=20).contains(&frame_type)
 }
 
 /// Session opener: the first envelope of every v2 connection.

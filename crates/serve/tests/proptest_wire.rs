@@ -136,6 +136,14 @@ fn frame() -> impl Strategy<Value = Frame> {
                 any::<u64>(),
                 any::<u64>(),
                 any::<u64>()
+            ),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
             )
         )
             .prop_map(
@@ -146,6 +154,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                     (ca, br, io),
                     (of, dh, lh),
                     (ip, oo, ch, ps, wr),
+                    (dr, dl, de, sb, eb, rf),
                 )| {
                     Frame::StatsReply(ServerStatsWire {
                         datasets: d,
@@ -169,6 +178,12 @@ fn frame() -> impl Strategy<Value = Frame> {
                         cancels_honored: ch,
                         partials_streamed: ps,
                         workspace_reuse_hits: wr,
+                        datasets_resident: dr,
+                        datasets_loaded: dl,
+                        dataset_evictions: de,
+                        store_bytes: sb,
+                        extraction_builds: eb,
+                        registry_fingerprint: rf,
                     })
                 }
             ),

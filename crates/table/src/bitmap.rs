@@ -189,6 +189,41 @@ impl Bitmap {
         self.iter_ones().collect()
     }
 
+    /// The backing 64-bit words. Bits at positions `>= len()` in the last
+    /// word are guaranteed zero, so the words are a canonical serialization
+    /// of the bitmap.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap of `len` bits from backing words (the inverse of
+    /// [`Bitmap::words`]).
+    ///
+    /// Returns an error when the word count does not match
+    /// `len.div_ceil(64)` or when a bit beyond `len` is set — both indicate
+    /// a corrupt or non-canonical serialization rather than a recoverable
+    /// shape.
+    pub fn from_words(words: Vec<u64>, len: usize) -> crate::error::Result<Self> {
+        let n_words = len.div_ceil(64);
+        if words.len() != n_words {
+            return Err(crate::error::TableError::InvalidArgument(format!(
+                "bitmap of {len} bits needs {n_words} words, got {}",
+                words.len()
+            )));
+        }
+        let rem = len % 64;
+        if rem != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return Err(crate::error::TableError::InvalidArgument(format!(
+                        "bitmap tail word has bits set beyond length {len}"
+                    )));
+                }
+            }
+        }
+        Ok(Bitmap { words, len })
+    }
+
     /// Clears any bits beyond `len` in the final word so popcounts stay exact.
     fn mask_tail(&mut self) {
         let rem = self.len % 64;

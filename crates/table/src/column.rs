@@ -61,6 +61,23 @@ impl DictArray {
     pub fn get(&self, i: usize) -> &str {
         &self.dict[self.codes[i] as usize]
     }
+
+    /// Reassembles a dictionary array from raw codes and a dictionary (the
+    /// inverse of [`DictArray::codes`] + [`DictArray::dict`]), validating
+    /// that every code indexes into the dictionary.
+    ///
+    /// An empty dictionary is only legal for a rowless array: non-empty
+    /// code vectors always reference at least entry 0 (null rows keep
+    /// code 0 by convention).
+    pub fn from_parts(codes: Vec<u32>, dict: Vec<String>) -> Result<Self> {
+        if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict.len()) {
+            return Err(TableError::InvalidArgument(format!(
+                "dictionary code {bad} out of range for dictionary of {}",
+                dict.len()
+            )));
+        }
+        Ok(DictArray { codes, dict })
+    }
 }
 
 /// The typed payload of a column.
@@ -229,6 +246,27 @@ impl Column {
             data: ColumnData::Bool(data),
             validity: if has_null { Some(validity) } else { None },
         }
+    }
+
+    /// Reassembles a column from a typed payload and an optional validity
+    /// bitmap (the inverse of [`Column::data`] + [`Column::validity`]),
+    /// validating that the bitmap length matches the payload length.
+    ///
+    /// This is the deserialization entry point used by `nexus-store`; the
+    /// other constructors normalize null slots (0 / NaN / code 0), so a
+    /// reader that restores the exact stored payload must come through
+    /// here.
+    pub fn from_parts(data: ColumnData, validity: Option<Bitmap>) -> Result<Self> {
+        let col = Column { data, validity };
+        if let Some(v) = &col.validity {
+            if v.len() != col.len() {
+                return Err(TableError::LengthMismatch {
+                    expected: col.len(),
+                    actual: v.len(),
+                });
+            }
+        }
+        Ok(col)
     }
 
     /// Builds a column of `dtype` from dynamic values.

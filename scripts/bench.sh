@@ -1,24 +1,56 @@
 #!/usr/bin/env bash
-# Reproducible counting-kernel benchmark for the explain hot path.
+# Reproducible counting-kernel benchmarks for the explain hot path.
 #
-# Builds the `bench-explain` harness and runs the fixed-seed Flights
-# workload (1M rows by default), emitting BENCH_explain.json at the repo
-# root. The JSON compares kernel operation counters (rows scanned, hash
-# ops, dense ops) between the legacy hashed row-scan path and the dense
-# kernel path — counters are machine-independent, so the numbers are
-# reproducible anywhere; wall-clock is recorded but never gated on.
+# Builds the `bench-explain` harness and runs every fixed-seed Flights
+# workload, emitting one artifact per workload at the repo root:
+# BENCH_<query-id>.json (e.g. BENCH_FL-Q1.json). Each JSON compares
+# kernel operation counters (rows scanned, hash ops, dense ops) between
+# the legacy hashed row-scan path and the dense kernel path — counters
+# are machine-independent, so the numbers are reproducible anywhere;
+# wall-clock is recorded but never gated on.
 #
 # Usage:
-#   scripts/bench.sh                 # full 1M-row workload, 8 threads
-#   scripts/bench.sh --quick         # 20k-row smoke (used by ci.sh)
-#   scripts/bench.sh --rows 500000 --threads 4 --out /tmp/b.json
+#   scripts/bench.sh                       # all workloads, 1M rows, 8 threads
+#   scripts/bench.sh --only FL-Q1          # a single workload
+#   scripts/bench.sh --quick               # 20k-row smokes
+#   scripts/bench.sh --rows 500000 --threads 4
 #
-# All flags are forwarded to bench-explain; --check makes the harness
-# exit nonzero unless the acceptance thresholds hold (>= 3x fewer hash
-# ops, bit-identical outputs, kernel rows <= legacy rows, pool engaged).
+# Unrecognized flags are forwarded to bench-explain; --check makes the
+# harness exit nonzero unless the acceptance thresholds hold (>= 3x
+# fewer hash ops, bit-identical outputs, kernel rows <= legacy rows,
+# pool engaged). The CI smoke invokes bench-explain directly (one quick
+# workload, artifact under target/) — see scripts/ci.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+ONLY=""
+FORWARD=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --only)
+      ONLY="${2:?--only needs a query id}"
+      shift 2
+      ;;
+    *)
+      FORWARD+=("$1")
+      shift
+      ;;
+  esac
+done
+
 cargo build --release --offline -p nexus-bench --bin bench-explain
 
-exec target/release/bench-explain --out BENCH_explain.json "$@"
+# The Flights workload set from the paper's benchmark suite (Table 1).
+WORKLOADS=(FL-Q1 FL-Q2 FL-Q3 FL-Q4 FL-Q5)
+if [[ -n "$ONLY" ]]; then
+  WORKLOADS=("$ONLY")
+fi
+
+for id in "${WORKLOADS[@]}"; do
+  out="BENCH_${id}.json"
+  echo "bench: workload ${id} -> ${out}" >&2
+  target/release/bench-explain --query "$id" --out "$out" \
+    ${FORWARD[@]+"${FORWARD[@]}"}
+done
+
+echo "bench: wrote ${#WORKLOADS[@]} artifact(s)" >&2

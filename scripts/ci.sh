@@ -131,6 +131,61 @@ grep -q "Country::hdi" "$SMOKE_DIR/served_hot.txt"
 shutdown_daemon "$SOCK"
 echo "    direct == served (cold) == served (hot, from cache); clean shutdown"
 
+echo "==> store smoke test (pack -> serve from NXCOL, diffable against CSV ingest)"
+# Pack the sample CSV into the columnar store. Packing is deterministic:
+# doing it twice must produce byte-identical files.
+NX="$SMOKE_DIR/data.nxcol"
+"$BIN" pack --table "$CSV" --out "$NX" > "$SMOKE_DIR/pack.txt"
+"$BIN" pack --table "$CSV" --out "$SMOKE_DIR/data2.nxcol" > "$SMOKE_DIR/pack2.txt"
+cmp "$NX" "$SMOKE_DIR/data2.nxcol"
+diff "$SMOKE_DIR/pack.txt" "$SMOKE_DIR/pack2.txt"
+"$BIN" inspect --store "$NX" > "$SMOKE_DIR/inspect.txt"
+grep -q "NXCOL v1" "$SMOKE_DIR/inspect.txt"
+
+# A corrupted store file must be refused (typed error, nonzero exit) —
+# never served from.
+head -c 20 "$NX" > "$SMOKE_DIR/corrupt.nxcol"
+if "$BIN" inspect --store "$SMOKE_DIR/corrupt.nxcol" > /dev/null 2>&1; then
+    echo "inspect accepted a truncated store file" >&2
+    exit 1
+fi
+
+STORE_SOCK="$SMOKE_DIR/store.sock"
+"$BIN" serve --socket "$STORE_SOCK" --store "$NX" --kg "$KG" --extract Country \
+    2> "$SMOKE_DIR/store_serve.log" &
+SERVE_PID=$!
+wait_for_socket "$STORE_SOCK" "$SMOKE_DIR/store_serve.log"
+
+# Store registration is lazy: before any query, nothing is resident.
+"$BIN" submit --socket "$STORE_SOCK" --stats 2> "$SMOKE_DIR/store_stats_cold.log"
+grep -q "0 of 1 dataset(s) resident" "$SMOKE_DIR/store_stats_cold.log"
+
+# Explanations served from the packed store must be byte-identical to the
+# CSV-ingest outputs (both the one-shot run and the CSV-backed server).
+"$BIN" submit --socket "$STORE_SOCK" --sql "$SQL" \
+    > "$SMOKE_DIR/store_served.txt" 2> /dev/null
+diff "$SMOKE_DIR/direct.txt" "$SMOKE_DIR/store_served.txt"
+
+# The first query materialized the dataset; the registry gauges say so.
+"$BIN" submit --socket "$STORE_SOCK" --stats 2> "$SMOKE_DIR/store_stats_warm.log"
+grep -q "1 of 1 dataset(s) resident" "$SMOKE_DIR/store_stats_warm.log"
+grep -Eq '1 load\(s\)' "$SMOKE_DIR/store_stats_warm.log"
+grep -Eq 'registry fingerprint: 0x0*[1-9a-f]' "$SMOKE_DIR/store_stats_warm.log"
+
+# Registry management over the wire: list, evict, re-serve (reload from
+# the store file) — still the same bytes.
+"$BIN" datasets --socket "$STORE_SOCK" --list > "$SMOKE_DIR/store_list.txt" 2> /dev/null
+grep -q "resident" "$SMOKE_DIR/store_list.txt"
+"$BIN" datasets --socket "$STORE_SOCK" --evict default 2> /dev/null
+"$BIN" datasets --socket "$STORE_SOCK" --list 2> /dev/null \
+    | grep -q "registered"
+"$BIN" submit --socket "$STORE_SOCK" --sql "$SQL" \
+    > "$SMOKE_DIR/store_reloaded.txt" 2> /dev/null
+diff "$SMOKE_DIR/direct.txt" "$SMOKE_DIR/store_reloaded.txt"
+
+shutdown_daemon "$STORE_SOCK"
+echo "    pack deterministic; store-served == CSV-served; lazy load, evict, reload verified"
+
 echo "==> abuse smoke test (governance under misbehaving clients)"
 # A tightly governed server: one connection slot, 300 ms I/O budget. Each
 # abuse mode must draw the documented governance reply — and the server

@@ -17,6 +17,20 @@
 //! # Submit queries to it:
 //! nexus-cli submit --socket /tmp/nexus.sock --sql "SELECT …" [--dataset salaries]
 //! nexus-cli submit --socket /tmp/nexus.sock --shutdown
+//!
+//! # Pack a CSV into the NXCOL columnar store and look inside it:
+//! nexus-cli pack --table data.csv --out data.nxcol
+//! nexus-cli inspect --store data.nxcol
+//!
+//! # Serve straight from the store (lazy materialization, LRU-bounded):
+//! nexus-cli serve --socket /tmp/nexus.sock --store data.nxcol \
+//!           --kg knowledge.tsv --extract Country [--max-store-bytes N]
+//!
+//! # Manage the dataset registry of a running server:
+//! nexus-cli datasets --socket /tmp/nexus.sock --list
+//! nexus-cli datasets --socket /tmp/nexus.sock --load salaries \
+//!           --store data.nxcol --kg knowledge.tsv --extract Country
+//! nexus-cli datasets --socket /tmp/nexus.sock --evict salaries
 //! ```
 //!
 //! The legacy flag-only form (`nexus-cli --table … --sql …`) still works
@@ -45,11 +59,18 @@ fn usage() -> ! {
          \x20 nexus-cli explain --table <csv> (--kg <triples.tsv> | --lake <dir>) \
          --extract <column>... --sql <query>\n\
          \x20         [--k N] [--hops N] [--threads N] [--subgroups] [--no-pruning]\n\
-         \x20 nexus-cli serve (--socket <path> | --tcp <addr>) --table <csv> \
-         (--kg <triples.tsv> | --lake <dir>) --extract <column>...\n\
+         \x20 nexus-cli serve (--socket <path> | --tcp <addr>) \
+         (--table <csv> (--kg <triples.tsv> | --lake <dir>) | --store <nxcol> [--kg <triples.tsv>]) \
+         --extract <column>...\n\
          \x20         [--name <dataset>] [--k N] [--hops N] [--threads N] [--no-pruning] \
          [--cache N] [--max-concurrent N]\n\
-         \x20         [--max-conns N] [--io-timeout-ms N] [--drain-timeout-ms N]\n\
+         \x20         [--max-conns N] [--io-timeout-ms N] [--drain-timeout-ms N] \
+         [--max-store-bytes N]\n\
+         \x20 nexus-cli pack --table <csv> --out <nxcol>\n\
+         \x20 nexus-cli inspect --store <nxcol>\n\
+         \x20 nexus-cli datasets (--socket <path> | --tcp <addr>) \
+         (--list | --load <name> --store <nxcol> [--kg <triples.tsv>] [--extract <column>...] \
+         | --evict <name>)\n\
          \x20 nexus-cli submit (--socket <path> | --tcp <addr>) --sql <query> \
          [--dataset <name>] [--retries N] [--timeout-ms N]\n\
          \x20         [--pipeline N [--cancel]] | --shutdown | --ping | --stats\n\
@@ -64,6 +85,8 @@ fn usage() -> ! {
 #[derive(Default)]
 struct DataArgs {
     table: String,
+    /// An NXCOL store file serving as the table source instead of a CSV.
+    store: Option<String>,
     kg: Option<String>,
     lake: Option<String>,
     extract: Vec<String>,
@@ -89,6 +112,24 @@ struct ServeArgs {
     max_conns: usize,
     io_timeout_ms: u64,
     drain_timeout_ms: u64,
+    /// Registry byte budget for resident datasets (0 = unbounded).
+    max_store_bytes: u64,
+}
+
+struct PackArgs {
+    table: String,
+    out: String,
+}
+
+struct DatasetsArgs {
+    socket: Option<String>,
+    tcp: Option<String>,
+    load: Option<String>,
+    evict: Option<String>,
+    list: bool,
+    store: Option<String>,
+    kg: Option<String>,
+    extract: Vec<String>,
 }
 
 struct SubmitArgs {
@@ -121,6 +162,9 @@ enum Command {
     Serve(ServeArgs),
     Submit(SubmitArgs),
     Abuse(AbuseArgs),
+    Pack(PackArgs),
+    Inspect { store: String },
+    Datasets(DatasetsArgs),
 }
 
 fn parse_command() -> Command {
@@ -157,6 +201,11 @@ fn parse_command() -> Command {
     let mut cancel = false;
     let mut mode = String::new();
     let (mut shutdown, mut ping, mut stats) = (false, false, false);
+    let mut out = String::new();
+    let mut max_store_bytes = 0u64;
+    let mut load = None;
+    let mut evict = None;
+    let mut list = false;
 
     let mut i = 0;
     let value = |i: &mut usize, argv: &[String]| -> String {
@@ -169,6 +218,7 @@ fn parse_command() -> Command {
     while i < argv.len() {
         match argv[i].as_str() {
             "--table" => data.table = value(&mut i, &argv),
+            "--store" => data.store = Some(value(&mut i, &argv)),
             "--kg" => data.kg = Some(value(&mut i, &argv)),
             "--lake" => data.lake = Some(value(&mut i, &argv)),
             "--extract" => data.extract.push(value(&mut i, &argv)),
@@ -192,6 +242,11 @@ fn parse_command() -> Command {
             "--pipeline" => pipeline = number(&mut i, &argv),
             "--cancel" => cancel = true,
             "--mode" => mode = value(&mut i, &argv),
+            "--out" => out = value(&mut i, &argv),
+            "--max-store-bytes" => max_store_bytes = number(&mut i, &argv) as u64,
+            "--load" => load = Some(value(&mut i, &argv)),
+            "--evict" => evict = Some(value(&mut i, &argv)),
+            "--list" => list = true,
             "--shutdown" => shutdown = true,
             "--ping" => ping = true,
             "--stats" => stats = true,
@@ -220,12 +275,24 @@ fn parse_command() -> Command {
             })
         }
         "serve" => {
-            if data.table.is_empty() || data.extract.is_empty() {
+            if data.extract.is_empty() {
                 usage()
             }
-            if data.kg.is_none() == data.lake.is_none() {
-                eprintln!("exactly one of --kg or --lake is required");
-                usage()
+            if data.store.is_some() {
+                // Store-backed: the table comes from an NXCOL file; a KG
+                // triple file is optional, a lake is not supported.
+                if !data.table.is_empty() || data.lake.is_some() {
+                    eprintln!("--store replaces --table and cannot be combined with --lake");
+                    usage()
+                }
+            } else {
+                if data.table.is_empty() {
+                    usage()
+                }
+                if data.kg.is_none() == data.lake.is_none() {
+                    eprintln!("exactly one of --kg or --lake is required");
+                    usage()
+                }
             }
             if socket.is_none() == tcp.is_none() {
                 eprintln!("exactly one of --socket or --tcp is required");
@@ -241,6 +308,7 @@ fn parse_command() -> Command {
                 max_conns,
                 io_timeout_ms,
                 drain_timeout_ms,
+                max_store_bytes,
             })
         }
         "submit" => {
@@ -283,6 +351,47 @@ fn parse_command() -> Command {
                 usage()
             }
             Command::Abuse(AbuseArgs { socket, tcp, mode })
+        }
+        "pack" => {
+            if data.table.is_empty() || out.is_empty() {
+                eprintln!("pack needs --table <csv> and --out <nxcol>");
+                usage()
+            }
+            Command::Pack(PackArgs {
+                table: data.table,
+                out,
+            })
+        }
+        "inspect" => match data.store {
+            Some(store) => Command::Inspect { store },
+            None => {
+                eprintln!("inspect needs --store <nxcol>");
+                usage()
+            }
+        },
+        "datasets" => {
+            if socket.is_none() == tcp.is_none() {
+                eprintln!("exactly one of --socket or --tcp is required");
+                usage()
+            }
+            if load.is_some() && data.store.is_none() {
+                eprintln!("--load needs --store <nxcol> (the path the server reads)");
+                usage()
+            }
+            if load.is_none() && evict.is_none() {
+                // Bare `datasets` means `--list`.
+                list = true;
+            }
+            Command::Datasets(DatasetsArgs {
+                socket,
+                tcp,
+                load,
+                evict,
+                list,
+                store: data.store,
+                kg: data.kg,
+                extract: data.extract,
+            })
         }
         other => {
             eprintln!("unknown subcommand {other:?}");
@@ -327,6 +436,9 @@ fn main() {
         Command::Serve(args) => run_serve(&args).map_err(Failure::from),
         Command::Submit(args) => run_submit(&args),
         Command::Abuse(args) => run_abuse(&args).map_err(Failure::from),
+        Command::Pack(args) => run_pack(&args).map_err(Failure::from),
+        Command::Inspect { store } => run_inspect(&store).map_err(Failure::from),
+        Command::Datasets(args) => run_datasets(&args),
     };
     if let Err(failure) = result {
         eprintln!("nexus-cli: {}", failure.message);
@@ -498,11 +610,11 @@ fn run_explain(args: &ExplainArgs) -> Result<(), String> {
 }
 
 fn run_serve(args: &ServeArgs) -> Result<(), String> {
-    let (table, kg, extract) = load_inputs(&args.data)?;
     let nexus = build_options(&args.data)?;
     let mut options = ServerOptions {
         nexus,
         cache_capacity: args.cache,
+        max_resident_bytes: args.max_store_bytes,
         ..ServerOptions::default()
     };
     if args.max_concurrent > 0 {
@@ -519,17 +631,38 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     }
 
     let server = Server::new(options);
-    server
-        .add_dataset(args.name.clone(), table, kg, extract)
-        .map_err(|e| format!("failed to load dataset: {e}"))?;
-    eprintln!(
-        "serve: dataset {:?} resident ({} KG entities); extraction columns {:?}",
-        args.name,
-        server.dataset_kg_entities(&args.name).unwrap_or(0),
+    if let Some(store_path) = &args.data.store {
+        // Store-backed registration is lazy: the header is validated now,
+        // the table materializes on the first request that needs it.
         server
-            .dataset_extraction_columns(&args.name)
-            .unwrap_or_default(),
-    );
+            .add_dataset_from_store(
+                args.name.clone(),
+                store_path,
+                args.data.kg.clone().map(std::path::PathBuf::from),
+                args.data.extract.clone(),
+            )
+            .map_err(|e| format!("failed to register store dataset: {e}"))?;
+        let info = nexus::store::inspect_path(store_path)
+            .map_err(|e| format!("failed to inspect {store_path}: {e}"))?;
+        eprintln!(
+            "serve: dataset {:?} registered from {store_path} \
+             ({} rows x {} cols, fingerprint {:#018x}); materialization is lazy",
+            args.name, info.n_rows, info.n_cols, info.fingerprint
+        );
+    } else {
+        let (table, kg, extract) = load_inputs(&args.data)?;
+        server
+            .add_dataset(args.name.clone(), table, kg, extract)
+            .map_err(|e| format!("failed to load dataset: {e}"))?;
+        eprintln!(
+            "serve: dataset {:?} resident ({} KG entities); extraction columns {:?}",
+            args.name,
+            server.dataset_kg_entities(&args.name).unwrap_or(0),
+            server
+                .dataset_extraction_columns(&args.name)
+                .unwrap_or_default(),
+        );
+    }
 
     if let Some(path) = &args.socket {
         eprintln!("serve: listening on unix socket {path}");
@@ -542,6 +675,103 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
             .map_err(|e| format!("server failed: {e}"))?;
     }
     eprintln!("serve: shut down cleanly");
+    Ok(())
+}
+
+/// `pack`: reads a CSV and writes it as a deterministic NXCOL store file.
+/// The summary goes to stdout — packing the same CSV twice prints the
+/// same lines (and produces byte-identical files).
+fn run_pack(args: &PackArgs) -> Result<(), String> {
+    let table =
+        read_csv_path(&args.table).map_err(|e| format!("failed to read {}: {e}", args.table))?;
+    nexus::store::write_table_path(&table, &args.out)
+        .map_err(|e| format!("failed to write {}: {e}", args.out))?;
+    let info = nexus::store::inspect_path(&args.out)
+        .map_err(|e| format!("failed to verify {}: {e}", args.out))?;
+    println!(
+        "packed {} rows x {} cols into {} bytes, fingerprint {:#018x}",
+        info.n_rows, info.n_cols, info.file_bytes, info.fingerprint
+    );
+    Ok(())
+}
+
+/// `inspect`: validates an NXCOL file (magic, header, every section CRC)
+/// and prints its layout to stdout.
+fn run_inspect(store: &str) -> Result<(), String> {
+    let info =
+        nexus::store::inspect_path(store).map_err(|e| format!("failed to read {store}: {e}"))?;
+    println!(
+        "NXCOL v{}: {} rows x {} cols, {} bytes, fingerprint {:#018x}",
+        info.version, info.n_rows, info.n_cols, info.file_bytes, info.fingerprint
+    );
+    for c in &info.columns {
+        println!(
+            "  {:<24} {:<7} {:<5} {:>4} block(s) {:>10} byte(s){}",
+            c.name,
+            c.dtype,
+            c.encoding,
+            c.n_blocks,
+            c.section_bytes,
+            if c.has_validity { "  [nulls]" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn connect_session(socket: &Option<String>, tcp: &Option<String>) -> Result<Session, Failure> {
+    if let Some(path) = socket {
+        Session::connect_unix(path)
+    } else if let Some(addr) = tcp {
+        Session::connect_tcp(addr)
+    } else {
+        return Err("exactly one of --socket or --tcp is required"
+            .to_string()
+            .into());
+    }
+    .map_err(client_failure)
+}
+
+/// `datasets`: registry management against a running server over one v2
+/// session — load (lazy registration), evict, and list. The listing goes
+/// to stdout and is deterministic for a given registry state.
+fn run_datasets(args: &DatasetsArgs) -> Result<(), Failure> {
+    let session = connect_session(&args.socket, &args.tcp)?;
+    if let Some(name) = &args.load {
+        let store = args
+            .store
+            .as_deref()
+            .ok_or_else(|| Failure::from("--load needs --store <nxcol>".to_string()))?;
+        let ack = session
+            .load_dataset(name, store, args.kg.as_deref(), &args.extract)
+            .map_err(client_failure)?;
+        eprintln!(
+            "datasets: {:?} registered from {store} (materialization is lazy, resident: {})",
+            ack.name, ack.resident
+        );
+    }
+    if let Some(name) = &args.evict {
+        let ack = session.evict_dataset(name).map_err(client_failure)?;
+        eprintln!(
+            "datasets: {:?} evicted (resident: {})",
+            ack.name, ack.resident
+        );
+    }
+    if args.list {
+        let entries = session.list_datasets().map_err(client_failure)?;
+        if entries.is_empty() {
+            println!("no datasets registered");
+        }
+        for d in &entries {
+            println!(
+                "{:<24} {:<10} {:>8} row(s) {:>10} byte(s) fingerprint {:#018x}",
+                d.name,
+                if d.resident { "resident" } else { "registered" },
+                d.rows,
+                d.store_bytes,
+                d.fingerprint
+            );
+        }
+    }
     Ok(())
 }
 
@@ -599,6 +829,17 @@ fn run_submit(args: &SubmitArgs) -> Result<(), Failure> {
             s.drained_handlers,
             s.live_handlers
         );
+        eprintln!(
+            "store: {} of {} dataset(s) resident ({} byte(s)); {} load(s), \
+             {} eviction(s), {} extraction build(s)",
+            s.datasets_resident,
+            s.datasets,
+            s.store_bytes,
+            s.datasets_loaded,
+            s.dataset_evictions,
+            s.extraction_builds
+        );
+        eprintln!("registry fingerprint: {:#018x}", s.registry_fingerprint);
     }
     if !args.sql.is_empty() {
         // Parse locally too, so the echoed query line matches `explain`.
@@ -635,16 +876,7 @@ fn run_submit(args: &SubmitArgs) -> Result<(), Failure> {
 /// plain `submit`, keeping the pipelined path diffable against it.
 fn run_pipeline(args: &SubmitArgs) -> Result<(), Failure> {
     let query = parse(&args.sql).map_err(|e| format!("failed to parse SQL: {e}"))?;
-    let session = if let Some(path) = &args.socket {
-        Session::connect_unix(path)
-    } else if let Some(addr) = &args.tcp {
-        Session::connect_tcp(addr)
-    } else {
-        return Err("exactly one of --socket or --tcp is required"
-            .to_string()
-            .into());
-    }
-    .map_err(client_failure)?;
+    let session = connect_session(&args.socket, &args.tcp)?;
     eprintln!(
         "pipeline: v2 session open; server allows {} in-flight request(s)",
         session.max_inflight()

@@ -24,7 +24,10 @@
 //! * [`datagen`] — synthetic paper datasets with planted ground truth;
 //! * [`eval`] — the experiment harness regenerating every table and figure;
 //! * [`serve`] — the resident explanation server (NEXUSRPC binary
-//!   protocol, fingerprint-keyed result cache, Unix/TCP endpoints).
+//!   protocol, fingerprint-keyed result cache, Unix/TCP endpoints,
+//!   multi-dataset registry);
+//! * [`store`] — NXCOL v1, the deterministic on-disk columnar store
+//!   behind `nexus-cli pack` and instant server restarts.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +76,7 @@ pub use nexus_lake as lake;
 pub use nexus_missing as missing;
 pub use nexus_query as query;
 pub use nexus_serve as serve;
+pub use nexus_store as store;
 pub use nexus_table as table;
 
 pub use nexus_core::{
