@@ -1,20 +1,31 @@
 //! Reproducible counting-kernel benchmark for the `explain` hot path.
 //!
-//! Runs the same fixed-seed Flights workload twice — once with the legacy
-//! hashed row-scan contingency builds, once with the dense/fused kernels —
-//! and emits `BENCH_explain.json` comparing **kernel operation counters**
-//! (rows scanned, hash ops, dense ops), never wall-clock: counters are
-//! machine-independent, so CI can gate on them without flaking.
+//! Runs one fixed-seed workload twice — once with the legacy hashed
+//! row-scan contingency builds, once with the v2 dense/fused kernels —
+//! and emits a `BENCH_<id>.json` comparing **kernel operation counters**
+//! (rows scanned, hash ops, dense ops, merge cells, words skipped), never
+//! wall-clock: counters are machine-independent, so CI can gate on them
+//! without flaking.
 //!
-//! The harness also asserts the two runs produce bit-identical
-//! explanations (the kernels' core promise) and, with `--check`, exits
-//! nonzero unless the acceptance thresholds hold:
+//! Workloads: any Table 5 query id (`FL-Q1`, `SO-Q2`, …) runs against the
+//! matching paper dataset generator; `SYN-…` ids run against the
+//! region-blocked planted-confounder generator
+//! ([`nexus_datagen::synth`]), at 10M rows by default, in plain,
+//! IPW-weighted (`SYN-W1`), and masked (`SYN-M1`) variants.
+//!
+//! The harness asserts the two runs produce bit-identical explanations
+//! (the kernels' core promise) and, with `--check`, exits nonzero unless
+//! the acceptance thresholds hold:
 //!
 //! * ≥ 3x fewer per-row hash operations on the kernel path,
 //! * kernel rows scanned ≤ legacy rows scanned,
+//! * dense accumulator writes strictly below rows scanned (run
+//!   coalescing engaged),
+//! * radix merge cells strictly below the v1 full-keyspace merge bill
+//!   whenever parallel dense merges happened,
+//! * at least one narrow (u8/u16) fused scan,
 //! * outputs identical, and
-//! * pool tasks > 0 when run multi-threaded (the chunked builds actually
-//!   engaged the pool).
+//! * pool tasks > 0 when run multi-threaded.
 //!
 //! Usage: `bench-explain [--rows N] [--cities N] [--threads N] [--quick]
 //! [--query ID] [--out PATH] [--check]`
@@ -24,26 +35,29 @@ use std::time::Instant;
 
 use nexus_core::{ExplainRequest, Explanation, Nexus, NexusOptions, Parallelism};
 use nexus_datagen::flights::FlightsConfig;
-use nexus_datagen::{flights, BENCH_QUERIES};
+use nexus_datagen::synth::{SynthConfig, SYNTH_WORKLOADS};
+use nexus_datagen::{flights, synth, BENCH_QUERIES};
 use nexus_info::kernel::{self, KernelMode};
 use nexus_info::KernelSnapshot;
 
 struct Args {
-    rows: usize,
+    rows: Option<usize>,
     cities: usize,
     threads: usize,
     query: String,
-    out: String,
+    out: Option<String>,
+    quick: bool,
     check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        rows: 1_000_000,
+        rows: None,
         cities: 320,
         threads: 8,
         query: "FL-Q1".to_string(),
-        out: "BENCH_explain.json".to_string(),
+        out: None,
+        quick: false,
         check: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -56,7 +70,9 @@ fn parse_args() -> Result<Args, String> {
     };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--rows" => args.rows = value(&mut i)?.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--rows" => {
+                args.rows = Some(value(&mut i)?.parse().map_err(|e| format!("--rows: {e}"))?)
+            }
             "--cities" => {
                 args.cities = value(&mut i)?
                     .parse()
@@ -68,9 +84,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--query" => args.query = value(&mut i)?,
-            "--out" => args.out = value(&mut i)?,
+            "--out" => args.out = Some(value(&mut i)?),
             "--quick" => {
-                args.rows = 20_000;
+                args.quick = true;
                 args.cities = 120;
             }
             "--check" => args.check = true,
@@ -149,9 +165,89 @@ fn json_run(out: &mut String, label: &str, r: &RunResult) {
     let k = &r.kernel;
     let _ = write!(
         out,
-        "  \"{label}\": {{\n    \"rows_scanned\": {},\n    \"hash_ops\": {},\n    \"dense_ops\": {},\n    \"dense_builds\": {},\n    \"sparse_builds\": {},\n    \"pool_tasks\": {},\n    \"wall_ms\": {}\n  }}",
-        k.rows_scanned, k.hash_ops, k.dense_ops, k.dense_builds, k.sparse_builds, r.pool_tasks, r.wall_ms
+        "  \"{label}\": {{\n    \"rows_scanned\": {},\n    \"hash_ops\": {},\n    \"dense_ops\": {},\n    \"dense_builds\": {},\n    \"sparse_builds\": {},\n    \"narrow_scans\": {},\n    \"packed_words_skipped\": {},\n    \"radix_merge_cells\": {},\n    \"full_merge_cells\": {},\n    \"builds_by_width\": {{\"w8\": {}, \"w16\": {}, \"w32\": {}, \"w64\": {}, \"w128\": {}}},\n    \"pool_tasks\": {},\n    \"wall_ms\": {}\n  }}",
+        k.rows_scanned,
+        k.hash_ops,
+        k.dense_ops,
+        k.dense_builds,
+        k.sparse_builds,
+        k.narrow_scans,
+        k.packed_words_skipped,
+        k.radix_merge_cells,
+        k.full_merge_cells,
+        k.builds_w8,
+        k.builds_w16,
+        k.builds_w32,
+        k.builds_w64,
+        k.builds_w128,
+        r.pool_tasks,
+        r.wall_ms
     );
+}
+
+/// The generated dataset plus the workload descriptor fields that differ
+/// between the paper-query and synthetic paths.
+struct Workload {
+    dataset: nexus_datagen::Dataset,
+    sql: &'static str,
+    dataset_label: String,
+    rows: usize,
+    detail: String,
+}
+
+fn build_workload(args: &Args) -> Result<Workload, String> {
+    if args.query.starts_with("SYN-") {
+        let w = SYNTH_WORKLOADS
+            .iter()
+            .find(|w| w.id == args.query)
+            .ok_or_else(|| format!("unknown synthetic workload {}", args.query))?;
+        let rows = args
+            .rows
+            .unwrap_or(if args.quick { 250_000 } else { 10_000_000 });
+        let cfg = SynthConfig {
+            n_rows: rows,
+            bias: w.bias,
+            ..SynthConfig::default()
+        };
+        eprintln!(
+            "bench-explain: generating Synth (rows={}, regions={}, segments={}, bias={}, seed={:#x})",
+            cfg.n_rows, cfg.n_regions, cfg.n_segments, cfg.bias, cfg.seed
+        );
+        Ok(Workload {
+            dataset: synth::generate(&cfg),
+            sql: w.sql,
+            dataset_label: "Synth".into(),
+            rows,
+            detail: format!(
+                "\"regions\": {}, \"segments\": {}, \"bias\": {}, \"seed\": {}",
+                cfg.n_regions, cfg.n_segments, cfg.bias, cfg.seed
+            ),
+        })
+    } else {
+        let bench_query = BENCH_QUERIES
+            .iter()
+            .find(|q| q.id == args.query)
+            .ok_or_else(|| format!("unknown query id {}", args.query))?;
+        let rows = args
+            .rows
+            .unwrap_or(if args.quick { 20_000 } else { 1_000_000 });
+        let cfg = FlightsConfig {
+            n_rows: rows,
+            n_cities: args.cities,
+            ..FlightsConfig::default()
+        };
+        eprintln!(
+            "bench-explain: generating Flights (rows={}, cities={}, seed={:#x})",
+            cfg.n_rows, cfg.n_cities, cfg.seed
+        );
+        Ok(Workload {
+            dataset: flights::generate(&cfg),
+            sql: bench_query.sql,
+            dataset_label: "Flights".into(),
+            rows,
+            detail: format!("\"cities\": {}, \"seed\": {}", cfg.n_cities, cfg.seed),
+        })
+    }
 }
 
 fn main() {
@@ -162,68 +258,90 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let bench_query = BENCH_QUERIES
-        .iter()
-        .find(|q| q.id == args.query)
-        .unwrap_or_else(|| {
-            eprintln!("bench-explain: unknown query id {}", args.query);
+    let workload = match build_workload(&args) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("bench-explain: {e}");
             std::process::exit(2);
-        });
-
-    let cfg = FlightsConfig {
-        n_rows: args.rows,
-        n_cities: args.cities,
-        ..FlightsConfig::default()
+        }
     };
-    eprintln!(
-        "bench-explain: generating Flights (rows={}, cities={}, seed={:#x})",
-        cfg.n_rows, cfg.n_cities, cfg.seed
-    );
-    let dataset = flights::generate(&cfg);
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", args.query));
 
     eprintln!("bench-explain: legacy pass ({} thread(s))", args.threads);
-    let legacy = run_mode(KernelMode::Legacy, &dataset, bench_query.sql, args.threads);
+    let legacy = run_mode(
+        KernelMode::Legacy,
+        &workload.dataset,
+        workload.sql,
+        args.threads,
+    );
     eprintln!("bench-explain: kernel pass ({} thread(s))", args.threads);
-    let fast = run_mode(KernelMode::Auto, &dataset, bench_query.sql, args.threads);
+    let fast = run_mode(
+        KernelMode::Auto,
+        &workload.dataset,
+        workload.sql,
+        args.threads,
+    );
 
     // Counter-based, machine-independent comparison. hash_ops can hit 0 on
     // the kernel path (everything dense); clamp so the ratio stays finite.
     let hash_ratio = legacy.kernel.hash_ops as f64 / fast.kernel.hash_ops.max(1) as f64;
+    let dense_ops_per_row = fast.kernel.dense_ops as f64 / fast.kernel.rows_scanned.max(1) as f64;
+    let merge_ratio =
+        fast.kernel.full_merge_cells as f64 / fast.kernel.radix_merge_cells.max(1) as f64;
     let outputs_identical = legacy.signature == fast.signature;
     let rows_not_worse = fast.kernel.rows_scanned <= legacy.kernel.rows_scanned;
     let pool_engaged = args.threads <= 1 || fast.pool_tasks > 0;
     let hash_ratio_ok = hash_ratio >= 3.0;
+    // Run coalescing: dense accumulator writes strictly undercut rows.
+    let dense_scan_improved = fast.kernel.dense_ops < fast.kernel.rows_scanned;
+    // Whenever parallel dense merges happened, the radix bill must
+    // strictly undercut the v1 full-keyspace-per-chunk bill.
+    let merge_improved = fast.kernel.full_merge_cells == 0
+        || fast.kernel.radix_merge_cells < fast.kernel.full_merge_cells;
+    let narrow_engaged = fast.kernel.narrow_scans > 0;
 
     let mut out = String::from("{\n");
     let _ = write!(
         out,
-        "  \"schema_version\": 1,\n  \"bench\": \"explain\",\n  \"workload\": {{\n    \"dataset\": \"Flights\",\n    \"rows\": {},\n    \"cities\": {},\n    \"seed\": {},\n    \"query_id\": \"{}\",\n    \"sql\": \"{}\",\n    \"threads\": {}\n  }},\n",
-        args.rows, args.cities, cfg.seed, bench_query.id, bench_query.sql, args.threads
+        "  \"schema_version\": 2,\n  \"bench\": \"explain\",\n  \"workload\": {{\n    \"dataset\": \"{}\",\n    \"rows\": {},\n    {},\n    \"query_id\": \"{}\",\n    \"sql\": \"{}\",\n    \"threads\": {}\n  }},\n",
+        workload.dataset_label, workload.rows, workload.detail, args.query, workload.sql, args.threads
     );
     json_run(&mut out, "legacy", &legacy);
     out.push_str(",\n");
     json_run(&mut out, "kernel", &fast);
     let _ = write!(
         out,
-        ",\n  \"ratios\": {{\n    \"hash_ops\": {hash_ratio:.2}\n  }},\n  \"checks\": {{\n    \"outputs_identical\": {outputs_identical},\n    \"hash_ratio_ok\": {hash_ratio_ok},\n    \"rows_not_worse\": {rows_not_worse},\n    \"pool_engaged\": {pool_engaged}\n  }}\n}}\n"
+        ",\n  \"ratios\": {{\n    \"hash_ops\": {hash_ratio:.2},\n    \"dense_ops_per_row\": {dense_ops_per_row:.4},\n    \"merge_cells\": {merge_ratio:.2}\n  }},\n  \"checks\": {{\n    \"outputs_identical\": {outputs_identical},\n    \"hash_ratio_ok\": {hash_ratio_ok},\n    \"rows_not_worse\": {rows_not_worse},\n    \"pool_engaged\": {pool_engaged},\n    \"dense_scan_improved\": {dense_scan_improved},\n    \"merge_improved\": {merge_improved},\n    \"narrow_engaged\": {narrow_engaged}\n  }}\n}}\n"
     );
 
-    std::fs::write(&args.out, &out).unwrap_or_else(|e| {
-        eprintln!("bench-explain: cannot write {}: {e}", args.out);
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| {
+        eprintln!("bench-explain: cannot write {out_path}: {e}");
         std::process::exit(2);
     });
     eprintln!(
-        "bench-explain: hash ops {} -> {} ({hash_ratio:.1}x), rows {} -> {}, wrote {}",
+        "bench-explain: hash ops {} -> {} ({hash_ratio:.1}x), rows {} -> {}, dense ops/row {dense_ops_per_row:.4}, merge cells {} radix vs {} full, narrow scans {}, wrote {out_path}",
         legacy.kernel.hash_ops,
         fast.kernel.hash_ops,
         legacy.kernel.rows_scanned,
         fast.kernel.rows_scanned,
-        args.out
+        fast.kernel.radix_merge_cells,
+        fast.kernel.full_merge_cells,
+        fast.kernel.narrow_scans,
     );
 
-    if args.check && !(outputs_identical && hash_ratio_ok && rows_not_worse && pool_engaged) {
+    let ok = outputs_identical
+        && hash_ratio_ok
+        && rows_not_worse
+        && pool_engaged
+        && dense_scan_improved
+        && merge_improved
+        && narrow_engaged;
+    if args.check && !ok {
         eprintln!(
-            "bench-explain: CHECK FAILED (outputs_identical={outputs_identical}, hash_ratio_ok={hash_ratio_ok}, rows_not_worse={rows_not_worse}, pool_engaged={pool_engaged})"
+            "bench-explain: CHECK FAILED (outputs_identical={outputs_identical}, hash_ratio_ok={hash_ratio_ok}, rows_not_worse={rows_not_worse}, pool_engaged={pool_engaged}, dense_scan_improved={dense_scan_improved}, merge_improved={merge_improved}, narrow_engaged={narrow_engaged})"
         );
         std::process::exit(1);
     }

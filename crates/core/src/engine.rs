@@ -11,25 +11,36 @@
 //! selected attributes fall back to direct row scans, which happen O(k)
 //! times, not O(|𝒜|) times.
 //!
-//! ## The counting kernel
+//! ## The counting kernel (v2)
 //!
 //! Contingency builds are the scoring hot path, so they run on a layered
 //! kernel rather than the naive per-row hashed scan:
 //!
 //! * the complete-case predicate (`mask ∧ valid(O) ∧ valid(T)`) and the
-//!   fused `T·|O|+O` code column are precomputed **once per candidate
-//!   set** ([`FusedSelection`]), turning each per-column build into a
-//!   straight gather over a selection vector;
-//! * when the `X × T × O` key space fits [`KERNEL_DENSE_LIMIT`], counts
-//!   accumulate into a dense flat array (`counts[x·|TO| + to] += 1`);
-//!   larger key spaces fall back to a hashed accumulator, and key spaces
-//!   beyond `u64` fall back to the legacy row scan (which itself guards
-//!   packing with `u128`);
-//! * large selections are chunked across the engine's pool with
-//!   per-thread local accumulators merged in fixed chunk order. Every
-//!   increment is exactly `1.0` (weights apply later, at entity level),
-//!   so per-cell sums are exact integers and any merge order is
-//!   bit-identical — the fixed order makes that robustness visible.
+//!   fused `t·|O|+o` code column are precomputed **once per candidate
+//!   set** ([`FusedSelection`]); the fused column is materialized at the
+//!   narrowest integer width that holds `|O|·|T| − 1` (`u8`/`u16`/`u32`,
+//!   chosen once from checked cardinality), so large scans stream narrow
+//!   cache-friendly code lanes instead of full-width words;
+//! * each per-column build ANDs `valid(X)` into the packed selection and
+//!   scans it **word at a time**: all-zero 64-bit mask words are skipped
+//!   without touching a row (`packed_words_skipped`), set bits decode via
+//!   `trailing_zeros`, and runs of consecutive equal keys coalesce into
+//!   one add. Every increment is exactly `1.0` (weights apply later, at
+//!   entity level), so a run of length `r` adds the exact integer `r` —
+//!   bit-identical to `r` separate adds;
+//! * when the `X × T × O` key space fits the dense budget (unconditional
+//!   up to [`KERNEL_DENSE_LIMIT`], row-aware beyond it), counts land in a
+//!   [`RadixHistogram`]: the keyspace splits into 4096-cell partition
+//!   blocks allocated lazily on first touch, so zeroing *and* merging
+//!   scale with touched cells, not keyspace. Larger key spaces fall back
+//!   to a hashed accumulator, and key spaces beyond `u64` fall back to
+//!   the legacy row scan (which itself guards packing with `u128`);
+//! * large selections split into one contiguous word span per pool
+//!   thread. Spans scan into private sub-histograms and merge in
+//!   ascending span order, touched blocks only. Cell sums are exact
+//!   integers (< 2^53), so the merge arithmetic is associative
+//!   bit-for-bit and results are identical at every thread count.
 //!
 //! All paths emit the same key `(x·|T| + t)·|O| + o` and drain cells in
 //! ascending key order, so every downstream f64 fold sees the same cell
@@ -39,7 +50,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use nexus_info::kernel::{self, KernelMode};
+use nexus_info::kernel::{self, KernelMode, ScanWidth};
 use nexus_info::{entropy_from_counts, entropy_mm, InfoContext, JointCounts};
 use nexus_runtime::{Parallelism, ThreadPool};
 use nexus_table::{Bitmap, Codes};
@@ -47,18 +58,42 @@ use nexus_table::{Bitmap, Codes};
 use crate::candidate::{Candidate, CandidateRepr, CandidateSet, MISSING_CODE};
 use crate::shard::{NameCache, PairCache};
 
-/// Key space above which the counting kernel switches from a dense flat
-/// array to a hashed accumulator (matches `nexus-info`'s dense budget).
+/// Key space up to which the counting kernel is unconditionally dense
+/// (matches `nexus-info`'s dense budget).
 const KERNEL_DENSE_LIMIT: u128 = 1 << 21;
 
-/// Selection length below which a build stays serial: chunk bookkeeping
+/// Row-aware dense upgrade factor: key spaces beyond the unconditional
+/// budget still go dense when within this multiple of the rows about to
+/// be scanned — lazily-allocated radix blocks mean the untouched tail of
+/// the keyspace costs nothing.
+const KERNEL_DENSE_ROWS_FACTOR: u128 = 32;
+
+/// Hard cap on one dense accumulator's key space (2^25 cells = 256 MiB if
+/// fully touched; actual allocation is per touched 4096-cell block).
+const KERNEL_DENSE_HARD_CAP: u128 = 1 << 25;
+
+/// Cap on `keyspace × span accumulators` for parallel dense builds,
+/// bounding the worst-case transient allocation across all spans.
+const KERNEL_DENSE_TOTAL_CAP: u128 = 1 << 27;
+
+/// Selection length below which a build stays serial: span bookkeeping
 /// and accumulator merging outweigh the scan itself on small contexts.
 const KERNEL_PAR_ROWS: usize = 1 << 16;
 
-/// Rows per parallel chunk. Fixed (never derived from the thread count)
-/// so the chunk grid — and with it the merge order — is identical at
-/// every parallelism level.
-const KERNEL_CHUNK_ROWS: usize = 1 << 16;
+/// Rows per parallel chunk in the v1 kernel. v2 scans one word span per
+/// pool thread instead; this grid survives as the reference for the
+/// `full_merge_cells` counter — the cell writes the v1 full-keyspace
+/// merge discipline (one whole-array merge per 2^16-row chunk) would
+/// have performed on the same build.
+const KERNEL_V1_CHUNK_ROWS: usize = 1 << 16;
+
+/// log2 of cells per radix partition block (4096 cells = 32 KiB of f64:
+/// small enough that a sparsely-touched build allocates little, large
+/// enough that block bookkeeping vanishes next to the scan).
+const RADIX_BLOCK_BITS: u32 = 12;
+
+/// Cells per radix partition block.
+const RADIX_BLOCK_CELLS: usize = 1 << RADIX_BLOCK_BITS;
 
 /// Entropy-level statistics of one candidate `E` against the outcome `O`
 /// and exposure `T`, over the complete-case support of `(O, T, E)` within
@@ -146,6 +181,41 @@ struct Contingency {
     card_t: u32,
 }
 
+/// Element of a narrow-materialized code column. The scan loop is
+/// monomorphized per width, so narrow columns stream `u8`/`u16` lanes —
+/// branch-free and auto-vectorizable — instead of full-width words.
+trait NarrowCode: Copy + Send + Sync + 'static {
+    /// The [`ScanWidth`] this element type represents.
+    const WIDTH: ScanWidth;
+    fn from_u64(v: u64) -> Self;
+    fn as_u64(self) -> u64;
+}
+
+macro_rules! narrow_code {
+    ($($t:ty => $w:expr),*) => {$(
+        impl NarrowCode for $t {
+            const WIDTH: ScanWidth = $w;
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn as_u64(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+narrow_code!(u8 => ScanWidth::W8, u16 => ScanWidth::W16, u32 => ScanWidth::W32);
+
+/// The fused `t·|O| + o` code column at the narrowest width that holds
+/// `|O|·|T| − 1`, chosen once per candidate set from checked cardinality.
+enum ToCodes {
+    W8(Vec<u8>),
+    W16(Vec<u16>),
+    W32(Vec<u32>),
+}
+
 /// Per-candidate-set precomputation shared by every per-column kernel
 /// build: the complete-case bitmap over `(mask, O, T)` and the fused
 /// `t·|O| + o` code column.
@@ -158,7 +228,7 @@ struct FusedSelection {
     /// `mask ∧ valid(O) ∧ valid(T)`; per-column builds AND in `valid(X)`.
     base: Bitmap,
     /// `t·|O| + o` per row; only meaningful where `base` is set.
-    to_codes: Vec<u32>,
+    to: ToCodes,
     /// `|O| · |T|`.
     card_to: u64,
 }
@@ -166,7 +236,7 @@ struct FusedSelection {
 impl FusedSelection {
     /// Builds the fused selection, or `None` when the table shape rules
     /// the vectorized kernel out (`|O|·|T|` beyond `u32`, or more rows
-    /// than `u32` selection vectors can index).
+    /// than `u32` row indices can address).
     fn build(set: &CandidateSet) -> Option<FusedSelection> {
         let o = &set.o;
         let t = &set.t;
@@ -181,54 +251,148 @@ impl FusedSelection {
         maps.extend(o.validity.as_ref());
         maps.extend(t.validity.as_ref());
         let base = Bitmap::and_all(&maps).expect("mask always present");
-        // Fuse only at selected rows: codes at invalid rows are unspecified
-        // and could overflow the u32 product.
-        let mut to_codes = vec![0u32; n];
-        for i in base.iter_ones() {
-            to_codes[i] = (t.codes[i] as u64 * card_o + o.codes[i] as u64) as u32;
-        }
-        Some(FusedSelection {
-            base,
-            to_codes,
-            card_to,
-        })
+        // Width selection: fused codes run 0..card_to, so the narrowest
+        // integer that holds card_to − 1 carries them losslessly.
+        let to = match ScanWidth::for_space(card_to as u128) {
+            ScanWidth::W8 => ToCodes::W8(fuse_codes(n, &base, t, o, card_o)),
+            ScanWidth::W16 => ToCodes::W16(fuse_codes(n, &base, t, o, card_o)),
+            _ => ToCodes::W32(fuse_codes(n, &base, t, o, card_o)),
+        };
+        Some(FusedSelection { base, to, card_to })
     }
 }
 
-/// A thread-local partial histogram for one chunk of a kernel build.
+/// Materializes `t·|O| + o` at width `T`. Fuses only at selected rows:
+/// codes at invalid rows are unspecified and could overflow the product.
+fn fuse_codes<T: NarrowCode>(n: usize, base: &Bitmap, t: &Codes, o: &Codes, card_o: u64) -> Vec<T> {
+    let mut out = vec![T::from_u64(0); n];
+    for i in base.iter_ones() {
+        out[i] = T::from_u64(t.codes[i] as u64 * card_o + o.codes[i] as u64);
+    }
+    out
+}
+
+/// A radix-partitioned sub-histogram over a dense `u64` key space.
+///
+/// The keyspace splits into [`RADIX_BLOCK_CELLS`]-cell partition blocks
+/// (the partition index is the key's high bits), allocated lazily on
+/// first touch. A scan over a clustered or small selection touches few
+/// blocks, so zeroing and merging scale with *touched* cells; the
+/// untouched tail of the keyspace costs nothing. Draining walks blocks in
+/// ascending order, so cells come out in ascending key order exactly like
+/// a flat array.
+struct RadixHistogram {
+    blocks: Vec<Option<Box<[f64]>>>,
+    /// The logical keyspace; the tail block may extend past it.
+    space: usize,
+}
+
+impl RadixHistogram {
+    fn new(space: usize) -> RadixHistogram {
+        RadixHistogram {
+            blocks: vec![None; space.div_ceil(RADIX_BLOCK_CELLS)],
+            space,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, key: u64, w: f64) {
+        let block = self.blocks[(key >> RADIX_BLOCK_BITS) as usize]
+            .get_or_insert_with(|| vec![0.0; RADIX_BLOCK_CELLS].into_boxed_slice());
+        block[(key & (RADIX_BLOCK_CELLS as u64 - 1)) as usize] += w;
+    }
+
+    /// Merges `src`'s touched blocks into `self`, ascending block order.
+    /// Cell sums are exact integer counts, so the addition is associative
+    /// bit-for-bit regardless of how spans were grouped. Returns the
+    /// number of in-keyspace cells merged (untouched source blocks cost
+    /// nothing; blocks moved into an empty slot are counted
+    /// conservatively as written).
+    fn merge_from(&mut self, src: RadixHistogram) -> u64 {
+        let mut cells = 0u64;
+        for (bi, (slot, sb)) in self.blocks.iter_mut().zip(src.blocks).enumerate() {
+            let Some(sb) = sb else { continue };
+            cells += (self.space - bi * RADIX_BLOCK_CELLS).min(RADIX_BLOCK_CELLS) as u64;
+            match slot {
+                Some(db) => {
+                    for (d, s) in db.iter_mut().zip(sb.iter()) {
+                        *d += s;
+                    }
+                }
+                None => *slot = Some(sb),
+            }
+        }
+        cells
+    }
+
+    /// Nonzero cells in ascending key order.
+    fn into_sorted_cells(self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        for (bi, block) in self.blocks.into_iter().enumerate() {
+            let Some(block) = block else { continue };
+            let base = (bi * RADIX_BLOCK_CELLS) as u64;
+            for (ci, &w) in block.iter().enumerate() {
+                if w > 0.0 {
+                    out.push((base + ci as u64, w));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A per-span partial histogram for one kernel build.
 enum KernelAcc {
-    Dense(Vec<f64>),
+    Dense(RadixHistogram),
     Sparse(HashMap<u64, f64>),
 }
 
-impl KernelAcc {
-    fn new(space: u128, dense: bool) -> KernelAcc {
-        if dense {
-            KernelAcc::Dense(vec![0.0; space as usize])
-        } else {
-            KernelAcc::Sparse(HashMap::new())
+/// Scans the selection words in `wr`: all-zero words are skipped, set
+/// bits decode with `trailing_zeros`, and consecutive equal keys coalesce
+/// into one `sink(key, run_length)` flush (run lengths are exact
+/// integers, so coalesced adds are bit-identical to per-row adds in the
+/// same ascending order). Returns `(adds, words_skipped)`.
+fn scan_words<T: NarrowCode>(
+    words: &[u64],
+    wr: std::ops::Range<usize>,
+    codes: &[u32],
+    to: &[T],
+    card_to: u64,
+    mut sink: impl FnMut(u64, f64),
+) -> (u64, u64) {
+    let mut adds = 0u64;
+    let mut skipped = 0u64;
+    let mut last = 0u64;
+    let mut run = 0.0f64;
+    for wi in wr {
+        let w = words[wi];
+        if w == 0 {
+            skipped += 1;
+            continue;
+        }
+        let base = wi * 64;
+        let mut bits = w;
+        while bits != 0 {
+            let i = base + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let key = codes[i] as u64 * card_to + to[i].as_u64();
+            if run > 0.0 && key == last {
+                run += 1.0;
+            } else {
+                if run > 0.0 {
+                    sink(last, run);
+                    adds += 1;
+                }
+                last = key;
+                run = 1.0;
+            }
         }
     }
-
-    /// Merges `other` into `self`. Cell sums are exact integer counts, so
-    /// the addition is associative bit-for-bit; chunk-ordered merging (see
-    /// `ThreadPool::fold_chunks`) keeps the order fixed anyway.
-    fn merge(mut self, other: KernelAcc) -> KernelAcc {
-        match (&mut self, other) {
-            (KernelAcc::Dense(a), KernelAcc::Dense(b)) => {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-            }
-            (KernelAcc::Sparse(a), KernelAcc::Sparse(b)) => {
-                for (k, w) in b {
-                    *a.entry(k).or_insert(0.0) += w;
-                }
-            }
-            _ => unreachable!("kernel chunks share one accumulator layout"),
-        }
-        self
+    if run > 0.0 {
+        sink(last, run);
+        adds += 1;
     }
+    (adds, skipped)
 }
 
 impl Contingency {
@@ -247,10 +411,11 @@ impl Contingency {
         }
     }
 
-    /// The dense/fused kernel: gathers the per-column selection vector,
-    /// accumulates `counts[x·|TO| + to] += 1` into a flat array (hashed
-    /// when the key space exceeds the dense budget), row-chunked across
-    /// the pool for large selections.
+    /// The fused packed-mask kernel: ANDs `valid(X)` into the shared
+    /// complete-case bitmap and scans the selection words directly (no
+    /// index vector), accumulating `counts[x·|TO| + to] += run` into a
+    /// radix-partitioned sub-histogram (hashed fallback beyond the dense
+    /// budget), one word span per pool thread for large selections.
     fn build_kernel(
         set: &CandidateSet,
         column: &str,
@@ -266,70 +431,136 @@ impl Contingency {
             return Self::build_rowscan(set, column);
         }
 
-        let sel: Vec<u32> = match &x.validity {
-            Some(v) => Bitmap::and_all(&[&fused.base, v])
-                .expect("two bitmaps")
-                .iter_ones()
-                .map(|i| i as u32)
-                .collect(),
-            None => fused.base.iter_ones().map(|i| i as u32).collect(),
+        // Per-column packed selection: base ∧ valid(X), scanned word at a
+        // time — the selection never materializes as row indices.
+        let sel_owned;
+        let sel = match &x.validity {
+            Some(v) => {
+                sel_owned = fused.base.and(v);
+                &sel_owned
+            }
+            None => &fused.base,
         };
 
-        let dense = space <= KERNEL_DENSE_LIMIT;
+        match &fused.to {
+            ToCodes::W8(to) => Self::scan_build(set, x, to, sel, card_to, space, pool),
+            ToCodes::W16(to) => Self::scan_build(set, x, to, sel, card_to, space, pool),
+            ToCodes::W32(to) => Self::scan_build(set, x, to, sel, card_to, space, pool),
+        }
+    }
+
+    /// One monomorphized kernel build over a `T`-width fused code column.
+    fn scan_build<T: NarrowCode>(
+        set: &CandidateSet,
+        x: &Codes,
+        to: &[T],
+        sel: &Bitmap,
+        card_to: u64,
+        space: u128,
+        pool: Option<&ThreadPool>,
+    ) -> Contingency {
+        let words = sel.words();
+        let selected = sel.count_ones();
+        let parallel = pool.is_some_and(|p| p.threads() > 1) && selected >= KERNEL_PAR_ROWS;
+        // One word span per pool thread, but never more spans than the v1
+        // discipline had 2^16-row chunks: each extra span is one extra
+        // merge, so capping at the v1 chunk count guarantees the radix
+        // merge bill stays strictly below the old full-keyspace one.
+        let v1_chunks = selected.div_ceil(KERNEL_V1_CHUNK_ROWS);
+        let n_spans = if parallel {
+            pool.expect("parallel requires a pool")
+                .threads()
+                .min(v1_chunks)
+                .min(words.len().max(1))
+        } else {
+            1
+        };
+        // Dense policy: unconditional under the small budget; row-aware
+        // upgrade beyond it, bounded per accumulator and across spans.
+        let dense = space <= KERNEL_DENSE_LIMIT
+            || (space <= KERNEL_DENSE_HARD_CAP
+                && space <= (selected as u128).saturating_mul(KERNEL_DENSE_ROWS_FACTOR)
+                && space.saturating_mul(n_spans as u128) <= KERNEL_DENSE_TOTAL_CAP);
+
         let codes = &x.codes;
-        let to_codes = &fused.to_codes;
-        let scan = |rows: &[u32]| {
-            let mut acc = KernelAcc::new(space, dense);
-            match &mut acc {
-                KernelAcc::Dense(v) => {
-                    for &ri in rows {
-                        let i = ri as usize;
-                        let key = codes[i] as u64 * card_to + to_codes[i] as u64;
-                        v[key as usize] += 1.0;
-                    }
-                }
-                KernelAcc::Sparse(m) => {
-                    for &ri in rows {
-                        let i = ri as usize;
-                        let key = codes[i] as u64 * card_to + to_codes[i] as u64;
-                        *m.entry(key).or_insert(0.0) += 1.0;
-                    }
-                }
+        let scan = |wr: std::ops::Range<usize>| -> (KernelAcc, u64, u64) {
+            if dense {
+                let mut h = RadixHistogram::new(space as usize);
+                let (adds, skipped) = scan_words(words, wr, codes, to, card_to, |k, w| h.add(k, w));
+                (KernelAcc::Dense(h), adds, skipped)
+            } else {
+                let mut m: HashMap<u64, f64> = HashMap::new();
+                let (adds, skipped) = scan_words(words, wr, codes, to, card_to, |k, w| {
+                    *m.entry(k).or_insert(0.0) += w
+                });
+                (KernelAcc::Sparse(m), adds, skipped)
             }
+        };
+
+        let mut adds = 0u64;
+        let mut skipped = 0u64;
+        let mut radix_cells = 0u64;
+        let acc = if parallel {
+            let pool = pool.expect("parallel requires a pool");
+            let span_words = words.len().div_ceil(n_spans);
+            let results = pool.map(n_spans, |s| {
+                let w0 = (s * span_words).min(words.len());
+                let w1 = ((s + 1) * span_words).min(words.len());
+                scan(w0..w1)
+            });
+            // Merge spans in ascending span order: the first span's
+            // histogram is taken whole; later spans contribute touched
+            // blocks only.
+            let mut iter = results.into_iter();
+            let (mut acc, a0, s0) = iter.next().expect("at least one span");
+            adds += a0;
+            skipped += s0;
+            for (src, a, s) in iter {
+                adds += a;
+                skipped += s;
+                radix_cells += match (&mut acc, src) {
+                    (KernelAcc::Dense(dst), KernelAcc::Dense(sh)) => dst.merge_from(sh),
+                    (KernelAcc::Sparse(dst), KernelAcc::Sparse(sm)) => {
+                        for (k, w) in sm {
+                            *dst.entry(k).or_insert(0.0) += w;
+                        }
+                        0
+                    }
+                    _ => unreachable!("kernel spans share one accumulator layout"),
+                };
+            }
+            acc
+        } else {
+            let (acc, a, s) = scan(0..words.len());
+            adds += a;
+            skipped += s;
             acc
         };
 
-        let parallel = pool.is_some_and(|p| p.threads() > 1) && sel.len() >= KERNEL_PAR_ROWS;
-        let acc = if parallel {
-            let pool = pool.expect("parallel requires a pool");
-            pool.fold_chunks(
-                sel.len(),
-                KERNEL_CHUNK_ROWS,
-                |range| scan(&sel[range]),
-                KernelAcc::new(space, dense),
-                KernelAcc::merge,
-            )
-        } else {
-            scan(&sel)
-        };
-
-        // Every selected row performed exactly one accumulator op.
-        let ops = sel.len() as u64;
-        kernel::counters().record_build(
-            ops,
-            if dense { 0 } else { ops },
-            if dense { ops } else { 0 },
+        // Batched counter updates, once per build. `adds` counts
+        // accumulator writes (coalesced runs), not rows.
+        let counters = kernel::counters();
+        counters.record_build(
+            selected as u64,
+            if dense { 0 } else { adds },
+            if dense { adds } else { 0 },
             dense,
         );
+        counters.record_scan_width(T::WIDTH);
+        if skipped > 0 {
+            counters.record_packed_words_skipped(skipped);
+        }
+        if parallel && dense {
+            // What the v1 discipline would have cost on this build: one
+            // full-keyspace merge per 2^16-row chunk of the selection.
+            counters.record_merge(radix_cells, (space as u64).saturating_mul(v1_chunks as u64));
+        }
 
         let card_o = set.o.cardinality.max(1) as u64;
         let card_t = set.t.cardinality.max(1) as u64;
         match acc {
-            KernelAcc::Dense(v) => Self::from_sorted_cells(
-                v.iter()
-                    .enumerate()
-                    .filter(|(_, &w)| w > 0.0)
-                    .map(|(k, &w)| (k as u64, w)),
+            KernelAcc::Dense(h) => Self::from_sorted_cells(
+                h.into_sorted_cells().into_iter(),
                 card_o,
                 card_t,
                 x.cardinality as usize,

@@ -20,6 +20,7 @@ pub mod noise;
 pub mod queries;
 pub mod rng;
 pub mod so;
+pub mod synth;
 
 use nexus_kg::KnowledgeGraph;
 use nexus_table::Table;

@@ -5,12 +5,30 @@
 //! mixed-radix encoded (first variable is the fastest digit); the
 //! accumulator is a dense vector when the key space is small and a hash map
 //! otherwise.
+//!
+//! # Kernel v2 scan loop
+//!
+//! The vectorized path folds the WHERE mask and every validity bitmap into
+//! one packed selection bitmap and scans it **word at a time**: all-zero
+//! 64-bit words are skipped without touching a row (counted in
+//! `packed_words_skipped`), set bits inside surviving words decode with
+//! `trailing_zeros`. The key width is classified once per build from the
+//! checked key-space cardinality ([`kernel::ScanWidth`]); keys stay in one
+//! machine word up to 64-bit spaces with a `u128` fallback beyond.
+//!
+//! Unweighted scans *run-coalesce*: a run of `r` consecutive rows with the
+//! same composite key becomes one `counts[key] += r` write. Every
+//! unweighted increment is exactly `1.0`, so the coalesced add stores the
+//! same exact integer the per-row adds would have — bit-identical, while
+//! `dense_ops`/`hash_ops` now count accumulator writes, not rows. Weighted
+//! scans keep strict per-row, ascending-order accumulation because f64
+//! weight sums are order-sensitive in their low bits.
 
 use std::collections::HashMap;
 
-use nexus_table::{complete_case_rows, Bitmap, Codes};
+use nexus_table::{complete_case_mask, Bitmap, Codes};
 
-use crate::kernel::{self, KernelMode};
+use crate::kernel::{self, KernelMode, ScanWidth};
 
 /// Key space above which we switch from dense vectors to hash maps.
 const DENSE_LIMIT: u128 = 1 << 21;
@@ -87,6 +105,185 @@ impl Accumulator {
     /// Number of distinct keys with nonzero count.
     pub fn n_cells(&self) -> usize {
         self.iter().count()
+    }
+}
+
+/// Per-build scan accounting: accumulator writes performed and all-zero
+/// packed selection words skipped.
+#[derive(Debug, Default)]
+struct ScanTally {
+    adds: u64,
+    words_skipped: u64,
+}
+
+/// Dispatches the vectorized scan across (packed mask | full range) ×
+/// (weighted | unweighted), keeping every hot loop monomorphic in the key
+/// type.
+#[allow(clippy::too_many_arguments)]
+fn scan_vectorized<K, F>(
+    selection: Option<&Bitmap>,
+    n: usize,
+    key_of: F,
+    weights: Option<&[f64]>,
+    counts: &mut Accumulator,
+    total: &mut f64,
+    rows: &mut usize,
+    tally: &mut ScanTally,
+) where
+    K: Copy + PartialEq + Into<u128>,
+    F: Fn(usize) -> K,
+{
+    match (selection, weights) {
+        (Some(sel), None) => scan_packed_unweighted(sel.words(), &key_of, counts, rows, tally),
+        (Some(sel), Some(w)) => {
+            scan_packed_weighted(sel.words(), &key_of, w, counts, total, rows, tally)
+        }
+        (None, None) => scan_range_unweighted(n, &key_of, counts, rows, tally),
+        (None, Some(w)) => scan_range_weighted(n, &key_of, w, counts, total, rows, tally),
+    }
+    if weights.is_none() {
+        // Unweighted increments are exactly 1.0, so the running total is
+        // the exact integer `rows` — identical to summing 1.0 per row.
+        *total = *rows as f64;
+    }
+}
+
+/// Packed-mask scan, unweighted: skips all-zero selection words, decodes
+/// set bits with `trailing_zeros`, and run-coalesces consecutive equal
+/// keys into one exact-integer add.
+fn scan_packed_unweighted<K, F>(
+    words: &[u64],
+    key_of: &F,
+    counts: &mut Accumulator,
+    rows: &mut usize,
+    tally: &mut ScanTally,
+) where
+    K: Copy + PartialEq + Into<u128>,
+    F: Fn(usize) -> K,
+{
+    let mut last: Option<K> = None;
+    let mut run = 0.0f64;
+    for (wi, &w) in words.iter().enumerate() {
+        if w == 0 {
+            tally.words_skipped += 1;
+            continue;
+        }
+        let base = wi * 64;
+        let mut bits = w;
+        while bits != 0 {
+            let i = base + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let key = key_of(i);
+            if last == Some(key) {
+                run += 1.0;
+            } else {
+                if let Some(k) = last {
+                    counts.add(k.into(), run);
+                    tally.adds += 1;
+                }
+                last = Some(key);
+                run = 1.0;
+            }
+            *rows += 1;
+        }
+    }
+    if let Some(k) = last {
+        counts.add(k.into(), run);
+        tally.adds += 1;
+    }
+}
+
+/// Packed-mask scan, weighted: strict per-row ascending accumulation (f64
+/// weight sums are order-sensitive), zero/negative weights skipped.
+#[allow(clippy::too_many_arguments)]
+fn scan_packed_weighted<K, F>(
+    words: &[u64],
+    key_of: &F,
+    weights: &[f64],
+    counts: &mut Accumulator,
+    total: &mut f64,
+    rows: &mut usize,
+    tally: &mut ScanTally,
+) where
+    K: Copy + PartialEq + Into<u128>,
+    F: Fn(usize) -> K,
+{
+    for (wi, &w) in words.iter().enumerate() {
+        if w == 0 {
+            tally.words_skipped += 1;
+            continue;
+        }
+        let base = wi * 64;
+        let mut bits = w;
+        while bits != 0 {
+            let i = base + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let wt = weights[i];
+            if wt <= 0.0 {
+                continue;
+            }
+            counts.add(key_of(i).into(), wt);
+            tally.adds += 1;
+            *total += wt;
+            *rows += 1;
+        }
+    }
+}
+
+/// Unconstrained scan (no mask, no nulls), unweighted, run-coalesced.
+fn scan_range_unweighted<K, F>(
+    n: usize,
+    key_of: &F,
+    counts: &mut Accumulator,
+    rows: &mut usize,
+    tally: &mut ScanTally,
+) where
+    K: Copy + PartialEq + Into<u128>,
+    F: Fn(usize) -> K,
+{
+    let mut last: Option<K> = None;
+    let mut run = 0.0f64;
+    for i in 0..n {
+        let key = key_of(i);
+        if last == Some(key) {
+            run += 1.0;
+        } else {
+            if let Some(k) = last {
+                counts.add(k.into(), run);
+                tally.adds += 1;
+            }
+            last = Some(key);
+            run = 1.0;
+        }
+    }
+    *rows = n;
+    if let Some(k) = last {
+        counts.add(k.into(), run);
+        tally.adds += 1;
+    }
+}
+
+/// Unconstrained scan, weighted, strict per-row order.
+fn scan_range_weighted<K, F>(
+    n: usize,
+    key_of: &F,
+    weights: &[f64],
+    counts: &mut Accumulator,
+    total: &mut f64,
+    rows: &mut usize,
+    tally: &mut ScanTally,
+) where
+    K: Copy + PartialEq + Into<u128>,
+    F: Fn(usize) -> K,
+{
+    for (i, &wt) in weights.iter().enumerate().take(n) {
+        if wt <= 0.0 {
+            continue;
+        }
+        counts.add(key_of(i).into(), wt);
+        tally.adds += 1;
+        *total += wt;
+        *rows += 1;
     }
 }
 
@@ -173,19 +370,19 @@ impl JointCounts {
             .try_fold(1u128, |acc, &r| acc.checked_mul(r))
             .expect("joint key space exceeds u128");
         let vectorized = mode == KernelMode::Auto && n <= u32::MAX as usize;
-        // Fold the mask and every validity bitmap into one word-level
-        // AND, then gather only the surviving rows. `None` means no
-        // constraint exists and `0..n` is the selection. Computed before
-        // the accumulator so the dense decision can be row-aware.
-        let selection: Option<Option<Vec<u32>>> = if vectorized {
+        // Fold the mask and every validity bitmap into one packed
+        // word-level AND. `None` means no constraint exists and `0..n` is
+        // the selection. Computed before the accumulator so the dense
+        // decision can be row-aware.
+        let selection: Option<Option<Bitmap>> = if vectorized {
             let validities: Vec<&Bitmap> =
                 vars.iter().filter_map(|v| v.validity.as_ref()).collect();
-            Some(complete_case_rows(n, mask, &validities))
+            Some(complete_case_mask(n, mask, &validities))
         } else {
             None
         };
         let rows_to_scan = match &selection {
-            Some(Some(s)) => s.len(),
+            Some(Some(s)) => s.count_ones(),
             _ => n,
         };
 
@@ -198,44 +395,49 @@ impl JointCounts {
         };
         let mut total = 0.0;
         let mut rows = 0usize;
+        let mut tally = ScanTally::default();
 
         let rows_scanned: u64;
         if let Some(selection) = selection {
-            let sel_iter: Box<dyn Iterator<Item = usize>> = match &selection {
-                Some(rows) => Box::new(rows.iter().map(|&i| i as usize)),
-                None => Box::new(0..n),
-            };
             rows_scanned = rows_to_scan as u64;
             if space <= u64::MAX as u128 {
                 // All keys fit u64: mixed-radix arithmetic in one word.
                 let radices64: Vec<u64> = radices.iter().map(|&r| r as u64).collect();
-                for i in sel_iter {
-                    let w = weights.map_or(1.0, |w| w[i]);
-                    if w <= 0.0 {
-                        continue;
-                    }
+                let key_of = |i: usize| -> u64 {
                     let mut key = 0u64;
                     for (v, r) in vars.iter().zip(&radices64).rev() {
                         key = key * r + v.codes[i] as u64;
                     }
-                    counts.add(key as u128, w);
-                    total += w;
-                    rows += 1;
-                }
+                    key
+                };
+                scan_vectorized(
+                    selection.as_ref(),
+                    n,
+                    key_of,
+                    weights,
+                    &mut counts,
+                    &mut total,
+                    &mut rows,
+                    &mut tally,
+                );
             } else {
-                for i in sel_iter {
-                    let w = weights.map_or(1.0, |w| w[i]);
-                    if w <= 0.0 {
-                        continue;
-                    }
+                let key_of = |i: usize| -> u128 {
                     let mut key = 0u128;
                     for (v, r) in vars.iter().zip(&radices).rev() {
                         key = key * r + v.codes[i] as u128;
                     }
-                    counts.add(key, w);
-                    total += w;
-                    rows += 1;
-                }
+                    key
+                };
+                scan_vectorized(
+                    selection.as_ref(),
+                    n,
+                    key_of,
+                    weights,
+                    &mut counts,
+                    &mut total,
+                    &mut rows,
+                    &mut tally,
+                );
             }
         } else {
             // Legacy path: per-row masked scan with a branchy validity
@@ -269,10 +471,14 @@ impl JointCounts {
                 total += w;
                 rows += 1;
             }
+            // Legacy accounting: one accumulator op per counted row.
+            tally.adds = rows as u64;
         }
 
-        // One batched counter update per build: every counted row performed
-        // exactly one accumulator op, so `rows` doubles as the op count.
+        // One batched counter update per build. `tally.adds` counts
+        // accumulator writes — equal to counted rows on the legacy and
+        // weighted paths, and the (smaller) number of coalesced runs on
+        // unweighted vectorized scans.
         let dense = counts.is_dense();
         if !dense && std::env::var_os("NEXUS_KERNEL_DEBUG").is_some() {
             eprintln!(
@@ -280,12 +486,19 @@ impl JointCounts {
                 vars.len()
             );
         }
-        kernel::counters().record_build(
+        let counters = kernel::counters();
+        counters.record_build(
             rows_scanned,
-            if dense { 0 } else { rows as u64 },
-            if dense { rows as u64 } else { 0 },
+            if dense { 0 } else { tally.adds },
+            if dense { tally.adds } else { 0 },
             dense,
         );
+        if vectorized {
+            counters.record_scan_width(ScanWidth::for_space(space));
+            if tally.words_skipped > 0 {
+                counters.record_packed_words_skipped(tally.words_skipped);
+            }
+        }
 
         JointCounts {
             counts,

@@ -18,7 +18,29 @@
 //! to any estimate, so they cannot perturb NEXUS's bit-identical-output
 //! guarantee.
 //!
+//! # Kernel v2 counters
+//!
+//! The v2 scan loop adds four cost dimensions next to the v1 row/op
+//! counts:
+//!
+//! * [`narrow_scans`] — builds whose inner loop ran at a narrow (8- or
+//!   16-bit) code/key width, the precondition for cache-resident,
+//!   auto-vectorizable scans;
+//! * [`packed_words_skipped`] — all-zero 64-bit selection words the packed
+//!   mask scan skipped without touching any row (zone-style early-out);
+//! * [`radix_merge_cells`] / [`full_merge_cells`] — cells actually written
+//!   by radix-partitioned sub-histogram merges vs the cells the v1
+//!   full-keyspace merge discipline would have written for the same
+//!   builds (`keyspace × merge events`). Their ratio is the merge-cost
+//!   reduction, independent of wall-clock;
+//! * `builds_w8 … builds_w128` — per-width build counts, recorded once
+//!   per build via [`KernelCounters::record_scan_width`].
+//!
 //! [`delta`]: KernelSnapshot::delta
+//! [`narrow_scans`]: KernelSnapshot::narrow_scans
+//! [`packed_words_skipped`]: KernelSnapshot::packed_words_skipped
+//! [`radix_merge_cells`]: KernelSnapshot::radix_merge_cells
+//! [`full_merge_cells`]: KernelSnapshot::full_merge_cells
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
@@ -26,8 +48,8 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 /// the legacy hashed row-scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelMode {
-    /// Dense flat-array kernels over precomputed selection vectors where
-    /// the key space fits the budget; sparse (hashed) fallback otherwise.
+    /// Dense flat-array kernels over packed selection masks where the key
+    /// space fits the budget; sparse (hashed) fallback otherwise.
     #[default]
     Auto,
     /// The pre-kernel behavior: per-row masked scans with a hash-map entry
@@ -56,6 +78,50 @@ pub fn mode() -> KernelMode {
     }
 }
 
+/// The element width a counting build's inner loop ran at: the width of
+/// the fused (T,O)/candidate code column (engine builds) or of the packed
+/// mixed-radix key (joint-count builds).
+///
+/// Chosen once per build from the *checked* key-space cardinality, never
+/// per row, so the scan loop itself is monomorphic and branch-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanWidth {
+    /// Key space fits in 8 bits (≤ 256 cells / codes).
+    W8,
+    /// Key space fits in 16 bits (≤ 65 536).
+    W16,
+    /// Key space fits in 32 bits.
+    W32,
+    /// Key space fits in 64 bits.
+    W64,
+    /// Anything wider (the u128 row-scan fallback).
+    W128,
+}
+
+impl ScanWidth {
+    /// The narrowest width whose key range covers `space` cells
+    /// (keys run `0..space`).
+    pub fn for_space(space: u128) -> ScanWidth {
+        if space <= 1 << 8 {
+            ScanWidth::W8
+        } else if space <= 1 << 16 {
+            ScanWidth::W16
+        } else if space <= 1 << 32 {
+            ScanWidth::W32
+        } else if space <= u64::MAX as u128 + 1 {
+            ScanWidth::W64
+        } else {
+            ScanWidth::W128
+        }
+    }
+
+    /// Whether this width counts as a narrow scan (8/16-bit codes, the
+    /// cache-resident fast class).
+    pub fn is_narrow(self) -> bool {
+        matches!(self, ScanWidth::W8 | ScanWidth::W16)
+    }
+}
+
 /// Process-global counters for every counting-kernel invocation.
 ///
 /// All counters are cumulative over the process lifetime; use
@@ -68,6 +134,15 @@ pub struct KernelCounters {
     dense_ops: AtomicU64,
     dense_builds: AtomicU64,
     sparse_builds: AtomicU64,
+    narrow_scans: AtomicU64,
+    packed_words_skipped: AtomicU64,
+    radix_merge_cells: AtomicU64,
+    full_merge_cells: AtomicU64,
+    builds_w8: AtomicU64,
+    builds_w16: AtomicU64,
+    builds_w32: AtomicU64,
+    builds_w64: AtomicU64,
+    builds_w128: AtomicU64,
 }
 
 /// The global counter instance.
@@ -77,6 +152,15 @@ static COUNTERS: KernelCounters = KernelCounters {
     dense_ops: AtomicU64::new(0),
     dense_builds: AtomicU64::new(0),
     sparse_builds: AtomicU64::new(0),
+    narrow_scans: AtomicU64::new(0),
+    packed_words_skipped: AtomicU64::new(0),
+    radix_merge_cells: AtomicU64::new(0),
+    full_merge_cells: AtomicU64::new(0),
+    builds_w8: AtomicU64::new(0),
+    builds_w16: AtomicU64::new(0),
+    builds_w32: AtomicU64::new(0),
+    builds_w64: AtomicU64::new(0),
+    builds_w128: AtomicU64::new(0),
 };
 
 /// The process-global [`KernelCounters`].
@@ -88,6 +172,9 @@ impl KernelCounters {
     /// Records one finished counting build: `rows` row visits, `hash_ops`
     /// hash-map entry operations, `dense_ops` flat-array increments, and
     /// whether the build used a dense accumulator.
+    ///
+    /// Under run-coalescing, `dense_ops`/`hash_ops` count *accumulator
+    /// writes* (one per coalesced run), so they may be lower than `rows`.
     pub fn record_build(&self, rows: u64, hash_ops: u64, dense_ops: u64, dense: bool) {
         self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
         self.hash_ops.fetch_add(hash_ops, Ordering::Relaxed);
@@ -97,6 +184,39 @@ impl KernelCounters {
         } else {
             self.sparse_builds.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records the scan width one build ran at (once per build). Narrow
+    /// widths (8/16-bit) also bump `narrow_scans`.
+    pub fn record_scan_width(&self, width: ScanWidth) {
+        let bucket = match width {
+            ScanWidth::W8 => &self.builds_w8,
+            ScanWidth::W16 => &self.builds_w16,
+            ScanWidth::W32 => &self.builds_w32,
+            ScanWidth::W64 => &self.builds_w64,
+            ScanWidth::W128 => &self.builds_w128,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+        if width.is_narrow() {
+            self.narrow_scans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `words` all-zero 64-bit selection words skipped by a packed
+    /// mask scan (batched per build or chunk).
+    pub fn record_packed_words_skipped(&self, words: u64) {
+        self.packed_words_skipped
+            .fetch_add(words, Ordering::Relaxed);
+    }
+
+    /// Records one histogram merge event: `radix_cells` cells actually
+    /// written by the radix-partitioned merge vs `full_cells` the v1
+    /// full-keyspace merge would have written (keyspace size).
+    pub fn record_merge(&self, radix_cells: u64, full_cells: u64) {
+        self.radix_merge_cells
+            .fetch_add(radix_cells, Ordering::Relaxed);
+        self.full_merge_cells
+            .fetch_add(full_cells, Ordering::Relaxed);
     }
 
     /// A consistent-enough copy of the counters (each counter is read
@@ -109,6 +229,15 @@ impl KernelCounters {
             dense_ops: self.dense_ops.load(Ordering::Relaxed),
             dense_builds: self.dense_builds.load(Ordering::Relaxed),
             sparse_builds: self.sparse_builds.load(Ordering::Relaxed),
+            narrow_scans: self.narrow_scans.load(Ordering::Relaxed),
+            packed_words_skipped: self.packed_words_skipped.load(Ordering::Relaxed),
+            radix_merge_cells: self.radix_merge_cells.load(Ordering::Relaxed),
+            full_merge_cells: self.full_merge_cells.load(Ordering::Relaxed),
+            builds_w8: self.builds_w8.load(Ordering::Relaxed),
+            builds_w16: self.builds_w16.load(Ordering::Relaxed),
+            builds_w32: self.builds_w32.load(Ordering::Relaxed),
+            builds_w64: self.builds_w64.load(Ordering::Relaxed),
+            builds_w128: self.builds_w128.load(Ordering::Relaxed),
         }
     }
 }
@@ -118,16 +247,35 @@ impl KernelCounters {
 pub struct KernelSnapshot {
     /// Row visits inside counting loops.
     pub rows_scanned: u64,
-    /// Hash-map entry operations (one per row reaching a sparse
+    /// Hash-map entry operations (one per coalesced run reaching a sparse
     /// accumulator).
     pub hash_ops: u64,
-    /// Dense flat-array increments (one per row reaching a dense
+    /// Dense flat-array increments (one per coalesced run reaching a dense
     /// accumulator).
     pub dense_ops: u64,
     /// Builds that ran on a dense accumulator.
     pub dense_builds: u64,
     /// Builds that fell back to a sparse (hashed) accumulator.
     pub sparse_builds: u64,
+    /// Builds whose inner loop ran at a narrow (8/16-bit) code width.
+    pub narrow_scans: u64,
+    /// All-zero 64-bit selection words skipped by packed mask scans.
+    pub packed_words_skipped: u64,
+    /// Cells written by radix-partitioned sub-histogram merges.
+    pub radix_merge_cells: u64,
+    /// Cells the v1 full-keyspace merge discipline would have written for
+    /// the same merge events (keyspace × merges).
+    pub full_merge_cells: u64,
+    /// Builds scanned at 8-bit width.
+    pub builds_w8: u64,
+    /// Builds scanned at 16-bit width.
+    pub builds_w16: u64,
+    /// Builds scanned at 32-bit width.
+    pub builds_w32: u64,
+    /// Builds scanned at 64-bit width.
+    pub builds_w64: u64,
+    /// Builds that needed the 128-bit row-scan fallback.
+    pub builds_w128: u64,
 }
 
 impl KernelSnapshot {
@@ -140,6 +288,21 @@ impl KernelSnapshot {
             dense_ops: self.dense_ops.saturating_sub(earlier.dense_ops),
             dense_builds: self.dense_builds.saturating_sub(earlier.dense_builds),
             sparse_builds: self.sparse_builds.saturating_sub(earlier.sparse_builds),
+            narrow_scans: self.narrow_scans.saturating_sub(earlier.narrow_scans),
+            packed_words_skipped: self
+                .packed_words_skipped
+                .saturating_sub(earlier.packed_words_skipped),
+            radix_merge_cells: self
+                .radix_merge_cells
+                .saturating_sub(earlier.radix_merge_cells),
+            full_merge_cells: self
+                .full_merge_cells
+                .saturating_sub(earlier.full_merge_cells),
+            builds_w8: self.builds_w8.saturating_sub(earlier.builds_w8),
+            builds_w16: self.builds_w16.saturating_sub(earlier.builds_w16),
+            builds_w32: self.builds_w32.saturating_sub(earlier.builds_w32),
+            builds_w64: self.builds_w64.saturating_sub(earlier.builds_w64),
+            builds_w128: self.builds_w128.saturating_sub(earlier.builds_w128),
         }
     }
 }
@@ -160,6 +323,50 @@ mod tests {
         assert_eq!(d.dense_ops, 100);
         assert_eq!(d.dense_builds, 1);
         assert_eq!(d.sparse_builds, 1);
+    }
+
+    #[test]
+    fn record_v2_counters() {
+        let c = KernelCounters::default();
+        let before = c.snapshot();
+        c.record_scan_width(ScanWidth::W8);
+        c.record_scan_width(ScanWidth::W16);
+        c.record_scan_width(ScanWidth::W32);
+        c.record_scan_width(ScanWidth::W64);
+        c.record_scan_width(ScanWidth::W128);
+        c.record_packed_words_skipped(7);
+        c.record_merge(128, 4096);
+        let d = c.snapshot().delta(&before);
+        assert_eq!(d.narrow_scans, 2);
+        assert_eq!(
+            (
+                d.builds_w8,
+                d.builds_w16,
+                d.builds_w32,
+                d.builds_w64,
+                d.builds_w128
+            ),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(d.packed_words_skipped, 7);
+        assert_eq!(d.radix_merge_cells, 128);
+        assert_eq!(d.full_merge_cells, 4096);
+    }
+
+    #[test]
+    fn width_selection_boundaries() {
+        assert_eq!(ScanWidth::for_space(1), ScanWidth::W8);
+        assert_eq!(ScanWidth::for_space(256), ScanWidth::W8);
+        assert_eq!(ScanWidth::for_space(257), ScanWidth::W16);
+        assert_eq!(ScanWidth::for_space(65536), ScanWidth::W16);
+        assert_eq!(ScanWidth::for_space(65537), ScanWidth::W32);
+        assert_eq!(ScanWidth::for_space(1 << 32), ScanWidth::W32);
+        assert_eq!(ScanWidth::for_space((1 << 32) + 1), ScanWidth::W64);
+        assert_eq!(ScanWidth::for_space(u64::MAX as u128 + 1), ScanWidth::W64);
+        assert_eq!(ScanWidth::for_space(u64::MAX as u128 + 2), ScanWidth::W128);
+        assert!(ScanWidth::W8.is_narrow());
+        assert!(ScanWidth::W16.is_narrow());
+        assert!(!ScanWidth::W32.is_narrow());
     }
 
     #[test]

@@ -427,6 +427,15 @@ impl Server {
             kernel_dense_ops: kernel.dense_ops,
             kernel_dense_builds: kernel.dense_builds,
             kernel_sparse_builds: kernel.sparse_builds,
+            kernel_narrow_scans: kernel.narrow_scans,
+            kernel_packed_words_skipped: kernel.packed_words_skipped,
+            kernel_radix_merge_cells: kernel.radix_merge_cells,
+            kernel_full_merge_cells: kernel.full_merge_cells,
+            kernel_builds_w8: kernel.builds_w8,
+            kernel_builds_w16: kernel.builds_w16,
+            kernel_builds_w32: kernel.builds_w32,
+            kernel_builds_w64: kernel.builds_w64,
+            kernel_builds_w128: kernel.builds_w128,
             conns_accepted: self.inner.conns.admitted(),
             busy_rejections: self.inner.conns.rejected(),
             io_timeouts: self.inner.io_timeouts.load(Ordering::SeqCst),

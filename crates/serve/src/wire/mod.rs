@@ -564,6 +564,26 @@ pub struct ServerStatsWire {
     pub kernel_dense_builds: u64,
     /// Counting builds that fell back to a hashed accumulator.
     pub kernel_sparse_builds: u64,
+    /// Vectorized scans whose fused code column fit a narrow (u8/u16)
+    /// width.
+    pub kernel_narrow_scans: u64,
+    /// All-zero selection words skipped whole by packed-mask scans.
+    pub kernel_packed_words_skipped: u64,
+    /// Cells written by radix-partitioned sub-histogram merges.
+    pub kernel_radix_merge_cells: u64,
+    /// Cells the v1 full-keyspace-per-chunk merge discipline would have
+    /// written for the same builds.
+    pub kernel_full_merge_cells: u64,
+    /// Vectorized builds whose scan keys packed into u8.
+    pub kernel_builds_w8: u64,
+    /// Vectorized builds whose scan keys packed into u16.
+    pub kernel_builds_w16: u64,
+    /// Vectorized builds whose scan keys packed into u32.
+    pub kernel_builds_w32: u64,
+    /// Vectorized builds whose scan keys packed into u64.
+    pub kernel_builds_w64: u64,
+    /// Vectorized builds whose scan keys needed u128.
+    pub kernel_builds_w128: u64,
     /// Connections admitted past the connection cap.
     pub conns_accepted: u64,
     /// Connections refused with a `Busy` reply because the cap was full.
@@ -804,6 +824,15 @@ impl Frame {
                 put_u64(out, s.kernel_dense_ops);
                 put_u64(out, s.kernel_dense_builds);
                 put_u64(out, s.kernel_sparse_builds);
+                put_u64(out, s.kernel_narrow_scans);
+                put_u64(out, s.kernel_packed_words_skipped);
+                put_u64(out, s.kernel_radix_merge_cells);
+                put_u64(out, s.kernel_full_merge_cells);
+                put_u64(out, s.kernel_builds_w8);
+                put_u64(out, s.kernel_builds_w16);
+                put_u64(out, s.kernel_builds_w32);
+                put_u64(out, s.kernel_builds_w64);
+                put_u64(out, s.kernel_builds_w128);
                 put_u64(out, s.conns_accepted);
                 put_u64(out, s.busy_rejections);
                 put_u64(out, s.io_timeouts);
@@ -918,6 +947,15 @@ impl Frame {
                 kernel_dense_ops: r.u64()?,
                 kernel_dense_builds: r.u64()?,
                 kernel_sparse_builds: r.u64()?,
+                kernel_narrow_scans: r.u64()?,
+                kernel_packed_words_skipped: r.u64()?,
+                kernel_radix_merge_cells: r.u64()?,
+                kernel_full_merge_cells: r.u64()?,
+                kernel_builds_w8: r.u64()?,
+                kernel_builds_w16: r.u64()?,
+                kernel_builds_w32: r.u64()?,
+                kernel_builds_w64: r.u64()?,
+                kernel_builds_w128: r.u64()?,
                 conns_accepted: r.u64()?,
                 busy_rejections: r.u64()?,
                 io_timeouts: r.u64()?,
@@ -1160,6 +1198,15 @@ mod tests {
                 kernel_dense_ops: 3_999_877,
                 kernel_dense_builds: 11,
                 kernel_sparse_builds: 1,
+                kernel_narrow_scans: 9,
+                kernel_packed_words_skipped: 62_500,
+                kernel_radix_merge_cells: 28_672,
+                kernel_full_merge_cells: 655_360,
+                kernel_builds_w8: 7,
+                kernel_builds_w16: 2,
+                kernel_builds_w32: 1,
+                kernel_builds_w64: 1,
+                kernel_builds_w128: 0,
                 conns_accepted: 31,
                 busy_rejections: 4,
                 io_timeouts: 2,

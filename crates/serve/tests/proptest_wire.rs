@@ -128,6 +128,16 @@ fn frame() -> impl Strategy<Value = Frame> {
             ),
             (any::<u64>(), any::<u64>(), any::<u64>()),
             (any::<u64>(), any::<u64>()),
+            (
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>()
+                ),
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+            ),
             (any::<u64>(), any::<u64>(), any::<u64>()),
             (any::<u64>(), any::<u64>(), any::<u64>()),
             (
@@ -151,6 +161,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                     (d, c, h, m, r),
                     (kr, kh, kd),
                     (kb, ks),
+                    ((kn, kp, krc, kfc, k8), (k16, k32, k64, k128)),
                     (ca, br, io),
                     (of, dh, lh),
                     (ip, oo, ch, ps, wr),
@@ -167,6 +178,15 @@ fn frame() -> impl Strategy<Value = Frame> {
                         kernel_dense_ops: kd,
                         kernel_dense_builds: kb,
                         kernel_sparse_builds: ks,
+                        kernel_narrow_scans: kn,
+                        kernel_packed_words_skipped: kp,
+                        kernel_radix_merge_cells: krc,
+                        kernel_full_merge_cells: kfc,
+                        kernel_builds_w8: k8,
+                        kernel_builds_w16: k16,
+                        kernel_builds_w32: k32,
+                        kernel_builds_w64: k64,
+                        kernel_builds_w128: k128,
                         conns_accepted: ca,
                         busy_rejections: br,
                         io_timeouts: io,

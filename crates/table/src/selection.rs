@@ -36,6 +36,35 @@ pub fn complete_case_rows(
     Some(combined.iter_ones().map(|i| i as u32).collect())
 }
 
+/// The complete-case selection as a packed bitmap: bit `i` is set when row
+/// `i` lies inside `mask` (if given) and is valid in **every** bitmap of
+/// `validities`.
+///
+/// Returns `None` when there is no constraint at all — every row qualifies
+/// and callers can scan `0..len` without probing any mask. The packed form
+/// feeds the kernel v2 word-at-a-time scans: the caller iterates
+/// [`Bitmap::words`], skips all-zero words, and decodes set bits with
+/// `trailing_zeros`, so the selection never needs index materialization.
+///
+/// # Panics
+/// Panics if any bitmap's length differs from `len`, or if `len` exceeds
+/// `u32::MAX` (callers must route such tables to a non-vectorized path).
+pub fn complete_case_mask(
+    len: usize,
+    mask: Option<&Bitmap>,
+    validities: &[&Bitmap],
+) -> Option<Bitmap> {
+    assert!(len <= u32::MAX as usize, "selection mask rows exceed u32");
+    let mut maps: Vec<&Bitmap> = Vec::with_capacity(validities.len() + 1);
+    if let Some(m) = mask {
+        maps.push(m);
+    }
+    maps.extend_from_slice(validities);
+    let combined = Bitmap::and_all(&maps)?;
+    assert_eq!(combined.len(), len, "selection bitmap length mismatch");
+    Some(combined)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,6 +72,18 @@ mod tests {
     #[test]
     fn no_constraints_selects_all() {
         assert!(complete_case_rows(10, None, &[]).is_none());
+        assert!(complete_case_mask(10, None, &[]).is_none());
+    }
+
+    #[test]
+    fn mask_matches_rows() {
+        let mask: Bitmap = (0..200).map(|i| i % 2 == 0).collect();
+        let v1: Bitmap = (0..200).map(|i| i % 3 != 1).collect();
+        let rows = complete_case_rows(200, Some(&mask), &[&v1]).unwrap();
+        let bm = complete_case_mask(200, Some(&mask), &[&v1]).unwrap();
+        let from_bm: Vec<u32> = bm.iter_ones().map(|i| i as u32).collect();
+        assert_eq!(rows, from_bm);
+        assert_eq!(bm.len(), 200);
     }
 
     #[test]

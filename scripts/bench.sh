@@ -1,25 +1,31 @@
 #!/usr/bin/env bash
 # Reproducible counting-kernel benchmarks for the explain hot path.
 #
-# Builds the `bench-explain` harness and runs every fixed-seed Flights
-# workload, emitting one artifact per workload at the repo root:
-# BENCH_<query-id>.json (e.g. BENCH_FL-Q1.json). Each JSON compares
-# kernel operation counters (rows scanned, hash ops, dense ops) between
-# the legacy hashed row-scan path and the dense kernel path — counters
+# Builds the `bench-explain` harness and runs every fixed-seed workload,
+# emitting one artifact per workload at the repo root:
+# BENCH_<query-id>.json (e.g. BENCH_FL-Q1.json). The set covers the five
+# Flights queries (1M rows) and the three synthetic region-blocked
+# planted-confounder workloads (SYN-B1 plain, SYN-W1 IPW-weighted,
+# SYN-M1 masked; 10M rows by default). Each JSON compares kernel
+# operation counters (rows scanned, hash ops, dense ops, narrow scans,
+# packed words skipped, radix vs full merge cells) between the legacy
+# hashed row-scan path and the v2 dense/fused kernel path — counters
 # are machine-independent, so the numbers are reproducible anywhere;
 # wall-clock is recorded but never gated on.
 #
 # Usage:
-#   scripts/bench.sh                       # all workloads, 1M rows, 8 threads
+#   scripts/bench.sh                       # all workloads, 8 threads
 #   scripts/bench.sh --only FL-Q1          # a single workload
-#   scripts/bench.sh --quick               # 20k-row smokes
+#   scripts/bench.sh --quick               # small smokes (20k FL / 250k SYN)
 #   scripts/bench.sh --rows 500000 --threads 4
 #
 # Unrecognized flags are forwarded to bench-explain; --check makes the
 # harness exit nonzero unless the acceptance thresholds hold (>= 3x
 # fewer hash ops, bit-identical outputs, kernel rows <= legacy rows,
-# pool engaged). The CI smoke invokes bench-explain directly (one quick
-# workload, artifact under target/) — see scripts/ci.sh.
+# coalesced dense writes below rows, radix merges below the v1 bill,
+# narrow scans engaged, pool engaged). The CI smoke invokes
+# bench-explain directly (quick workloads, artifacts under target/) —
+# see scripts/ci.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,8 +46,9 @@ done
 
 cargo build --release --offline -p nexus-bench --bin bench-explain
 
-# The Flights workload set from the paper's benchmark suite (Table 1).
-WORKLOADS=(FL-Q1 FL-Q2 FL-Q3 FL-Q4 FL-Q5)
+# The Flights workload set from the paper's benchmark suite (Table 1)
+# plus the synthetic kernel-stress workloads (nexus_datagen::synth).
+WORKLOADS=(FL-Q1 FL-Q2 FL-Q3 FL-Q4 FL-Q5 SYN-B1 SYN-W1 SYN-M1)
 if [[ -n "$ONLY" ]]; then
   WORKLOADS=("$ONLY")
 fi

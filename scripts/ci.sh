@@ -17,21 +17,32 @@ echo "==> cargo test --offline"
 cargo test --offline --workspace -q
 
 echo "==> bench smoke (quick kernel-counter regression gate)"
-# Runs the counting-kernel harness on the small fixed-seed workload.
-# --check fails on counter regressions only (hash-op ratio, rows scanned,
-# pool engagement, bit-identical outputs) — never on wall-clock. The
-# report is kept under target/ so CI can upload it as an artifact.
-BENCH_OUT=target/BENCH_explain.json
-target/release/bench-explain --quick --threads 2 --check --out "$BENCH_OUT" \
-    2> /dev/null
-for key in schema_version workload legacy kernel ratios checks \
-    rows_scanned hash_ops dense_ops dense_builds sparse_builds pool_tasks; do
-    if ! grep -q "\"$key\"" "$BENCH_OUT"; then
-        echo "BENCH_explain.json missing key: $key" >&2
+# Runs the counting-kernel harness on small fixed-seed workloads: the
+# FL-Q1 paper query plus the synthetic planted-confounder workloads
+# (plain and masked). --check fails on counter regressions only (hash-op
+# ratio, rows scanned, coalesced dense writes, radix-vs-full merge
+# cells, narrow scans, pool engagement, bit-identical outputs) — never
+# on wall-clock. Reports are kept under target/ so CI can upload them.
+for id in FL-Q1 SYN-B1 SYN-M1; do
+    BENCH_OUT="target/BENCH_${id}.json"
+    target/release/bench-explain --quick --threads 2 --check \
+        --query "$id" --out "$BENCH_OUT" 2> /dev/null
+    for key in schema_version workload legacy kernel ratios checks \
+        rows_scanned hash_ops dense_ops dense_builds sparse_builds \
+        narrow_scans packed_words_skipped radix_merge_cells \
+        full_merge_cells builds_by_width pool_tasks dense_scan_improved \
+        merge_improved narrow_engaged; do
+        if ! grep -q "\"$key\"" "$BENCH_OUT"; then
+            echo "$BENCH_OUT missing key: $key" >&2
+            exit 1
+        fi
+    done
+    if ! grep -q '"outputs_identical": true' "$BENCH_OUT"; then
+        echo "$BENCH_OUT: kernel and legacy outputs diverged" >&2
         exit 1
     fi
+    echo "    ${id}: counters within bounds, outputs identical ($BENCH_OUT)"
 done
-echo "    counters within bounds, schema complete ($BENCH_OUT)"
 
 echo "==> server smoke test (serve / submit vs direct explain)"
 SMOKE_DIR=$(mktemp -d)

@@ -569,6 +569,18 @@ fn run_explain(args: &ExplainArgs) -> Result<(), String> {
         s.kernel.dense_builds,
         s.kernel.sparse_builds
     );
+    eprintln!(
+        "kernel v2: {} narrow scan(s), {} packed word(s) skipped, merge cells {} radix vs {} full, widths u8:{} u16:{} u32:{} u64:{} u128:{}",
+        s.kernel.narrow_scans,
+        s.kernel.packed_words_skipped,
+        s.kernel.radix_merge_cells,
+        s.kernel.full_merge_cells,
+        s.kernel.builds_w8,
+        s.kernel.builds_w16,
+        s.kernel.builds_w32,
+        s.kernel.builds_w64,
+        s.kernel.builds_w128
+    );
 
     if args.subgroups {
         let exclude: Vec<&str> = query
@@ -818,6 +830,18 @@ fn run_submit(args: &SubmitArgs) -> Result<(), Failure> {
             s.kernel_dense_ops,
             s.kernel_dense_builds,
             s.kernel_sparse_builds
+        );
+        eprintln!(
+            "kernel v2: {} narrow scan(s), {} packed word(s) skipped, merge cells {} radix vs {} full, widths u8:{} u16:{} u32:{} u64:{} u128:{}",
+            s.kernel_narrow_scans,
+            s.kernel_packed_words_skipped,
+            s.kernel_radix_merge_cells,
+            s.kernel_full_merge_cells,
+            s.kernel_builds_w8,
+            s.kernel_builds_w16,
+            s.kernel_builds_w32,
+            s.kernel_builds_w64,
+            s.kernel_builds_w128
         );
         eprintln!(
             "governance: {} conn(s) accepted, {} busy rejection(s), {} i/o timeout(s), \
