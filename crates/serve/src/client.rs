@@ -34,8 +34,8 @@ use nexus_runtime::Backoff;
 use crate::wire::{
     error_code, read_envelope, read_frame, v2, write_envelope, write_frame, CallOverrides,
     DatasetAckWire, DatasetEntryWire, Envelope, ErrorWire, EvictDatasetWire, ExplainRequestWire,
-    ExplanationWire, Frame, HelloWire, LoadDatasetWire, PartialWire, ServeStatsWire,
-    ServerStatsWire, WireError, Workspace, MAX_VERSION,
+    ExplanationWire, Frame, HelloWire, LoadDatasetWire, MetricWire, PartialWire, ServeStatsWire,
+    ServerStatsWire, TraceRequestWire, TraceWire, WireError, Workspace, MAX_VERSION,
 };
 
 /// Client-side failures.
@@ -686,6 +686,27 @@ impl Session {
             Frame::DatasetList(l) => Ok(l.datasets),
             Frame::Error(e) => Err(ClientError::Server(e)),
             _ => Err(ClientError::Unexpected("wanted DatasetList")),
+        }
+    }
+
+    /// Fetches the full self-describing metrics snapshot, sorted by
+    /// name. Every `StatsReply` field is reachable here under its dotted
+    /// registry name, alongside histograms the fixed frame cannot carry.
+    pub fn metrics(&self) -> Result<Vec<MetricWire>, ClientError> {
+        match self.control(Frame::MetricsRequest)? {
+            Frame::MetricsReply(m) => Ok(m.metrics),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted MetricsReply")),
+        }
+    }
+
+    /// Fetches the span trees of the last `last` traced requests,
+    /// newest first (fewer if the server's trace ring holds less).
+    pub fn trace(&self, last: u32) -> Result<Vec<TraceWire>, ClientError> {
+        match self.control(Frame::TraceRequest(TraceRequestWire { last }))? {
+            Frame::TraceReply(t) => Ok(t.traces),
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Unexpected("wanted TraceReply")),
         }
     }
 }

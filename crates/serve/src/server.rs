@@ -49,10 +49,29 @@
 //! Every enforcement action increments a counter reported in
 //! [`Frame::StatsReply`], so tests assert governance outcomes on counters
 //! rather than wall-clock timing.
+//!
+//! ## Telemetry
+//!
+//! Every server counter lives in a per-server `nexus-telemetry`
+//! [`MetricsRegistry`] under a stable dotted name (`serve.cache.hits`,
+//! `serve.rpc.ooo_replies`, …); process-global families (the counting
+//! kernel) and component gauges (dataset registry, connection semaphore,
+//! result cache) are bridged in at snapshot time, as deltas since server
+//! construction where that is what `StatsReply` always reported.
+//! [`Server::stats`] itself is fed **from** the registry
+//! ([`ServerStatsWire::from_metrics`]) so the legacy fixed-field frame
+//! stays byte-compatible while the registry is the single source of
+//! truth; [`Server::metrics_snapshot`] exposes the full sorted snapshot
+//! behind [`Frame::MetricsRequest`]. Each explain additionally records a
+//! span trace (stage boundaries from the [`RunControl`] hooks, counted in
+//! kernel builds — deterministic — plus monotonic durations for humans)
+//! into a bounded [`TraceRing`] served by [`Frame::TraceRequest`];
+//! [`ServerOptions::trace_capacity`] sizes the ring (0 disables tracing
+//! entirely).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,6 +83,9 @@ use nexus_kg::KnowledgeGraph;
 use nexus_query::parse;
 use nexus_runtime::Semaphore;
 use nexus_table::Table;
+use nexus_telemetry::{
+    Counter, Gauge, Histogram, MetricValue, Registry as MetricsRegistry, TraceBuilder, TraceRing,
+};
 
 use crate::cache::LruCache;
 use crate::net::{deadline_tick, read_envelope_deadline, DeadlineStream, ReadError};
@@ -71,8 +93,9 @@ use crate::registry::{DatasetRegistry, DatasetSource, DatasetSpec, RegistryError
 use crate::wire::{
     encode_parts_into, error_code, v2, write_frame, DatasetAckWire, DatasetListWire, Envelope,
     ErrorWire, EvictDatasetWire, ExplainRequestWire, ExplanationReplyWire, ExplanationWire, Frame,
-    HelloAckWire, LinkStatsWire, LoadDatasetWire, PartialWire, ProgressWire, ServeStatsWire,
-    ServerStatsWire, UnsupportedWire, WireError, MAX_VERSION, VERSION,
+    HelloAckWire, LinkStatsWire, LoadDatasetWire, MetricWire, MetricsReplyWire, PartialWire,
+    ProgressWire, ServeStatsWire, ServerStatsWire, SpanWire, TraceReplyWire, TraceWire,
+    UnsupportedWire, WireError, MAX_VERSION, VERSION,
 };
 
 /// Server failures (setup and socket loops; per-request failures travel
@@ -143,6 +166,11 @@ pub struct ServerOptions {
     /// budget, least-recently-used resident datasets are dropped; their
     /// registrations survive and re-materialize on demand.
     pub max_resident_bytes: u64,
+    /// Most recent request span traces retained for [`Frame::TraceRequest`]
+    /// (0 disables span recording entirely; the hot path then pays
+    /// nothing). Past capacity the oldest trace is dropped and the
+    /// `trace.evicted` counter increments — memory stays bounded.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerOptions {
@@ -158,6 +186,7 @@ impl Default for ServerOptions {
             drain_timeout: Duration::from_secs(5),
             max_inflight: 128,
             max_resident_bytes: 0,
+            trace_capacity: 64,
         }
     }
 }
@@ -259,6 +288,54 @@ impl Registry {
     }
 }
 
+/// Hot-path handles into the server's metrics registry, looked up once at
+/// construction so request paths pay a single atomic op per event (never a
+/// name hash). The dotted names are the public contract: they are what
+/// `MetricsReply` reports and what [`ServerStatsWire::metrics`] maps the
+/// legacy fixed fields onto.
+struct ServeMetrics {
+    hits: Counter,
+    misses: Counter,
+    requests: Counter,
+    io_timeouts: Counter,
+    oversize_frames: Counter,
+    drained_handlers: Counter,
+    live_handlers: Gauge,
+    /// Highest simultaneous in-flight count seen on any v2 connection.
+    inflight_peak: Gauge,
+    ooo_replies: Counter,
+    cancels_honored: Counter,
+    partials_streamed: Counter,
+    workspace_reuse_hits: Counter,
+    /// Pool tasks scored across all cold explains (the per-request value
+    /// travels in [`ServeStatsWire`]).
+    pool_tasks: Counter,
+    queue_nanos: Histogram,
+    service_nanos: Histogram,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> ServeMetrics {
+        ServeMetrics {
+            hits: registry.counter("serve.cache.hits"),
+            misses: registry.counter("serve.cache.misses"),
+            requests: registry.counter("serve.requests.served"),
+            io_timeouts: registry.counter("serve.io.timeouts"),
+            oversize_frames: registry.counter("serve.frames.oversize"),
+            drained_handlers: registry.counter("serve.handlers.drained"),
+            live_handlers: registry.gauge("serve.handlers.live"),
+            inflight_peak: registry.gauge("serve.rpc.inflight_peak"),
+            ooo_replies: registry.counter("serve.rpc.ooo_replies"),
+            cancels_honored: registry.counter("serve.rpc.cancels_honored"),
+            partials_streamed: registry.counter("serve.rpc.partials_streamed"),
+            workspace_reuse_hits: registry.counter("serve.rpc.workspace_reuse_hits"),
+            pool_tasks: registry.counter("serve.pool.tasks_scored"),
+            queue_nanos: registry.histogram("serve.request.queue_nanos"),
+            service_nanos: registry.histogram("serve.request.service_nanos"),
+        }
+    }
+}
+
 struct Inner {
     registry: DatasetRegistry,
     nexus: Nexus,
@@ -273,19 +350,15 @@ struct Inner {
     io_timeout: Duration,
     drain_timeout: Duration,
     max_inflight: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    requests: AtomicU64,
-    io_timeouts: AtomicU64,
-    oversize_frames: AtomicU64,
-    drained_handlers: AtomicU64,
-    live_handlers: AtomicU64,
-    /// Highest simultaneous in-flight count seen on any v2 connection.
-    inflight_peak: AtomicU64,
-    ooo_replies: AtomicU64,
-    cancels_honored: AtomicU64,
-    partials_streamed: AtomicU64,
-    workspace_reuse_hits: AtomicU64,
+    /// This server's metrics registry. Per-server (not process-global) so
+    /// servers coexisting in one test process never mix counters; the
+    /// process-global kernel family is bridged in as a delta against
+    /// `kernel_baseline` at snapshot time.
+    metrics: MetricsRegistry,
+    /// Pre-resolved hot-path handles into `metrics`.
+    m: ServeMetrics,
+    /// Bounded ring of finished request span traces.
+    traces: TraceRing,
     shutdown: AtomicBool,
     /// Counting-kernel counters at server construction; `stats()` reports
     /// movement since then, not since process start.
@@ -303,6 +376,8 @@ impl Server {
     /// A server with the given options and no datasets.
     pub fn new(options: ServerOptions) -> Server {
         let options_fp = options.nexus.fingerprint();
+        let metrics = MetricsRegistry::new();
+        let m = ServeMetrics::new(&metrics);
         Server {
             inner: Arc::new(Inner {
                 registry: DatasetRegistry::new(options.max_resident_bytes),
@@ -314,18 +389,9 @@ impl Server {
                 io_timeout: options.io_timeout,
                 drain_timeout: options.drain_timeout,
                 max_inflight: options.max_inflight.max(1),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                requests: AtomicU64::new(0),
-                io_timeouts: AtomicU64::new(0),
-                oversize_frames: AtomicU64::new(0),
-                drained_handlers: AtomicU64::new(0),
-                live_handlers: AtomicU64::new(0),
-                inflight_peak: AtomicU64::new(0),
-                ooo_replies: AtomicU64::new(0),
-                cancels_honored: AtomicU64::new(0),
-                partials_streamed: AtomicU64::new(0),
-                workspace_reuse_hits: AtomicU64::new(0),
+                metrics,
+                m,
+                traces: TraceRing::new(options.trace_capacity),
                 shutdown: AtomicBool::new(false),
                 kernel_baseline: nexus_info::kernel::counters().snapshot(),
             }),
@@ -411,49 +477,129 @@ impl Server {
         self.inner.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Cumulative server statistics.
+    /// Cumulative server statistics — the legacy fixed-field frame, built
+    /// **from** the metrics registry ([`ServerStatsWire::from_metrics`])
+    /// so every one of its counters is reachable by name through
+    /// [`Server::metrics_snapshot`] and the two can never disagree.
     pub fn stats(&self) -> ServerStatsWire {
+        let snap = self.metrics_snapshot();
+        ServerStatsWire::from_metrics(|name| {
+            snap.binary_search_by(|m| m.name.as_str().cmp(name))
+                .map(|i| snap[i].value)
+                .unwrap_or(0)
+        })
+    }
+
+    /// Folds component state the registry does not own — the
+    /// process-global kernel counters (as deltas since server
+    /// construction), the connection semaphore, the result cache, the
+    /// dataset registry, and the trace ring — into bridge gauges, so one
+    /// registry snapshot describes the whole server.
+    fn bridge_component_metrics(&self) {
+        let r = &self.inner.metrics;
         let kernel = nexus_info::kernel::counters()
             .snapshot()
             .delta(&self.inner.kernel_baseline);
-        ServerStatsWire {
-            datasets: self.inner.registry.registered(),
-            cache_entries: self.inner.cache.lock().unwrap().len() as u64,
-            cache_hits: self.inner.hits.load(Ordering::SeqCst),
-            cache_misses: self.inner.misses.load(Ordering::SeqCst),
-            requests_served: self.inner.requests.load(Ordering::SeqCst),
-            kernel_rows_scanned: kernel.rows_scanned,
-            kernel_hash_ops: kernel.hash_ops,
-            kernel_dense_ops: kernel.dense_ops,
-            kernel_dense_builds: kernel.dense_builds,
-            kernel_sparse_builds: kernel.sparse_builds,
-            kernel_narrow_scans: kernel.narrow_scans,
-            kernel_packed_words_skipped: kernel.packed_words_skipped,
-            kernel_radix_merge_cells: kernel.radix_merge_cells,
-            kernel_full_merge_cells: kernel.full_merge_cells,
-            kernel_builds_w8: kernel.builds_w8,
-            kernel_builds_w16: kernel.builds_w16,
-            kernel_builds_w32: kernel.builds_w32,
-            kernel_builds_w64: kernel.builds_w64,
-            kernel_builds_w128: kernel.builds_w128,
-            conns_accepted: self.inner.conns.admitted(),
-            busy_rejections: self.inner.conns.rejected(),
-            io_timeouts: self.inner.io_timeouts.load(Ordering::SeqCst),
-            oversize_frames: self.inner.oversize_frames.load(Ordering::SeqCst),
-            drained_handlers: self.inner.drained_handlers.load(Ordering::SeqCst),
-            live_handlers: self.inner.live_handlers.load(Ordering::SeqCst),
-            inflight_peak: self.inner.inflight_peak.load(Ordering::SeqCst),
-            ooo_replies: self.inner.ooo_replies.load(Ordering::SeqCst),
-            cancels_honored: self.inner.cancels_honored.load(Ordering::SeqCst),
-            partials_streamed: self.inner.partials_streamed.load(Ordering::SeqCst),
-            workspace_reuse_hits: self.inner.workspace_reuse_hits.load(Ordering::SeqCst),
-            datasets_resident: self.inner.registry.resident_count(),
-            datasets_loaded: self.inner.registry.loads(),
-            dataset_evictions: self.inner.registry.evictions(),
-            store_bytes: self.inner.registry.resident_bytes(),
-            extraction_builds: self.inner.registry.extraction_builds(),
-            registry_fingerprint: self.inner.registry.combined_fingerprint(),
-        }
+        r.gauge("kernel.rows_scanned").set(kernel.rows_scanned);
+        r.gauge("kernel.hash_ops").set(kernel.hash_ops);
+        r.gauge("kernel.dense_ops").set(kernel.dense_ops);
+        r.gauge("kernel.builds.dense").set(kernel.dense_builds);
+        r.gauge("kernel.builds.sparse").set(kernel.sparse_builds);
+        r.gauge("kernel.narrow_scans").set(kernel.narrow_scans);
+        r.gauge("kernel.packed_words_skipped")
+            .set(kernel.packed_words_skipped);
+        r.gauge("kernel.merge.radix_cells")
+            .set(kernel.radix_merge_cells);
+        r.gauge("kernel.merge.full_cells")
+            .set(kernel.full_merge_cells);
+        r.gauge("kernel.builds.w8").set(kernel.builds_w8);
+        r.gauge("kernel.builds.w16").set(kernel.builds_w16);
+        r.gauge("kernel.builds.w32").set(kernel.builds_w32);
+        r.gauge("kernel.builds.w64").set(kernel.builds_w64);
+        r.gauge("kernel.builds.w128").set(kernel.builds_w128);
+        r.gauge("serve.cache.entries")
+            .set(self.inner.cache.lock().unwrap().len() as u64);
+        r.gauge("serve.conns.accepted")
+            .set(self.inner.conns.admitted());
+        r.gauge("serve.conns.busy_rejections")
+            .set(self.inner.conns.rejected());
+        let reg = &self.inner.registry;
+        r.gauge("registry.datasets.registered")
+            .set(reg.registered());
+        r.gauge("registry.datasets.resident")
+            .set(reg.resident_count());
+        r.gauge("registry.datasets.loaded").set(reg.loads());
+        r.gauge("registry.datasets.evicted").set(reg.evictions());
+        r.gauge("registry.store.bytes").set(reg.resident_bytes());
+        r.gauge("registry.extraction.builds")
+            .set(reg.extraction_builds());
+        r.gauge("registry.fingerprint")
+            .set(reg.combined_fingerprint());
+        let traces = &self.inner.traces;
+        r.gauge("trace.capacity").set(traces.capacity() as u64);
+        r.gauge("trace.recorded").set(traces.recorded());
+        r.gauge("trace.evicted").set(traces.evicted());
+        r.gauge("trace.resident").set(traces.len() as u64);
+    }
+
+    /// The full metrics snapshot behind [`Frame::MetricsRequest`]: every
+    /// registered metric, sorted by name — registry iteration order, the
+    /// order sorted `--stats` output prints in.
+    pub fn metrics_snapshot(&self) -> Vec<MetricValue> {
+        self.bridge_component_metrics();
+        self.inner.metrics.snapshot()
+    }
+
+    /// Answers a `MetricsRequest` with the sorted self-describing
+    /// name→value snapshot.
+    fn metrics_reply(&self) -> Frame {
+        Frame::MetricsReply(MetricsReplyWire {
+            metrics: self
+                .metrics_snapshot()
+                .into_iter()
+                .map(|m| MetricWire {
+                    name: m.name,
+                    kind: m.kind.as_u8(),
+                    value: m.value,
+                })
+                .collect(),
+        })
+    }
+
+    /// The most recent `last` recorded span trees, newest first (fewer
+    /// if the ring holds less).
+    pub fn traces(&self, last: usize) -> Vec<nexus_telemetry::Trace> {
+        self.inner.traces.last(last)
+    }
+
+    /// Answers a `TraceRequest` with the most recent `last` span trees,
+    /// newest first.
+    fn trace_reply(&self, last: u32) -> Frame {
+        Frame::TraceReply(TraceReplyWire {
+            traces: self
+                .traces(last as usize)
+                .into_iter()
+                .map(|t| TraceWire {
+                    corr_id: t.corr_id,
+                    spans: t
+                        .spans
+                        .into_iter()
+                        .map(|s| SpanWire {
+                            name: s.name,
+                            depth: s.depth,
+                            count: s.count,
+                            duration_nanos: s.duration_nanos,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Traces recorded / evicted by the span ring — the bounded-memory
+    /// proof counters (`trace.recorded`, `trace.evicted`).
+    pub fn trace_counts(&self) -> (u64, u64) {
+        (self.inner.traces.recorded(), self.inner.traces.evicted())
     }
 
     /// Answers one request frame — the full in-process request path, used
@@ -524,7 +670,52 @@ impl Server {
     }
 
     fn explain(&self, req: &ExplainRequestWire) -> Frame {
-        self.explain_ctl(req, RunControl::none())
+        // v1 carries no correlation id; its traces record corr 0.
+        self.explain_traced(req, 0, RunControl::none())
+    }
+
+    /// Current deterministic span work count: counting-kernel builds so
+    /// far (dense + sparse). Build counts are one-per-statistic and thus
+    /// invariant under pool thread count and row chunking — the property
+    /// the span determinism test rests on. (Under concurrent traffic the
+    /// process-global counter attributes overlapping requests' builds to
+    /// whichever span is open — traces are diagnostics, not ledgers.)
+    fn span_count_now() -> u64 {
+        let snap = nexus_info::kernel::counters().snapshot();
+        snap.dense_builds + snap.sparse_builds
+    }
+
+    /// [`Server::explain_ctl`] wrapped in span recording: stage
+    /// transitions observed at the [`RunControl`] progress hooks open and
+    /// close spans (durations monotonic, counts from
+    /// [`Server::span_count_now`]), and the finished trace — rooted at an
+    /// `explain` span — lands in the bounded ring. With
+    /// [`ServerOptions::trace_capacity`] 0 this is exactly
+    /// [`Server::explain_ctl`]: no builder, no extra hook work, and the
+    /// explanation bytes are identical either way (the sink only reads).
+    fn explain_traced(&self, req: &ExplainRequestWire, corr: u64, ctl: RunControl<'_>) -> Frame {
+        if !self.inner.traces.enabled() {
+            return self.explain_ctl(req, ctl);
+        }
+        let builder = TraceBuilder::new(corr, Self::span_count_now());
+        let outer = ctl.progress;
+        let sink = |event: ProgressEvent| {
+            if let ProgressEvent::Stage { stage } = &event {
+                builder.enter_stage(stage, Self::span_count_now());
+            }
+            if let Some(s) = outer {
+                s(event);
+            }
+        };
+        let traced = RunControl {
+            abort: ctl.abort,
+            progress: Some(&sink),
+        };
+        let reply = self.explain_ctl(req, traced);
+        self.inner
+            .traces
+            .push(builder.finish(Self::span_count_now()));
+        reply
     }
 
     /// The effective [`Nexus`] for a request: `None` when the request
@@ -572,7 +763,7 @@ impl Server {
     /// caches nothing), and progress events stream to the control's sink.
     fn explain_ctl(&self, req: &ExplainRequestWire, ctl: RunControl<'_>) -> Frame {
         let arrived = Instant::now();
-        self.inner.requests.fetch_add(1, Ordering::SeqCst);
+        self.inner.m.requests.add(1);
         if self.is_shutting_down() {
             return error(error_code::SHUTTING_DOWN, "server is shutting down");
         }
@@ -619,20 +810,22 @@ impl Server {
         // Fast path: echo the cached bytes verbatim. No pipeline, no pool.
         let cached = self.inner.cache.lock().unwrap().get(&key).cloned();
         if let Some(bytes) = cached {
-            let hits = self.inner.hits.fetch_add(1, Ordering::SeqCst) + 1;
+            let hits = self.inner.m.hits.add(1);
+            let service_nanos = arrived.elapsed().as_nanos() as u64;
+            self.inner.m.service_nanos.record(service_nanos);
             return Frame::Explanation(ExplanationReplyWire {
                 explanation: bytes.as_ref().clone(),
                 stats: ServeStatsWire {
                     cache_hit: true,
                     cache_hits: hits,
-                    cache_misses: self.inner.misses.load(Ordering::SeqCst),
+                    cache_misses: self.inner.m.misses.get(),
                     scored_tasks: 0,
                     queue_nanos: 0,
-                    service_nanos: arrived.elapsed().as_nanos() as u64,
+                    service_nanos,
                 },
             });
         }
-        let misses = self.inner.misses.fetch_add(1, Ordering::SeqCst) + 1;
+        let misses = self.inner.m.misses.add(1);
 
         // Cold path: wait for a pipeline slot, then run the
         // query-dependent stages over the resident extractions. A
@@ -663,15 +856,19 @@ impl Server {
                     .lock()
                     .unwrap()
                     .insert(key, Arc::clone(&bytes));
+                let service_nanos = arrived.elapsed().as_nanos() as u64;
+                self.inner.m.queue_nanos.record(queue_nanos);
+                self.inner.m.service_nanos.record(service_nanos);
+                self.inner.m.pool_tasks.add(explanation.stats.pool_tasks);
                 Frame::Explanation(ExplanationReplyWire {
                     explanation: bytes.as_ref().clone(),
                     stats: ServeStatsWire {
                         cache_hit: false,
-                        cache_hits: self.inner.hits.load(Ordering::SeqCst),
+                        cache_hits: self.inner.m.hits.get(),
                         cache_misses: misses,
                         scored_tasks: explanation.stats.pool_tasks,
                         queue_nanos,
-                        service_nanos: arrived.elapsed().as_nanos() as u64,
+                        service_nanos,
                     },
                 })
             }
@@ -739,9 +936,7 @@ impl Server {
             // Join whatever finished since the last iteration, so the
             // ledger tracks live connections rather than growing forever.
             let reaped = registry.reap();
-            self.inner
-                .drained_handlers
-                .fetch_add(reaped as u64, Ordering::SeqCst);
+            self.inner.m.drained_handlers.add(reaped as u64);
             if self.is_shutting_down() {
                 break Ok(());
             }
@@ -749,10 +944,10 @@ impl Server {
                 Some(Ok(stream)) => match self.inner.conns.try_acquire_owned() {
                     Some(slot) => {
                         let server = self.clone();
-                        self.inner.live_handlers.fetch_add(1, Ordering::SeqCst);
+                        self.inner.m.live_handlers.add(1);
                         registry.spawn(move || {
                             server.serve_connection(stream);
-                            server.inner.live_handlers.fetch_sub(1, Ordering::SeqCst);
+                            server.inner.m.live_handlers.sub(1);
                             drop(slot); // free the connection slot last
                         });
                     }
@@ -763,9 +958,7 @@ impl Server {
             }
         };
         let (joined, detached) = registry.drain(self.inner.drain_timeout);
-        self.inner
-            .drained_handlers
-            .fetch_add(joined as u64, Ordering::SeqCst);
+        self.inner.m.drained_handlers.add(joined as u64);
         // Detached handlers (still counted in live_handlers) exceeded the
         // drain timeout; they die with the process.
         let _ = detached;
@@ -800,9 +993,7 @@ impl Server {
         let result = stream.write_all(bytes).and_then(|()| stream.flush());
         let delta = lane.ws.reuse_hits() - lane.reported_reuse;
         if delta > 0 {
-            self.inner
-                .workspace_reuse_hits
-                .fetch_add(delta, Ordering::SeqCst);
+            self.inner.m.workspace_reuse_hits.add(delta);
             lane.reported_reuse = lane.ws.reuse_hits();
         }
         result
@@ -865,7 +1056,7 @@ impl Server {
                     continue;
                 }
                 Err(ReadError::IdleTimeout | ReadError::FrameTimeout) => {
-                    self.inner.io_timeouts.fetch_add(1, Ordering::SeqCst);
+                    self.inner.m.io_timeouts.add(1);
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
                     let _ = self.write_via(
                         &mut stream,
@@ -878,7 +1069,7 @@ impl Server {
                 }
                 Err(ReadError::Closed | ReadError::Aborted) => return,
                 Err(ReadError::Wire(WireError::PayloadTooLarge(n))) => {
-                    self.inner.oversize_frames.fetch_add(1, Ordering::SeqCst);
+                    self.inner.m.oversize_frames.add(1);
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
                     let _ = self.write_via(
                         &mut stream,
@@ -986,14 +1177,14 @@ impl Server {
                         // imminent, never a stall.
                         let _ = done.handle.join();
                         if inflight.values().any(|other| other.seq < done.seq) {
-                            self.inner.ooo_replies.fetch_add(1, Ordering::SeqCst);
+                            self.inner.m.ooo_replies.add(1);
                         }
                         if matches!(&frame, Frame::Error(e) if e.code == error_code::CANCELLED) {
-                            self.inner.cancels_honored.fetch_add(1, Ordering::SeqCst);
+                            self.inner.m.cancels_honored.add(1);
                         }
                     }
                 } else if matches!(frame, Frame::Partial(_)) {
-                    self.inner.partials_streamed.fetch_add(1, Ordering::SeqCst);
+                    self.inner.m.partials_streamed.add(1);
                 }
                 if self
                     .write_via(&mut stream, &mut lane, v2::VERSION, corr, &frame)
@@ -1044,6 +1235,8 @@ impl Server {
                         Frame::LoadDataset(w) => Some(self.load_dataset_frame(&w)),
                         Frame::EvictDataset(w) => Some(self.evict_dataset_frame(&w)),
                         Frame::ListDatasets => Some(self.list_datasets_frame()),
+                        Frame::MetricsRequest => Some(self.metrics_reply()),
+                        Frame::TraceRequest(w) => Some(self.trace_reply(w.last)),
                         Frame::Cancel => {
                             // Unknown ids are a benign race against the
                             // final reply, not an error.
@@ -1070,9 +1263,7 @@ impl Server {
                                 let abort = Arc::new(AtomicBool::new(false));
                                 let seq = next_seq;
                                 next_seq += 1;
-                                self.inner
-                                    .inflight_peak
-                                    .fetch_max(inflight.len() as u64 + 1, Ordering::SeqCst);
+                                self.inner.m.inflight_peak.max(inflight.len() as u64 + 1);
                                 let server = self.clone();
                                 let worker_tx = tx.clone();
                                 let flag = Arc::clone(&abort);
@@ -1100,9 +1291,11 @@ impl Server {
                                 | Frame::Error(_)
                                 | Frame::DatasetList(_)
                                 | Frame::DatasetAck(_)
+                                | Frame::MetricsReply(_)
+                                | Frame::TraceReply(_)
                         );
                         if is_final && overtakes {
-                            self.inner.ooo_replies.fetch_add(1, Ordering::SeqCst);
+                            self.inner.m.ooo_replies.add(1);
                         }
                         if self
                             .write_via(&mut stream, &mut lane, v2::VERSION, corr, &reply)
@@ -1115,7 +1308,7 @@ impl Server {
                 }
                 Err(ReadError::IdleTimeout) => {
                     if inflight.is_empty() && !draining && last_activity.elapsed() >= io_timeout {
-                        self.inner.io_timeouts.fetch_add(1, Ordering::SeqCst);
+                        self.inner.m.io_timeouts.add(1);
                         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
                         let _ = self.write_via(
                             &mut stream,
@@ -1128,7 +1321,7 @@ impl Server {
                     }
                 }
                 Err(ReadError::FrameTimeout) => {
-                    self.inner.io_timeouts.fetch_add(1, Ordering::SeqCst);
+                    self.inner.m.io_timeouts.add(1);
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
                     let _ = self.write_via(
                         &mut stream,
@@ -1141,7 +1334,7 @@ impl Server {
                     return;
                 }
                 Err(ReadError::Wire(WireError::PayloadTooLarge(n))) => {
-                    self.inner.oversize_frames.fetch_add(1, Ordering::SeqCst);
+                    self.inner.m.oversize_frames.add(1);
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
                     let _ = self.write_via(
                         &mut stream,
@@ -1236,7 +1429,7 @@ impl Server {
             abort: Some(abort),
             progress: Some(&sink),
         };
-        self.explain_ctl(req, ctl)
+        self.explain_traced(req, corr, ctl)
     }
 }
 

@@ -19,7 +19,9 @@
 //! `u64` LE *correlation id*, so one connection carries many in-flight
 //! requests with out-of-order replies, plus the session frames
 //! ([`Frame::Hello`], [`Frame::HelloAck`], [`Frame::Cancel`],
-//! [`Frame::Progress`], [`Frame::Partial`]) of the [`v2`] module. A v2
+//! [`Frame::Progress`], [`Frame::Partial`]) of the [`v2`] module and the
+//! telemetry frames ([`Frame::MetricsRequest`], [`Frame::MetricsReply`],
+//! [`Frame::TraceRequest`], [`Frame::TraceReply`]). A v2
 //! `Explain` payload additionally carries a [`CallOverrides`] section;
 //! everything else encodes identically, so a v2 final reply's frame body
 //! is byte-identical to its v1 twin.
@@ -633,6 +635,141 @@ pub struct ServerStatsWire {
     pub registry_fingerprint: u64,
 }
 
+/// One field-to-name mapping entry shared by [`ServerStatsWire::metrics`]
+/// and [`ServerStatsWire::from_metrics`]; the macro lists every field once
+/// so the two directions can never drift (the struct literal in
+/// `from_metrics` is exhaustive).
+macro_rules! for_each_stats_metric {
+    ($mac:ident) => {
+        $mac! {
+            datasets => "registry.datasets.registered",
+            cache_entries => "serve.cache.entries",
+            cache_hits => "serve.cache.hits",
+            cache_misses => "serve.cache.misses",
+            requests_served => "serve.requests.served",
+            kernel_rows_scanned => "kernel.rows_scanned",
+            kernel_hash_ops => "kernel.hash_ops",
+            kernel_dense_ops => "kernel.dense_ops",
+            kernel_dense_builds => "kernel.builds.dense",
+            kernel_sparse_builds => "kernel.builds.sparse",
+            kernel_narrow_scans => "kernel.narrow_scans",
+            kernel_packed_words_skipped => "kernel.packed_words_skipped",
+            kernel_radix_merge_cells => "kernel.merge.radix_cells",
+            kernel_full_merge_cells => "kernel.merge.full_cells",
+            kernel_builds_w8 => "kernel.builds.w8",
+            kernel_builds_w16 => "kernel.builds.w16",
+            kernel_builds_w32 => "kernel.builds.w32",
+            kernel_builds_w64 => "kernel.builds.w64",
+            kernel_builds_w128 => "kernel.builds.w128",
+            conns_accepted => "serve.conns.accepted",
+            busy_rejections => "serve.conns.busy_rejections",
+            io_timeouts => "serve.io.timeouts",
+            oversize_frames => "serve.frames.oversize",
+            drained_handlers => "serve.handlers.drained",
+            live_handlers => "serve.handlers.live",
+            inflight_peak => "serve.rpc.inflight_peak",
+            ooo_replies => "serve.rpc.ooo_replies",
+            cancels_honored => "serve.rpc.cancels_honored",
+            partials_streamed => "serve.rpc.partials_streamed",
+            workspace_reuse_hits => "serve.rpc.workspace_reuse_hits",
+            datasets_resident => "registry.datasets.resident",
+            datasets_loaded => "registry.datasets.loaded",
+            dataset_evictions => "registry.datasets.evicted",
+            store_bytes => "registry.store.bytes",
+            extraction_builds => "registry.extraction.builds",
+            registry_fingerprint => "registry.fingerprint",
+        }
+    };
+}
+
+impl ServerStatsWire {
+    /// Every field as a `(registry name, value)` pair, sorted by name —
+    /// the canonical dotted names these counters carry in the telemetry
+    /// registry and in [`Frame::MetricsReply`]. This is what sorted
+    /// `--stats` output prints.
+    pub fn metrics(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! collect {
+            ($($field:ident => $name:expr,)*) => {{
+                let mut pairs = vec![$(($name, self.$field)),*];
+                pairs.sort_by(|a, b| a.0.cmp(b.0));
+                pairs
+            }};
+        }
+        for_each_stats_metric!(collect)
+    }
+
+    /// Builds the legacy fixed-field frame from named registry values —
+    /// the inverse of [`ServerStatsWire::metrics`]. The server feeds
+    /// `StatsReply` through this, so the frame stays byte-compatible while
+    /// the registry is the single source of truth.
+    pub fn from_metrics(mut get: impl FnMut(&str) -> u64) -> ServerStatsWire {
+        macro_rules! build {
+            ($($field:ident => $name:expr,)*) => {
+                ServerStatsWire { $($field: get($name)),* }
+            };
+        }
+        for_each_stats_metric!(build)
+    }
+}
+
+/// One named metric in a [`Frame::MetricsReply`]: self-describing
+/// name→value pairs, so new counters never need new fixed wire fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricWire {
+    /// Dotted registry name (`serve.cache.hits`).
+    pub name: String,
+    /// Metric kind tag (`nexus_telemetry::MetricKind::as_u8`). Unknown
+    /// tags are carried through, not rejected — forward compatible.
+    pub kind: u8,
+    /// Current value.
+    pub value: u64,
+}
+
+/// The full metrics snapshot (v2 reply to `MetricsRequest`), sorted by
+/// name — registry iteration order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReplyWire {
+    /// All metrics, sorted by name.
+    pub metrics: Vec<MetricWire>,
+}
+
+/// Requests the last-N request span trees (v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceRequestWire {
+    /// How many most-recent traces to return (capped by the server's ring
+    /// capacity).
+    pub last: u32,
+}
+
+/// One span of a traced request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanWire {
+    /// Stage name (`assemble`, `select`, ... or the `explain` root).
+    pub name: String,
+    /// Depth in the span tree (root 0, stages 1).
+    pub depth: u32,
+    /// Deterministic work count (kernel build delta) — what tests assert.
+    pub count: u64,
+    /// Monotonic duration, for humans only.
+    pub duration_nanos: u64,
+}
+
+/// One traced request: its corr-id and span tree in preorder.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceWire {
+    /// NEXUSRPC v2 correlation id (0 for requests served over v1).
+    pub corr_id: u64,
+    /// Spans in preorder.
+    pub spans: Vec<SpanWire>,
+}
+
+/// The last-N traces (v2 reply to `TraceRequest`), newest first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReplyWire {
+    /// Most recent traces, newest first.
+    pub traces: Vec<TraceWire>,
+}
+
 /// Registers a store-backed dataset (v2): the server validates the NXCOL
 /// header eagerly but materializes the table and its KG extraction
 /// artifacts lazily, on the first request that needs them.
@@ -751,6 +888,14 @@ pub enum Frame {
     DatasetList(DatasetListWire),
     /// Load/evict acknowledgement (v2).
     DatasetAck(DatasetAckWire),
+    /// Request the full metrics snapshot (v2; empty payload).
+    MetricsRequest,
+    /// Metrics snapshot reply (v2): sorted name→value pairs.
+    MetricsReply(MetricsReplyWire),
+    /// Request the last-N request span trees (v2).
+    TraceRequest(TraceRequestWire),
+    /// Span-tree reply (v2), newest first.
+    TraceReply(TraceReplyWire),
 }
 
 impl Frame {
@@ -777,6 +922,10 @@ impl Frame {
             Frame::ListDatasets => 18,
             Frame::DatasetList(_) => 19,
             Frame::DatasetAck(_) => 20,
+            Frame::MetricsRequest => 21,
+            Frame::MetricsReply(_) => 22,
+            Frame::TraceRequest(_) => 23,
+            Frame::TraceReply(_) => 24,
         }
     }
 
@@ -793,7 +942,8 @@ impl Frame {
             | Frame::Shutdown
             | Frame::ShutdownAck
             | Frame::Cancel
-            | Frame::ListDatasets => {}
+            | Frame::ListDatasets
+            | Frame::MetricsRequest => {}
             Frame::Explain(req) => {
                 put_str(out, &req.dataset);
                 put_str(out, &req.sql);
@@ -893,6 +1043,28 @@ impl Frame {
                 }
                 put_f64(out, p.cmi_so_far);
                 put_f64(out, p.initial_cmi);
+            }
+            Frame::MetricsReply(m) => {
+                put_u32(out, m.metrics.len() as u32);
+                for metric in &m.metrics {
+                    put_str(out, &metric.name);
+                    out.push(metric.kind);
+                    put_u64(out, metric.value);
+                }
+            }
+            Frame::TraceRequest(t) => put_u32(out, t.last),
+            Frame::TraceReply(t) => {
+                put_u32(out, t.traces.len() as u32);
+                for trace in &t.traces {
+                    put_u64(out, trace.corr_id);
+                    put_u32(out, trace.spans.len() as u32);
+                    for span in &trace.spans {
+                        put_str(out, &span.name);
+                        put_u32(out, span.depth);
+                        put_u64(out, span.count);
+                        put_u64(out, span.duration_nanos);
+                    }
+                }
             }
         }
     }
@@ -1058,6 +1230,48 @@ impl Frame {
                 name: r.str()?,
                 resident: r.bool()?,
             }),
+            21 => Frame::MetricsRequest,
+            22 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Malformed("metric count"));
+                }
+                let mut metrics = Vec::with_capacity(n);
+                for _ in 0..n {
+                    metrics.push(MetricWire {
+                        name: r.str()?,
+                        kind: r.u8()?,
+                        value: r.u64()?,
+                    });
+                }
+                Frame::MetricsReply(MetricsReplyWire { metrics })
+            }
+            23 => Frame::TraceRequest(TraceRequestWire { last: r.u32()? }),
+            24 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Malformed("trace count"));
+                }
+                let mut traces = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let corr_id = r.u64()?;
+                    let n_spans = r.u32()? as usize;
+                    if n_spans > r.remaining() {
+                        return Err(WireError::Malformed("span count"));
+                    }
+                    let mut spans = Vec::with_capacity(n_spans);
+                    for _ in 0..n_spans {
+                        spans.push(SpanWire {
+                            name: r.str()?,
+                            depth: r.u32()?,
+                            count: r.u64()?,
+                            duration_nanos: r.u64()?,
+                        });
+                    }
+                    traces.push(TraceWire { corr_id, spans });
+                }
+                Frame::TraceReply(TraceReplyWire { traces })
+            }
             other => return Err(WireError::UnknownFrameType(other)),
         };
         r.finish()?;
@@ -1301,6 +1515,112 @@ mod tests {
                 Err(WireError::UnsupportedVersion(2))
             ));
         }
+    }
+
+    #[test]
+    fn telemetry_frames_round_trip_under_v2_and_are_refused_by_v1() {
+        let frames = vec![
+            Frame::MetricsRequest,
+            Frame::MetricsReply(MetricsReplyWire {
+                metrics: vec![
+                    MetricWire {
+                        name: "kernel.builds.dense".into(),
+                        kind: 1,
+                        value: 42,
+                    },
+                    MetricWire {
+                        name: "serve.cache.hits".into(),
+                        kind: 0,
+                        value: 7,
+                    },
+                    MetricWire {
+                        name: "serve.request.service_nanos.sum".into(),
+                        kind: 3,
+                        value: u64::MAX,
+                    },
+                ],
+            }),
+            Frame::MetricsReply(MetricsReplyWire::default()),
+            Frame::TraceRequest(TraceRequestWire { last: 16 }),
+            Frame::TraceReply(TraceReplyWire {
+                traces: vec![
+                    TraceWire {
+                        corr_id: 9,
+                        spans: vec![
+                            SpanWire {
+                                name: "explain".into(),
+                                depth: 0,
+                                count: 12,
+                                duration_nanos: 1_000_000,
+                            },
+                            SpanWire {
+                                name: "assemble".into(),
+                                depth: 1,
+                                count: 3,
+                                duration_nanos: 250_000,
+                            },
+                        ],
+                    },
+                    TraceWire {
+                        corr_id: 0,
+                        spans: vec![],
+                    },
+                ],
+            }),
+            Frame::TraceReply(TraceReplyWire::default()),
+        ];
+        let mut ws = Workspace::new();
+        for frame in frames {
+            let bytes = encode_parts_into(v2::VERSION, 7, &frame, &mut ws).to_vec();
+            let (env, consumed) =
+                Envelope::decode_version_max(&bytes, MAX_VERSION).expect("v2 decode");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(env.corr_id, 7);
+            assert_eq!(env.frame, frame);
+            assert!(!v1::allows(frame.frame_type()));
+            assert!(matches!(
+                Envelope::decode_version_max(&bytes, v1::VERSION),
+                Err(WireError::UnsupportedVersion(2))
+            ));
+        }
+    }
+
+    #[test]
+    fn stats_metric_names_are_sorted_unique_and_invert() {
+        let mut expected = ServerStatsWire::default();
+        // Give every field a distinct value so a crossed mapping is caught.
+        let pairs = expected.metrics();
+        assert_eq!(pairs.len(), 36, "every StatsReply field has a name");
+        let mut seen = std::collections::HashSet::new();
+        for window in pairs.windows(2) {
+            assert!(window[0].0 < window[1].0, "names sorted: {window:?}");
+        }
+        for (name, _) in &pairs {
+            assert!(seen.insert(*name), "duplicate name {name}");
+        }
+        // Distinct values per field via the inverse direction: number the
+        // names 1..=36, build the struct, and check metrics() echoes the
+        // numbering back under the same names.
+        let numbered: std::collections::HashMap<&str, u64> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (*name, i as u64 + 1))
+            .collect();
+        expected = ServerStatsWire::from_metrics(|name| numbered[name]);
+        for (name, value) in expected.metrics() {
+            assert_eq!(value, numbered[name], "field behind {name}");
+        }
+        // And the encoded frame is the same legacy fixed-field layout.
+        let direct = Frame::StatsReply(expected);
+        let rebuilt = Frame::StatsReply(ServerStatsWire::from_metrics(|name| {
+            expected
+                .metrics()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1
+        }));
+        assert_eq!(encode_frame(&direct), encode_frame(&rebuilt));
     }
 
     #[test]

@@ -23,7 +23,7 @@ mod tests {
             assert!(allows(t), "type {t}");
         }
         assert!(!allows(0));
-        for t in 11..=16u8 {
+        for t in 11..=24u8 {
             assert!(!allows(t), "type {t} is v2-only");
         }
     }

@@ -3,10 +3,12 @@
 //! v2 extends v1 with a `u64` correlation-id prefix on every payload and
 //! five session frames — [`HelloWire`]/[`HelloAckWire`] negotiation,
 //! `Cancel`, and the [`ProgressWire`]/[`PartialWire`] streaming updates —
-//! plus a [`CallOverrides`] section on `Explain` payloads and the dataset
+//! plus a [`CallOverrides`] section on `Explain` payloads, the dataset
 //! registry frames (`LoadDataset`/`EvictDataset`/`ListDatasets` and their
-//! replies). Every v1 frame keeps its v1 body encoding, so a v2 final
-//! reply is the v1 reply with the corr id spliced in.
+//! replies), and the telemetry frames (`MetricsRequest`/`MetricsReply`,
+//! `TraceRequest`/`TraceReply`). Every v1 frame keeps its v1 body
+//! encoding, so a v2 final reply is the v1 reply with the corr id
+//! spliced in.
 
 use super::{put_str, put_u32, Reader, Result, WireError};
 
@@ -14,11 +16,12 @@ use super::{put_str, put_u32, Reader, Result, WireError};
 pub const VERSION: u16 = 2;
 
 /// Whether `frame_type` belongs to the v2 vocabulary (all of v1 plus
-/// `Hello`, `HelloAck`, `Cancel`, `Progress`, `Partial`, and the dataset
+/// `Hello`, `HelloAck`, `Cancel`, `Progress`, `Partial`, the dataset
 /// registry frames `LoadDataset`, `EvictDataset`, `ListDatasets`,
-/// `DatasetList`, `DatasetAck`).
+/// `DatasetList`, `DatasetAck`, and the telemetry frames
+/// `MetricsRequest`, `MetricsReply`, `TraceRequest`, `TraceReply`).
 pub fn allows(frame_type: u8) -> bool {
-    (1..=20).contains(&frame_type)
+    (1..=24).contains(&frame_type)
 }
 
 /// Session opener: the first envelope of every v2 connection.

@@ -168,8 +168,12 @@ SERVE_PID=$!
 wait_for_socket "$STORE_SOCK" "$SMOKE_DIR/store_serve.log"
 
 # Store registration is lazy: before any query, nothing is resident.
+# (--stats emits sorted `name value` lines in registry iteration order.)
 "$BIN" submit --socket "$STORE_SOCK" --stats 2> "$SMOKE_DIR/store_stats_cold.log"
-grep -q "0 of 1 dataset(s) resident" "$SMOKE_DIR/store_stats_cold.log"
+grep -q '^registry.datasets.registered 1$' "$SMOKE_DIR/store_stats_cold.log"
+grep -q '^registry.datasets.resident 0$' "$SMOKE_DIR/store_stats_cold.log"
+# The registry guarantees byte-order iteration; prove --stats kept it.
+LC_ALL=C sort -c "$SMOKE_DIR/store_stats_cold.log"
 
 # Explanations served from the packed store must be byte-identical to the
 # CSV-ingest outputs (both the one-shot run and the CSV-backed server).
@@ -179,9 +183,9 @@ diff "$SMOKE_DIR/direct.txt" "$SMOKE_DIR/store_served.txt"
 
 # The first query materialized the dataset; the registry gauges say so.
 "$BIN" submit --socket "$STORE_SOCK" --stats 2> "$SMOKE_DIR/store_stats_warm.log"
-grep -q "1 of 1 dataset(s) resident" "$SMOKE_DIR/store_stats_warm.log"
-grep -Eq '1 load\(s\)' "$SMOKE_DIR/store_stats_warm.log"
-grep -Eq 'registry fingerprint: 0x0*[1-9a-f]' "$SMOKE_DIR/store_stats_warm.log"
+grep -q '^registry.datasets.resident 1$' "$SMOKE_DIR/store_stats_warm.log"
+grep -q '^registry.datasets.loaded 1$' "$SMOKE_DIR/store_stats_warm.log"
+grep -Eq '^registry.fingerprint [1-9][0-9]*$' "$SMOKE_DIR/store_stats_warm.log"
 
 # Registry management over the wire: list, evict, re-serve (reload from
 # the store file) — still the same bytes.
@@ -219,9 +223,9 @@ diff "$SMOKE_DIR/direct.txt" "$SMOKE_DIR/served_after_abuse.txt"
 
 # …and its counters recorded every enforcement action.
 "$BIN" submit --socket "$ABUSE_SOCK" --stats 2> "$SMOKE_DIR/abuse_stats.log"
-grep -Eq '[1-9][0-9]* busy rejection' "$SMOKE_DIR/abuse_stats.log"
-grep -Eq '[1-9][0-9]* i/o timeout' "$SMOKE_DIR/abuse_stats.log"
-grep -Eq '[1-9][0-9]* oversize frame' "$SMOKE_DIR/abuse_stats.log"
+grep -Eq '^serve.conns.busy_rejections [1-9]' "$SMOKE_DIR/abuse_stats.log"
+grep -Eq '^serve.io.timeouts [1-9]' "$SMOKE_DIR/abuse_stats.log"
+grep -Eq '^serve.frames.oversize [1-9]' "$SMOKE_DIR/abuse_stats.log"
 
 shutdown_daemon "$ABUSE_SOCK"
 echo "    busy / timeout / frame-too-large replies delivered; server survived"
@@ -274,9 +278,10 @@ wait_for_socket "$PIPE_SOCK" "$SMOKE_DIR/pipe_serve.log"
 
 # Pipelined stdout is diffable against the one-shot run…
 diff "$SMOKE_DIR/pipe_direct.txt" "$SMOKE_DIR/pipelined.txt"
-# …and the v2 counters prove real multiplexing.
-grep -Eq 'inflight_peak=16 ' "$SMOKE_DIR/pipeline.log"
-grep -Eq 'ooo_replies=[1-9]' "$SMOKE_DIR/pipeline.log"
+# …and the v2 counters (the serve.rpc.* metric family) prove real
+# multiplexing.
+grep -q '^serve.rpc.inflight_peak 16$' "$SMOKE_DIR/pipeline.log"
+grep -Eq '^serve.rpc.ooo_replies [1-9]' "$SMOKE_DIR/pipeline.log"
 
 shutdown_daemon "$PIPE_SOCK"
 echo "    16 requests multiplexed over one connection; out-of-order replies observed"
@@ -297,7 +302,7 @@ wait_for_socket "$CANCEL_SOCK" "$SMOKE_DIR/cancel_serve.log"
 "$BIN" submit --socket "$CANCEL_SOCK" --sql "$SQL" --pipeline 2 --cancel \
     > "$SMOKE_DIR/cancel_run.txt" 2> "$SMOKE_DIR/cancel.log"
 grep -q 'cancelled as requested' "$SMOKE_DIR/cancel.log"
-grep -Eq 'cancels_honored=[1-9]' "$SMOKE_DIR/cancel.log"
+grep -Eq '^serve.rpc.cancels_honored [1-9]' "$SMOKE_DIR/cancel.log"
 # The surviving request's reply is still the right bytes…
 diff "$SMOKE_DIR/pipe_direct.txt" "$SMOKE_DIR/cancel_run.txt"
 # …and the server keeps serving diffable output after honouring a cancel.
@@ -317,5 +322,42 @@ fi
 
 shutdown_daemon "$CANCEL_SOCK"
 echo "    cancel honoured and counted; server kept serving; server errors exit 3"
+
+echo "==> telemetry smoke test (metrics exposition and span traces)"
+# A pipelined burst warms the registry and trace ring, then the
+# observability surface is asserted: `metrics` exposes the known counter
+# names with nonzero values in Prometheus text exposition, `trace` shows
+# the pipeline's stage spans, and `submit --trace` keeps stdout diffable
+# while printing its own span tree to stderr.
+TELE_SOCK="$SMOKE_DIR/telemetry.sock"
+"$BIN" serve --socket "$TELE_SOCK" --table "$PIPE_CSV" --kg "$PIPE_KG" \
+    --extract Country 2> "$SMOKE_DIR/tele_serve.log" &
+SERVE_PID=$!
+wait_for_socket "$TELE_SOCK" "$SMOKE_DIR/tele_serve.log"
+
+"$BIN" submit --socket "$TELE_SOCK" --sql "$SQL" --pipeline 4 \
+    > /dev/null 2> /dev/null
+"$BIN" submit --socket "$TELE_SOCK" --sql "$SQL" --trace \
+    > "$SMOKE_DIR/tele_traced.txt" 2> "$SMOKE_DIR/tele_trace.log"
+diff "$SMOKE_DIR/pipe_direct.txt" "$SMOKE_DIR/tele_traced.txt"
+grep -Eq '^ *explain count=' "$SMOKE_DIR/tele_trace.log"
+
+"$BIN" metrics --socket "$TELE_SOCK" > "$SMOKE_DIR/metrics.txt"
+grep -q '^# TYPE serve_requests_served counter$' "$SMOKE_DIR/metrics.txt"
+grep -Eq '^serve_requests_served [1-9][0-9]*$' "$SMOKE_DIR/metrics.txt"
+grep -Eq '^serve_cache_hits [1-9][0-9]*$' "$SMOKE_DIR/metrics.txt"
+grep -Eq '^kernel_rows_scanned [1-9][0-9]*$' "$SMOKE_DIR/metrics.txt"
+grep -q '^registry_datasets_registered 1$' "$SMOKE_DIR/metrics.txt"
+grep -Eq '^trace_recorded [1-9][0-9]*$' "$SMOKE_DIR/metrics.txt"
+# Keep the snapshot under target/ so CI uploads it as an artifact.
+cp "$SMOKE_DIR/metrics.txt" target/METRICS_SNAPSHOT.prom
+
+"$BIN" trace --socket "$TELE_SOCK" --last 8 > "$SMOKE_DIR/traces.txt"
+grep -q 'explain count=' "$SMOKE_DIR/traces.txt"
+grep -q 'assemble count=' "$SMOKE_DIR/traces.txt"
+grep -q 'select count=' "$SMOKE_DIR/traces.txt"
+
+shutdown_daemon "$TELE_SOCK"
+echo "    metrics exposed with nonzero counters; stage spans traced"
 
 echo "CI gate passed."

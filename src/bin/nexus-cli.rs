@@ -45,12 +45,15 @@ use std::process::exit;
 use nexus::core::{unexplained_subgroups, SubgroupOptions};
 use nexus::kg::KnowledgeGraph;
 use nexus::lake::{DataLake, LakeOptions};
-use nexus::serve::wire::{encode_frame, error_code, read_frame, ExplanationWire, Frame};
+use nexus::serve::wire::{
+    encode_frame, error_code, read_frame, ExplanationWire, Frame, MetricWire, TraceWire,
+};
 use nexus::serve::{
     explanation_to_wire, Client, ClientError, ExplainCall, RetryPolicy, Server, ServerOptions,
     Session,
 };
 use nexus::table::{read_csv_path, Table};
+use nexus::telemetry::MetricKind;
 use nexus::{parse, ExplainRequest, Nexus, NexusOptions};
 
 fn usage() -> ! {
@@ -73,7 +76,9 @@ fn usage() -> ! {
          | --evict <name>)\n\
          \x20 nexus-cli submit (--socket <path> | --tcp <addr>) --sql <query> \
          [--dataset <name>] [--retries N] [--timeout-ms N]\n\
-         \x20         [--pipeline N [--cancel]] | --shutdown | --ping | --stats\n\
+         \x20         [--pipeline N [--cancel]] [--trace] | --shutdown | --ping | --stats\n\
+         \x20 nexus-cli metrics (--socket <path> | --tcp <addr>)\n\
+         \x20 nexus-cli trace (--socket <path> | --tcp <addr>) [--last N]\n\
          \x20 nexus-cli abuse (--socket <path> | --tcp <addr>) \
          --mode (stall | overlimit | busy)"
     );
@@ -114,6 +119,8 @@ struct ServeArgs {
     drain_timeout_ms: u64,
     /// Registry byte budget for resident datasets (0 = unbounded).
     max_store_bytes: u64,
+    /// Trace-ring capacity override (`Some(0)` disables tracing).
+    trace_capacity: Option<usize>,
 }
 
 struct PackArgs {
@@ -147,6 +154,9 @@ struct SubmitArgs {
     pipeline: usize,
     /// Cancel the last pipelined request mid-flight (v2 smoke).
     cancel: bool,
+    /// Fetch and print this request's span trace to stderr after the
+    /// reply (stdout stays diffable against a plain submit).
+    trace: bool,
 }
 
 /// A self-contained misbehaving client, used by the CI abuse smoke to
@@ -163,8 +173,21 @@ enum Command {
     Submit(SubmitArgs),
     Abuse(AbuseArgs),
     Pack(PackArgs),
-    Inspect { store: String },
+    Inspect {
+        store: String,
+    },
     Datasets(DatasetsArgs),
+    /// Prometheus text exposition of the server's metrics snapshot.
+    Metrics {
+        socket: Option<String>,
+        tcp: Option<String>,
+    },
+    /// Span trees of the last N traced requests.
+    Trace {
+        socket: Option<String>,
+        tcp: Option<String>,
+        last: usize,
+    },
 }
 
 fn parse_command() -> Command {
@@ -199,6 +222,9 @@ fn parse_command() -> Command {
     let mut timeout_ms = 0u64;
     let mut pipeline = 0usize;
     let mut cancel = false;
+    let mut trace = false;
+    let mut last = 8usize;
+    let mut trace_capacity: Option<usize> = None;
     let mut mode = String::new();
     let (mut shutdown, mut ping, mut stats) = (false, false, false);
     let mut out = String::new();
@@ -241,6 +267,9 @@ fn parse_command() -> Command {
             "--timeout-ms" => timeout_ms = number(&mut i, &argv) as u64,
             "--pipeline" => pipeline = number(&mut i, &argv),
             "--cancel" => cancel = true,
+            "--trace" => trace = true,
+            "--last" => last = number(&mut i, &argv),
+            "--trace-capacity" => trace_capacity = Some(number(&mut i, &argv)),
             "--mode" => mode = value(&mut i, &argv),
             "--out" => out = value(&mut i, &argv),
             "--max-store-bytes" => max_store_bytes = number(&mut i, &argv) as u64,
@@ -309,6 +338,7 @@ fn parse_command() -> Command {
                 io_timeout_ms,
                 drain_timeout_ms,
                 max_store_bytes,
+                trace_capacity,
             })
         }
         "submit" => {
@@ -327,6 +357,14 @@ fn parse_command() -> Command {
                 eprintln!("--cancel needs --pipeline of at least 2 (one request must hold the pipeline while another is cancelled)");
                 usage()
             }
+            if trace && pipeline > 0 {
+                eprintln!("--trace is for single submits; --pipeline prints its own rpc summary");
+                usage()
+            }
+            if trace && sql.is_empty() {
+                eprintln!("--trace needs an --sql query to trace");
+                usage()
+            }
             Command::Submit(SubmitArgs {
                 socket,
                 tcp,
@@ -339,6 +377,7 @@ fn parse_command() -> Command {
                 timeout_ms,
                 pipeline,
                 cancel,
+                trace,
             })
         }
         "abuse" => {
@@ -393,6 +432,20 @@ fn parse_command() -> Command {
                 extract: data.extract,
             })
         }
+        "metrics" => {
+            if socket.is_none() == tcp.is_none() {
+                eprintln!("exactly one of --socket or --tcp is required");
+                usage()
+            }
+            Command::Metrics { socket, tcp }
+        }
+        "trace" => {
+            if socket.is_none() == tcp.is_none() {
+                eprintln!("exactly one of --socket or --tcp is required");
+                usage()
+            }
+            Command::Trace { socket, tcp, last }
+        }
         other => {
             eprintln!("unknown subcommand {other:?}");
             usage()
@@ -439,6 +492,8 @@ fn main() {
         Command::Pack(args) => run_pack(&args).map_err(Failure::from),
         Command::Inspect { store } => run_inspect(&store).map_err(Failure::from),
         Command::Datasets(args) => run_datasets(&args),
+        Command::Metrics { socket, tcp } => run_metrics(&socket, &tcp),
+        Command::Trace { socket, tcp, last } => run_trace(&socket, &tcp, last),
     };
     if let Err(failure) = result {
         eprintln!("nexus-cli: {}", failure.message);
@@ -641,6 +696,9 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     if args.drain_timeout_ms > 0 {
         options.drain_timeout = std::time::Duration::from_millis(args.drain_timeout_ms);
     }
+    if let Some(capacity) = args.trace_capacity {
+        options.trace_capacity = capacity;
+    }
 
     let server = Server::new(options);
     if let Some(store_path) = &args.data.store {
@@ -801,6 +859,9 @@ fn run_submit(args: &SubmitArgs) -> Result<(), Failure> {
     if args.pipeline > 0 {
         return run_pipeline(args);
     }
+    if args.trace {
+        return run_traced_submit(args);
+    }
     let mut client = connect(&args.socket, &args.tcp)?;
     if args.timeout_ms > 0 {
         client
@@ -818,52 +879,12 @@ fn run_submit(args: &SubmitArgs) -> Result<(), Failure> {
         eprintln!("pong");
     }
     if args.stats {
+        // One sorted `name value` line per counter — the registry's
+        // iteration order, so the output is stable and grep-friendly.
         let s = client.stats().map_err(client_failure)?;
-        eprintln!(
-            "server: {} dataset(s), {} cached, {} hit(s), {} miss(es), {} request(s)",
-            s.datasets, s.cache_entries, s.cache_hits, s.cache_misses, s.requests_served
-        );
-        eprintln!(
-            "kernel: {} row(s) scanned, {} hash op(s), {} dense op(s), {} dense / {} sparse build(s)",
-            s.kernel_rows_scanned,
-            s.kernel_hash_ops,
-            s.kernel_dense_ops,
-            s.kernel_dense_builds,
-            s.kernel_sparse_builds
-        );
-        eprintln!(
-            "kernel v2: {} narrow scan(s), {} packed word(s) skipped, merge cells {} radix vs {} full, widths u8:{} u16:{} u32:{} u64:{} u128:{}",
-            s.kernel_narrow_scans,
-            s.kernel_packed_words_skipped,
-            s.kernel_radix_merge_cells,
-            s.kernel_full_merge_cells,
-            s.kernel_builds_w8,
-            s.kernel_builds_w16,
-            s.kernel_builds_w32,
-            s.kernel_builds_w64,
-            s.kernel_builds_w128
-        );
-        eprintln!(
-            "governance: {} conn(s) accepted, {} busy rejection(s), {} i/o timeout(s), \
-             {} oversize frame(s), {} drained / {} live handler(s)",
-            s.conns_accepted,
-            s.busy_rejections,
-            s.io_timeouts,
-            s.oversize_frames,
-            s.drained_handlers,
-            s.live_handlers
-        );
-        eprintln!(
-            "store: {} of {} dataset(s) resident ({} byte(s)); {} load(s), \
-             {} eviction(s), {} extraction build(s)",
-            s.datasets_resident,
-            s.datasets,
-            s.store_bytes,
-            s.datasets_loaded,
-            s.dataset_evictions,
-            s.extraction_builds
-        );
-        eprintln!("registry fingerprint: {:#018x}", s.registry_fingerprint);
+        for (name, value) in s.metrics() {
+            eprintln!("{name} {value}");
+        }
     }
     if !args.sql.is_empty() {
         // Parse locally too, so the echoed query line matches `explain`.
@@ -888,6 +909,114 @@ fn run_submit(args: &SubmitArgs) -> Result<(), Failure> {
     if args.shutdown {
         client.shutdown().map_err(client_failure)?;
         eprintln!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// One span tree, rendered for stderr: the `explain` root with its stage
+/// children indented by depth, deterministic counts first, wall-clock
+/// durations last (human-only — never grep the milliseconds).
+fn trace_lines(t: &TraceWire) -> Vec<String> {
+    let mut lines = vec![format!(
+        "trace corr={}: {} span(s)",
+        t.corr_id,
+        t.spans.len()
+    )];
+    for s in &t.spans {
+        lines.push(format!(
+            "{:indent$}{} count={} {:.3} ms",
+            "",
+            s.name,
+            s.count,
+            s.duration_nanos as f64 / 1e6,
+            indent = 2 * (s.depth as usize + 1)
+        ));
+    }
+    lines
+}
+
+/// `submit --trace`: one v2 [`Session`] request, then its span tree. The
+/// explanation goes to stdout exactly like a plain submit (still
+/// diffable); the per-stage spans go to stderr.
+fn run_traced_submit(args: &SubmitArgs) -> Result<(), Failure> {
+    let query = parse(&args.sql).map_err(|e| format!("failed to parse SQL: {e}"))?;
+    let session = connect_session(&args.socket, &args.tcp)?;
+    let ticket = session
+        .submit(&ExplainCall::new(&args.dataset, &args.sql))
+        .map_err(client_failure)?;
+    let corr = ticket.corr_id();
+    let reply = ticket.wait().map_err(client_failure)?;
+    print_explanation(&query.to_string(), &reply.explanation);
+    let s = &reply.stats;
+    eprintln!(
+        "serve: {}; {} scored task(s); queued {:.3} ms; served in {:.3} ms",
+        if s.cache_hit {
+            "cache hit"
+        } else {
+            "cache miss"
+        },
+        s.scored_tasks,
+        s.queue_nanos as f64 / 1e6,
+        s.service_nanos as f64 / 1e6,
+    );
+    let traces = session.trace(16).map_err(client_failure)?;
+    match traces.iter().find(|t| t.corr_id == corr) {
+        Some(t) => {
+            for line in trace_lines(t) {
+                eprintln!("{line}");
+            }
+        }
+        None => {
+            eprintln!("trace corr={corr}: not recorded (server tracing disabled or ring overrun)")
+        }
+    }
+    if args.shutdown {
+        drop(session);
+        let mut client = connect(&args.socket, &args.tcp)?;
+        client.shutdown().map_err(client_failure)?;
+        eprintln!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// `metrics`: the full self-describing snapshot in Prometheus text
+/// exposition format on stdout — dotted registry names with dots mapped
+/// to underscores, sorted, counters and gauges typed.
+fn run_metrics(socket: &Option<String>, tcp: &Option<String>) -> Result<(), Failure> {
+    let session = connect_session(socket, tcp)?;
+    let metrics = session.metrics().map_err(client_failure)?;
+    for m in &metrics {
+        print_prometheus_metric(m);
+    }
+    Ok(())
+}
+
+/// Prints one metric as Prometheus text exposition. Histogram components
+/// (`.count`/`.sum`/`.bNN`) stay untyped — they are already expanded into
+/// plain sample lines by the registry.
+fn print_prometheus_metric(m: &MetricWire) {
+    let name = m.name.replace('.', "_");
+    match MetricKind::from_u8(m.kind) {
+        Some(MetricKind::Counter) => println!("# TYPE {name} counter"),
+        Some(MetricKind::Gauge) => println!("# TYPE {name} gauge"),
+        // Histogram components and unknown future kinds: untyped samples.
+        _ => {}
+    }
+    println!("{name} {}", m.value);
+}
+
+/// `trace`: span trees of the server's last `last` traced requests,
+/// newest first, on stdout.
+fn run_trace(socket: &Option<String>, tcp: &Option<String>, last: usize) -> Result<(), Failure> {
+    let session = connect_session(socket, tcp)?;
+    let traces = session.trace(last as u32).map_err(client_failure)?;
+    if traces.is_empty() {
+        println!("no traces recorded (is the server's --trace-capacity 0?)");
+    }
+    for t in &traces {
+        for line in trace_lines(t) {
+            println!("{line}");
+        }
     }
     Ok(())
 }
@@ -976,16 +1105,14 @@ fn run_pipeline(args: &SubmitArgs) -> Result<(), Failure> {
         print_explanation(&query.to_string(), &reply.explanation);
     }
 
+    // The multiplexing summary, as sorted `name value` metric lines (the
+    // `serve.rpc.*` family) — same format as `--stats`, grep-friendly.
     let s = session.stats().map_err(client_failure)?;
-    eprintln!(
-        "rpc v2: inflight_peak={} ooo_replies={} cancels_honored={} \
-         partials_streamed={} workspace_reuse_hits={}",
-        s.inflight_peak,
-        s.ooo_replies,
-        s.cancels_honored,
-        s.partials_streamed,
-        s.workspace_reuse_hits
-    );
+    for (name, value) in s.metrics() {
+        if name.starts_with("serve.rpc.") {
+            eprintln!("{name} {value}");
+        }
+    }
     if args.shutdown {
         // Free the session's connection slot first (--max-conns 1 servers
         // would otherwise bounce the controller connection).

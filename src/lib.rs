@@ -27,7 +27,10 @@
 //!   protocol, fingerprint-keyed result cache, Unix/TCP endpoints,
 //!   multi-dataset registry);
 //! * [`store`] — NXCOL v1, the deterministic on-disk columnar store
-//!   behind `nexus-cli pack` and instant server restarts.
+//!   behind `nexus-cli pack` and instant server restarts;
+//! * [`telemetry`] — the unified metrics registry (named counters, gauges,
+//!   log₂ histograms; sorted iteration) and per-request span tracing behind
+//!   `nexus-cli metrics`/`trace`.
 //!
 //! ## Quickstart
 //!
@@ -78,6 +81,7 @@ pub use nexus_query as query;
 pub use nexus_serve as serve;
 pub use nexus_store as store;
 pub use nexus_table as table;
+pub use nexus_telemetry as telemetry;
 
 pub use nexus_core::{
     ExplainRequest, Explanation, Nexus, NexusOptions, NexusOptionsBuilder, Parallelism,
