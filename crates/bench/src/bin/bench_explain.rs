@@ -13,7 +13,13 @@
 //! ([`nexus_datagen::synth`]), at 10M rows by default, in plain,
 //! IPW-weighted (`SYN-W1`), and masked (`SYN-M1`) variants.
 //!
-//! The harness asserts the two runs produce bit-identical explanations
+//! A third and fourth pass repeat the kernel-mode workload against one
+//! shared sub-query [`MemoStore`] — `memo_cold` populates it, `memo_warm`
+//! replays the identical request against it — so `BENCH_<id>.json`
+//! (schema 3) also reports memo hit/coalescing counters and the warm/cold
+//! pool-task ratio of a repeated workload.
+//!
+//! The harness asserts all passes produce bit-identical explanations
 //! (the kernels' core promise) and, with `--check`, exits nonzero unless
 //! the acceptance thresholds hold:
 //!
@@ -24,8 +30,11 @@
 //! * radix merge cells strictly below the v1 full-keyspace merge bill
 //!   whenever parallel dense merges happened,
 //! * at least one narrow (u8/u16) fused scan,
-//! * outputs identical, and
-//! * pool tasks > 0 when run multi-threaded.
+//! * outputs identical (memo passes included),
+//! * pool tasks > 0 when run multi-threaded,
+//! * the warm memo pass hits the memo, misses nothing, and sheds real
+//!   counted work versus the cold pass (no-worse pool tasks, and
+//!   strictly fewer pool tasks or rows scanned).
 //!
 //! Usage: `bench-explain [--rows N] [--cities N] [--threads N] [--quick]
 //! [--query ID] [--out PATH] [--check]`
@@ -33,7 +42,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use nexus_core::{ExplainRequest, Explanation, Nexus, NexusOptions, Parallelism};
+use std::sync::Arc;
+
+use nexus_core::{
+    ExplainRequest, Explanation, MemoHandle, MemoStore, Nexus, NexusOptions, Parallelism,
+    RunControl,
+};
 use nexus_datagen::flights::FlightsConfig;
 use nexus_datagen::synth::{SynthConfig, SYNTH_WORKLOADS};
 use nexus_datagen::{flights, synth, BENCH_QUERIES};
@@ -133,6 +147,7 @@ fn run_mode(
     dataset: &nexus_datagen::Dataset,
     sql: &str,
     threads: usize,
+    memo: Option<&MemoHandle>,
 ) -> RunResult {
     kernel::set_mode(mode);
     let query = nexus_query::parse(sql).expect("bench SQL parses");
@@ -149,8 +164,14 @@ fn run_mode(
         .knowledge_graph(&dataset.kg)
         .extraction_columns(dataset.extraction_columns.clone())
         .query(&query);
+    let ctl = match memo {
+        Some(handle) => RunControl::none().with_memo(handle),
+        None => RunControl::none(),
+    };
     let t0 = Instant::now();
-    let explanation = Nexus::new(options).run(&request).expect("pipeline runs");
+    let (explanation, _artifacts) = Nexus::new(options)
+        .run_controlled(&request, ctl)
+        .expect("pipeline runs");
     let wall_ms = t0.elapsed().as_millis();
     kernel::set_mode(KernelMode::Auto);
     RunResult {
@@ -165,7 +186,7 @@ fn json_run(out: &mut String, label: &str, r: &RunResult) {
     let k = &r.kernel;
     let _ = write!(
         out,
-        "  \"{label}\": {{\n    \"rows_scanned\": {},\n    \"hash_ops\": {},\n    \"dense_ops\": {},\n    \"dense_builds\": {},\n    \"sparse_builds\": {},\n    \"narrow_scans\": {},\n    \"packed_words_skipped\": {},\n    \"radix_merge_cells\": {},\n    \"full_merge_cells\": {},\n    \"builds_by_width\": {{\"w8\": {}, \"w16\": {}, \"w32\": {}, \"w64\": {}, \"w128\": {}}},\n    \"pool_tasks\": {},\n    \"wall_ms\": {}\n  }}",
+        "  \"{label}\": {{\n    \"rows_scanned\": {},\n    \"hash_ops\": {},\n    \"dense_ops\": {},\n    \"dense_builds\": {},\n    \"sparse_builds\": {},\n    \"narrow_scans\": {},\n    \"packed_words_skipped\": {},\n    \"radix_merge_cells\": {},\n    \"full_merge_cells\": {},\n    \"builds_by_width\": {{\"w8\": {}, \"w16\": {}, \"w32\": {}, \"w64\": {}, \"w128\": {}}},\n    \"memo_hits\": {},\n    \"memo_misses\": {},\n    \"memo_inserts\": {},\n    \"memo_coalesced_waits\": {},\n    \"pool_tasks\": {},\n    \"wall_ms\": {}\n  }}",
         k.rows_scanned,
         k.hash_ops,
         k.dense_ops,
@@ -180,6 +201,10 @@ fn json_run(out: &mut String, label: &str, r: &RunResult) {
         k.builds_w32,
         k.builds_w64,
         k.builds_w128,
+        k.memo_hits_total(),
+        k.memo_misses_total(),
+        k.memo_inserts_total(),
+        k.memo_coalesced_waits,
         r.pool_tasks,
         r.wall_ms
     );
@@ -276,6 +301,7 @@ fn main() {
         &workload.dataset,
         workload.sql,
         args.threads,
+        None,
     );
     eprintln!("bench-explain: kernel pass ({} thread(s))", args.threads);
     let fast = run_mode(
@@ -283,6 +309,29 @@ fn main() {
         &workload.dataset,
         workload.sql,
         args.threads,
+        None,
+    );
+
+    // The repeated-workload passes share one memo store: cold populates
+    // it, warm replays the identical request against it. Both must match
+    // the un-memoized kernel pass bit for bit.
+    let store = Arc::new(MemoStore::new(0));
+    let handle = MemoHandle::new(Arc::clone(&store), workload.dataset.table.fingerprint());
+    eprintln!("bench-explain: memo cold pass ({} thread(s))", args.threads);
+    let memo_cold = run_mode(
+        KernelMode::Auto,
+        &workload.dataset,
+        workload.sql,
+        args.threads,
+        Some(&handle),
+    );
+    eprintln!("bench-explain: memo warm pass ({} thread(s))", args.threads);
+    let memo_warm = run_mode(
+        KernelMode::Auto,
+        &workload.dataset,
+        workload.sql,
+        args.threads,
+        Some(&handle),
     );
 
     // Counter-based, machine-independent comparison. hash_ops can hit 0 on
@@ -303,18 +352,41 @@ fn main() {
         || fast.kernel.radix_merge_cells < fast.kernel.full_merge_cells;
     let narrow_engaged = fast.kernel.narrow_scans > 0;
 
+    // Repeated-workload memo gates. All counters are per-run deltas, so
+    // they are exact even though the process counters are global.
+    let warm_lookups = memo_warm.kernel.memo_hits_total() + memo_warm.kernel.memo_misses_total();
+    let memo_hit_rate = memo_warm.kernel.memo_hits_total() as f64 / warm_lookups.max(1) as f64;
+    let memo_pool_ratio = memo_warm.pool_tasks as f64 / memo_cold.pool_tasks.max(1) as f64;
+    let memo_engaged = memo_warm.kernel.memo_hits_total() > 0
+        && memo_warm.kernel.memo_misses_total() == 0
+        && memo_cold.kernel.memo_inserts_total() > 0;
+    let memo_outputs_identical =
+        memo_cold.signature == fast.signature && memo_warm.signature == fast.signature;
+    // Memo hits must shed real counted work. Where the reuse shows up
+    // depends on scale: large builds are row-partitioned onto the pool
+    // (fewer pool tasks), small ones are built inline (fewer rows
+    // scanned) — so require no-worse pool tasks plus a strict reduction
+    // in at least one of the two.
+    let memo_work_reduced = memo_warm.pool_tasks <= memo_cold.pool_tasks
+        && (memo_warm.pool_tasks < memo_cold.pool_tasks
+            || memo_warm.kernel.rows_scanned < memo_cold.kernel.rows_scanned);
+
     let mut out = String::from("{\n");
     let _ = write!(
         out,
-        "  \"schema_version\": 2,\n  \"bench\": \"explain\",\n  \"workload\": {{\n    \"dataset\": \"{}\",\n    \"rows\": {},\n    {},\n    \"query_id\": \"{}\",\n    \"sql\": \"{}\",\n    \"threads\": {}\n  }},\n",
+        "  \"schema_version\": 3,\n  \"bench\": \"explain\",\n  \"workload\": {{\n    \"dataset\": \"{}\",\n    \"rows\": {},\n    {},\n    \"query_id\": \"{}\",\n    \"sql\": \"{}\",\n    \"threads\": {}\n  }},\n",
         workload.dataset_label, workload.rows, workload.detail, args.query, workload.sql, args.threads
     );
     json_run(&mut out, "legacy", &legacy);
     out.push_str(",\n");
     json_run(&mut out, "kernel", &fast);
+    out.push_str(",\n");
+    json_run(&mut out, "memo_cold", &memo_cold);
+    out.push_str(",\n");
+    json_run(&mut out, "memo_warm", &memo_warm);
     let _ = write!(
         out,
-        ",\n  \"ratios\": {{\n    \"hash_ops\": {hash_ratio:.2},\n    \"dense_ops_per_row\": {dense_ops_per_row:.4},\n    \"merge_cells\": {merge_ratio:.2}\n  }},\n  \"checks\": {{\n    \"outputs_identical\": {outputs_identical},\n    \"hash_ratio_ok\": {hash_ratio_ok},\n    \"rows_not_worse\": {rows_not_worse},\n    \"pool_engaged\": {pool_engaged},\n    \"dense_scan_improved\": {dense_scan_improved},\n    \"merge_improved\": {merge_improved},\n    \"narrow_engaged\": {narrow_engaged}\n  }}\n}}\n"
+        ",\n  \"ratios\": {{\n    \"hash_ops\": {hash_ratio:.2},\n    \"dense_ops_per_row\": {dense_ops_per_row:.4},\n    \"merge_cells\": {merge_ratio:.2},\n    \"memo_hit_rate\": {memo_hit_rate:.4},\n    \"memo_pool_tasks\": {memo_pool_ratio:.4}\n  }},\n  \"checks\": {{\n    \"outputs_identical\": {outputs_identical},\n    \"hash_ratio_ok\": {hash_ratio_ok},\n    \"rows_not_worse\": {rows_not_worse},\n    \"pool_engaged\": {pool_engaged},\n    \"dense_scan_improved\": {dense_scan_improved},\n    \"merge_improved\": {merge_improved},\n    \"narrow_engaged\": {narrow_engaged},\n    \"memo_engaged\": {memo_engaged},\n    \"memo_outputs_identical\": {memo_outputs_identical},\n    \"memo_work_reduced\": {memo_work_reduced}\n  }}\n}}\n"
     );
 
     std::fs::write(&out_path, &out).unwrap_or_else(|e| {
@@ -322,7 +394,7 @@ fn main() {
         std::process::exit(2);
     });
     eprintln!(
-        "bench-explain: hash ops {} -> {} ({hash_ratio:.1}x), rows {} -> {}, dense ops/row {dense_ops_per_row:.4}, merge cells {} radix vs {} full, narrow scans {}, wrote {out_path}",
+        "bench-explain: hash ops {} -> {} ({hash_ratio:.1}x), rows {} -> {}, dense ops/row {dense_ops_per_row:.4}, merge cells {} radix vs {} full, narrow scans {}, memo warm hits {} (hit rate {memo_hit_rate:.2}), pool tasks {} cold -> {} warm, wrote {out_path}",
         legacy.kernel.hash_ops,
         fast.kernel.hash_ops,
         legacy.kernel.rows_scanned,
@@ -330,6 +402,9 @@ fn main() {
         fast.kernel.radix_merge_cells,
         fast.kernel.full_merge_cells,
         fast.kernel.narrow_scans,
+        memo_warm.kernel.memo_hits_total(),
+        memo_cold.pool_tasks,
+        memo_warm.pool_tasks,
     );
 
     let ok = outputs_identical
@@ -338,10 +413,13 @@ fn main() {
         && pool_engaged
         && dense_scan_improved
         && merge_improved
-        && narrow_engaged;
+        && narrow_engaged
+        && memo_engaged
+        && memo_outputs_identical
+        && memo_work_reduced;
     if args.check && !ok {
         eprintln!(
-            "bench-explain: CHECK FAILED (outputs_identical={outputs_identical}, hash_ratio_ok={hash_ratio_ok}, rows_not_worse={rows_not_worse}, pool_engaged={pool_engaged}, dense_scan_improved={dense_scan_improved}, merge_improved={merge_improved}, narrow_engaged={narrow_engaged})"
+            "bench-explain: CHECK FAILED (outputs_identical={outputs_identical}, hash_ratio_ok={hash_ratio_ok}, rows_not_worse={rows_not_worse}, pool_engaged={pool_engaged}, dense_scan_improved={dense_scan_improved}, merge_improved={merge_improved}, narrow_engaged={narrow_engaged}, memo_engaged={memo_engaged}, memo_outputs_identical={memo_outputs_identical}, memo_work_reduced={memo_work_reduced})"
         );
         std::process::exit(1);
     }

@@ -16,6 +16,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::error::{CoreError, Result};
+use crate::memo::MemoHandle;
 
 /// A progress notification emitted while an explanation run is underway.
 ///
@@ -58,6 +59,10 @@ pub struct RunControl<'a> {
     /// Receives progress events; called inline from pipeline threads,
     /// so implementations must be cheap and `Sync`.
     pub progress: Option<&'a ProgressSink<'a>>,
+    /// Sub-query memo store the run may consult and populate (see
+    /// [`crate::memo`]). `None` disables memoization; results are
+    /// byte-identical either way.
+    pub memo: Option<&'a MemoHandle>,
 }
 
 impl std::fmt::Debug for RunControl<'_> {
@@ -65,6 +70,7 @@ impl std::fmt::Debug for RunControl<'_> {
         f.debug_struct("RunControl")
             .field("abort", &self.abort.map(|a| a.load(Ordering::Relaxed)))
             .field("progress", &self.progress.is_some())
+            .field("memo", &self.memo.is_some())
             .finish()
     }
 }
@@ -79,8 +85,14 @@ impl<'a> RunControl<'a> {
     pub fn with_abort(abort: &'a AtomicBool) -> Self {
         RunControl {
             abort: Some(abort),
-            progress: None,
+            ..RunControl::default()
         }
+    }
+
+    /// Returns this control with a memo handle attached.
+    pub fn with_memo(mut self, memo: &'a MemoHandle) -> Self {
+        self.memo = Some(memo);
+        self
     }
 
     /// Returns `Err(CoreError::Aborted)` if the abort flag is set.
@@ -138,8 +150,8 @@ mod tests {
         let seen: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
         let sink = |e: ProgressEvent| seen.lock().unwrap().push(e);
         let ctl = RunControl {
-            abort: None,
             progress: Some(&sink),
+            ..RunControl::default()
         };
         ctl.stage("prune-offline");
         ctl.emit(ProgressEvent::Selected {

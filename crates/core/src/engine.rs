@@ -51,11 +51,12 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use nexus_info::kernel::{self, KernelMode, ScanWidth};
-use nexus_info::{entropy_from_counts, entropy_mm, InfoContext, JointCounts};
+use nexus_info::{entropy_from_counts, entropy_mm, InfoContext, JointCounts, MemoKind};
 use nexus_runtime::{Parallelism, ThreadPool};
 use nexus_table::{Bitmap, Codes};
 
 use crate::candidate::{Candidate, CandidateRepr, CandidateSet, MISSING_CODE};
+use crate::memo::{set_fingerprint, Claim, MemoHandle, MemoKey, WaitOutcome};
 use crate::shard::{NameCache, PairCache};
 
 /// Key space up to which the counting kernel is unconditionally dense
@@ -234,6 +235,16 @@ struct FusedSelection {
 }
 
 impl FusedSelection {
+    /// Approximate resident size, for memo byte accounting.
+    fn approx_bytes(&self) -> u64 {
+        let to_bytes = match &self.to {
+            ToCodes::W8(v) => v.len(),
+            ToCodes::W16(v) => v.len() * 2,
+            ToCodes::W32(v) => v.len() * 4,
+        };
+        (self.base.words().len() * 8 + to_bytes + 32) as u64
+    }
+
     /// Builds the fused selection, or `None` when the table shape rules
     /// the vectorized kernel out (`|O|·|T|` beyond `u32`, or more rows
     /// than `u32` row indices can address).
@@ -396,6 +407,13 @@ fn scan_words<T: NarrowCode>(
 }
 
 impl Contingency {
+    /// Approximate resident size, for memo byte accounting.
+    fn approx_bytes(&self) -> u64 {
+        (self.cells.len() * std::mem::size_of::<(u32, u32, u32, f64)>()
+            + self.x_marginal.len() * 8
+            + 64) as u64
+    }
+
     /// Builds the `(O, T, X)` contingency for one extraction column,
     /// dispatching between the vectorized kernel and the legacy row scan.
     fn build(
@@ -685,8 +703,9 @@ impl Contingency {
 /// [`ThreadPool`]; a duplicated computation under contention is wasted
 /// work, never a wrong answer.
 pub struct Engine {
-    /// `(O,T,X)` contingencies per extraction column.
-    base: HashMap<String, Contingency>,
+    /// `(O,T,X)` contingencies per extraction column. `Arc`'d so warm
+    /// builds share the memoized tables instead of recounting rows.
+    base: HashMap<String, Arc<Contingency>>,
     /// `I(O;T|C)` on the full in-context support.
     baseline_cmi: f64,
     /// Total in-context complete-case rows for (O,T).
@@ -725,38 +744,181 @@ impl Engine {
         Engine::with_kernel(set, parallelism, kernel::mode())
     }
 
+    /// [`Engine::with_parallelism`] with a sub-query memo handle: per-set
+    /// selection vectors, per-column contingencies, and the baseline CMI
+    /// term are fetched from (and published to) the store instead of
+    /// rebuilt. Results are byte-identical to the memo-less path; warm
+    /// builds simply skip the per-column counting pool tasks.
+    pub fn with_parallelism_memo(
+        set: &CandidateSet,
+        parallelism: Parallelism,
+        memo: Option<&MemoHandle>,
+    ) -> Engine {
+        Engine::with_kernel_memo(set, parallelism, kernel::mode(), memo)
+    }
+
     /// [`Engine::with_parallelism`] with an explicit [`KernelMode`] for
     /// the contingency builds. Results are bit-identical across modes;
     /// only the counting strategy (and its counters) differ.
     pub fn with_kernel(set: &CandidateSet, parallelism: Parallelism, mode: KernelMode) -> Engine {
+        Engine::with_kernel_memo(set, parallelism, mode, None)
+    }
+
+    /// [`Engine::with_kernel`] with an optional memo handle (see
+    /// [`Engine::with_parallelism_memo`]).
+    pub fn with_kernel_memo(
+        set: &CandidateSet,
+        parallelism: Parallelism,
+        mode: KernelMode,
+        memo: Option<&MemoHandle>,
+    ) -> Engine {
         let pool = ThreadPool::new(parallelism);
         let mut columns: Vec<&String> = set.column_codes.keys().collect();
         columns.sort();
-        let fused = match mode {
-            KernelMode::Auto => FusedSelection::build(set),
-            KernelMode::Legacy => None,
+        // Every per-set memo entry shares one fingerprint over the context
+        // mask words and the O/T codes (computed once per engine build).
+        let scope = memo.map(|h| (h, set_fingerprint(&set.mask, &set.o, &set.t)));
+
+        // The fused complete-case selection is a pure function of the set,
+        // so it memoizes under the Selection kind. Legacy mode never fuses
+        // and never touches the store, so Auto-mode entries cannot leak
+        // into a Legacy build.
+        let fused: Arc<Option<FusedSelection>> = match (mode, &scope) {
+            (KernelMode::Legacy, _) => Arc::new(None),
+            (KernelMode::Auto, None) => Arc::new(FusedSelection::build(set)),
+            (KernelMode::Auto, Some((h, set_fp))) => {
+                let key = MemoKey::new(MemoKind::Selection, h.dataset_fp, *set_fp, 0, "fused");
+                h.store.get_or_build(&key, || {
+                    let f = FusedSelection::build(set);
+                    let bytes = f.as_ref().map_or(16, FusedSelection::approx_bytes);
+                    (Arc::new(f), bytes)
+                })
+            }
         };
+        let fused_ref: Option<&FusedSelection> = fused.as_ref().as_ref();
         // Parallelism policy: the pool's scoped workers must not nest (a
         // row-parallel build inside a column-parallel map would spawn
         // threads² workers), so large tables go row-parallel with columns
         // built serially, and everything else keeps the column-parallel
         // map with serial builds.
-        let row_parallel = fused.is_some() && pool.threads() > 1 && set.o.len() >= KERNEL_PAR_ROWS;
-        let contingencies: Vec<Contingency> = if row_parallel {
-            columns
-                .iter()
-                .map(|column| Contingency::build(set, column, fused.as_ref(), Some(&pool), mode))
-                .collect()
-        } else {
-            pool.map_slice(&columns, |_, column| {
-                Contingency::build(set, column, fused.as_ref(), None, mode)
-            })
+        let row_parallel =
+            fused_ref.is_some() && pool.threads() > 1 && set.o.len() >= KERNEL_PAR_ROWS;
+
+        let base: HashMap<String, Arc<Contingency>> = match &scope {
+            None => {
+                let contingencies: Vec<Arc<Contingency>> = if row_parallel {
+                    columns
+                        .iter()
+                        .map(|column| {
+                            Arc::new(Contingency::build(
+                                set,
+                                column,
+                                fused_ref,
+                                Some(&pool),
+                                mode,
+                            ))
+                        })
+                        .collect()
+                } else {
+                    pool.map_slice(&columns, |_, column| {
+                        Arc::new(Contingency::build(set, column, fused_ref, None, mode))
+                    })
+                };
+                columns.into_iter().cloned().zip(contingencies).collect()
+            }
+            Some((h, set_fp)) => {
+                let col_key = |column: &str| {
+                    MemoKey::new(MemoKind::Contingency, h.dataset_fp, *set_fp, 0, column)
+                };
+                // Single-flight discipline: claim every column first (claim
+                // never blocks), pool-build only this engine's Build claims,
+                // publish them, and only then wait on other requests'
+                // in-flight builds — so no engine ever waits while holding
+                // an unbuilt ticket another engine could be waiting on.
+                let mut resolved: HashMap<String, Arc<Contingency>> = HashMap::new();
+                let mut builds = Vec::new();
+                let mut waits: Vec<&String> = Vec::new();
+                for column in &columns {
+                    match h.store.claim(&col_key(column)) {
+                        Claim::Hit(v) => {
+                            let cont = v
+                                .downcast::<Contingency>()
+                                .expect("memo value type mismatch");
+                            resolved.insert((*column).clone(), cont);
+                        }
+                        Claim::Build(ticket) => builds.push((*column, ticket)),
+                        Claim::Wait => waits.push(column),
+                    }
+                }
+                // The misses are the only pool tasks this build spawns: a
+                // fully warm engine runs zero counting tasks, which is how
+                // the CI suite asserts memo gains (counters, not clocks).
+                let build_cols: Vec<&String> = builds.iter().map(|(c, _)| *c).collect();
+                let built: Vec<Arc<Contingency>> = if build_cols.is_empty() {
+                    Vec::new()
+                } else if row_parallel {
+                    build_cols
+                        .iter()
+                        .map(|column| {
+                            Arc::new(Contingency::build(
+                                set,
+                                column,
+                                fused_ref,
+                                Some(&pool),
+                                mode,
+                            ))
+                        })
+                        .collect()
+                } else {
+                    pool.map_slice(&build_cols, |_, column| {
+                        Arc::new(Contingency::build(set, column, fused_ref, None, mode))
+                    })
+                };
+                for ((column, ticket), cont) in builds.into_iter().zip(built) {
+                    ticket.publish(cont.clone(), cont.approx_bytes());
+                    resolved.insert(column.clone(), cont);
+                }
+                for column in waits {
+                    let key = col_key(column);
+                    let cont = match h.store.wait(&key) {
+                        WaitOutcome::Ready(v) => v
+                            .downcast::<Contingency>()
+                            .expect("memo value type mismatch"),
+                        WaitOutcome::Build(ticket) => {
+                            // The original builder abandoned; build here.
+                            let c = Arc::new(Contingency::build(
+                                set,
+                                column,
+                                fused_ref,
+                                Some(&pool),
+                                mode,
+                            ));
+                            ticket.publish(c.clone(), c.approx_bytes());
+                            c
+                        }
+                    };
+                    resolved.insert(column.clone(), cont);
+                }
+                resolved
+            }
         };
-        let base: HashMap<String, Contingency> =
-            columns.into_iter().cloned().zip(contingencies).collect();
-        let ctx = InfoContext::masked(&set.mask);
-        let baseline_cmi = ctx.mutual_information_mm(&set.o, &set.t);
-        let baseline_support = ctx.support(&[&set.o, &set.t]);
+
+        let (baseline_cmi, baseline_support) = {
+            let compute = || {
+                let ctx = InfoContext::masked(&set.mask);
+                (
+                    ctx.mutual_information_mm(&set.o, &set.t),
+                    ctx.support(&[&set.o, &set.t]),
+                )
+            };
+            match &scope {
+                None => compute(),
+                Some((h, set_fp)) => {
+                    let key = MemoKey::new(MemoKind::CmiTerm, h.dataset_fp, *set_fp, 0, "baseline");
+                    *h.store.get_or_build(&key, || (Arc::new(compute()), 24))
+                }
+            }
+        };
         Engine {
             base,
             baseline_cmi,
@@ -1599,6 +1761,52 @@ mod tests {
                 set.candidates[i].name
             );
         }
+    }
+
+    #[test]
+    fn memoized_engine_is_bit_identical_and_hits() {
+        use crate::memo::{MemoHandle, MemoStore};
+        let (table, kg, cols) = toy();
+        let q = parse("SELECT Country, avg(Salary) FROM t GROUP BY Country").unwrap();
+        let set = build_candidates(&table, &kg, &cols, &q, &NexusOptions::default()).unwrap();
+        let plain = Engine::new(&set);
+
+        let store = Arc::new(MemoStore::new(0));
+        let handle = MemoHandle::new(store.clone(), table.fingerprint());
+        let before = kernel::counters().snapshot();
+        let _cold = Engine::with_parallelism_memo(&set, Parallelism::Serial, Some(&handle));
+        let mid = kernel::counters().snapshot();
+        let warm = Engine::with_parallelism_memo(&set, Parallelism::Serial, Some(&handle));
+        let after = kernel::counters().snapshot();
+
+        // Warm memoized results are bit-identical to the memo-less engine.
+        assert_eq!(
+            warm.baseline_cmi().to_bits(),
+            plain.baseline_cmi().to_bits()
+        );
+        assert_eq!(warm.baseline_support(), plain.baseline_support());
+        for idx in 0..set.candidates.len() {
+            let a = plain.stats(&set, idx);
+            let b = warm.stats(&set, idx);
+            assert_eq!(
+                a.cmi().to_bits(),
+                b.cmi().to_bits(),
+                "{}",
+                set.candidates[idx].name
+            );
+        }
+        // The cold build published; the warm build hit every kind it asked
+        // for. Counters are process-global, so these are lower bounds.
+        let d_cold = mid.delta(&before);
+        assert!(d_cold.memo_inserts[MemoKind::Contingency as usize] >= 1);
+        assert!(d_cold.memo_inserts[MemoKind::Selection as usize] >= 1);
+        assert!(d_cold.memo_inserts[MemoKind::CmiTerm as usize] >= 1);
+        let d_warm = after.delta(&mid);
+        assert!(d_warm.memo_hits[MemoKind::Contingency as usize] >= 1);
+        assert!(d_warm.memo_hits[MemoKind::Selection as usize] >= 1);
+        assert!(d_warm.memo_hits[MemoKind::CmiTerm as usize] >= 1);
+        // The warm engine shares the memoized tables by pointer.
+        assert!(store.resident_entries() >= 3);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod control;
 pub mod engine;
 pub mod error;
 pub mod mcimr;
+pub mod memo;
 pub mod options;
 pub mod pipeline;
 pub mod prune;
@@ -82,7 +83,10 @@ pub use control::{ProgressEvent, RunControl};
 pub use engine::{CandStats, Engine};
 pub use error::{CoreError, Result};
 pub use mcimr::{mcimr, mcimr_controlled, IterationTrace, McimrResult};
-pub use nexus_info::{KernelMode, KernelSnapshot};
+pub use memo::{
+    codes_fingerprint, set_fingerprint, weights_fingerprint, MemoHandle, MemoKey, MemoStore,
+};
+pub use nexus_info::{KernelMode, KernelSnapshot, MemoKind};
 pub use nexus_runtime::{Parallelism, PoolMetrics, ThreadPool};
 pub use options::{NexusOptions, NexusOptionsBuilder};
 pub use pipeline::{

@@ -354,8 +354,8 @@ mod tests {
         let events: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
         let sink = |e: ProgressEvent| events.lock().unwrap().push(e);
         let ctl = RunControl {
-            abort: None,
             progress: Some(&sink),
+            ..RunControl::default()
         };
         let r = mcimr_controlled(&set, &engine, &options, ctl).unwrap();
         let events = events.into_inner().unwrap();

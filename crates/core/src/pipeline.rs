@@ -286,6 +286,21 @@ impl Nexus {
         self.execute(table, kg, columns, query)
     }
 
+    /// Like [`Nexus::run_with_artifacts`] with a [`RunControl`] attached:
+    /// abort checks, progress events, and (via
+    /// [`RunControl::with_memo`]) sub-query memoization.
+    pub fn run_controlled(
+        &self,
+        request: &ExplainRequest<'_>,
+        ctl: RunControl<'_>,
+    ) -> Result<(Explanation, RunArtifacts)> {
+        let (table, kg, columns, query) = request.resolve()?;
+        let t0 = Instant::now();
+        ctl.check()?;
+        let set = build_candidates(table, kg, columns, query, &self.options)?;
+        self.execute_set_controlled(set, t0.elapsed(), ctl)
+    }
+
     /// Explains the correlation exposed by `query` over `table`, mining
     /// candidate confounders from `kg` via `extraction_columns`.
     ///
@@ -403,7 +418,7 @@ impl Nexus {
 
         ctl.check()?;
         ctl.stage("prune-online");
-        let engine = Engine::with_parallelism(&set, options.parallelism);
+        let engine = Engine::with_parallelism_memo(&set, options.parallelism, ctl.memo);
         let online_report = if options.online_pruning {
             prune_online(&mut set, &engine, options)
         } else {

@@ -36,6 +36,16 @@
 //! * `builds_w8 … builds_w128` — per-width build counts, recorded once
 //!   per build via [`KernelCounters::record_scan_width`].
 //!
+//! # Memo counters
+//!
+//! The sub-query memo store (`nexus-core::memo`) records its traffic here
+//! too, per cached-value kind ([`MemoKind`]): hits, misses, inserts, and
+//! evictions, plus the number of times a request blocked on another
+//! request's in-flight build instead of duplicating it
+//! (`memo_coalesced_waits`). Like the kernel counters they are portable
+//! cost evidence: a warm memoized run proves itself with `hits > 0` and
+//! fewer pool tasks, never with wall-clock.
+//!
 //! [`delta`]: KernelSnapshot::delta
 //! [`narrow_scans`]: KernelSnapshot::narrow_scans
 //! [`packed_words_skipped`]: KernelSnapshot::packed_words_skipped
@@ -43,6 +53,46 @@
 //! [`full_merge_cells`]: KernelSnapshot::full_merge_cells
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Number of distinct [`MemoKind`] values (array dimension of the per-kind
+/// memo counters).
+pub const MEMO_KINDS: usize = 4;
+
+/// What kind of sub-query value a memo entry caches. Doubles as the index
+/// into the per-kind counter arrays of [`KernelCounters`] /
+/// [`KernelSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum MemoKind {
+    /// A per-column joint-count contingency table.
+    Contingency = 0,
+    /// A per-set complete-case selection (fused mask + codes).
+    Selection = 1,
+    /// A marginal entropy / conditional-mutual-information term.
+    CmiTerm = 2,
+    /// A KG extraction column (row→entity codes + candidates).
+    Extraction = 3,
+}
+
+impl MemoKind {
+    /// All kinds, in counter-array index order.
+    pub const ALL: [MemoKind; MEMO_KINDS] = [
+        MemoKind::Contingency,
+        MemoKind::Selection,
+        MemoKind::CmiTerm,
+        MemoKind::Extraction,
+    ];
+
+    /// A stable lowercase label (used in dotted metric names).
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoKind::Contingency => "contingency",
+            MemoKind::Selection => "selection",
+            MemoKind::CmiTerm => "cmi_term",
+            MemoKind::Extraction => "extraction",
+        }
+    }
+}
 
 /// How counting kernels dispatch between the dense/fused fast paths and
 /// the legacy hashed row-scan.
@@ -143,7 +193,22 @@ pub struct KernelCounters {
     builds_w32: AtomicU64,
     builds_w64: AtomicU64,
     builds_w128: AtomicU64,
+    memo_hits: [AtomicU64; MEMO_KINDS],
+    memo_misses: [AtomicU64; MEMO_KINDS],
+    memo_inserts: [AtomicU64; MEMO_KINDS],
+    memo_evictions: [AtomicU64; MEMO_KINDS],
+    memo_coalesced_waits: AtomicU64,
 }
+
+/// A four-slot array of zeroed atomics (const-initializable; used only to
+/// build the static below, never shared between fields).
+#[allow(clippy::declare_interior_mutable_const)]
+const MEMO_ZEROS: [AtomicU64; MEMO_KINDS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 /// The global counter instance.
 static COUNTERS: KernelCounters = KernelCounters {
@@ -161,6 +226,11 @@ static COUNTERS: KernelCounters = KernelCounters {
     builds_w32: AtomicU64::new(0),
     builds_w64: AtomicU64::new(0),
     builds_w128: AtomicU64::new(0),
+    memo_hits: MEMO_ZEROS,
+    memo_misses: MEMO_ZEROS,
+    memo_inserts: MEMO_ZEROS,
+    memo_evictions: MEMO_ZEROS,
+    memo_coalesced_waits: AtomicU64::new(0),
 };
 
 /// The process-global [`KernelCounters`].
@@ -219,6 +289,33 @@ impl KernelCounters {
             .fetch_add(full_cells, Ordering::Relaxed);
     }
 
+    /// Records one memo-store lookup that found a published entry.
+    pub fn record_memo_hit(&self, kind: MemoKind) {
+        self.memo_hits[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one memo-store lookup that found nothing (the caller
+    /// becomes the builder or a coalesced waiter).
+    pub fn record_memo_miss(&self, kind: MemoKind) {
+        self.memo_misses[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one value published into the memo store.
+    pub fn record_memo_insert(&self, kind: MemoKind) {
+        self.memo_inserts[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` entries of `kind` evicted by budget enforcement.
+    pub fn record_memo_evictions(&self, kind: MemoKind, n: u64) {
+        self.memo_evictions[kind as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one request blocking on another request's in-flight build
+    /// instead of duplicating it.
+    pub fn record_memo_coalesced_wait(&self) {
+        self.memo_coalesced_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy of the counters (each counter is read
     /// atomically; the set is not a transaction, which is fine for
     /// monotone diagnostics).
@@ -238,8 +335,33 @@ impl KernelCounters {
             builds_w32: self.builds_w32.load(Ordering::Relaxed),
             builds_w64: self.builds_w64.load(Ordering::Relaxed),
             builds_w128: self.builds_w128.load(Ordering::Relaxed),
+            memo_hits: load4(&self.memo_hits),
+            memo_misses: load4(&self.memo_misses),
+            memo_inserts: load4(&self.memo_inserts),
+            memo_evictions: load4(&self.memo_evictions),
+            memo_coalesced_waits: self.memo_coalesced_waits.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Relaxed load of a per-kind counter array.
+fn load4(a: &[AtomicU64; MEMO_KINDS]) -> [u64; MEMO_KINDS] {
+    [
+        a[0].load(Ordering::Relaxed),
+        a[1].load(Ordering::Relaxed),
+        a[2].load(Ordering::Relaxed),
+        a[3].load(Ordering::Relaxed),
+    ]
+}
+
+/// Element-wise saturating subtraction of per-kind counter arrays.
+fn sub4(a: [u64; MEMO_KINDS], b: [u64; MEMO_KINDS]) -> [u64; MEMO_KINDS] {
+    [
+        a[0].saturating_sub(b[0]),
+        a[1].saturating_sub(b[1]),
+        a[2].saturating_sub(b[2]),
+        a[3].saturating_sub(b[3]),
+    ]
 }
 
 /// A point-in-time copy of [`KernelCounters`].
@@ -276,6 +398,38 @@ pub struct KernelSnapshot {
     pub builds_w64: u64,
     /// Builds that needed the 128-bit row-scan fallback.
     pub builds_w128: u64,
+    /// Memo-store hits, indexed by [`MemoKind`].
+    pub memo_hits: [u64; MEMO_KINDS],
+    /// Memo-store misses, indexed by [`MemoKind`].
+    pub memo_misses: [u64; MEMO_KINDS],
+    /// Values published into the memo store, indexed by [`MemoKind`].
+    pub memo_inserts: [u64; MEMO_KINDS],
+    /// Entries evicted by budget enforcement, indexed by [`MemoKind`].
+    pub memo_evictions: [u64; MEMO_KINDS],
+    /// Requests that blocked on another request's in-flight build.
+    pub memo_coalesced_waits: u64,
+}
+
+impl KernelSnapshot {
+    /// Total memo hits across all kinds.
+    pub fn memo_hits_total(&self) -> u64 {
+        self.memo_hits.iter().sum()
+    }
+
+    /// Total memo misses across all kinds.
+    pub fn memo_misses_total(&self) -> u64 {
+        self.memo_misses.iter().sum()
+    }
+
+    /// Total memo inserts across all kinds.
+    pub fn memo_inserts_total(&self) -> u64 {
+        self.memo_inserts.iter().sum()
+    }
+
+    /// Total memo evictions across all kinds.
+    pub fn memo_evictions_total(&self) -> u64 {
+        self.memo_evictions.iter().sum()
+    }
 }
 
 impl KernelSnapshot {
@@ -303,6 +457,13 @@ impl KernelSnapshot {
             builds_w32: self.builds_w32.saturating_sub(earlier.builds_w32),
             builds_w64: self.builds_w64.saturating_sub(earlier.builds_w64),
             builds_w128: self.builds_w128.saturating_sub(earlier.builds_w128),
+            memo_hits: sub4(self.memo_hits, earlier.memo_hits),
+            memo_misses: sub4(self.memo_misses, earlier.memo_misses),
+            memo_inserts: sub4(self.memo_inserts, earlier.memo_inserts),
+            memo_evictions: sub4(self.memo_evictions, earlier.memo_evictions),
+            memo_coalesced_waits: self
+                .memo_coalesced_waits
+                .saturating_sub(earlier.memo_coalesced_waits),
         }
     }
 }
@@ -367,6 +528,35 @@ mod tests {
         assert!(ScanWidth::W8.is_narrow());
         assert!(ScanWidth::W16.is_narrow());
         assert!(!ScanWidth::W32.is_narrow());
+    }
+
+    #[test]
+    fn record_memo_counters() {
+        let c = KernelCounters::default();
+        let before = c.snapshot();
+        c.record_memo_hit(MemoKind::Contingency);
+        c.record_memo_hit(MemoKind::Contingency);
+        c.record_memo_miss(MemoKind::Selection);
+        c.record_memo_insert(MemoKind::Selection);
+        c.record_memo_evictions(MemoKind::CmiTerm, 3);
+        c.record_memo_hit(MemoKind::Extraction);
+        c.record_memo_coalesced_wait();
+        let d = c.snapshot().delta(&before);
+        assert_eq!(d.memo_hits[MemoKind::Contingency as usize], 2);
+        assert_eq!(d.memo_hits[MemoKind::Extraction as usize], 1);
+        assert_eq!(d.memo_hits_total(), 3);
+        assert_eq!(d.memo_misses_total(), 1);
+        assert_eq!(d.memo_inserts[MemoKind::Selection as usize], 1);
+        assert_eq!(d.memo_evictions[MemoKind::CmiTerm as usize], 3);
+        assert_eq!(d.memo_evictions_total(), 3);
+        assert_eq!(d.memo_coalesced_waits, 1);
+    }
+
+    #[test]
+    fn memo_kind_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            MemoKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), MEMO_KINDS);
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //! particular `extraction_builds` staying flat across a request is the
 //! proof that the KG mining was skipped, not merely fast.
 //!
+//! When the server's sub-query [`MemoStore`] is threaded into
+//! [`DatasetRegistry::ensure_resident`], each column's extraction is
+//! additionally memoized under [`MemoKind::Extraction`] keyed by (table
+//! fingerprint × KG fingerprint, options fingerprint, column). A
+//! re-materialization after an LRU eviction then hits the memo instead of
+//! re-mining the KG — `extraction_builds` stays flat on a memo hit, so
+//! its "mining was skipped" semantics survive memoization; only genuine
+//! [`extract_column`] runs move it.
+//!
 //! Evicting a [`DatasetSource::Memory`] dataset drops its extraction
 //! artifacts but not the backing table (the spec keeps it so the dataset
 //! can re-materialize); evicting a [`DatasetSource::Store`] dataset frees
@@ -31,7 +40,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use nexus_core::{extract_column, ColumnExtraction, CoreError, NexusOptions};
+use nexus_core::memo::{Claim, WaitOutcome};
+use nexus_core::{
+    extract_column, ColumnExtraction, CoreError, MemoKey, MemoKind, MemoStore, NexusOptions,
+};
 use nexus_kg::KnowledgeGraph;
 use nexus_table::Table;
 
@@ -94,7 +106,9 @@ pub(crate) struct DatasetState {
     pub table: Arc<Table>,
     pub kg: Arc<KnowledgeGraph>,
     /// Query-independent KG extraction artifacts, reused by every request.
-    pub extractions: Vec<ColumnExtraction>,
+    /// Arc'd so memoized re-materializations share them instead of
+    /// re-mining the KG.
+    pub extractions: Vec<Arc<ColumnExtraction>>,
     /// Content fingerprint of (table, kg, extraction columns) — the
     /// dataset component of every cache key, identical whether the bytes
     /// arrived in memory or from an NXCOL file.
@@ -165,11 +179,13 @@ impl DatasetRegistry {
 
     /// Returns the materialized artifacts for `name`, loading them if the
     /// dataset is registered but not resident. A warm call moves no
-    /// counter except the LRU clock.
+    /// counter except the LRU clock. When `memo` is given, per-column
+    /// extractions are memoized through it (see the module docs).
     pub(crate) fn ensure_resident(
         &self,
         name: &str,
         options: &NexusOptions,
+        memo: Option<&MemoStore>,
     ) -> Result<Arc<DatasetState>, RegistryError> {
         let spec = {
             let mut entries = self.entries.lock().expect("registry poisoned");
@@ -186,7 +202,7 @@ impl DatasetRegistry {
         // Materialize outside the lock: loads and extraction mining are
         // the slow path, and other datasets' requests must not queue
         // behind them.
-        let state = Arc::new(self.materialize(&spec, options)?);
+        let state = Arc::new(self.materialize(&spec, options, memo)?);
         self.loads.fetch_add(1, Ordering::SeqCst);
 
         let stamp = self.tick();
@@ -208,6 +224,7 @@ impl DatasetRegistry {
         &self,
         spec: &DatasetSpec,
         options: &NexusOptions,
+        memo: Option<&MemoStore>,
     ) -> Result<DatasetState, RegistryError> {
         let (table, kg) = match &spec.source {
             DatasetSource::Memory { table, kg } => (Arc::clone(table), Arc::clone(kg)),
@@ -225,11 +242,38 @@ impl DatasetRegistry {
                 (Arc::new(table), Arc::new(kg))
             }
         };
+        // Extraction depends only on the table column, the KG, and the
+        // extraction options — exactly what this key hashes. The per-spec
+        // dataset fingerprint below also covers the column *list*, which
+        // the per-column artifact must not depend on.
+        let memo_scope = memo.map(|store| {
+            let mut h = nexus_table::Fnv64::new();
+            h.write_u64(table.fingerprint());
+            h.write_u64(kg.fingerprint());
+            (store, h.finish())
+        });
         let mut extractions = Vec::with_capacity(spec.extraction_columns.len());
         for column in &spec.extraction_columns {
-            extractions
-                .push(extract_column(&table, &kg, column, options).map_err(RegistryError::Core)?);
-            self.extraction_builds.fetch_add(1, Ordering::SeqCst);
+            extractions.push(match &memo_scope {
+                Some((store, dataset_fp)) => {
+                    let key = MemoKey::new(
+                        MemoKind::Extraction,
+                        *dataset_fp,
+                        options.fingerprint(),
+                        0,
+                        column.as_str(),
+                    );
+                    self.memoized_extraction(store, &key, &table, &kg, column, options)?
+                }
+                None => {
+                    let ext = Arc::new(
+                        extract_column(&table, &kg, column, options)
+                            .map_err(RegistryError::Core)?,
+                    );
+                    self.extraction_builds.fetch_add(1, Ordering::SeqCst);
+                    ext
+                }
+            });
         }
         let fingerprint = {
             let mut h = nexus_table::Fnv64::new();
@@ -249,6 +293,49 @@ impl DatasetRegistry {
             fingerprint,
             store_bytes,
         })
+    }
+
+    /// Single-flight memoized [`extract_column`]: a hit returns the
+    /// shared artifact without touching `extraction_builds`; a build
+    /// mines the column, bumps the counter, and publishes. An extraction
+    /// error drops the ticket, so a concurrent waiter is elected builder
+    /// and observes the error itself rather than hanging.
+    fn memoized_extraction(
+        &self,
+        store: &MemoStore,
+        key: &MemoKey,
+        table: &Table,
+        kg: &KnowledgeGraph,
+        column: &str,
+        options: &NexusOptions,
+    ) -> Result<Arc<ColumnExtraction>, RegistryError> {
+        let mut claim = store.claim(key);
+        loop {
+            match claim {
+                Claim::Hit(value) => {
+                    return Ok(value
+                        .downcast::<ColumnExtraction>()
+                        .expect("extraction memo entries hold ColumnExtraction"));
+                }
+                Claim::Build(ticket) => {
+                    let ext = Arc::new(
+                        extract_column(table, kg, column, options).map_err(RegistryError::Core)?,
+                    );
+                    self.extraction_builds.fetch_add(1, Ordering::SeqCst);
+                    let bytes = extraction_approx_bytes(&ext);
+                    ticket.publish(ext.clone(), bytes);
+                    return Ok(ext);
+                }
+                Claim::Wait => match store.wait(key) {
+                    WaitOutcome::Ready(value) => {
+                        return Ok(value
+                            .downcast::<ColumnExtraction>()
+                            .expect("extraction memo entries hold ColumnExtraction"));
+                    }
+                    WaitOutcome::Build(ticket) => claim = Claim::Build(ticket),
+                },
+            }
+        }
     }
 
     /// Drops least-recently-used resident datasets (never `keep`) until
@@ -405,6 +492,31 @@ impl DatasetRegistry {
     }
 }
 
+/// Rough heap footprint of one extraction artifact, charged against the
+/// memo byte budget. Counts the row codes, validity words, and per
+/// candidate the entity-level code map and weights; small fixed terms
+/// round up structural overhead.
+fn extraction_approx_bytes(ext: &ColumnExtraction) -> u64 {
+    let codes = ext.codes.codes.len() * 4
+        + ext
+            .codes
+            .validity
+            .as_ref()
+            .map_or(0, |v| v.words().len() * 8);
+    let candidates: usize = ext
+        .candidates
+        .iter()
+        .map(|c| {
+            let repr = match &c.repr {
+                nexus_core::CandidateRepr::RowLevel(codes) => codes.codes.len() * 4,
+                nexus_core::CandidateRepr::EntityLevel { map, .. } => map.len() * 4,
+            };
+            c.name.len() + repr + c.entity_weights.as_ref().map_or(0, |w| w.len() * 8) + 96
+        })
+        .sum();
+    (codes + candidates + ext.column.len() + 64) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,9 +545,9 @@ mod tests {
         assert_eq!(reg.combined_fingerprint(), 0);
 
         let opts = NexusOptions::default();
-        let first = reg.ensure_resident("a", &opts).unwrap();
+        let first = reg.ensure_resident("a", &opts, None).unwrap();
         assert_eq!((reg.resident_count(), reg.loads()), (1, 1));
-        let warm = reg.ensure_resident("a", &opts).unwrap();
+        let warm = reg.ensure_resident("a", &opts, None).unwrap();
         assert!(
             Arc::ptr_eq(&first, &warm),
             "warm load returns the same artifacts"
@@ -449,14 +561,14 @@ mod tests {
         let opts = NexusOptions::default();
         let probe = DatasetRegistry::new(0);
         probe.register("p".into(), memory_spec(64));
-        let one = probe.ensure_resident("p", &opts).unwrap().store_bytes;
+        let one = probe.ensure_resident("p", &opts, None).unwrap().store_bytes;
 
         // Budget fits one dataset but not two.
         let reg = DatasetRegistry::new(one + one / 2);
         reg.register("a".into(), memory_spec(64));
         reg.register("b".into(), memory_spec(64));
-        reg.ensure_resident("a", &opts).unwrap();
-        reg.ensure_resident("b", &opts).unwrap();
+        reg.ensure_resident("a", &opts, None).unwrap();
+        reg.ensure_resident("b", &opts, None).unwrap();
         assert_eq!(
             (reg.resident_count(), reg.evictions()),
             (1, 1),
@@ -467,7 +579,7 @@ mod tests {
         assert!(reg.kg_entities("b").is_some());
 
         // Re-requesting the victim re-materializes (and evicts b).
-        reg.ensure_resident("a", &opts).unwrap();
+        reg.ensure_resident("a", &opts, None).unwrap();
         assert_eq!((reg.loads(), reg.evictions()), (3, 2));
         let listed = reg.list();
         assert_eq!(listed.len(), 2);
@@ -480,10 +592,54 @@ mod tests {
     }
 
     #[test]
+    fn memoized_extraction_survives_eviction_without_rebuilding() {
+        let table = Arc::new(
+            Table::new(vec![(
+                "x",
+                Column::from_opt_strs(&[Some("a"), Some("b"), Some("a"), None]),
+            )])
+            .unwrap(),
+        );
+        let spec = || DatasetSpec {
+            source: DatasetSource::Memory {
+                table: Arc::clone(&table),
+                kg: Arc::new(KnowledgeGraph::new()),
+            },
+            extraction_columns: vec!["x".into()],
+        };
+        let memo = MemoStore::new(0);
+        let opts = NexusOptions::default();
+        let reg = DatasetRegistry::new(0);
+        reg.register("d".into(), spec());
+
+        let cold = reg.ensure_resident("d", &opts, Some(&memo)).unwrap();
+        assert_eq!(reg.extraction_builds(), 1);
+        let mined = Arc::clone(&cold.extractions[0]);
+
+        assert!(reg.evict("d").unwrap());
+        let warm = reg.ensure_resident("d", &opts, Some(&memo)).unwrap();
+        assert_eq!(reg.loads(), 2, "eviction forces a re-materialization");
+        assert_eq!(
+            reg.extraction_builds(),
+            1,
+            "memo hit must skip the KG re-mining"
+        );
+        assert!(
+            Arc::ptr_eq(&mined, &warm.extractions[0]),
+            "the memoized artifact is shared, not recomputed"
+        );
+
+        // Without the memo the same eviction forces a genuine rebuild.
+        assert!(reg.evict("d").unwrap());
+        reg.ensure_resident("d", &opts, None).unwrap();
+        assert_eq!(reg.extraction_builds(), 2);
+    }
+
+    #[test]
     fn unknown_names_are_typed() {
         let reg = DatasetRegistry::new(0);
         assert!(matches!(
-            reg.ensure_resident("ghost", &NexusOptions::default()),
+            reg.ensure_resident("ghost", &NexusOptions::default(), None),
             Err(RegistryError::Unknown(_))
         ));
         assert!(matches!(reg.evict("ghost"), Err(RegistryError::Unknown(_))));
@@ -503,7 +659,7 @@ mod tests {
             },
         );
         assert!(matches!(
-            reg.ensure_resident("bad", &NexusOptions::default()),
+            reg.ensure_resident("bad", &NexusOptions::default(), None),
             Err(RegistryError::Load(_))
         ));
         assert_eq!(reg.loads(), 0, "a failed load is not a load");

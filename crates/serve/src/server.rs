@@ -77,7 +77,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nexus_core::{
-    ColumnExtraction, CoreError, Explanation, Nexus, NexusOptions, ProgressEvent, RunControl,
+    ColumnExtraction, CoreError, Explanation, MemoHandle, MemoKind, MemoStore, Nexus, NexusOptions,
+    ProgressEvent, RunControl,
 };
 use nexus_kg::KnowledgeGraph;
 use nexus_query::parse;
@@ -171,6 +172,10 @@ pub struct ServerOptions {
     /// nothing). Past capacity the oldest trace is dropped and the
     /// `trace.evicted` counter increments — memory stays bounded.
     pub trace_capacity: usize,
+    /// Byte budget of the sub-query memo store (contingency tables,
+    /// selection vectors, CMI terms, extraction columns shared across
+    /// requests; see [`nexus_core::MemoStore`]). `0` = unbounded.
+    pub max_memo_bytes: u64,
 }
 
 impl Default for ServerOptions {
@@ -187,6 +192,7 @@ impl Default for ServerOptions {
             max_inflight: 128,
             max_resident_bytes: 0,
             trace_capacity: 64,
+            max_memo_bytes: 256 << 20,
         }
     }
 }
@@ -359,6 +365,10 @@ struct Inner {
     m: ServeMetrics,
     /// Bounded ring of finished request span traces.
     traces: TraceRing,
+    /// The sub-query memo store shared by every request (and by the
+    /// registry's extraction materializations): byte-budgeted LRU with
+    /// single-flight admission, keyed under each dataset's fingerprint.
+    memo: Arc<MemoStore>,
     shutdown: AtomicBool,
     /// Counting-kernel counters at server construction; `stats()` reports
     /// movement since then, not since process start.
@@ -392,6 +402,7 @@ impl Server {
                 metrics,
                 m,
                 traces: TraceRing::new(options.trace_capacity),
+                memo: Arc::new(MemoStore::new(options.max_memo_bytes)),
                 shutdown: AtomicBool::new(false),
                 kernel_baseline: nexus_info::kernel::counters().snapshot(),
             }),
@@ -422,7 +433,7 @@ impl Server {
         );
         self.inner
             .registry
-            .ensure_resident(&name, &self.inner.nexus.options)
+            .ensure_resident(&name, &self.inner.nexus.options, Some(&self.inner.memo))
             .map(|_| ())
             .map_err(registry_to_serve)
     }
@@ -517,6 +528,24 @@ impl Server {
         r.gauge("kernel.builds.w32").set(kernel.builds_w32);
         r.gauge("kernel.builds.w64").set(kernel.builds_w64);
         r.gauge("kernel.builds.w128").set(kernel.builds_w128);
+        r.gauge("memo.hits").set(kernel.memo_hits_total());
+        r.gauge("memo.misses").set(kernel.memo_misses_total());
+        r.gauge("memo.inserts").set(kernel.memo_inserts_total());
+        r.gauge("memo.evictions").set(kernel.memo_evictions_total());
+        r.gauge("memo.coalesced_waits")
+            .set(kernel.memo_coalesced_waits);
+        for kind in MemoKind::ALL {
+            let i = kind as usize;
+            r.gauge(&format!("memo.hits.{}", kind.label()))
+                .set(kernel.memo_hits[i]);
+            r.gauge(&format!("memo.misses.{}", kind.label()))
+                .set(kernel.memo_misses[i]);
+        }
+        r.gauge("memo.resident_bytes")
+            .set(self.inner.memo.resident_bytes());
+        r.gauge("memo.resident_entries")
+            .set(self.inner.memo.resident_entries() as u64);
+        r.gauge("memo.max_bytes").set(self.inner.memo.max_bytes());
         r.gauge("serve.cache.entries")
             .set(self.inner.cache.lock().unwrap().len() as u64);
         r.gauge("serve.conns.accepted")
@@ -710,6 +739,7 @@ impl Server {
         let traced = RunControl {
             abort: ctl.abort,
             progress: Some(&sink),
+            memo: ctl.memo,
         };
         let reply = self.explain_ctl(req, traced);
         self.inner
@@ -773,11 +803,11 @@ impl Server {
         // Materializes the dataset if it is registered but not resident
         // (first touch after a lazy load or an eviction); a warm dataset
         // is an `Arc` clone.
-        let dataset = match self
-            .inner
-            .registry
-            .ensure_resident(&req.dataset, &self.inner.nexus.options)
-        {
+        let dataset = match self.inner.registry.ensure_resident(
+            &req.dataset,
+            &self.inner.nexus.options,
+            Some(&self.inner.memo),
+        ) {
             Ok(d) => d,
             Err(RegistryError::Unknown(_)) => {
                 return error(
@@ -847,7 +877,13 @@ impl Server {
         };
         let queue_nanos = queued.elapsed().as_nanos() as u64;
 
-        let refs: Vec<&ColumnExtraction> = dataset.extractions.iter().collect();
+        // Attach the sub-query memo, scoped to this dataset's content
+        // fingerprint: concurrent cold requests coalesce onto one builder
+        // per sub-computation, warm requests skip the counting pool tasks
+        // entirely, and the bytes that come out are identical either way.
+        let memo = MemoHandle::new(Arc::clone(&self.inner.memo), dataset.fingerprint);
+        let ctl = ctl.with_memo(&memo);
+        let refs: Vec<&ColumnExtraction> = dataset.extractions.iter().map(Arc::as_ref).collect();
         match nexus.run_with_extractions_controlled(&dataset.table, &refs, &query, ctl) {
             Ok((explanation, _artifacts)) => {
                 let bytes = Arc::new(explanation_to_wire(&explanation).encode());
@@ -1428,6 +1464,7 @@ impl Server {
         let ctl = RunControl {
             abort: Some(abort),
             progress: Some(&sink),
+            ..RunControl::default()
         };
         self.explain_traced(req, corr, ctl)
     }

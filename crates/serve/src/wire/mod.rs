@@ -633,6 +633,20 @@ pub struct ServerStatsWire {
     /// Order-independent fingerprint over the resident `(name,
     /// fingerprint)` pairs — changes exactly when the resident set does.
     pub registry_fingerprint: u64,
+    /// Sub-query memo hits across all kinds (contingency tables, fused
+    /// selections, CMI terms, extraction columns) since server start.
+    pub memo_hits: u64,
+    /// Sub-query memo misses across all kinds since server start.
+    pub memo_misses: u64,
+    /// Values published into the sub-query memo since server start.
+    pub memo_inserts: u64,
+    /// Memo entries dropped by the byte-budget LRU since server start.
+    pub memo_evictions: u64,
+    /// Requests that blocked on another request's in-flight build of the
+    /// same sub-computation instead of duplicating it (single-flight).
+    pub memo_coalesced_waits: u64,
+    /// Bytes currently charged against the memo store's budget.
+    pub memo_resident_bytes: u64,
 }
 
 /// One field-to-name mapping entry shared by [`ServerStatsWire::metrics`]
@@ -678,6 +692,12 @@ macro_rules! for_each_stats_metric {
             store_bytes => "registry.store.bytes",
             extraction_builds => "registry.extraction.builds",
             registry_fingerprint => "registry.fingerprint",
+            memo_hits => "memo.hits",
+            memo_misses => "memo.misses",
+            memo_inserts => "memo.inserts",
+            memo_evictions => "memo.evictions",
+            memo_coalesced_waits => "memo.coalesced_waits",
+            memo_resident_bytes => "memo.resident_bytes",
         }
     };
 }
@@ -843,6 +863,12 @@ pub struct UnsupportedWire {
 // ---------------------------------------------------------------------------
 
 /// One NEXUSRPC frame.
+//
+// `StatsReply` carries the full fixed-layout counter block (~340 bytes),
+// far larger than the other variants — but frames are transient values on
+// the encode/decode path, never stored in collections, so boxing it would
+// buy nothing and cost an allocation per stats round-trip.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Liveness probe.
@@ -1000,6 +1026,12 @@ impl Frame {
                 put_u64(out, s.store_bytes);
                 put_u64(out, s.extraction_builds);
                 put_u64(out, s.registry_fingerprint);
+                put_u64(out, s.memo_hits);
+                put_u64(out, s.memo_misses);
+                put_u64(out, s.memo_inserts);
+                put_u64(out, s.memo_evictions);
+                put_u64(out, s.memo_coalesced_waits);
+                put_u64(out, s.memo_resident_bytes);
             }
             Frame::Unsupported(u) => {
                 put_u16(out, u.version);
@@ -1145,6 +1177,12 @@ impl Frame {
                 store_bytes: r.u64()?,
                 extraction_builds: r.u64()?,
                 registry_fingerprint: r.u64()?,
+                memo_hits: r.u64()?,
+                memo_misses: r.u64()?,
+                memo_inserts: r.u64()?,
+                memo_evictions: r.u64()?,
+                memo_coalesced_waits: r.u64()?,
+                memo_resident_bytes: r.u64()?,
             }),
             8 => Frame::Shutdown,
             9 => Frame::ShutdownAck,
@@ -1438,6 +1476,12 @@ mod tests {
                 store_bytes: 65_536,
                 extraction_builds: 6,
                 registry_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                memo_hits: 42,
+                memo_misses: 17,
+                memo_inserts: 17,
+                memo_evictions: 3,
+                memo_coalesced_waits: 5,
+                memo_resident_bytes: 1_048_576,
             }),
             Frame::Shutdown,
             Frame::ShutdownAck,
@@ -1590,7 +1634,7 @@ mod tests {
         let mut expected = ServerStatsWire::default();
         // Give every field a distinct value so a crossed mapping is caught.
         let pairs = expected.metrics();
-        assert_eq!(pairs.len(), 36, "every StatsReply field has a name");
+        assert_eq!(pairs.len(), 42, "every StatsReply field has a name");
         let mut seen = std::collections::HashSet::new();
         for window in pairs.windows(2) {
             assert!(window[0].0 < window[1].0, "names sorted: {window:?}");
@@ -1599,7 +1643,7 @@ mod tests {
             assert!(seen.insert(*name), "duplicate name {name}");
         }
         // Distinct values per field via the inverse direction: number the
-        // names 1..=36, build the struct, and check metrics() echoes the
+        // names 1..=42, build the struct, and check metrics() echoes the
         // numbering back under the same names.
         let numbered: std::collections::HashMap<&str, u64> = pairs
             .iter()

@@ -6,7 +6,7 @@
 
 use nexus_core::Parallelism;
 use nexus_datagen::{load, queries_for, DatasetKind, Scale};
-use nexus_serve::wire::{ExplainRequestWire, ExplanationReplyWire, Frame};
+use nexus_serve::wire::{CallOverrides, ExplainRequestWire, ExplanationReplyWire, Frame};
 use nexus_serve::{Server, ServerOptions};
 
 fn server_at(kind: DatasetKind, parallelism: Parallelism) -> Server {
@@ -108,4 +108,65 @@ fn different_queries_do_not_collide() {
     // Replay both — each must hit its own entry.
     assert!(submit(&server, queries[0].sql).stats.cache_hit);
     assert!(submit(&server, queries[1].sql).stats.cache_hit);
+}
+
+#[test]
+fn memoized_warm_run_is_byte_identical_with_fewer_pool_tasks() {
+    // Two servers answer the same k=1 query: one cold, one whose memo was
+    // warmed by a k=2 request first (a different options fingerprint, so
+    // the warm request misses the *result* cache and re-runs the
+    // pipeline over memoized sub-computations). The warm reply must be
+    // byte-identical to the cold one while scheduling strictly fewer
+    // pool tasks — the counter-asserted proof that memoization changed
+    // the work, not the answer.
+    let kind = DatasetKind::Covid;
+    let sql = queries_for(kind)[0].sql;
+    let submit_k = |server: &Server, k: u32| {
+        let reply = server.handle(Frame::Explain(ExplainRequestWire {
+            dataset: "bench".into(),
+            sql: sql.into(),
+            overrides: CallOverrides {
+                top_k: Some(k),
+                ..Default::default()
+            },
+        }));
+        match reply {
+            Frame::Explanation(r) => r,
+            other => panic!("expected an explanation, got {other:?}"),
+        }
+    };
+
+    let reference = server_at(kind, Parallelism::Fixed(2));
+    let cold = submit_k(&reference, 1);
+    assert!(!cold.stats.cache_hit);
+
+    let warmed = server_at(kind, Parallelism::Fixed(2));
+    let prime = submit_k(&warmed, 2);
+    assert!(!prime.stats.cache_hit);
+    let warm = submit_k(&warmed, 1);
+    assert!(
+        !warm.stats.cache_hit,
+        "different overrides must miss the result cache"
+    );
+    assert_eq!(
+        warm.explanation, cold.explanation,
+        "memoized warm run must be byte-identical to a cold run"
+    );
+    assert!(
+        warm.stats.scored_tasks < cold.stats.scored_tasks,
+        "warm run must skip counting pool tasks ({} vs cold {})",
+        warm.stats.scored_tasks,
+        cold.stats.scored_tasks
+    );
+
+    let stats = warmed.stats();
+    assert!(stats.memo_hits > 0, "the warm run must hit the memo");
+    assert!(
+        stats.memo_inserts > 0,
+        "the cold run must populate the memo"
+    );
+    assert!(
+        stats.memo_resident_bytes > 0,
+        "published entries must be charged against the budget"
+    );
 }

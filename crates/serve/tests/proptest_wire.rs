@@ -148,12 +148,22 @@ fn frame() -> impl Strategy<Value = Frame> {
                 any::<u64>()
             ),
             (
-                any::<u64>(),
-                any::<u64>(),
-                any::<u64>(),
-                any::<u64>(),
-                any::<u64>(),
-                any::<u64>()
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>()
+                ),
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>()
+                )
             )
         )
             .prop_map(
@@ -165,7 +175,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                     (ca, br, io),
                     (of, dh, lh),
                     (ip, oo, ch, ps, wr),
-                    (dr, dl, de, sb, eb, rf),
+                    ((dr, dl, de, sb, eb, rf), (mh, mm, mi, me, mc, mb)),
                 )| {
                     Frame::StatsReply(ServerStatsWire {
                         datasets: d,
@@ -204,6 +214,12 @@ fn frame() -> impl Strategy<Value = Frame> {
                         store_bytes: sb,
                         extraction_builds: eb,
                         registry_fingerprint: rf,
+                        memo_hits: mh,
+                        memo_misses: mm,
+                        memo_inserts: mi,
+                        memo_evictions: me,
+                        memo_coalesced_waits: mc,
+                        memo_resident_bytes: mb,
                     })
                 }
             ),

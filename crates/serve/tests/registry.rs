@@ -177,7 +177,11 @@ fn evicted_datasets_reload_transparently() {
     assert_eq!(again, first);
     let n_cols = packed.extraction_columns.len() as u64;
     let s = srv.stats();
-    assert_eq!((s.datasets_loaded, s.extraction_builds), (2, 2 * n_cols));
+    assert_eq!(
+        (s.datasets_loaded, s.extraction_builds),
+        (2, n_cols),
+        "the reload must hit the extraction memo instead of re-mining"
+    );
     assert_eq!(s.cache_hits, 1, "content fingerprint must survive eviction");
 
     // Evicting a name that was never registered is a typed error.

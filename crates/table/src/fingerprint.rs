@@ -11,6 +11,7 @@
 //! little-endian before hashing). It is **not** cryptographic; it guards
 //! against accidental collisions in a cache key, not against adversaries.
 
+use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnData};
 use crate::table::Table;
 
@@ -159,6 +160,27 @@ impl Column {
     }
 }
 
+impl Bitmap {
+    /// Absorbs the bitmap's content (length + canonical backing words)
+    /// into `h`. The words are a canonical serialization — bits beyond
+    /// `len()` are guaranteed zero — so equal bitmaps hash equally, and
+    /// two masks with the same popcount but different set bits cannot
+    /// alias (the memo-key collision-safety requirement).
+    pub fn fingerprint_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.len() as u64);
+        for &w in self.words() {
+            h.write_u64(w);
+        }
+    }
+
+    /// Standalone content fingerprint of this bitmap.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+}
+
 impl Table {
     /// Content fingerprint of the table: schema (names, in order) plus
     /// every column's values. Depends only on content, never on how or
@@ -241,6 +263,22 @@ mod tests {
         let a = Column::from_strs(&["ab", "c"]);
         let b = Column::from_strs(&["a", "bc"]);
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn bitmap_fingerprint_distinguishes_equal_popcounts() {
+        // Same length, same popcount, different bits: must not alias.
+        let a: Bitmap = (0..128).map(|i| i < 10).collect();
+        let b: Bitmap = (0..128).map(|i| i >= 118).collect();
+        assert_eq!(a.count_ones(), b.count_ones());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Equal content hashes equally however it was built.
+        let c: Bitmap = (0..128).map(|i| i < 10).collect();
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        // Length is part of the digest even when the words match.
+        let mut d = a.clone();
+        d.push(false);
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

@@ -68,7 +68,7 @@ fn usage() -> ! {
          \x20         [--name <dataset>] [--k N] [--hops N] [--threads N] [--no-pruning] \
          [--cache N] [--max-concurrent N]\n\
          \x20         [--max-conns N] [--io-timeout-ms N] [--drain-timeout-ms N] \
-         [--max-store-bytes N]\n\
+         [--max-store-bytes N] [--max-memo-bytes N]\n\
          \x20 nexus-cli pack --table <csv> --out <nxcol>\n\
          \x20 nexus-cli inspect --store <nxcol>\n\
          \x20 nexus-cli datasets (--socket <path> | --tcp <addr>) \
@@ -76,7 +76,7 @@ fn usage() -> ! {
          | --evict <name>)\n\
          \x20 nexus-cli submit (--socket <path> | --tcp <addr>) --sql <query> \
          [--dataset <name>] [--retries N] [--timeout-ms N]\n\
-         \x20         [--pipeline N [--cancel]] [--trace] | --shutdown | --ping | --stats\n\
+         \x20         [--pipeline N [--cancel] [--vary-topk]] [--trace] | --shutdown | --ping | --stats\n\
          \x20 nexus-cli metrics (--socket <path> | --tcp <addr>)\n\
          \x20 nexus-cli trace (--socket <path> | --tcp <addr>) [--last N]\n\
          \x20 nexus-cli abuse (--socket <path> | --tcp <addr>) \
@@ -119,6 +119,8 @@ struct ServeArgs {
     drain_timeout_ms: u64,
     /// Registry byte budget for resident datasets (0 = unbounded).
     max_store_bytes: u64,
+    /// Sub-query memo byte budget override (`Some(0)` = unbounded).
+    max_memo_bytes: Option<u64>,
     /// Trace-ring capacity override (`Some(0)` disables tracing).
     trace_capacity: Option<usize>,
 }
@@ -154,6 +156,10 @@ struct SubmitArgs {
     pipeline: usize,
     /// Cancel the last pipelined request mid-flight (v2 smoke).
     cancel: bool,
+    /// Give pipelined request `i` a `top_k` override of `i + 1`:
+    /// overlapping-but-distinct queries that share every sub-computation
+    /// without sharing a result-cache entry (the memo coalescing smoke).
+    vary_topk: bool,
     /// Fetch and print this request's span trace to stderr after the
     /// reply (stdout stays diffable against a plain submit).
     trace: bool,
@@ -222,6 +228,7 @@ fn parse_command() -> Command {
     let mut timeout_ms = 0u64;
     let mut pipeline = 0usize;
     let mut cancel = false;
+    let mut vary_topk = false;
     let mut trace = false;
     let mut last = 8usize;
     let mut trace_capacity: Option<usize> = None;
@@ -229,6 +236,7 @@ fn parse_command() -> Command {
     let (mut shutdown, mut ping, mut stats) = (false, false, false);
     let mut out = String::new();
     let mut max_store_bytes = 0u64;
+    let mut max_memo_bytes: Option<u64> = None;
     let mut load = None;
     let mut evict = None;
     let mut list = false;
@@ -267,12 +275,14 @@ fn parse_command() -> Command {
             "--timeout-ms" => timeout_ms = number(&mut i, &argv) as u64,
             "--pipeline" => pipeline = number(&mut i, &argv),
             "--cancel" => cancel = true,
+            "--vary-topk" => vary_topk = true,
             "--trace" => trace = true,
             "--last" => last = number(&mut i, &argv),
             "--trace-capacity" => trace_capacity = Some(number(&mut i, &argv)),
             "--mode" => mode = value(&mut i, &argv),
             "--out" => out = value(&mut i, &argv),
             "--max-store-bytes" => max_store_bytes = number(&mut i, &argv) as u64,
+            "--max-memo-bytes" => max_memo_bytes = Some(number(&mut i, &argv) as u64),
             "--load" => load = Some(value(&mut i, &argv)),
             "--evict" => evict = Some(value(&mut i, &argv)),
             "--list" => list = true,
@@ -338,6 +348,7 @@ fn parse_command() -> Command {
                 io_timeout_ms,
                 drain_timeout_ms,
                 max_store_bytes,
+                max_memo_bytes,
                 trace_capacity,
             })
         }
@@ -351,6 +362,10 @@ fn parse_command() -> Command {
             }
             if pipeline > 0 && sql.is_empty() {
                 eprintln!("--pipeline needs an --sql query to keep in flight");
+                usage()
+            }
+            if vary_topk && pipeline == 0 {
+                eprintln!("--vary-topk varies pipelined requests; it needs --pipeline");
                 usage()
             }
             if cancel && pipeline < 2 {
@@ -377,6 +392,7 @@ fn parse_command() -> Command {
                 timeout_ms,
                 pipeline,
                 cancel,
+                vary_topk,
                 trace,
             })
         }
@@ -695,6 +711,9 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     }
     if args.drain_timeout_ms > 0 {
         options.drain_timeout = std::time::Duration::from_millis(args.drain_timeout_ms);
+    }
+    if let Some(bytes) = args.max_memo_bytes {
+        options.max_memo_bytes = bytes;
     }
     if let Some(capacity) = args.trace_capacity {
         options.trace_capacity = capacity;
@@ -1035,9 +1054,18 @@ fn run_pipeline(args: &SubmitArgs) -> Result<(), Failure> {
         session.max_inflight()
     );
 
-    let call = ExplainCall::new(&args.dataset, &args.sql);
+    // With --vary-topk each request carries its own top_k override:
+    // distinct result-cache keys over one shared candidate set, so the
+    // burst exercises the sub-query memo (and its single-flight
+    // coalescing) instead of the result cache.
     let tickets: Vec<_> = (0..args.pipeline)
-        .map(|_| session.submit(&call).map_err(client_failure))
+        .map(|i| {
+            let mut call = ExplainCall::new(&args.dataset, &args.sql);
+            if args.vary_topk {
+                call = call.top_k(i as u32 + 1);
+            }
+            session.submit(&call).map_err(client_failure)
+        })
         .collect::<Result<_, _>>()?;
 
     // Cancel the *last* submitted request while the earlier ones hold
@@ -1089,7 +1117,9 @@ fn run_pipeline(args: &SubmitArgs) -> Result<(), Failure> {
             ticket.partials().len(),
         );
         if let Some(first) = &first_reply {
-            if first.explanation_bytes != reply.explanation_bytes {
+            // Varied requests legitimately differ (each asked for its own
+            // top-k); identical requests must round-trip byte-identically.
+            if !args.vary_topk && first.explanation_bytes != reply.explanation_bytes {
                 return Err(format!(
                     "pipeline: corr {} reply differs from the first — \
                      pipelined replies must be byte-identical",
@@ -1109,7 +1139,7 @@ fn run_pipeline(args: &SubmitArgs) -> Result<(), Failure> {
     // `serve.rpc.*` family) — same format as `--stats`, grep-friendly.
     let s = session.stats().map_err(client_failure)?;
     for (name, value) in s.metrics() {
-        if name.starts_with("serve.rpc.") {
+        if name.starts_with("serve.rpc.") || name.starts_with("memo.") {
             eprintln!("{name} {value}");
         }
     }
